@@ -1,0 +1,98 @@
+// Op-level microbenchmarks across the three backends: matMul / conv2d /
+// depthwiseConv2d / softmax size sweeps. These quantify the per-backend
+// character Table 1 aggregates — the interpreted CPU's per-element dispatch,
+// the native backend's blocked GEMM, and the webgl-sim executor (wall time
+// is the simulator's host cost; kernel time is the modeled device).
+#include <benchmark/benchmark.h>
+
+#include "backends/register.h"
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace o = tfjs::ops;
+
+namespace {
+
+const char* backendForIndex(std::int64_t i) {
+  switch (i) {
+    case 0: return "cpu";
+    case 1: return "native";
+    default: return "webgl";
+  }
+}
+
+void BM_MatMul(benchmark::State& state) {
+  tfjs::setBackend(backendForIndex(state.range(0)));
+  const int n = static_cast<int>(state.range(1));
+  tfjs::Tensor a = o::randomNormal(tfjs::Shape{n, n}, 0, 1, 1);
+  tfjs::Tensor b = o::randomNormal(tfjs::Shape{n, n}, 0, 1, 2);
+  for (auto _ : state) {
+    tfjs::Tensor c = o::matMul(a, b);
+    c.dataSync();
+    c.dispose();
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  a.dispose();
+  b.dispose();
+}
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{0, 1, 2}, {64, 128, 256}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Conv2D(benchmark::State& state) {
+  tfjs::setBackend(backendForIndex(state.range(0)));
+  const int size = static_cast<int>(state.range(1));
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{1, size, size, 16}, 0, 1, 3);
+  tfjs::Tensor f = o::randomNormal(tfjs::Shape{3, 3, 16, 16}, 0, 1, 4);
+  for (auto _ : state) {
+    tfjs::Tensor y = o::conv2d(x, f, 1, 1, tfjs::PadMode::kSame);
+    y.dataSync();
+    y.dispose();
+  }
+  x.dispose();
+  f.dispose();
+}
+BENCHMARK(BM_Conv2D)
+    ->ArgsProduct({{0, 1, 2}, {16, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DepthwiseConv2D(benchmark::State& state) {
+  tfjs::setBackend(backendForIndex(state.range(0)));
+  const int size = static_cast<int>(state.range(1));
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{1, size, size, 32}, 0, 1, 5);
+  tfjs::Tensor f = o::randomNormal(tfjs::Shape{3, 3, 32, 1}, 0, 1, 6);
+  for (auto _ : state) {
+    tfjs::Tensor y = o::depthwiseConv2d(x, f, 1, 1, tfjs::PadMode::kSame);
+    y.dataSync();
+    y.dispose();
+  }
+  x.dispose();
+  f.dispose();
+}
+BENCHMARK(BM_DepthwiseConv2D)
+    ->ArgsProduct({{0, 1, 2}, {32, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Softmax(benchmark::State& state) {
+  tfjs::setBackend(backendForIndex(state.range(0)));
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{64, 1000}, 0, 1, 7);
+  for (auto _ : state) {
+    tfjs::Tensor y = o::softmax(x);
+    y.dataSync();
+    y.dispose();
+  }
+  x.dispose();
+}
+BENCHMARK(BM_Softmax)->ArgsProduct({{0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfjs::backends::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

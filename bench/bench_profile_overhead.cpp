@@ -1,0 +1,71 @@
+// E14 — debugging & profiling costs (paper section 3.8): time(f),
+// profile(f), and debug mode each wrap the same workload; this bench
+// measures what each tool costs relative to a bare run — debug mode is the
+// expensive one (it downloads every kernel output for the NaN scan), which
+// is why it is opt-in behind a flag in the paper.
+#include <benchmark/benchmark.h>
+
+#include "backends/register.h"
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace o = tfjs::ops;
+
+namespace {
+
+void workload(const tfjs::Tensor& x) {
+  tfjs::tidyVoid([&] {
+    tfjs::Tensor h = o::relu(o::matMul(x, x));
+    tfjs::Tensor s = o::softmax(h);
+    s.dataSync();
+  });
+}
+
+void BM_Bare(benchmark::State& state) {
+  tfjs::setBackend("native");
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{128, 128}, 0, 1, 1);
+  for (auto _ : state) workload(x);
+  x.dispose();
+}
+BENCHMARK(BM_Bare)->Unit(benchmark::kMicrosecond);
+
+void BM_UnderTime(benchmark::State& state) {
+  tfjs::setBackend("native");
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{128, 128}, 0, 1, 1);
+  for (auto _ : state) {
+    tfjs::TimingInfo t = tfjs::time([&] { workload(x); });
+    benchmark::DoNotOptimize(t.kernelMs);
+  }
+  x.dispose();
+}
+BENCHMARK(BM_UnderTime)->Unit(benchmark::kMicrosecond);
+
+void BM_UnderProfile(benchmark::State& state) {
+  tfjs::setBackend("native");
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{128, 128}, 0, 1, 1);
+  for (auto _ : state) {
+    tfjs::ProfileInfo p = tfjs::profile([&] { workload(x); });
+    benchmark::DoNotOptimize(p.kernels.size());
+  }
+  x.dispose();
+}
+BENCHMARK(BM_UnderProfile)->Unit(benchmark::kMicrosecond);
+
+void BM_UnderDebugMode(benchmark::State& state) {
+  tfjs::setBackend("native");
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{128, 128}, 0, 1, 1);
+  tfjs::Engine::get().setDebugMode(true);
+  for (auto _ : state) workload(x);
+  tfjs::Engine::get().setDebugMode(false);
+  x.dispose();
+}
+BENCHMARK(BM_UnderDebugMode)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfjs::backends::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

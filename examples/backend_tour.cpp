@@ -1,0 +1,95 @@
+// Backend tour: the same computation on every backend (paper Figure 1's
+// three environments), plus the debugging toolkit of section 3.8 —
+// time(f), profile(f), memory(), and the async data() vs blocking
+// dataSync() distinction of section 3.6.
+//
+// Build & run:  ./build/examples/backend_tour
+#include <cstdio>
+
+#include "backends/register.h"
+#include "backends/webgl/webgl_backend.h"
+#include "core/event_loop.h"
+#include "ops/ops.h"
+
+namespace o = tfjs::ops;
+
+int main() {
+  tfjs::backends::registerAll();
+
+  std::printf("registered backends:");
+  for (const auto& name : tfjs::Engine::get().registeredBackends()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n== the same matmul on every backend ==\n");
+
+  for (const char* name : {"cpu", "native", "webgl"}) {
+    tfjs::setBackend(name);
+    tfjs::Tensor a = o::randomNormal(tfjs::Shape{256, 256}, 0, 1, 1);
+    tfjs::TimingInfo t = tfjs::time([&] {
+      tfjs::Tensor c = o::matMul(a, a);
+      c.dataSync();
+      c.dispose();
+    });
+    std::printf("  %-7s wall %8.2f ms   kernel %8.3f ms%s\n", name, t.wallMs,
+                t.kernelMs,
+                std::string(name) == "webgl" ? "  (modeled device time)" : "");
+    a.dispose();
+  }
+
+  std::printf("\n== profile(f): per-kernel records (section 3.8) ==\n");
+  tfjs::setBackend("native");
+  tfjs::Tensor x = o::randomNormal(tfjs::Shape{64, 64}, 0, 1, 2);
+  tfjs::ProfileInfo prof = tfjs::profile([&] {
+    tfjs::tidyVoid([&] {
+      tfjs::Tensor h = o::relu(o::matMul(x, x));
+      tfjs::Tensor s = o::softmax(h);
+      s.dataSync();
+    });
+  });
+  std::printf("  newTensors=%zu newBytes=%zu peakBytes=%zu\n",
+              prof.newTensors, prof.newBytes, prof.peakBytes);
+  for (const auto& k : prof.kernels) {
+    std::printf("  kernel %-12s out=%s (%zu bytes)\n", k.name.c_str(),
+                k.outputShape.toString().c_str(), k.outputBytes);
+  }
+  x.dispose();
+
+  std::printf("\n== debug mode: NaN tracing ==\n");
+  tfjs::Engine::get().setDebugMode(true);
+  try {
+    // tidy cleans up even though the NaN check throws mid-expression.
+    tfjs::tidyVoid([] {
+      tfjs::Tensor bad = o::log(o::tensor({-1.f}, tfjs::Shape{1}));
+      (void)bad;
+    });
+  } catch (const tfjs::NumericError& e) {
+    std::printf("  caught: %s\n", e.what());
+  }
+  tfjs::Engine::get().setDebugMode(false);
+
+  std::printf("\n== dataSync vs data() on the simulated main thread ==\n");
+  tfjs::setBackend("webgl");
+  tfjs::Tensor big = o::randomNormal(tfjs::Shape{192, 192}, 0, 1, 3);
+  for (const bool async : {false, true}) {
+    tfjs::async::EventLoop loop(60);
+    loop.onFrame([](int) {});
+    std::future<std::vector<float>> pending;
+    loop.postTask([&] {
+      tfjs::Tensor c = o::matMul(big, big);
+      if (async) {
+        pending = c.data();  // promise resolves off the main thread
+      } else {
+        c.dataSync();  // blocks the main thread until the GPU finishes
+      }
+      c.dispose();
+    });
+    tfjs::async::FrameStats stats = loop.run(120);
+    if (async && pending.valid()) pending.get();
+    std::printf("  %-9s frames on-time %d/%d, max stall %.1f ms\n",
+                async ? "data()" : "dataSync", stats.framesOnTime,
+                stats.framesScheduled, stats.maxStallMs);
+  }
+  big.dispose();
+  std::printf("\nlive tensors at exit: %zu\n", tfjs::memory().numTensors);
+  return 0;
+}

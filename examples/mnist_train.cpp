@@ -1,0 +1,101 @@
+// In-framework training (the paper's headline differentiator: "the ability
+// to author and train models directly in JS, rather than simply being an
+// execution environment for models authored in Python").
+//
+// Trains a small CNN on a synthetic MNIST-like dataset with Adam +
+// categorical cross-entropy, reports per-epoch loss/accuracy, then saves and
+// reloads the model to show the section 5.1 persistence path.
+//
+// Build & run:  ./build/examples/mnist_train
+#include <cstdio>
+#include <filesystem>
+
+#include "backends/register.h"
+#include "data/synthetic.h"
+#include "io/model_io.h"
+#include "layers/conv_layers.h"
+#include "layers/core_layers.h"
+#include "layers/sequential.h"
+
+namespace L = tfjs::layers;
+
+int main() {
+  tfjs::backends::registerAll();
+  tfjs::setBackend("native");
+
+  const int kClasses = 4;
+  auto train = tfjs::data::makeSyntheticDigits(/*numExamples=*/320,
+                                               /*size=*/12, kClasses,
+                                               /*noiseStddev=*/0.3f,
+                                               /*seed=*/1);
+  auto test = tfjs::data::makeSyntheticDigits(80, 12, kClasses, 0.3f,
+                                              /*seed=*/2);
+
+  auto model = tfjs::sequential("mnist_cnn");
+  {
+    L::Conv2DOptions c;
+    c.filters = 8;
+    c.kernelH = c.kernelW = 3;
+    c.padding = "same";
+    c.activation = "relu";
+    model->add(std::make_shared<L::Conv2D>(c));
+  }
+  model->add(std::make_shared<L::MaxPooling2D>());
+  {
+    L::Conv2DOptions c;
+    c.filters = 16;
+    c.kernelH = c.kernelW = 3;
+    c.padding = "same";
+    c.activation = "relu";
+    model->add(std::make_shared<L::Conv2D>(c));
+  }
+  model->add(std::make_shared<L::MaxPooling2D>());
+  model->add(std::make_shared<L::Flatten>());
+  model->add(std::make_shared<L::Dropout>(0.25f));
+  {
+    L::DenseOptions d;
+    d.units = kClasses;
+    d.activation = "softmax";
+    model->add(std::make_shared<L::Dense>(d));
+  }
+
+  L::CompileOptions compile;
+  compile.optimizer = "adam";
+  compile.learningRate = 0.005f;
+  compile.loss = "categoricalCrossentropy";
+  compile.metrics = {"accuracy"};
+  model->compile(compile);
+
+  model->build(tfjs::Shape{1, 12, 12, 1});
+  std::printf("%s\n", model->summary().c_str());
+
+  L::FitOptions fit;
+  fit.epochs = 8;
+  fit.batchSize = 32;
+  fit.validationSplit = 0.2f;
+  L::History h = model->fit(train.images, train.labels, fit);
+  for (std::size_t e = 0; e < h.loss.size(); ++e) {
+    std::printf("epoch %zu: loss %.4f acc %.3f val_loss %.4f\n", e + 1,
+                h.loss[e], h.metrics[0][e], h.valLoss[e]);
+  }
+
+  L::EvalResult eval = model->evaluate(test.images, test.labels);
+  std::printf("\nheld-out: loss %.4f accuracy %.3f\n", eval.loss,
+              eval.metrics[0]);
+
+  // Persist and reload (section 5.1); accuracy must survive the round trip.
+  const std::string dir = "/tmp/tfjs_cpp_mnist_model";
+  std::filesystem::remove_all(dir);
+  tfjs::io::saveModel(*model, tfjs::Shape{1, 12, 12, 1}, dir);
+  auto reloaded = tfjs::io::loadModel(dir);
+  reloaded->compile(compile);
+  L::EvalResult evalReloaded = reloaded->evaluate(test.images, test.labels);
+  std::printf("reloaded model accuracy: %.3f (saved to %s)\n",
+              evalReloaded.metrics[0], dir.c_str());
+
+  train.dispose();
+  test.dispose();
+  model->dispose();
+  reloaded->dispose();
+  return eval.metrics[0] > 0.9f ? 0 : 1;
+}

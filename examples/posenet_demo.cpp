@@ -1,0 +1,34 @@
+// PoseNet demo — the paper's Listing 3: the hosted-model wrapper API takes a
+// plain image and returns a human-friendly pose object; no tensors appear.
+//
+//   posenet.estimateSinglePose(imageElement)
+//       .then(pose => console.log(pose));
+//
+// Build & run:  ./build/examples/posenet_demo
+#include <cstdio>
+
+#include "backends/register.h"
+#include "data/synthetic.h"
+#include "models/posenet.h"
+
+int main() {
+  tfjs::backends::registerAll();
+  tfjs::setBackend("webgl");  // in-browser configuration
+  std::printf("backend: %s\n", tfjs::getBackendName().c_str());
+
+  // The HTMLImageElement stand-in: a synthetic 240x180 "photo" with a
+  // bright subject blob (see DESIGN.md substitutions).
+  tfjs::data::Image person = tfjs::data::makeTestImage(
+      /*height=*/240, /*width=*/180, /*blobY=*/90, /*blobX=*/95);
+
+  tfjs::models::PoseNet posenet;
+
+  // Estimate a single pose from the image.
+  tfjs::models::Pose pose = posenet.estimateSinglePose(person);
+
+  // Console output in the Listing-3 format.
+  std::printf("%s\n", pose.toJsonString().c_str());
+  std::printf("\noverall score: %.3f, keypoints: %zu\n", pose.score,
+              pose.keypoints.size());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart — the paper's Listing 1, line for line:
+//
+//   const model = tf.sequential();
+//   model.add(tf.layers.dense({units: 1, inputShape: [1]}));
+//   model.compile({loss: 'meanSquaredError', optimizer: 'sgd'});
+//   const xs = tf.tensor2d([1, 2, 3, 4], [4, 1]);
+//   const ys = tf.tensor2d([1, 3, 5, 7], [4, 1]);
+//   model.fit(xs, ys).then(() => {
+//     model.predict(tf.tensor2d([5], [1, 1])).print();
+//   });
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "backends/register.h"
+#include "layers/core_layers.h"
+#include "layers/sequential.h"
+#include "ops/ops.h"
+
+namespace o = tfjs::ops;
+namespace L = tfjs::layers;
+
+int main() {
+  tfjs::backends::registerAll();
+  std::printf("backend: %s\n", tfjs::getBackendName().c_str());
+
+  // A linear model with 1 dense layer.
+  auto model = tfjs::sequential("quickstart");
+  L::DenseOptions dense;
+  dense.units = 1;
+  model->add(std::make_shared<L::Dense>(dense));
+
+  // Specify the loss and the optimizer.
+  L::CompileOptions compile;
+  compile.loss = "meanSquaredError";
+  compile.optimizer = "sgd";
+  compile.learningRate = 0.1f;
+  model->compile(compile);
+
+  // Generate synthetic data to train: y = 2x - 1.
+  tfjs::Tensor xs = o::tensor({1, 2, 3, 4}, tfjs::Shape{4, 1});
+  tfjs::Tensor ys = o::tensor({1, 3, 5, 7}, tfjs::Shape{4, 1});
+
+  // Train the model using the data.
+  L::FitOptions fit;
+  fit.epochs = 200;
+  fit.batchSize = 4;
+  L::History history = model->fit(xs, ys, fit);
+  std::printf("loss: %.6f -> %.6f over %d epochs\n", history.loss.front(),
+              history.loss.back(), fit.epochs);
+
+  // Do inference on an unseen data point and print the result.
+  tfjs::Tensor x = o::tensor({5.f}, tfjs::Shape{1, 1});
+  tfjs::Tensor prediction = model->predict(x);
+  prediction.print();  // ~[9]: the model learned y = 2x - 1
+
+  // Explicit memory management (section 3.7).
+  for (tfjs::Tensor t : {xs, ys, x, prediction}) t.dispose();
+  model->dispose();
+  std::printf("live tensors after dispose: %zu\n",
+              tfjs::memory().numTensors);
+  return 0;
+}

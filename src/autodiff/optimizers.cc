@@ -1,0 +1,143 @@
+#include "autodiff/optimizers.h"
+
+#include <cmath>
+
+#include "ops/ops.h"
+
+namespace tfjs::autodiff {
+
+namespace o = tfjs::ops;
+
+Tensor Optimizer::minimize(const std::function<Tensor()>& f, bool returnCost,
+                           std::span<const Variable> varList) {
+  VariableGradients vg = variableGrads(f, varList);
+  applyGradients(vg.grads);
+  for (auto& [v, g] : vg.grads) g.dispose();
+  if (returnCost) {
+    vg.value.keep();
+    return vg.value;
+  }
+  vg.value.dispose();
+  return Tensor();
+}
+
+Tensor& Optimizer::slot(const Variable& v, const std::string& slotName) {
+  return slots_[v.name() + "/" + slotName];
+}
+
+void Optimizer::setSlot(const Variable& v, const std::string& slotName,
+                        const Tensor& t) {
+  auto& s = slots_[v.name() + "/" + slotName];
+  if (s.defined() && !s.isDisposed()) s.dispose();
+  t.keep();
+  s = t;
+}
+
+bool Optimizer::hasSlot(const Variable& v, const std::string& slotName) const {
+  auto it = slots_.find(v.name() + "/" + slotName);
+  return it != slots_.end() && it->second.defined() &&
+         !it->second.isDisposed();
+}
+
+void SGDOptimizer::applyGradients(
+    std::span<const std::pair<Variable, Tensor>> grads) {
+  for (const auto& [v, g] : grads) {
+    Tensor next = Engine::get().tidy(
+        [&] { return o::sub(v.value(), o::mulScalar(g, lr_)); });
+    v.assign(next);
+  }
+}
+
+void MomentumOptimizer::applyGradients(
+    std::span<const std::pair<Variable, Tensor>> grads) {
+  for (const auto& [v, g] : grads) {
+    if (!hasSlot(v, "m")) setSlot(v, "m", o::zerosLike(v.value()));
+    Tensor& m = slot(v, "m");
+    Tensor newM = Engine::get().tidy(
+        [&] { return o::add(o::mulScalar(m, momentum_), g); });
+    Tensor next = Engine::get().tidy(
+        [&] { return o::sub(v.value(), o::mulScalar(newM, lr_)); });
+    setSlot(v, "m", newM);
+    v.assign(next);
+  }
+}
+
+void RMSPropOptimizer::applyGradients(
+    std::span<const std::pair<Variable, Tensor>> grads) {
+  for (const auto& [v, g] : grads) {
+    if (!hasSlot(v, "ms")) setSlot(v, "ms", o::zerosLike(v.value()));
+    Tensor& ms = slot(v, "ms");
+    Tensor newMs = Engine::get().tidy([&] {
+      return o::add(o::mulScalar(ms, decay_),
+                    o::mulScalar(o::square(g), 1.0f - decay_));
+    });
+    Tensor next = Engine::get().tidy([&] {
+      Tensor denom = o::sqrt(o::addScalar(newMs, eps_));
+      return o::sub(v.value(), o::div(o::mulScalar(g, lr_), denom));
+    });
+    setSlot(v, "ms", newMs);
+    v.assign(next);
+  }
+}
+
+void AdamOptimizer::applyGradients(
+    std::span<const std::pair<Variable, Tensor>> grads) {
+  ++step_;
+  const float correction1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float correction2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (const auto& [v, g] : grads) {
+    if (!hasSlot(v, "m")) setSlot(v, "m", o::zerosLike(v.value()));
+    if (!hasSlot(v, "v")) setSlot(v, "v", o::zerosLike(v.value()));
+    Tensor& m = slot(v, "m");
+    Tensor& vv = slot(v, "v");
+    Tensor newM = Engine::get().tidy([&] {
+      return o::add(o::mulScalar(m, beta1_), o::mulScalar(g, 1.0f - beta1_));
+    });
+    Tensor newV = Engine::get().tidy([&] {
+      return o::add(o::mulScalar(vv, beta2_),
+                    o::mulScalar(o::square(g), 1.0f - beta2_));
+    });
+    Tensor next = Engine::get().tidy([&] {
+      Tensor mHat = o::divScalar(newM, correction1);
+      Tensor vHat = o::divScalar(newV, correction2);
+      return o::sub(v.value(),
+                    o::div(o::mulScalar(mHat, lr_),
+                           o::addScalar(o::sqrt(vHat), eps_)));
+    });
+    setSlot(v, "m", newM);
+    setSlot(v, "v", newV);
+    v.assign(next);
+  }
+}
+
+void AdagradOptimizer::applyGradients(
+    std::span<const std::pair<Variable, Tensor>> grads) {
+  for (const auto& [v, g] : grads) {
+    if (!hasSlot(v, "acc")) {
+      setSlot(v, "acc", o::fill(v.value().shape(), initial_));
+    }
+    Tensor& acc = slot(v, "acc");
+    Tensor newAcc =
+        Engine::get().tidy([&] { return o::add(acc, o::square(g)); });
+    Tensor next = Engine::get().tidy([&] {
+      return o::sub(v.value(), o::div(o::mulScalar(g, lr_),
+                                      o::addScalar(o::sqrt(newAcc), 1e-7f)));
+    });
+    setSlot(v, "acc", newAcc);
+    v.assign(next);
+  }
+}
+
+std::unique_ptr<Optimizer> makeOptimizer(const std::string& name,
+                                         float learningRate) {
+  if (name == "sgd") return std::make_unique<SGDOptimizer>(learningRate);
+  if (name == "momentum") {
+    return std::make_unique<MomentumOptimizer>(learningRate, 0.9f);
+  }
+  if (name == "rmsprop") return std::make_unique<RMSPropOptimizer>(learningRate);
+  if (name == "adam") return std::make_unique<AdamOptimizer>(learningRate);
+  if (name == "adagrad") return std::make_unique<AdagradOptimizer>(learningRate);
+  throw InvalidArgumentError("Unknown optimizer: " + name);
+}
+
+}  // namespace tfjs::autodiff

@@ -1,0 +1,113 @@
+// Optimizers (tf.train.* analogues) used by the Layers API's model.fit and
+// directly by expert users via minimize().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "core/tensor.h"
+
+namespace tfjs::autodiff {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step. Does not dispose the gradient tensors.
+  virtual void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) = 0;
+
+  /// Computes variable gradients of f, applies them, disposes them, and
+  /// returns the (kept) loss when returnCost is true.
+  Tensor minimize(const std::function<Tensor()>& f, bool returnCost = false,
+                  std::span<const Variable> varList = {});
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Slot storage (momentum/rms accumulators), keyed by variable name.
+  Tensor& slot(const Variable& v, const std::string& slotName);
+  void setSlot(const Variable& v, const std::string& slotName,
+               const Tensor& t);
+  bool hasSlot(const Variable& v, const std::string& slotName) const;
+
+ private:
+  std::unordered_map<std::string, Tensor> slots_;
+};
+
+class SGDOptimizer : public Optimizer {
+ public:
+  explicit SGDOptimizer(float learningRate) : lr_(learningRate) {}
+  void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) override;
+  std::string name() const override { return "sgd"; }
+  float learningRate() const { return lr_; }
+  void setLearningRate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+class MomentumOptimizer : public Optimizer {
+ public:
+  MomentumOptimizer(float learningRate, float momentum)
+      : lr_(learningRate), momentum_(momentum) {}
+  void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  float lr_, momentum_;
+};
+
+class RMSPropOptimizer : public Optimizer {
+ public:
+  explicit RMSPropOptimizer(float learningRate, float decay = 0.9f,
+                            float epsilon = 1e-7f)
+      : lr_(learningRate), decay_(decay), eps_(epsilon) {}
+  void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  float lr_, decay_, eps_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float learningRate = 0.001f, float beta1 = 0.9f,
+                         float beta2 = 0.999f, float epsilon = 1e-7f)
+      : lr_(learningRate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+  void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int step_ = 0;
+};
+
+class AdagradOptimizer : public Optimizer {
+ public:
+  explicit AdagradOptimizer(float learningRate,
+                            float initialAccumulator = 0.1f)
+      : lr_(learningRate), initial_(initialAccumulator) {}
+  void applyGradients(
+      std::span<const std::pair<Variable, Tensor>> grads) override;
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  float lr_, initial_;
+};
+
+/// Factory by name ("sgd", "adam", ...), mirroring model.compile strings.
+std::unique_ptr<Optimizer> makeOptimizer(const std::string& name,
+                                         float learningRate = 0.01f);
+
+}  // namespace tfjs::autodiff

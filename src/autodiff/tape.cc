@@ -1,0 +1,171 @@
+#include "autodiff/tape.h"
+
+#include "ops/ops.h"
+
+namespace tfjs::autodiff {
+
+void GradientTape::watch(const Tensor& t) {
+  TFJS_ARG_CHECK(t.defined(), "watch() requires a defined tensor");
+  watched_.insert(t.id());
+}
+
+bool GradientTape::watched(std::span<const Tensor> inputs) const {
+  for (const auto& t : inputs) {
+    if (t.defined() && !t.isDisposed() && watched_.count(t.id())) return true;
+  }
+  return false;
+}
+
+void GradientTape::record(const std::string& opName,
+                          std::span<const Tensor> inputs, const Tensor& output,
+                          GradFunc gradFunc) {
+  Node n;
+  n.op = opName;
+  n.inputs.assign(inputs.begin(), inputs.end());
+  n.output = output;
+  n.grad = std::move(gradFunc);
+  // The output becomes watched so downstream ops keep recording; all
+  // involved tensors are protected from scope disposal until backward.
+  watched_.insert(output.id());
+  for (auto& t : n.inputs) t.infoPtr()->taped = true;
+  output.infoPtr()->taped = true;
+  nodes_.push_back(std::move(n));
+}
+
+void GradientTape::releaseTensors() {
+  for (auto& n : nodes_) {
+    for (auto& t : n.inputs) {
+      if (t.defined()) t.infoPtr()->taped = false;
+    }
+    if (n.output.defined()) n.output.infoPtr()->taped = false;
+  }
+}
+
+std::vector<Tensor> GradientTape::gradient(const Tensor& y,
+                                           std::span<const Tensor> xs,
+                                           const Tensor& dySeed) {
+  TFJS_ARG_CHECK(y.defined(), "gradient() requires a defined output tensor");
+  // Backward runs with the tape uninstalled so pullbacks are not re-recorded
+  // (first-order gradients only, as in TensorFlow.js 0.x).
+  Engine& engine = Engine::get();
+  TapeRecorder* saved = engine.tape();
+  engine.setTape(nullptr);
+
+  std::unordered_map<std::int64_t, Tensor> accum;
+  accum[y.id()] = dySeed.defined() ? dySeed.clone() : ops::onesLike(y);
+
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    auto found = accum.find(it->output.id());
+    if (found == accum.end()) continue;
+    const Tensor dy = found->second;
+    std::vector<Tensor> inputGrads = it->grad(dy);
+    TFJS_CHECK_MSG(inputGrads.size() == it->inputs.size(),
+                   "op '" << it->op << "' returned " << inputGrads.size()
+                          << " gradients for " << it->inputs.size()
+                          << " inputs");
+    for (std::size_t i = 0; i < inputGrads.size(); ++i) {
+      if (!inputGrads[i].defined()) continue;  // non-differentiable input
+      const std::int64_t id = it->inputs[i].id();
+      auto existing = accum.find(id);
+      if (existing == accum.end()) {
+        accum[id] = inputGrads[i];
+      } else {
+        Tensor summed = ops::add(existing->second, inputGrads[i]);
+        existing->second.dispose();
+        inputGrads[i].dispose();
+        existing->second = summed;
+      }
+    }
+  }
+
+  std::vector<Tensor> result;
+  result.reserve(xs.size());
+  std::unordered_set<std::int64_t> returned;
+  for (const auto& x : xs) {
+    auto found = accum.find(x.id());
+    if (found != accum.end()) {
+      result.push_back(found->second);
+      returned.insert(x.id());
+    } else {
+      result.push_back(ops::zerosLike(x));
+    }
+  }
+  // Dispose accumulated adjoints that are not being returned.
+  for (auto& [id, t] : accum) {
+    if (!returned.count(id) && !t.isDisposed()) t.dispose();
+  }
+  engine.setTape(saved);
+  return result;
+}
+
+// ------------------------------------------------------- functional API
+
+std::pair<Tensor, std::vector<Tensor>> valueAndGrads(
+    const std::function<Tensor()>& f, std::span<const Tensor> xs) {
+  Engine& engine = Engine::get();
+  TFJS_ARG_CHECK(engine.tape() == nullptr,
+                 "nested grad()/valueAndGrads() is not supported");
+  GradientTape tape;
+  for (const auto& x : xs) tape.watch(x);
+
+  engine.startScope();
+  engine.setTape(&tape);
+  Tensor y;
+  std::vector<Tensor> gradients;
+  try {
+    y = f();
+    TFJS_ARG_CHECK(y.defined(), "traced function returned a null tensor");
+    gradients = tape.gradient(y, xs);
+  } catch (...) {
+    engine.setTape(nullptr);
+    tape.releaseTensors();
+    engine.endScope({});
+    throw;
+  }
+  engine.setTape(nullptr);
+  tape.releaseTensors();
+
+  std::vector<Tensor> escaping = gradients;
+  escaping.push_back(y);
+  engine.endScope(escaping);
+  return {y, std::move(gradients)};
+}
+
+Tensor grad(const std::function<Tensor(const Tensor&)>& f, const Tensor& x) {
+  auto [y, gs] = valueAndGrads([&] { return f(x); },
+                               std::span<const Tensor>(&x, 1));
+  y.dispose();
+  return gs[0];
+}
+
+std::vector<Tensor> grads(
+    const std::function<Tensor(std::span<const Tensor>)>& f,
+    std::span<const Tensor> xs) {
+  auto [y, gs] = valueAndGrads([&] { return f(xs); }, xs);
+  y.dispose();
+  return gs;
+}
+
+VariableGradients variableGrads(const std::function<Tensor()>& f,
+                                std::span<const Variable> varList) {
+  std::vector<Variable> vars(varList.begin(), varList.end());
+  if (vars.empty()) vars = Engine::get().trainableVariables();
+  TFJS_ARG_CHECK(!vars.empty(),
+                 "variableGrads: no trainable variables registered");
+  std::vector<Tensor> values;
+  values.reserve(vars.size());
+  for (const auto& v : vars) values.push_back(v.value());
+
+  auto [y, gs] = valueAndGrads(f, values);
+  TFJS_ARG_CHECK(y.size() == 1,
+                 "variableGrads expects f to return a scalar loss, got shape "
+                     << y.shape().toString());
+  VariableGradients out;
+  out.value = y;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    out.grads.emplace_back(vars[i], gs[i]);
+  }
+  return out;
+}
+
+}  // namespace tfjs::autodiff

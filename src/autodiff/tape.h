@@ -1,0 +1,80 @@
+// Eager automatic differentiation (paper section 3.5).
+//
+// TensorFlow.js chose the eager style: computation happens immediately when
+// an op is called, and a tape records (inputs, output, pullback) triples for
+// ops whose inputs are watched. grad()/valueAndGrads() replay the tape in
+// reverse, accumulating adjoints — native C++ control flow (if/while) inside
+// the traced function Just Works, exactly the benefit the paper cites.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/tensor.h"
+
+namespace tfjs::autodiff {
+
+class GradientTape : public TapeRecorder {
+ public:
+  /// Marks a tensor as a differentiation root; ops consuming it (directly
+  /// or transitively) are recorded.
+  void watch(const Tensor& t);
+
+  // TapeRecorder:
+  void record(const std::string& opName, std::span<const Tensor> inputs,
+              const Tensor& output, GradFunc gradFunc) override;
+  bool watched(std::span<const Tensor> inputs) const override;
+
+  /// Backpropagates from y (seeded with dy, or ones if undefined) and
+  /// returns the gradient for each tensor in xs (zeros when disconnected).
+  /// Gradients are freshly created tensors owned by the caller.
+  std::vector<Tensor> gradient(const Tensor& y, std::span<const Tensor> xs,
+                               const Tensor& dy = {});
+
+  /// Clears the `taped` protection flag from every recorded tensor so an
+  /// enclosing scope can dispose intermediates (see engine.cc::endScope).
+  void releaseTensors();
+
+  std::size_t numNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string op;
+    std::vector<Tensor> inputs;
+    Tensor output;
+    GradFunc grad;
+  };
+  std::vector<Node> nodes_;
+  std::unordered_set<std::int64_t> watched_;
+};
+
+/// Runs f with a fresh tape installed and returns (value, gradients w.r.t.
+/// xs). Intermediates created by f are disposed before returning; the value
+/// and gradients are owned by the caller.
+std::pair<Tensor, std::vector<Tensor>> valueAndGrads(
+    const std::function<Tensor()>& f, std::span<const Tensor> xs);
+
+/// Gradient of a scalar-valued f at x (tf.grad analogue).
+Tensor grad(const std::function<Tensor(const Tensor&)>& f, const Tensor& x);
+
+/// Gradients of scalar-valued f w.r.t. several inputs (tf.grads).
+std::vector<Tensor> grads(
+    const std::function<Tensor(std::span<const Tensor>)>& f,
+    std::span<const Tensor> xs);
+
+/// Result of variableGrads: the loss value plus named variable gradients.
+struct VariableGradients {
+  Tensor value;
+  std::vector<std::pair<Variable, Tensor>> grads;
+};
+
+/// Computes gradients of f() w.r.t. the given variables (or, if empty, all
+/// registered trainable variables) — the training workhorse.
+VariableGradients variableGrads(const std::function<Tensor()>& f,
+                                std::span<const Variable> varList = {});
+
+}  // namespace tfjs::autodiff

@@ -1,0 +1,1044 @@
+#include "backends/common/ref_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/util.h"
+
+namespace tfjs::backends {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Floored modulo, matching TensorFlow's tf.mod semantics.
+inline float floorMod(float a, float b) {
+  const float r = std::fmod(a, b);
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+}  // namespace
+
+float applyBinary(BinaryOp op, float a, float b) {
+  switch (op) {
+    case BinaryOp::kAdd: return a + b;
+    case BinaryOp::kSub: return a - b;
+    case BinaryOp::kMul: return a * b;
+    case BinaryOp::kDiv: return a / b;
+    case BinaryOp::kFloorDiv: return std::floor(a / b);
+    case BinaryOp::kMod: return floorMod(a, b);
+    case BinaryOp::kPow: return std::pow(a, b);
+    case BinaryOp::kMaximum: return std::max(a, b);
+    case BinaryOp::kMinimum: return std::min(a, b);
+    case BinaryOp::kSquaredDiff: return (a - b) * (a - b);
+    case BinaryOp::kAtan2: return std::atan2(a, b);
+    case BinaryOp::kEqual: return a == b ? 1.f : 0.f;
+    case BinaryOp::kNotEqual: return a != b ? 1.f : 0.f;
+    case BinaryOp::kGreater: return a > b ? 1.f : 0.f;
+    case BinaryOp::kGreaterEqual: return a >= b ? 1.f : 0.f;
+    case BinaryOp::kLess: return a < b ? 1.f : 0.f;
+    case BinaryOp::kLessEqual: return a <= b ? 1.f : 0.f;
+    case BinaryOp::kLogicalAnd: return (a != 0 && b != 0) ? 1.f : 0.f;
+    case BinaryOp::kLogicalOr: return (a != 0 || b != 0) ? 1.f : 0.f;
+    case BinaryOp::kLogicalXor: return ((a != 0) != (b != 0)) ? 1.f : 0.f;
+  }
+  throw InternalError("Unhandled BinaryOp");
+}
+
+float applyUnary(UnaryOp op, float x, float alpha, float beta) {
+  switch (op) {
+    case UnaryOp::kNeg: return -x;
+    case UnaryOp::kAbs: return std::fabs(x);
+    case UnaryOp::kExp: return std::exp(x);
+    case UnaryOp::kExpm1: return std::expm1(x);
+    case UnaryOp::kLog: return std::log(x);
+    case UnaryOp::kLog1p: return std::log1p(x);
+    case UnaryOp::kSqrt: return std::sqrt(x);
+    case UnaryOp::kRsqrt: return 1.0f / std::sqrt(x);
+    case UnaryOp::kSquare: return x * x;
+    case UnaryOp::kReciprocal: return 1.0f / x;
+    case UnaryOp::kFloor: return std::floor(x);
+    case UnaryOp::kCeil: return std::ceil(x);
+    case UnaryOp::kRound: return std::nearbyint(x);
+    case UnaryOp::kSign: return x > 0 ? 1.f : (x < 0 ? -1.f : 0.f);
+    case UnaryOp::kTrunc: return std::trunc(x);
+    case UnaryOp::kSin: return std::sin(x);
+    case UnaryOp::kCos: return std::cos(x);
+    case UnaryOp::kTan: return std::tan(x);
+    case UnaryOp::kAsin: return std::asin(x);
+    case UnaryOp::kAcos: return std::acos(x);
+    case UnaryOp::kAtan: return std::atan(x);
+    case UnaryOp::kSinh: return std::sinh(x);
+    case UnaryOp::kCosh: return std::cosh(x);
+    case UnaryOp::kTanh: return std::tanh(x);
+    case UnaryOp::kRelu: return x > 0 ? x : 0;
+    case UnaryOp::kRelu6: return std::min(std::max(x, 0.f), 6.f);
+    case UnaryOp::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case UnaryOp::kSoftplus: return std::log1p(std::exp(-std::fabs(x))) +
+                                    std::max(x, 0.f);
+    case UnaryOp::kElu: return x >= 0 ? x : std::expm1(x);
+    case UnaryOp::kSelu: {
+      constexpr float kAlpha = 1.6732632423543772f;
+      constexpr float kScale = 1.0507009873554805f;
+      return x >= 0 ? kScale * x : kScale * kAlpha * std::expm1(x);
+    }
+    case UnaryOp::kErf: return std::erf(x);
+    case UnaryOp::kLogicalNot: return x == 0 ? 1.f : 0.f;
+    case UnaryOp::kIsNan: return std::isnan(x) ? 1.f : 0.f;
+    case UnaryOp::kIsFinite: return std::isfinite(x) ? 1.f : 0.f;
+    case UnaryOp::kNotZero: return x != 0 ? 1.f : 0.f;
+    case UnaryOp::kLeakyRelu: return x >= 0 ? x : alpha * x;
+    case UnaryOp::kClipByValue:
+      return std::min(std::max(x, alpha), beta);
+    case UnaryOp::kStep: return x > 0 ? 1.f : (x < 0 ? 0.f : alpha);
+    case UnaryOp::kPowScalar: return std::pow(x, alpha);
+    case UnaryOp::kAddScalar: return x + alpha;
+    case UnaryOp::kMulScalar: return x * alpha;
+  }
+  throw InternalError("Unhandled UnaryOp");
+}
+
+// ------------------------------------------------------------------ timer
+
+RefBackend::KernelTimer::KernelTimer(double& acc)
+    : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+
+RefBackend::KernelTimer::~KernelTimer() {
+  acc_ += std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+}
+
+// ---------------------------------------------------------------- storage
+
+DataId RefBackend::write(std::span<const float> values, const Shape&) {
+  return store(std::vector<float>(values.begin(), values.end()));
+}
+
+std::vector<float> RefBackend::read(DataId id) { return buf(id); }
+
+std::future<std::vector<float>> RefBackend::readAsync(DataId id) {
+  std::promise<std::vector<float>> p;
+  p.set_value(buf(id));
+  return p.get_future();
+}
+
+void RefBackend::disposeData(DataId id) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return;
+  bytes_ -= it->second.size() * sizeof(float);
+  buffers_.erase(it);
+}
+
+const std::vector<float>& RefBackend::buf(DataId id) const {
+  auto it = buffers_.find(id);
+  TFJS_CHECK_MSG(it != buffers_.end(), "Unknown DataId " << id);
+  return it->second;
+}
+
+std::vector<float>& RefBackend::mutableBuf(DataId id) {
+  auto it = buffers_.find(id);
+  TFJS_CHECK_MSG(it != buffers_.end(), "Unknown DataId " << id);
+  return it->second;
+}
+
+DataId RefBackend::store(std::vector<float> v) {
+  const DataId id = nextId_++;
+  bytes_ += v.size() * sizeof(float);
+  buffers_.emplace(id, std::move(v));
+  return id;
+}
+
+// ---------------------------------------------------------------- kernels
+
+DataId RefBackend::binary(BinaryOp op, const TensorSpec& a,
+                          const TensorSpec& b, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  std::vector<float> out(outShape.size());
+  if (a.shape == outShape && b.shape == outShape) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = applyBinary(op, av[i], bv[i]);
+    }
+  } else if (b.shape.size() == 1) {  // tensor (op) scalar fast path
+    const float s = bv[0];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = applyBinary(op, av[i], s);
+    }
+  } else if (a.shape.size() == 1) {
+    const float s = av[0];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = applyBinary(op, s, bv[i]);
+    }
+  } else {
+    std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      util::unravelIndex(i, outShape, coords);
+      const float x = av[util::broadcastIndex(coords, a.shape, outShape)];
+      const float y = bv[util::broadcastIndex(coords, b.shape, outShape)];
+      out[i] = applyBinary(op, x, y);
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
+                         float beta) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(xv.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = applyUnary(op, xv[i], alpha, beta);
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::select(const TensorSpec& cond, const TensorSpec& a,
+                          const TensorSpec& b, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& cv = buf(cond.id);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  std::vector<float> out(outShape.size());
+  std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::unravelIndex(i, outShape, coords);
+    const float c = cv[util::broadcastIndex(coords, cond.shape, outShape)];
+    out[i] = c != 0
+                 ? av[util::broadcastIndex(coords, a.shape, outShape)]
+                 : bv[util::broadcastIndex(coords, b.shape, outShape)];
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::matMul(const TensorSpec& a, const TensorSpec& b,
+                          bool transposeA, bool transposeB) {
+  KernelTimer t(kernelMs_);
+  // Inputs are rank-3: [batch, m, k] x [batch, k, n] (batch broadcasts).
+  const int bA = a.shape[0], bB = b.shape[0];
+  const int m = transposeA ? a.shape[2] : a.shape[1];
+  const int k = transposeA ? a.shape[1] : a.shape[2];
+  const int n = transposeB ? b.shape[1] : b.shape[2];
+  const int batch = std::max(bA, bB);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+
+  for (int bi = 0; bi < batch; ++bi) {
+    const float* A = av.data() +
+                     static_cast<std::size_t>(bA == 1 ? 0 : bi) * m * k;
+    const float* B = bv.data() +
+                     static_cast<std::size_t>(bB == 1 ? 0 : bi) * k * n;
+    float* C = out.data() + static_cast<std::size_t>(bi) * m * n;
+    for (int i = 0; i < m; ++i) {
+      for (int p = 0; p < k; ++p) {
+        const float aval = transposeA ? A[p * m + i] : A[i * k + p];
+        const float* Brow = transposeB ? nullptr : B + static_cast<std::size_t>(p) * n;
+        if (!transposeB) {
+          float* Crow = C + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) Crow[j] += aval * Brow[j];
+        } else {
+          float* Crow = C + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) Crow[j] += aval * B[j * k + p];
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
+                          const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
+                             ci.outW * ci.outC,
+                         0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            const float* xRow =
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            const float* fRow =
+                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * ci.outC;
+            float* oRow =
+                out.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                                  ci.outW +
+                              ox) *
+                                 ci.outC;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              const float xval = xRow[ic];
+              const float* fCol = fRow + static_cast<std::size_t>(ic) * ci.outC;
+              for (int oc = 0; oc < ci.outC; ++oc) {
+                oRow[oc] += xval * fCol[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::conv2dBackpropInput(const TensorSpec& dy,
+                                       const TensorSpec& filter,
+                                       const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& dyv = buf(dy.id);
+  const auto& fv = buf(filter.id);
+  std::vector<float> dx(static_cast<std::size_t>(ci.batch) * ci.inH * ci.inW *
+                            ci.inC,
+                        0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        const float* dyRow =
+            dyv.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            float* dxRow =
+                dx.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            const float* fRow =
+                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * ci.outC;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              const float* fCol = fRow + static_cast<std::size_t>(ic) * ci.outC;
+              float acc = 0;
+              for (int oc = 0; oc < ci.outC; ++oc) {
+                acc += dyRow[oc] * fCol[oc];
+              }
+              dxRow[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(dx));
+}
+
+DataId RefBackend::conv2dBackpropFilter(const TensorSpec& x,
+                                        const TensorSpec& dy,
+                                        const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& dyv = buf(dy.id);
+  std::vector<float> df(static_cast<std::size_t>(ci.filterH) * ci.filterW *
+                            ci.inC * ci.outC,
+                        0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        const float* dyRow =
+            dyv.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            const float* xRow =
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            float* fRow =
+                df.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * ci.outC;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              const float xval = xRow[ic];
+              float* fCol = fRow + static_cast<std::size_t>(ic) * ci.outC;
+              for (int oc = 0; oc < ci.outC; ++oc) {
+                fCol[oc] += xval * dyRow[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(df));
+}
+
+DataId RefBackend::depthwiseConv2d(const TensorSpec& x,
+                                   const TensorSpec& filter,
+                                   const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  const int mult = ci.channelMult;
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
+                             ci.outW * ci.outC,
+                         0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        float* oRow =
+            out.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            const float* xRow =
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            const float* fRow =
+                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * mult;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              for (int q = 0; q < mult; ++q) {
+                oRow[ic * mult + q] += xRow[ic] * fRow[ic * mult + q];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::depthwiseConv2dBackpropInput(const TensorSpec& dy,
+                                                const TensorSpec& filter,
+                                                const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& dyv = buf(dy.id);
+  const auto& fv = buf(filter.id);
+  const int mult = ci.channelMult;
+  std::vector<float> dx(static_cast<std::size_t>(ci.batch) * ci.inH * ci.inW *
+                            ci.inC,
+                        0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        const float* dyRow =
+            dyv.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            float* dxRow =
+                dx.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            const float* fRow =
+                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * mult;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              float acc = 0;
+              for (int q = 0; q < mult; ++q) {
+                acc += dyRow[ic * mult + q] * fRow[ic * mult + q];
+              }
+              dxRow[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(dx));
+}
+
+DataId RefBackend::depthwiseConv2dBackpropFilter(const TensorSpec& x,
+                                                 const TensorSpec& dy,
+                                                 const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& dyv = buf(dy.id);
+  const int mult = ci.channelMult;
+  std::vector<float> df(static_cast<std::size_t>(ci.filterH) * ci.filterW *
+                            ci.inC * mult,
+                        0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      const int inYOrigin = oy * ci.strideH - ci.padTop;
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        const int inXOrigin = ox * ci.strideW - ci.padLeft;
+        const float* dyRow =
+            dyv.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = inYOrigin + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = inXOrigin + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            const float* xRow =
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            float* fRow =
+                df.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * mult;
+            for (int ic = 0; ic < ci.inC; ++ic) {
+              for (int q = 0; q < mult; ++q) {
+                fRow[ic * mult + q] += xRow[ic] * dyRow[ic * mult + q];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(df));
+}
+
+DataId RefBackend::pool2d(PoolMode mode, const TensorSpec& x,
+                          const Pool2DInfo& pi) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(static_cast<std::size_t>(pi.batch) * pi.outH *
+                         pi.outW * pi.channels);
+  for (int b = 0; b < pi.batch; ++b) {
+    for (int oy = 0; oy < pi.outH; ++oy) {
+      for (int ox = 0; ox < pi.outW; ++ox) {
+        for (int c = 0; c < pi.channels; ++c) {
+          float acc = mode == PoolMode::kMax ? -kInf : 0.f;
+          int count = 0;
+          for (int fy = 0; fy < pi.filterH; ++fy) {
+            const int iy = oy * pi.strideH - pi.padTop + fy;
+            if (iy < 0 || iy >= pi.inH) continue;
+            for (int fx = 0; fx < pi.filterW; ++fx) {
+              const int ix = ox * pi.strideW - pi.padLeft + fx;
+              if (ix < 0 || ix >= pi.inW) continue;
+              const float v =
+                  xv[((static_cast<std::size_t>(b) * pi.inH + iy) * pi.inW +
+                      ix) *
+                         pi.channels +
+                     c];
+              if (mode == PoolMode::kMax) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+              ++count;
+            }
+          }
+          out[((static_cast<std::size_t>(b) * pi.outH + oy) * pi.outW + ox) *
+                  pi.channels +
+              c] = mode == PoolMode::kMax ? acc : acc / std::max(count, 1);
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::maxPoolBackprop(const TensorSpec& dy, const TensorSpec& x,
+                                   const Pool2DInfo& pi) {
+  KernelTimer t(kernelMs_);
+  const auto& dyv = buf(dy.id);
+  const auto& xv = buf(x.id);
+  std::vector<float> dx(static_cast<std::size_t>(pi.batch) * pi.inH * pi.inW *
+                            pi.channels,
+                        0.f);
+  for (int b = 0; b < pi.batch; ++b) {
+    for (int oy = 0; oy < pi.outH; ++oy) {
+      for (int ox = 0; ox < pi.outW; ++ox) {
+        for (int c = 0; c < pi.channels; ++c) {
+          // Re-find the argmax of the window; route the gradient there.
+          float best = -kInf;
+          int bestIy = -1, bestIx = -1;
+          for (int fy = 0; fy < pi.filterH; ++fy) {
+            const int iy = oy * pi.strideH - pi.padTop + fy;
+            if (iy < 0 || iy >= pi.inH) continue;
+            for (int fx = 0; fx < pi.filterW; ++fx) {
+              const int ix = ox * pi.strideW - pi.padLeft + fx;
+              if (ix < 0 || ix >= pi.inW) continue;
+              const float v =
+                  xv[((static_cast<std::size_t>(b) * pi.inH + iy) * pi.inW +
+                      ix) *
+                         pi.channels +
+                     c];
+              if (v > best) {
+                best = v;
+                bestIy = iy;
+                bestIx = ix;
+              }
+            }
+          }
+          if (bestIy >= 0) {
+            dx[((static_cast<std::size_t>(b) * pi.inH + bestIy) * pi.inW +
+                bestIx) *
+                   pi.channels +
+               c] +=
+                dyv[((static_cast<std::size_t>(b) * pi.outH + oy) * pi.outW +
+                     ox) *
+                        pi.channels +
+                    c];
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(dx));
+}
+
+DataId RefBackend::avgPoolBackprop(const TensorSpec& dy,
+                                   const Pool2DInfo& pi) {
+  KernelTimer t(kernelMs_);
+  const auto& dyv = buf(dy.id);
+  std::vector<float> dx(static_cast<std::size_t>(pi.batch) * pi.inH * pi.inW *
+                            pi.channels,
+                        0.f);
+  for (int b = 0; b < pi.batch; ++b) {
+    for (int oy = 0; oy < pi.outH; ++oy) {
+      for (int ox = 0; ox < pi.outW; ++ox) {
+        // Count of in-bounds cells in this window (padding excluded), which
+        // matches the forward average's denominator.
+        int count = 0;
+        for (int fy = 0; fy < pi.filterH; ++fy) {
+          const int iy = oy * pi.strideH - pi.padTop + fy;
+          if (iy < 0 || iy >= pi.inH) continue;
+          for (int fx = 0; fx < pi.filterW; ++fx) {
+            const int ix = ox * pi.strideW - pi.padLeft + fx;
+            if (ix >= 0 && ix < pi.inW) ++count;
+          }
+        }
+        if (count == 0) continue;
+        for (int c = 0; c < pi.channels; ++c) {
+          const float g =
+              dyv[((static_cast<std::size_t>(b) * pi.outH + oy) * pi.outW +
+                   ox) *
+                      pi.channels +
+                  c] /
+              static_cast<float>(count);
+          for (int fy = 0; fy < pi.filterH; ++fy) {
+            const int iy = oy * pi.strideH - pi.padTop + fy;
+            if (iy < 0 || iy >= pi.inH) continue;
+            for (int fx = 0; fx < pi.filterW; ++fx) {
+              const int ix = ox * pi.strideW - pi.padLeft + fx;
+              if (ix < 0 || ix >= pi.inW) continue;
+              dx[((static_cast<std::size_t>(b) * pi.inH + iy) * pi.inW + ix) *
+                     pi.channels +
+                 c] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(dx));
+}
+
+DataId RefBackend::reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
+                          std::size_t inner) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  TFJS_CHECK(xv.size() == outer * inner);
+  std::vector<float> out(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* row = xv.data() + o * inner;
+    float acc;
+    switch (op) {
+      case ReduceOp::kSum:
+      case ReduceOp::kMean: {
+        acc = 0;
+        for (std::size_t i = 0; i < inner; ++i) acc += row[i];
+        if (op == ReduceOp::kMean) acc /= static_cast<float>(inner);
+        break;
+      }
+      case ReduceOp::kProd: {
+        acc = 1;
+        for (std::size_t i = 0; i < inner; ++i) acc *= row[i];
+        break;
+      }
+      case ReduceOp::kMax: {
+        acc = -kInf;
+        for (std::size_t i = 0; i < inner; ++i) acc = std::max(acc, row[i]);
+        break;
+      }
+      case ReduceOp::kMin: {
+        acc = kInf;
+        for (std::size_t i = 0; i < inner; ++i) acc = std::min(acc, row[i]);
+        break;
+      }
+      case ReduceOp::kAny: {
+        acc = 0;
+        for (std::size_t i = 0; i < inner; ++i) {
+          if (row[i] != 0) {
+            acc = 1;
+            break;
+          }
+        }
+        break;
+      }
+      case ReduceOp::kAll: {
+        acc = 1;
+        for (std::size_t i = 0; i < inner; ++i) {
+          if (row[i] == 0) {
+            acc = 0;
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        throw InternalError("Unhandled ReduceOp");
+    }
+    out[o] = acc;
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::arg(ArgOp op, const TensorSpec& x, std::size_t outer,
+                       std::size_t inner) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* row = xv.data() + o * inner;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < inner; ++i) {
+      const bool better =
+          op == ArgOp::kArgMax ? row[i] > row[best] : row[i] < row[best];
+      if (better) best = i;
+    }
+    out[o] = static_cast<float>(best);
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::transpose(const TensorSpec& x, std::span<const int> perm,
+                             const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outShape.size());
+  const int rank = outShape.rank();
+  std::vector<int> outCoords(static_cast<std::size_t>(rank));
+  std::vector<int> inCoords(static_cast<std::size_t>(rank));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::unravelIndex(i, outShape, outCoords);
+    for (int d = 0; d < rank; ++d) {
+      inCoords[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])] =
+          outCoords[static_cast<std::size_t>(d)];
+    }
+    out[i] = xv[util::ravelIndex(inCoords, x.shape)];
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::slice(const TensorSpec& x, std::span<const int> begin,
+                         const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outShape.size());
+  const int rank = outShape.rank();
+  std::vector<int> coords(static_cast<std::size_t>(rank));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::unravelIndex(i, outShape, coords);
+    std::vector<int> src(coords.begin(), coords.end());
+    for (int d = 0; d < rank; ++d) {
+      src[static_cast<std::size_t>(d)] += begin[static_cast<std::size_t>(d)];
+    }
+    out[i] = xv[util::ravelIndex(src, x.shape)];
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::concat(std::span<const TensorSpec> xs, int axis,
+                          const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  // View each input as [outer, innerI]; outputs interleave the inner blocks.
+  std::size_t outer = 1;
+  for (int d = 0; d < axis; ++d) outer *= static_cast<std::size_t>(outShape[d]);
+  std::vector<float> out(outShape.size());
+  std::vector<std::size_t> inners(xs.size());
+  std::size_t innerTotal = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::size_t inner = 1;
+    for (int d = axis; d < xs[i].shape.rank(); ++d) {
+      inner *= static_cast<std::size_t>(xs[i].shape[d]);
+    }
+    inners[i] = inner;
+    innerTotal += inner;
+  }
+  for (std::size_t o = 0; o < outer; ++o) {
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto& xv = buf(xs[i].id);
+      std::copy_n(xv.data() + o * inners[i], inners[i],
+                  out.data() + o * innerTotal + offset);
+      offset += inners[i];
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::pad(const TensorSpec& x,
+                       std::span<const std::pair<int, int>> paddings,
+                       float constantValue, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outShape.size(), constantValue);
+  const int rank = outShape.rank();
+  std::vector<int> coords(static_cast<std::size_t>(rank));
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    util::unravelIndex(i, x.shape, coords);
+    for (int d = 0; d < rank; ++d) {
+      coords[static_cast<std::size_t>(d)] +=
+          paddings[static_cast<std::size_t>(d)].first;
+    }
+    out[util::ravelIndex(coords, outShape)] = xv[i];
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::gather(const TensorSpec& x, const TensorSpec& indices,
+                          int axis, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& iv = buf(indices.id);
+  // x viewed as [outer, axisDim, inner]; indices flat.
+  std::size_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= static_cast<std::size_t>(x.shape[d]);
+  for (int d = axis + 1; d < x.shape.rank(); ++d) {
+    inner *= static_cast<std::size_t>(x.shape[d]);
+  }
+  const std::size_t axisDim = static_cast<std::size_t>(x.shape[axis]);
+  std::vector<float> out(outShape.size());
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t j = 0; j < iv.size(); ++j) {
+      const auto idx = static_cast<std::size_t>(iv[j]);
+      TFJS_ARG_CHECK(idx < axisDim, "gather index " << iv[j]
+                                        << " out of range [0, " << axisDim
+                                        << ")");
+      std::copy_n(xv.data() + (o * axisDim + idx) * inner, inner,
+                  out.data() + (o * iv.size() + j) * inner);
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::tile(const TensorSpec& x, std::span<const int> reps,
+                        const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outShape.size());
+  const int rank = outShape.rank();
+  std::vector<int> coords(static_cast<std::size_t>(rank));
+  std::vector<int> src(static_cast<std::size_t>(rank));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::unravelIndex(i, outShape, coords);
+    for (int d = 0; d < rank; ++d) {
+      src[static_cast<std::size_t>(d)] =
+          coords[static_cast<std::size_t>(d)] % x.shape[d];
+    }
+    out[i] = xv[util::ravelIndex(src, x.shape)];
+  }
+  (void)reps;
+  return store(std::move(out));
+}
+
+DataId RefBackend::reverse(const TensorSpec& x, std::span<const int> axes) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(xv.size());
+  const int rank = x.shape.rank();
+  std::vector<int> coords(static_cast<std::size_t>(rank));
+  std::vector<bool> flip(static_cast<std::size_t>(rank), false);
+  for (int a : axes) flip[static_cast<std::size_t>(a)] = true;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::unravelIndex(i, x.shape, coords);
+    for (int d = 0; d < rank; ++d) {
+      if (flip[static_cast<std::size_t>(d)]) {
+        coords[static_cast<std::size_t>(d)] =
+            x.shape[d] - 1 - coords[static_cast<std::size_t>(d)];
+      }
+    }
+    out[util::ravelIndex(coords, x.shape)] = xv[i];
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::resizeBilinear(const TensorSpec& x, int newH, int newW,
+                                  bool alignCorners) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const int batch = x.shape[0], inH = x.shape[1], inW = x.shape[2],
+            c = x.shape[3];
+  std::vector<float> out(static_cast<std::size_t>(batch) * newH * newW * c);
+  const float hScale =
+      alignCorners && newH > 1
+          ? static_cast<float>(inH - 1) / static_cast<float>(newH - 1)
+          : static_cast<float>(inH) / static_cast<float>(newH);
+  const float wScale =
+      alignCorners && newW > 1
+          ? static_cast<float>(inW - 1) / static_cast<float>(newW - 1)
+          : static_cast<float>(inW) / static_cast<float>(newW);
+  for (int b = 0; b < batch; ++b) {
+    for (int y = 0; y < newH; ++y) {
+      const float srcY = alignCorners ? y * hScale : (y + 0.5f) * hScale - 0.5f;
+      const float cy = std::clamp(srcY, 0.f, static_cast<float>(inH - 1));
+      const int y0 = static_cast<int>(std::floor(cy));
+      const int y1 = std::min(y0 + 1, inH - 1);
+      const float fy = cy - static_cast<float>(y0);
+      for (int xo = 0; xo < newW; ++xo) {
+        const float srcX =
+            alignCorners ? xo * wScale : (xo + 0.5f) * wScale - 0.5f;
+        const float cx = std::clamp(srcX, 0.f, static_cast<float>(inW - 1));
+        const int x0 = static_cast<int>(std::floor(cx));
+        const int x1 = std::min(x0 + 1, inW - 1);
+        const float fx = cx - static_cast<float>(x0);
+        for (int ch = 0; ch < c; ++ch) {
+          auto at = [&](int yy, int xx) {
+            return xv[((static_cast<std::size_t>(b) * inH + yy) * inW + xx) *
+                          c +
+                      ch];
+          };
+          const float top = at(y0, x0) * (1 - fx) + at(y0, x1) * fx;
+          const float bot = at(y1, x0) * (1 - fx) + at(y1, x1) * fx;
+          out[((static_cast<std::size_t>(b) * newH + y) * newW + xo) * c +
+              ch] = top * (1 - fy) + bot * fy;
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::oneHot(const TensorSpec& indices, int depth, float onValue,
+                          float offValue) {
+  KernelTimer t(kernelMs_);
+  const auto& iv = buf(indices.id);
+  std::vector<float> out(iv.size() * static_cast<std::size_t>(depth),
+                         offValue);
+  for (std::size_t i = 0; i < iv.size(); ++i) {
+    const int idx = static_cast<int>(iv[i]);
+    if (idx >= 0 && idx < depth) {
+      out[i * static_cast<std::size_t>(depth) +
+          static_cast<std::size_t>(idx)] = onValue;
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::fill(std::size_t n, float value) {
+  KernelTimer t(kernelMs_);
+  return store(std::vector<float>(n, value));
+}
+
+namespace {
+/// Indices of the k largest elements of row, sorted by descending value
+/// (ties broken by lower index, matching TensorFlow).
+std::vector<std::size_t> topkOrder(const float* row, std::size_t inner,
+                                   int k) {
+  std::vector<std::size_t> idx(inner);
+  for (std::size_t i = 0; i < inner; ++i) idx[i] = i;
+  const auto kk = static_cast<std::size_t>(k);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(kk),
+                    idx.end(), [row](std::size_t a, std::size_t b) {
+                      if (row[a] != row[b]) return row[a] > row[b];
+                      return a < b;
+                    });
+  idx.resize(kk);
+  return idx;
+}
+}  // namespace
+
+DataId RefBackend::topkValues(const TensorSpec& x, std::size_t outer,
+                              std::size_t inner, int k) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outer * static_cast<std::size_t>(k));
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* row = xv.data() + o * inner;
+    const auto order = topkOrder(row, inner, k);
+    for (int i = 0; i < k; ++i) {
+      out[o * static_cast<std::size_t>(k) + static_cast<std::size_t>(i)] =
+          row[order[static_cast<std::size_t>(i)]];
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::topkIndices(const TensorSpec& x, std::size_t outer,
+                               std::size_t inner, int k) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outer * static_cast<std::size_t>(k));
+  for (std::size_t o = 0; o < outer; ++o) {
+    const auto order = topkOrder(xv.data() + o * inner, inner, k);
+    for (int i = 0; i < k; ++i) {
+      out[o * static_cast<std::size_t>(k) + static_cast<std::size_t>(i)] =
+          static_cast<float>(order[static_cast<std::size_t>(i)]);
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId RefBackend::cumsum(const TensorSpec& x, std::size_t outer,
+                          std::size_t inner, bool exclusive, bool reverse) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(xv.size());
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* row = xv.data() + o * inner;
+    float* dst = out.data() + o * inner;
+    float acc = 0;
+    for (std::size_t j = 0; j < inner; ++j) {
+      const std::size_t i = reverse ? inner - 1 - j : j;
+      if (exclusive) {
+        dst[i] = acc;
+        acc += row[i];
+      } else {
+        acc += row[i];
+        dst[i] = acc;
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+}  // namespace tfjs::backends

@@ -1,0 +1,128 @@
+// RefBackend: host-memory reference implementation of every kernel.
+//
+// Three roles:
+//  * ground truth for tests (every other backend is checked against it);
+//  * base class for the plain-CPU backend (which overrides hot kernels with
+//    deliberately interpreter-style versions, the "plain JS" analogue) and
+//    for the native backend (which overrides them with blocked/vectorized
+//    versions, the "TensorFlow C binding" analogue);
+//  * CPU-forwarding substrate for the WebGL-sim backend's long-tail ops,
+//    mirroring how the real WebGL backend forwards un-shaderized kernels.
+//
+// Storage is a map from DataId to a float vector; all dtypes are stored as
+// float (see core/dtype.h).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace tfjs::backends {
+
+class RefBackend : public Backend {
+ public:
+  std::string name() const override { return "ref"; }
+
+  // ---- storage
+  DataId write(std::span<const float> values, const Shape& shape) override;
+  std::vector<float> read(DataId id) override;
+  std::future<std::vector<float>> readAsync(DataId id) override;
+  void disposeData(DataId id) override;
+  double kernelTimeMs() const override { return kernelMs_; }
+  std::size_t memoryBytes() const override { return bytes_; }
+
+  // ---- kernels
+  DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                const Shape& outShape) override;
+  DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
+               float beta) override;
+  DataId select(const TensorSpec& cond, const TensorSpec& a,
+                const TensorSpec& b, const Shape& outShape) override;
+  DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                bool transposeB) override;
+  DataId conv2d(const TensorSpec& x, const TensorSpec& filter,
+                const Conv2DInfo& info) override;
+  DataId conv2dBackpropInput(const TensorSpec& dy, const TensorSpec& filter,
+                             const Conv2DInfo& info) override;
+  DataId conv2dBackpropFilter(const TensorSpec& x, const TensorSpec& dy,
+                              const Conv2DInfo& info) override;
+  DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
+                         const Conv2DInfo& info) override;
+  DataId depthwiseConv2dBackpropInput(const TensorSpec& dy,
+                                      const TensorSpec& filter,
+                                      const Conv2DInfo& info) override;
+  DataId depthwiseConv2dBackpropFilter(const TensorSpec& x,
+                                       const TensorSpec& dy,
+                                       const Conv2DInfo& info) override;
+  DataId pool2d(PoolMode mode, const TensorSpec& x,
+                const Pool2DInfo& info) override;
+  DataId maxPoolBackprop(const TensorSpec& dy, const TensorSpec& x,
+                         const Pool2DInfo& info) override;
+  DataId avgPoolBackprop(const TensorSpec& dy,
+                         const Pool2DInfo& info) override;
+  DataId reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
+                std::size_t inner) override;
+  DataId arg(ArgOp op, const TensorSpec& x, std::size_t outer,
+             std::size_t inner) override;
+  DataId transpose(const TensorSpec& x, std::span<const int> perm,
+                   const Shape& outShape) override;
+  DataId slice(const TensorSpec& x, std::span<const int> begin,
+               const Shape& outShape) override;
+  DataId concat(std::span<const TensorSpec> xs, int axis,
+                const Shape& outShape) override;
+  DataId pad(const TensorSpec& x,
+             std::span<const std::pair<int, int>> paddings,
+             float constantValue, const Shape& outShape) override;
+  DataId gather(const TensorSpec& x, const TensorSpec& indices, int axis,
+                const Shape& outShape) override;
+  DataId tile(const TensorSpec& x, std::span<const int> reps,
+              const Shape& outShape) override;
+  DataId reverse(const TensorSpec& x, std::span<const int> axes) override;
+  DataId resizeBilinear(const TensorSpec& x, int newH, int newW,
+                        bool alignCorners) override;
+  DataId oneHot(const TensorSpec& indices, int depth, float onValue,
+                float offValue) override;
+  DataId fill(std::size_t n, float value) override;
+  DataId topkValues(const TensorSpec& x, std::size_t outer, std::size_t inner,
+                    int k) override;
+  DataId topkIndices(const TensorSpec& x, std::size_t outer,
+                     std::size_t inner, int k) override;
+  DataId cumsum(const TensorSpec& x, std::size_t outer, std::size_t inner,
+                bool exclusive, bool reverse) override;
+
+  /// Number of live buffers (test hook).
+  std::size_t numBuffers() const { return buffers_.size(); }
+
+ protected:
+  const std::vector<float>& buf(DataId id) const;
+  std::vector<float>& mutableBuf(DataId id);
+  DataId store(std::vector<float> v);
+
+  /// Accumulates kernel wall time; derived backends reuse it.
+  class KernelTimer {
+   public:
+    explicit KernelTimer(double& acc);
+    ~KernelTimer();
+
+   private:
+    double& acc_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  double kernelMs_ = 0;
+
+ private:
+  std::unordered_map<DataId, std::vector<float>> buffers_;
+  DataId nextId_ = 1;
+  std::size_t bytes_ = 0;
+};
+
+/// Scalar semantics of each BinaryOp / UnaryOp — shared by every backend so
+/// they cannot drift apart (the WebGL "shader" bodies call these too).
+float applyBinary(BinaryOp op, float a, float b);
+float applyUnary(UnaryOp op, float x, float alpha, float beta);
+
+}  // namespace tfjs::backends

@@ -1,0 +1,257 @@
+#include "backends/cpu/cpu_backend.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/util.h"
+
+namespace tfjs::backends::cpu {
+
+float ScalarVM::run(const std::vector<Instr>& program, float x, float y) {
+  float stack[8];
+  int sp = 0;
+  for (const Instr& ins : program) {
+    switch (ins.code) {
+      case Instr::Code::kPushX:
+        stack[sp++] = x;
+        break;
+      case Instr::Code::kPushY:
+        stack[sp++] = y;
+        break;
+      case Instr::Code::kPushConst:
+        stack[sp++] = ins.imm;
+        break;
+      case Instr::Code::kBinary: {
+        const float b = stack[--sp];
+        const float a = stack[--sp];
+        stack[sp++] = applyBinary(ins.bop, a, b);
+        break;
+      }
+      case Instr::Code::kUnary: {
+        const float a = stack[--sp];
+        stack[sp++] = applyUnary(ins.uop, a, ins.imm, ins.imm2);
+        break;
+      }
+      case Instr::Code::kRet:
+        return stack[sp - 1];
+    }
+  }
+  return stack[sp - 1];
+}
+
+namespace {
+
+std::vector<Instr> binaryProgram(BinaryOp op) {
+  return {Instr{Instr::Code::kPushX, op, UnaryOp::kNeg, 0, 0},
+          Instr{Instr::Code::kPushY, op, UnaryOp::kNeg, 0, 0},
+          Instr{Instr::Code::kBinary, op, UnaryOp::kNeg, 0, 0},
+          Instr{Instr::Code::kRet, op, UnaryOp::kNeg, 0, 0}};
+}
+
+std::vector<Instr> unaryProgram(UnaryOp op, float alpha, float beta) {
+  return {Instr{Instr::Code::kPushX, BinaryOp::kAdd, op, 0, 0},
+          Instr{Instr::Code::kUnary, BinaryOp::kAdd, op, alpha, beta},
+          Instr{Instr::Code::kRet, BinaryOp::kAdd, op, 0, 0}};
+}
+
+const std::vector<Instr>& macProgram() {
+  // x * y, accumulated by the caller: the per-MAC interpreted dispatch.
+  static const std::vector<Instr> prog = binaryProgram(BinaryOp::kMul);
+  return prog;
+}
+
+}  // namespace
+
+DataId PlainCpuBackend::binary(BinaryOp op, const TensorSpec& a,
+                               const TensorSpec& b, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  const auto prog = binaryProgram(op);
+  std::vector<float> out(outShape.size());
+  if (a.shape == outShape && b.shape == outShape) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = ScalarVM::run(prog, av[i], bv[i]);
+    }
+  } else {
+    std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      util::unravelIndex(i, outShape, coords);
+      out[i] = ScalarVM::run(
+          prog, av[util::broadcastIndex(coords, a.shape, outShape)],
+          bv[util::broadcastIndex(coords, b.shape, outShape)]);
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId PlainCpuBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
+                              float beta) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto prog = unaryProgram(op, alpha, beta);
+  std::vector<float> out(xv.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = ScalarVM::run(prog, xv[i], 0);
+  }
+  return store(std::move(out));
+}
+
+DataId PlainCpuBackend::matMul(const TensorSpec& a, const TensorSpec& b,
+                               bool transposeA, bool transposeB) {
+  KernelTimer t(kernelMs_);
+  const int bA = a.shape[0], bB = b.shape[0];
+  const int m = transposeA ? a.shape[2] : a.shape[1];
+  const int k = transposeA ? a.shape[1] : a.shape[2];
+  const int n = transposeB ? b.shape[1] : b.shape[2];
+  const int batch = std::max(bA, bB);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  const auto& prog = macProgram();
+  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+  for (int bi = 0; bi < batch; ++bi) {
+    const float* A =
+        av.data() + static_cast<std::size_t>(bA == 1 ? 0 : bi) * m * k;
+    const float* B =
+        bv.data() + static_cast<std::size_t>(bB == 1 ? 0 : bi) * k * n;
+    float* C = out.data() + static_cast<std::size_t>(bi) * m * n;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float acc = 0;
+        for (int p = 0; p < k; ++p) {
+          const float x = transposeA ? A[p * m + i] : A[i * k + p];
+          const float y = transposeB ? B[j * k + p] : B[p * n + j];
+          acc += ScalarVM::run(prog, x, y);
+        }
+        C[static_cast<std::size_t>(i) * n + j] = acc;
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId PlainCpuBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
+                               const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  const auto& prog = macProgram();
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
+                             ci.outW * ci.outC,
+                         0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        for (int oc = 0; oc < ci.outC; ++oc) {
+          float acc = 0;
+          for (int fy = 0; fy < ci.filterH; ++fy) {
+            const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+            if (iy < 0 || iy >= ci.inH) continue;
+            for (int fx = 0; fx < ci.filterW; ++fx) {
+              const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+              if (ix < 0 || ix >= ci.inW) continue;
+              for (int ic = 0; ic < ci.inC; ++ic) {
+                const float xval =
+                    xv[((static_cast<std::size_t>(b) * ci.inH + iy) * ci.inW +
+                        ix) *
+                           ci.inC +
+                       ic];
+                const float fval =
+                    fv[((static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                            ci.inC +
+                        ic) *
+                           ci.outC +
+                       oc];
+                acc += ScalarVM::run(prog, xval, fval);
+              }
+            }
+          }
+          out[((static_cast<std::size_t>(b) * ci.outH + oy) * ci.outW + ox) *
+                  ci.outC +
+              oc] = acc;
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId PlainCpuBackend::depthwiseConv2d(const TensorSpec& x,
+                                        const TensorSpec& filter,
+                                        const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  const auto& prog = macProgram();
+  const int mult = ci.channelMult;
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
+                             ci.outW * ci.outC,
+                         0.f);
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        for (int ic = 0; ic < ci.inC; ++ic) {
+          for (int q = 0; q < mult; ++q) {
+            float acc = 0;
+            for (int fy = 0; fy < ci.filterH; ++fy) {
+              const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+              if (iy < 0 || iy >= ci.inH) continue;
+              for (int fx = 0; fx < ci.filterW; ++fx) {
+                const int ix =
+                    ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+                if (ix < 0 || ix >= ci.inW) continue;
+                const float xval =
+                    xv[((static_cast<std::size_t>(b) * ci.inH + iy) * ci.inW +
+                        ix) *
+                           ci.inC +
+                       ic];
+                const float fval =
+                    fv[((static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                            ci.inC +
+                        ic) *
+                           mult +
+                       q];
+                acc += ScalarVM::run(prog, xval, fval);
+              }
+            }
+            out[((static_cast<std::size_t>(b) * ci.outH + oy) * ci.outW +
+                 ox) *
+                    ci.outC +
+                ic * mult + q] = acc;
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId PlainCpuBackend::reduce(ReduceOp op, const TensorSpec& x,
+                               std::size_t outer, std::size_t inner) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  // Sum-like reductions pay per-element interpreted adds; min/max/any/all
+  // reuse the reference path (they are not hot in the paper's workloads).
+  if (op != ReduceOp::kSum && op != ReduceOp::kMean) {
+    return RefBackend::reduce(op, x, outer, inner);
+  }
+  static const std::vector<Instr> prog = binaryProgram(BinaryOp::kAdd);
+  std::vector<float> out(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* row = xv.data() + o * inner;
+    float acc = 0;
+    for (std::size_t i = 0; i < inner; ++i) {
+      acc = ScalarVM::run(prog, acc, row[i]);
+    }
+    out[o] = op == ReduceOp::kMean ? acc / static_cast<float>(inner) : acc;
+  }
+  return store(std::move(out));
+}
+
+void registerBackend() {
+  Engine::get().registerBackend(
+      "cpu", [] { return std::make_unique<PlainCpuBackend>(); },
+      /*priority=*/1);
+}
+
+}  // namespace tfjs::backends::cpu

@@ -1,0 +1,307 @@
+#include "backends/native/native_backend.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/engine.h"
+#include "core/util.h"
+
+namespace tfjs::backends::native {
+
+namespace {
+// Cache-blocking parameters: the k×n panel of B (kKC*kNC floats) fits in L2;
+// the m×k panel of A (kMC*kKC) in L1-adjacent space.
+constexpr int kMC = 64;
+constexpr int kKC = 256;
+constexpr int kNC = 512;
+}  // namespace
+
+void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
+                         int k, int n) {
+  for (int j0 = 0; j0 < n; j0 += kNC) {
+    const int jMax = std::min(j0 + kNC, n);
+    for (int p0 = 0; p0 < k; p0 += kKC) {
+      const int pMax = std::min(p0 + kKC, k);
+      for (int i0 = 0; i0 < m; i0 += kMC) {
+        const int iMax = std::min(i0 + kMC, m);
+        for (int i = i0; i < iMax; ++i) {
+          float* __restrict Crow = C + static_cast<std::size_t>(i) * n;
+          for (int p = p0; p < pMax; ++p) {
+            const float aval = A[static_cast<std::size_t>(i) * k + p];
+            const float* __restrict Brow =
+                B + static_cast<std::size_t>(p) * n;
+            // Inner loop over j autovectorizes to AVX fma.
+            for (int j = j0; j < jMax; ++j) {
+              Crow[j] += aval * Brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
+                             const TensorSpec& b, const Shape& outShape) {
+  KernelTimer t(kernelMs_);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  std::vector<float> out(outShape.size());
+  const bool same = a.shape == outShape && b.shape == outShape;
+  if (same) {
+    const float* __restrict x = av.data();
+    const float* __restrict y = bv.data();
+    float* __restrict o = out.data();
+    const std::size_t nElems = out.size();
+    // Specialize the four arithmetic ops so the loops autovectorize; the
+    // rest fall through to the shared scalar kernel.
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] + y[i];
+        break;
+      case BinaryOp::kSub:
+        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] - y[i];
+        break;
+      case BinaryOp::kMul:
+        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] * y[i];
+        break;
+      case BinaryOp::kDiv:
+        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] / y[i];
+        break;
+      default:
+        for (std::size_t i = 0; i < nElems; ++i) {
+          o[i] = applyBinary(op, x[i], y[i]);
+        }
+    }
+    return store(std::move(out));
+  }
+  // Broadcast path: delegate to the reference implementation's logic by
+  // re-dispatching (it handles scalar fast paths and generic broadcast).
+  return RefBackend::binary(op, a, b, outShape);
+}
+
+DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
+                            float beta) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  std::vector<float> out(xv.size());
+  const float* __restrict in = xv.data();
+  float* __restrict o = out.data();
+  const std::size_t n = out.size();
+  switch (op) {
+    case UnaryOp::kRelu:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] > 0 ? in[i] : 0;
+      break;
+    case UnaryOp::kRelu6:
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = std::min(std::max(in[i], 0.f), 6.f);
+      }
+      break;
+    case UnaryOp::kNeg:
+      for (std::size_t i = 0; i < n; ++i) o[i] = -in[i];
+      break;
+    case UnaryOp::kSquare:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] * in[i];
+      break;
+    case UnaryOp::kAddScalar:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] + alpha;
+      break;
+    case UnaryOp::kMulScalar:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] * alpha;
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = applyUnary(op, in[i], alpha, beta);
+      }
+  }
+  return store(std::move(out));
+}
+
+DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
+                             bool transposeA, bool transposeB) {
+  KernelTimer t(kernelMs_);
+  const int bA = a.shape[0], bB = b.shape[0];
+  const int m = transposeA ? a.shape[2] : a.shape[1];
+  const int k = transposeA ? a.shape[1] : a.shape[2];
+  const int n = transposeB ? b.shape[1] : b.shape[2];
+  const int batch = std::max(bA, bB);
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+
+  // Materialize transposed operands once so the GEMM core runs on
+  // contiguous row-major panels (what a native BLAS would do when packing).
+  std::vector<float> aT, bT;
+  for (int bi = 0; bi < batch; ++bi) {
+    const float* A =
+        av.data() + static_cast<std::size_t>(bA == 1 ? 0 : bi) * m * k;
+    const float* B =
+        bv.data() + static_cast<std::size_t>(bB == 1 ? 0 : bi) * k * n;
+    if (transposeA) {
+      aT.resize(static_cast<std::size_t>(m) * k);
+      for (int p = 0; p < k; ++p) {
+        for (int i = 0; i < m; ++i) {
+          aT[static_cast<std::size_t>(i) * k + p] =
+              A[static_cast<std::size_t>(p) * m + i];
+        }
+      }
+      A = aT.data();
+    }
+    if (transposeB) {
+      bT.resize(static_cast<std::size_t>(k) * n);
+      for (int j = 0; j < n; ++j) {
+        for (int p = 0; p < k; ++p) {
+          bT[static_cast<std::size_t>(p) * n + j] =
+              B[static_cast<std::size_t>(j) * k + p];
+        }
+      }
+      B = bT.data();
+    }
+    gemm(A, B, out.data() + static_cast<std::size_t>(bi) * m * n, m, k, n);
+  }
+  return store(std::move(out));
+}
+
+DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
+                             const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  const std::size_t outSpatial =
+      static_cast<std::size_t>(ci.outH) * ci.outW;
+  const std::size_t patch =
+      static_cast<std::size_t>(ci.filterH) * ci.filterW * ci.inC;
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * outSpatial *
+                             ci.outC,
+                         0.f);
+
+  if (ci.filterH == 1 && ci.filterW == 1 && ci.strideH == 1 &&
+      ci.strideW == 1 && ci.padTop == 0 && ci.padLeft == 0) {
+    // 1x1 convolution IS a GEMM over [spatial, inC] x [inC, outC] — the
+    // dominant op in MobileNet.
+    for (int b = 0; b < ci.batch; ++b) {
+      gemm(xv.data() + static_cast<std::size_t>(b) * outSpatial * ci.inC,
+           fv.data(),
+           out.data() + static_cast<std::size_t>(b) * outSpatial * ci.outC,
+           static_cast<int>(outSpatial), ci.inC, ci.outC);
+    }
+    return store(std::move(out));
+  }
+
+  // General path: im2col + GEMM per batch element.
+  std::vector<float> col(outSpatial * patch);
+  for (int b = 0; b < ci.batch; ++b) {
+    std::fill(col.begin(), col.end(), 0.f);
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        float* dst =
+            col.data() + (static_cast<std::size_t>(oy) * ci.outW + ox) * patch;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            std::memcpy(
+                dst + (static_cast<std::size_t>(fy) * ci.filterW + fx) * ci.inC,
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC,
+                static_cast<std::size_t>(ci.inC) * sizeof(float));
+          }
+        }
+      }
+    }
+    gemm(col.data(), fv.data(),
+         out.data() + static_cast<std::size_t>(b) * outSpatial * ci.outC,
+         static_cast<int>(outSpatial), static_cast<int>(patch), ci.outC);
+  }
+  return store(std::move(out));
+}
+
+DataId NativeBackend::depthwiseConv2d(const TensorSpec& x,
+                                      const TensorSpec& filter,
+                                      const Conv2DInfo& ci) {
+  KernelTimer t(kernelMs_);
+  const auto& xv = buf(x.id);
+  const auto& fv = buf(filter.id);
+  const int mult = ci.channelMult;
+  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
+                             ci.outW * ci.outC,
+                         0.f);
+  // Channel-inner loops are contiguous in NHWC, so they autovectorize.
+  for (int b = 0; b < ci.batch; ++b) {
+    for (int oy = 0; oy < ci.outH; ++oy) {
+      for (int ox = 0; ox < ci.outW; ++ox) {
+        float* __restrict oRow =
+            out.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                              ci.outW +
+                          ox) *
+                             ci.outC;
+        for (int fy = 0; fy < ci.filterH; ++fy) {
+          const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+          if (iy < 0 || iy >= ci.inH) continue;
+          for (int fx = 0; fx < ci.filterW; ++fx) {
+            const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+            if (ix < 0 || ix >= ci.inW) continue;
+            const float* __restrict xRow =
+                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC;
+            const float* __restrict fRow =
+                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                                ci.inC * mult;
+            if (mult == 1) {
+              for (int ic = 0; ic < ci.inC; ++ic) {
+                oRow[ic] += xRow[ic] * fRow[ic];
+              }
+            } else {
+              for (int ic = 0; ic < ci.inC; ++ic) {
+                for (int q = 0; q < mult; ++q) {
+                  oRow[ic * mult + q] += xRow[ic] * fRow[ic * mult + q];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return store(std::move(out));
+}
+
+DataId NativeBackend::reduce(ReduceOp op, const TensorSpec& x,
+                             std::size_t outer, std::size_t inner) {
+  KernelTimer t(kernelMs_);
+  if (op != ReduceOp::kSum && op != ReduceOp::kMean) {
+    return RefBackend::reduce(op, x, outer, inner);
+  }
+  const auto& xv = buf(x.id);
+  std::vector<float> out(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    const float* __restrict row = xv.data() + o * inner;
+    // Four parallel accumulators break the dependency chain for SIMD.
+    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= inner; i += 4) {
+      acc0 += row[i];
+      acc1 += row[i + 1];
+      acc2 += row[i + 2];
+      acc3 += row[i + 3];
+    }
+    float acc = acc0 + acc1 + acc2 + acc3;
+    for (; i < inner; ++i) acc += row[i];
+    out[o] = op == ReduceOp::kMean ? acc / static_cast<float>(inner) : acc;
+  }
+  return store(std::move(out));
+}
+
+void registerBackend() {
+  Engine::get().registerBackend(
+      "native", [] { return std::make_unique<NativeBackend>(); },
+      /*priority=*/2);
+}
+
+}  // namespace tfjs::backends::native

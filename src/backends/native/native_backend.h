@@ -1,0 +1,40 @@
+// NativeBackend: the analogue of the paper's Node.js backend, which binds to
+// the TensorFlow C library and uses AVX on the CPU (paper section 4.2).
+//
+// Instead of binding to an external library we implement the same role from
+// scratch: cache-blocked, vectorization-friendly kernels compiled with
+// -O3 -march=native. conv2d lowers to im2col + GEMM, the standard native-CPU
+// strategy. Long-tail data-movement kernels inherit the reference
+// implementations.
+#pragma once
+
+#include "backends/common/ref_backend.h"
+
+namespace tfjs::backends::native {
+
+class NativeBackend : public RefBackend {
+ public:
+  std::string name() const override { return "native"; }
+
+  DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                const Shape& outShape) override;
+  DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
+               float beta) override;
+  DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                bool transposeB) override;
+  DataId conv2d(const TensorSpec& x, const TensorSpec& filter,
+                const Conv2DInfo& info) override;
+  DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
+                         const Conv2DInfo& info) override;
+  DataId reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
+                std::size_t inner) override;
+
+  /// Single-matrix GEMM C[m,n] += A[m,k] * B[k,n]; exposed for tests.
+  static void gemm(const float* A, const float* B, float* C, int m, int k,
+                   int n);
+};
+
+/// Registers the "native" backend (priority between webgl-sim and cpu).
+void registerBackend();
+
+}  // namespace tfjs::backends::native

@@ -1,0 +1,17 @@
+// One-call registration of every built-in backend, in the paper's fallback
+// priority order: webgl-sim (3) > native (2) > plain cpu (1).
+#pragma once
+
+#include "backends/cpu/cpu_backend.h"
+#include "backends/native/native_backend.h"
+#include "backends/webgl/webgl_backend.h"
+
+namespace tfjs::backends {
+
+inline void registerAll() {
+  cpu::registerBackend();
+  native::registerBackend();
+  webgl::registerBackend();
+}
+
+}  // namespace tfjs::backends

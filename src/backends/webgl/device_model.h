@@ -1,0 +1,86 @@
+// DeviceModel: the discrete-event GPU cost model (DESIGN.md substitution for
+// real GPU hardware).
+//
+// Each shader dispatch is costed as
+//     dispatchOverheadMs
+//   + max(flops / flopsPerMs, fetchBytes / bytesPerMs, fetches / fetchesPerMs)
+// with constants taken from public hardware specifications — NOT fitted to
+// the paper's Table 1. The CUDA-class model additionally credits on-chip
+// reuse (shared memory / workgroups) on data-reusing programs, which is the
+// paper's own explanation (section 3.9) for the 3–10x WebGL-vs-CUDA gap:
+// WebGL fragment shaders must refetch operands from texture memory because
+// they have "no shared memory access".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace tfjs::backends::webgl {
+
+/// Per-dispatch cost declaration produced by each kernel builder.
+struct ProgramCost {
+  std::size_t invocations = 0;        ///< shader main() executions
+  double flopsPerInvocation = 0;      ///< arithmetic per invocation
+  double fetchesPerInvocation = 0;    ///< texel fetches per invocation
+  /// True for programs with heavy operand reuse across invocations
+  /// (matmul/conv): a GPGPU framework with shared memory can tile them.
+  bool reusable = false;
+};
+
+struct DeviceModel {
+  std::string name;
+  double gflops = 0;          ///< peak fp32 throughput
+  double gbytesPerSec = 0;    ///< memory bandwidth
+  double gtexelsPerSec = 0;   ///< texture sampler throughput
+  double dispatchOverheadMs = 0;  ///< per draw-call / kernel-launch cost
+  double readbackLatencyMs = 0;   ///< fixed gl.readPixels stall
+  /// >1 when the programming model exposes shared memory; divides the fetch
+  /// and byte traffic of reusable programs (tiling reuse factor).
+  double sharedMemoryReuse = 1.0;
+  /// Fraction of texel fetches served by the GPU's texture cache rather
+  /// than DRAM (neighbouring shader invocations sample overlapping data).
+  /// Applies to the bandwidth term only — sampler instruction throughput is
+  /// paid per fetch regardless of where the data comes from.
+  double textureCacheHitRate = 0.85;
+
+  double timeMs(const ProgramCost& c, bool packedTexel) const {
+    const double inv = static_cast<double>(c.invocations);
+    const double flops = inv * c.flopsPerInvocation;
+    double fetches = inv * c.fetchesPerInvocation;
+    // A packed RGBA texel carries 16 bytes, an unpacked R32F texel 4 — the
+    // same bytes per useful value; packing's win is the fetch count.
+    double bytes = fetches * (packedTexel ? 16.0 : 4.0);
+    if (c.reusable && sharedMemoryReuse > 1.0) {
+      fetches /= sharedMemoryReuse;
+      bytes /= sharedMemoryReuse;
+    }
+    bytes *= 1.0 - textureCacheHitRate;  // DRAM sees only cache misses
+    const double computeMs = flops / (gflops * 1e6);
+    const double bandwidthMs = bytes / (gbytesPerSec * 1e6);
+    const double samplerMs = fetches / (gtexelsPerSec * 1e6);
+    return dispatchOverheadMs +
+           std::max({computeMs, bandwidthMs, samplerMs});
+  }
+};
+
+/// Intel Iris Pro (MacBook Pro 2014) — the paper's laptop WebGL entry.
+inline DeviceModel irisProWebGL() {
+  return DeviceModel{"webgl(Intel Iris Pro)", 832.0, 25.6, 20.0, 0.10, 1.0,
+                     1.0, 0.85};
+}
+
+/// NVIDIA GTX 1080 driven through WebGL (no workgroups / shared memory).
+inline DeviceModel gtx1080WebGL() {
+  return DeviceModel{"webgl(GTX 1080)", 8873.0, 320.0, 277.0, 0.05, 0.5, 1.0,
+                     0.85};
+}
+
+/// NVIDIA GTX 1080 driven through CUDA (the paper's Node.js CUDA entry):
+/// same silicon, lower launch overhead, shared-memory tiling.
+inline DeviceModel gtx1080Cuda() {
+  return DeviceModel{"cuda(GTX 1080)", 8873.0, 320.0, 277.0, 0.005, 0.2, 8.0,
+                     0.85};
+}
+
+}  // namespace tfjs::backends::webgl

@@ -1,0 +1,154 @@
+#include "backends/webgl/gpgpu_context.h"
+
+#include <utility>
+
+#include "core/error.h"
+#include "core/half.h"
+
+namespace tfjs::backends::webgl {
+
+GPGPUContext::GPGPUContext(DeviceModel model, TextureManager* textures)
+    : model_(std::move(model)), textures_(textures) {
+  worker_ = std::thread([this] { workerLoop(); });
+}
+
+GPGPUContext::~GPGPUContext() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void GPGPUContext::post(std::function<void()> cmd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(cmd));
+  }
+  cv_.notify_all();
+}
+
+void GPGPUContext::workerLoop() {
+  for (;;) {
+    std::function<void()> cmd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      cmd = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      cmd();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pendingError_) pendingError_ = std::current_exception();
+    }
+    cv_.notify_all();  // wake waitForIdle watchers
+  }
+}
+
+std::exception_ptr GPGPUContext::takeError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(pendingError_, nullptr);
+}
+
+void GPGPUContext::enqueueUpload(std::shared_ptr<GlTexture> tex,
+                                 std::vector<float> values) {
+  post([this, tex = std::move(tex), values = std::move(values)]() mutable {
+    textures_->pin(tex);
+    auto& data = tex->data();
+    TFJS_CHECK(data.size() >= values.size());
+    const bool fp16 = tex->config().precision == TexPrecision::fp16;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      data[i] = fp16 ? roundTripHalf(values[i]) : values[i];
+    }
+    textures_->unpin(tex);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.uploads;
+    // Host→GPU transfer modeled at PCIe-class bandwidth (8 GB/s).
+    stats_.uploadTimeMs +=
+        static_cast<double>(values.size() * 4) / (8.0 * 1e6);
+  });
+}
+
+void GPGPUContext::enqueueProgram(ShaderRun run) {
+  post([this, run = std::move(run)]() mutable {
+    for (auto& in : run.inputs) textures_->pin(in.tex);
+    textures_->pin(run.output);
+    const std::uint64_t fetches = ShaderExecutor::execute(run);
+    for (auto& in : run.inputs) textures_->unpin(in.tex);
+    textures_->unpin(run.output);
+    const bool packed = run.output->config().packed;
+    const double ms = model_.timeMs(run.cost, packed);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.programsRun;
+    stats_.texelFetches += fetches;
+    stats_.gpuTimeMs += ms;
+  });
+}
+
+std::future<void> GPGPUContext::insertFence() {
+  auto p = std::make_shared<std::promise<void>>();
+  auto f = p->get_future();
+  post([this, p = std::move(p)] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fences;
+    }
+    p->set_value();
+  });
+  return f;
+}
+
+std::future<std::vector<float>> GPGPUContext::readbackAsync(
+    std::shared_ptr<GlTexture> tex, std::size_t n) {
+  auto p = std::make_shared<std::promise<std::vector<float>>>();
+  auto f = p->get_future();
+  post([this, tex = std::move(tex), n, p = std::move(p)] {
+    // Deliver any earlier device error through this readback (the analogue
+    // of a lost WebGL context surfacing on the next gl call).
+    if (auto err = takeError()) {
+      p->set_exception(err);
+      return;
+    }
+    textures_->pin(tex);
+    const auto& data = tex->data();
+    TFJS_CHECK(data.size() >= n);
+    std::vector<float> out(data.begin(),
+                           data.begin() + static_cast<std::ptrdiff_t>(n));
+    textures_->unpin(tex);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.readbacks;
+      stats_.readbackTimeMs +=
+          model_.readbackLatencyMs +
+          static_cast<double>(n * 4) / (8.0 * 1e6);
+    }
+    p->set_value(std::move(out));
+  });
+  return f;
+}
+
+std::vector<float> GPGPUContext::readPixels(std::shared_ptr<GlTexture> tex,
+                                            std::size_t n) {
+  // gl.readPixels is blocking: it drains the pipeline, then copies.
+  return readbackAsync(std::move(tex), n).get();
+}
+
+void GPGPUContext::waitForIdle() {
+  // A fence retires only after every previously enqueued command (single
+  // in-order worker), so waiting on it is an exact pipeline drain.
+  insertFence().get();
+}
+
+GpgpuStats GPGPUContext::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tfjs::backends::webgl

@@ -1,0 +1,100 @@
+// GPGPUContext: the simulated WebGL device of paper sections 4.1 and 4.1.1.
+//
+// "When the user calls an operation, we enqueue a program onto the GPU
+//  command queue ... and immediately return a handle to the resulting tensor
+//  despite the computation not being done."
+//
+// A dedicated worker thread drains the command queue in order (the GPU). The
+// main thread enqueues uploads/programs/readbacks and continues immediately —
+// so tensor.dataSync() really blocks the caller while tensor.data() really
+// lets the caller keep running (Figures 2 and 3). Fences mirror
+// gl.fenceSync(): a marker command whose promise resolves when the queue
+// reaches it. readPixels mirrors the blocking WebGL readback.
+//
+// Alongside real execution, a DeviceModel advances a simulated GPU clock per
+// program; gpuTimeMs() is the modeled busy time, which time(f) reports as
+// kernelMs (the EXT_disjoint_timer_query analogue — excludes upload and
+// download, as in the paper's section 3.8).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "backends/webgl/device_model.h"
+#include "backends/webgl/shader_compiler.h"
+#include "backends/webgl/texture_manager.h"
+
+namespace tfjs::backends::webgl {
+
+struct GpgpuStats {
+  std::uint64_t programsRun = 0;
+  std::uint64_t uploads = 0;
+  std::uint64_t readbacks = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t texelFetches = 0;   ///< actual fetches issued by shaders
+  double gpuTimeMs = 0;             ///< modeled kernel time
+  double uploadTimeMs = 0;          ///< modeled transfer time (excluded
+  double readbackTimeMs = 0;        ///<   from gpuTimeMs, as in the paper)
+};
+
+class GPGPUContext {
+ public:
+  GPGPUContext(DeviceModel model, TextureManager* textures);
+  ~GPGPUContext();
+
+  GPGPUContext(const GPGPUContext&) = delete;
+  GPGPUContext& operator=(const GPGPUContext&) = delete;
+
+  /// Enqueues a texture upload (texSubImage2D analogue). Returns at once.
+  void enqueueUpload(std::shared_ptr<GlTexture> tex, std::vector<float> values);
+
+  /// Enqueues a shader program execution. Returns at once.
+  void enqueueProgram(ShaderRun run);
+
+  /// Inserts a fence (gl.fenceSync analogue) whose future resolves when the
+  /// device reaches it.
+  std::future<void> insertFence();
+
+  /// Asynchronous readback: resolves with the first `n` logical values of
+  /// the texture once all previously enqueued work has retired.
+  std::future<std::vector<float>> readbackAsync(std::shared_ptr<GlTexture> tex,
+                                                std::size_t n);
+
+  /// Blocking gl.readPixels analogue.
+  std::vector<float> readPixels(std::shared_ptr<GlTexture> tex,
+                                std::size_t n);
+
+  /// Blocks until the queue is empty.
+  void waitForIdle();
+
+  GpgpuStats stats() const;
+  const DeviceModel& device() const { return model_; }
+
+ private:
+  void workerLoop();
+  void post(std::function<void()> cmd);
+
+  DeviceModel model_;
+  TextureManager* textures_;
+
+  /// Takes (and clears) the first error raised by a device command, if any.
+  std::exception_ptr takeError();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  /// First exception thrown by a command on the worker (a "device error",
+  /// e.g. an out-of-bounds texel fetch); delivered at the next readback.
+  std::exception_ptr pendingError_;
+
+  GpgpuStats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace tfjs::backends::webgl

@@ -1,0 +1,72 @@
+#include "backends/webgl/shader_compiler.h"
+
+#include "core/error.h"
+
+namespace tfjs::backends::webgl {
+
+Sampler::Sampler(const GlTexture* tex, const Shape& logical, bool squeeze)
+    : tex_(tex) {
+  const auto strides = logical.strides();
+  for (int d = 0; d < logical.rank(); ++d) {
+    if (squeeze && logical[d] == 1) continue;  // squeezed mapping: skip
+    dimStrides_.emplace_back(d, strides[static_cast<std::size_t>(d)]);
+  }
+  // One multiply + one add per participating dimension.
+  indexOps_ = 2 * static_cast<int>(dimStrides_.size());
+}
+
+float Sampler::get(std::span<const int> coords) const {
+  std::size_t flat = 0;
+  for (const auto& [axis, stride] : dimStrides_) {
+    flat += static_cast<std::size_t>(coords[static_cast<std::size_t>(axis)]) *
+            stride;
+  }
+  return getFlat(flat);
+}
+
+float Sampler::getFlat(std::size_t flat) const {
+  ++fetchCount;
+  // Packed and unpacked textures share the same linear value layout; only
+  // the physical texel metadata (and hence fetch/byte accounting) differs.
+  TFJS_CHECK_MSG(flat < tex_->data().size(),
+                 "texel fetch out of bounds: " << flat << " >= "
+                                               << tex_->data().size());
+  return tex_->data()[flat];
+}
+
+std::uint64_t ShaderExecutor::execute(ShaderRun& run) {
+  ShaderContext ctx;
+  const Shape& outShape = run.outputShape;
+  const int rank = outShape.rank();
+  ctx.coords_.assign(static_cast<std::size_t>(rank), 0);
+  ctx.samplers_.reserve(run.inputs.size());
+  for (const auto& in : run.inputs) {
+    TFJS_CHECK_MSG(!in.tex->pagedOut(),
+                   "shader input texture is paged out (touch() missing)");
+    ctx.samplers_.emplace_back(in.tex.get(), in.logicalShape, run.squeeze);
+  }
+  TFJS_CHECK(!run.output->pagedOut());
+  ctx.out_ = run.output->data().data();
+  ctx.fp16_ = run.output->config().precision == TexPrecision::fp16;
+
+  const std::size_t n = outShape.size();
+  TFJS_CHECK_MSG(run.output->data().size() >= n,
+                 "output texture too small: " << run.output->data().size()
+                                              << " < " << n);
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    ctx.flat_ = flat;
+    run.main(ctx);
+    // Odometer increment of the logical output coordinates.
+    for (int d = rank - 1; d >= 0; --d) {
+      auto& c = ctx.coords_[static_cast<std::size_t>(d)];
+      if (++c < outShape[d]) break;
+      c = 0;
+    }
+  }
+
+  std::uint64_t fetches = 0;
+  for (const auto& s : ctx.samplers_) fetches += s.fetchCount;
+  return fetches;
+}
+
+}  // namespace tfjs::backends::webgl

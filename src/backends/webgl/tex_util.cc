@@ -1,0 +1,38 @@
+#include "backends/webgl/tex_util.h"
+
+#include <cmath>
+
+namespace tfjs::backends::webgl::tex_util {
+
+PhysShape physShapeForSize(std::size_t elems, bool packed) {
+  std::size_t texels = packed ? (elems + 3) / 4 : elems;
+  if (texels == 0) texels = 1;
+  // Near-square layout capped by the device texture limit.
+  auto cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(texels))));
+  cols = std::min(cols, kMaxTextureSize);
+  const int rows =
+      static_cast<int>((texels + static_cast<std::size_t>(cols) - 1) /
+                       static_cast<std::size_t>(cols));
+  TFJS_ARG_CHECK(rows <= kMaxTextureSize,
+                 "Tensor with " << elems
+                     << " elements exceeds the simulated device texture limit");
+  return PhysShape{rows, cols};
+}
+
+PhysShape physShapeForLogical(const Shape& logical, bool packed) {
+  if (packed) {
+    // Packed textures always use the flat near-square layout: four
+    // consecutive logical values share one RGBA texel.
+    return physShapeForSize(logical.size(), true);
+  }
+  const Shape sq = logical.squeezed();
+  if (sq.rank() == 0) return PhysShape{1, 1};
+  if (sq.rank() == 1 && sq[0] <= kMaxTextureSize) return PhysShape{1, sq[0]};
+  if (sq.rank() == 2 && sq[0] <= kMaxTextureSize &&
+      sq[1] <= kMaxTextureSize) {
+    return PhysShape{sq[0], sq[1]};
+  }
+  return physShapeForSize(logical.size(), false);
+}
+
+}  // namespace tfjs::backends::webgl::tex_util

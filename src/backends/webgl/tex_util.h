@@ -1,0 +1,31 @@
+// Logical-shape → physical-texture-shape mapping (paper section 4.1).
+//
+// The shader compiler separates the logical N-D space user code addresses
+// from the physical 2-D texel space, which lets the framework (a) respect
+// device texture-size limits and (b) optimize the coordinate mapping — e.g.
+// a 1x3x1x2 tensor maps to a 3x2 texture and the generated sampler ignores
+// the size-1 dimensions entirely (the "squeezed" optimization the paper
+// credits with a 1.3x average speedup).
+#pragma once
+
+#include <cstdint>
+
+#include "backends/webgl/texture.h"
+#include "core/shape.h"
+
+namespace tfjs::backends::webgl::tex_util {
+
+/// WebGL 1.0-era guaranteed texture limit we simulate.
+constexpr int kMaxTextureSize = 4096;
+
+/// Physical texel extent for a tensor with `elems` logical values. Packed
+/// textures hold 4 values per texel.
+PhysShape physShapeForSize(std::size_t elems, bool packed);
+
+/// Preferred physical shape for a logical shape: when the squeezed shape is
+/// rank <= 2 and fits the device limit, rows/cols mirror the logical
+/// dimensions (enabling the direct coordinate mapping); otherwise a
+/// near-square layout of the flat size is used.
+PhysShape physShapeForLogical(const Shape& logical, bool packed);
+
+}  // namespace tfjs::backends::webgl::tex_util

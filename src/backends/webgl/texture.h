@@ -1,0 +1,101 @@
+// GlTexture: the simulated WebGL texture that backs a tensor on the
+// "webgl-sim" backend (paper section 4.1).
+//
+// A logical N-D tensor is stored in a physical 2-D texture. In unpacked mode
+// each texel holds one value in its red channel (the paper's gl.R32F path);
+// in packed mode all four RGBA channels hold consecutive values (the packing
+// optimization of section 3.9). Precision is fp32 (Chrome) or fp16 (iOS
+// Safari, section 4.1.3) — fp16 textures round every stored value through
+// IEEE half precision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tfjs::backends::webgl {
+
+enum class TexPrecision { fp32, fp16 };
+
+struct TexConfig {
+  bool packed = false;
+  TexPrecision precision = TexPrecision::fp32;
+
+  bool operator==(const TexConfig& o) const {
+    return packed == o.packed && precision == o.precision;
+  }
+};
+
+/// Physical texture extent, in texels.
+struct PhysShape {
+  int rows = 0;
+  int cols = 0;
+  bool operator==(const PhysShape& o) const {
+    return rows == o.rows && cols == o.cols;
+  }
+  std::size_t texels() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+};
+
+class GlTexture {
+ public:
+  GlTexture(PhysShape phys, TexConfig config)
+      : phys_(phys), config_(config) {
+    allocate();
+  }
+
+  const PhysShape& phys() const { return phys_; }
+  const TexConfig& config() const { return config_; }
+  int channels() const { return config_.packed ? 4 : 1; }
+
+  /// Values stored per texel row-major, `channels()` floats per texel.
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// GPU memory footprint in bytes. Unpacked R32F textures allocate one
+  /// channel (4 B/texel); packed RGBA allocate four. fp16 halves both.
+  std::size_t gpuBytes() const {
+    const std::size_t perChannel =
+        config_.precision == TexPrecision::fp16 ? 2 : 4;
+    return phys_.texels() * static_cast<std::size_t>(channels()) * perChannel;
+  }
+
+  // ---- paging state (section 4.1.2) ----
+  bool pagedOut() const { return pagedOut_; }
+  /// Moves texel data to the CPU-side store and frees the "GPU" copy.
+  void pageOut() {
+    cpuCopy_ = std::move(data_);
+    data_.clear();
+    data_.shrink_to_fit();
+    pagedOut_ = true;
+  }
+  /// Restores texel data from the CPU-side store.
+  void pageIn() {
+    data_ = std::move(cpuCopy_);
+    cpuCopy_.clear();
+    pagedOut_ = false;
+  }
+
+  /// Monotonic recency stamp maintained by the texture manager (for LRU
+  /// page-out decisions).
+  std::uint64_t lastUse = 0;
+  /// Whether the manager already tracks this texture in its live list.
+  bool inLiveList = false;
+  /// Pinned textures (inputs/outputs of an executing command) are never
+  /// paged out. Guarded by the TextureManager mutex.
+  int pinCount = 0;
+
+ private:
+  void allocate() {
+    data_.assign(phys_.texels() * static_cast<std::size_t>(channels()), 0.f);
+  }
+
+  PhysShape phys_;
+  TexConfig config_;
+  std::vector<float> data_;
+  std::vector<float> cpuCopy_;
+  bool pagedOut_ = false;
+};
+
+}  // namespace tfjs::backends::webgl

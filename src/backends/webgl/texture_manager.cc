@@ -1,0 +1,101 @@
+#include "backends/webgl/texture_manager.h"
+
+#include <algorithm>
+
+namespace tfjs::backends::webgl {
+
+std::shared_ptr<GlTexture> TextureManager::acquire(PhysShape phys,
+                                                   TexConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<GlTexture> tex;
+  if (recycle_) {
+    auto it = freeLists_.find(keyOf(phys, config));
+    if (it != freeLists_.end() && !it->second.empty()) {
+      tex = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.texturesRecycled;
+      if (tex->pagedOut()) {
+        tex->pageIn();
+        ++stats_.pageIns;
+        stats_.gpuBytes += tex->gpuBytes();
+      }
+    }
+  }
+  if (!tex) {
+    tex = std::make_shared<GlTexture>(phys, config);
+    ++stats_.texturesCreated;
+    stats_.gpuBytes += tex->gpuBytes();
+    stats_.peakGpuBytes = std::max(stats_.peakGpuBytes, stats_.gpuBytes);
+  }
+  tex->lastUse = ++clock_;
+  if (!tex->inLiveList) {
+    tex->inLiveList = true;
+    live_.push_back(tex);
+  }
+  if (live_.size() > 4096) {
+    live_.remove_if([](const std::weak_ptr<GlTexture>& w) {
+      return w.expired();
+    });
+  }
+  // Page-out decisions happen only on the GPU worker thread (pin()); the
+  // main thread only allocates, so it can never evict a texture the worker
+  // is reading.
+  return tex;
+}
+
+void TextureManager::release(const std::shared_ptr<GlTexture>& tex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.texturesReleased;
+  if (recycle_) {
+    freeLists_[keyOf(tex->phys(), tex->config())].push_back(tex);
+  } else {
+    if (!tex->pagedOut()) stats_.gpuBytes -= tex->gpuBytes();
+    // dropped: the shared_ptr in queue items / callers keeps it alive until
+    // pending GPU work retires, then memory is returned to the host.
+  }
+  // Live-list entries expire lazily via weak_ptr.
+}
+
+void TextureManager::pin(const std::shared_ptr<GlTexture>& tex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tex->pagedOut()) {
+    tex->pageIn();
+    ++stats_.pageIns;
+    stats_.gpuBytes += tex->gpuBytes();
+    stats_.peakGpuBytes = std::max(stats_.peakGpuBytes, stats_.gpuBytes);
+  }
+  tex->lastUse = ++clock_;
+  ++tex->pinCount;
+  maybePageOutLocked();
+}
+
+void TextureManager::unpin(const std::shared_ptr<GlTexture>& tex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --tex->pinCount;
+}
+
+void TextureManager::maybePageOutLocked() {
+  if (stats_.gpuBytes <= budget_) return;
+  // Collect live textures, oldest first.
+  std::vector<std::shared_ptr<GlTexture>> candidates;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (auto sp = it->lock()) {
+      candidates.push_back(std::move(sp));
+      ++it;
+    } else {
+      it = live_.erase(it);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a->lastUse < b->lastUse; });
+  for (const auto& tex : candidates) {
+    if (stats_.gpuBytes <= budget_) break;
+    if (tex->pagedOut()) continue;
+    if (tex->pinCount > 0) continue;  // in use by the executing command
+    tex->pageOut();
+    ++stats_.pageOuts;
+    stats_.gpuBytes -= tex->gpuBytes();
+  }
+}
+
+}  // namespace tfjs::backends::webgl

@@ -1,0 +1,86 @@
+// TextureManager: texture recycling and GPU→CPU paging (paper section 4.1.2).
+//
+// "Disposing and re-allocating WebGL textures is relatively expensive, so we
+//  don't release memory when a tensor gets disposed. Instead, we mark the
+//  texture for reuse." — released textures go to a free list keyed by
+// (physical shape, config) and are recycled when a same-shaped allocation
+// arrives, which repeated passes of the same model hit constantly.
+//
+// Paging: when total GPU bytes exceed a budget (the paper estimates it from
+// the screen size), least-recently-used live textures are paged to the CPU
+// and transparently restored on next use.
+//
+// Thread-safety: the manager is called from the main thread (acquire/release)
+// and from the GPGPU worker thread (recency touches, page-in); a mutex
+// protects all state.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "backends/webgl/texture.h"
+
+namespace tfjs::backends::webgl {
+
+struct TextureManagerStats {
+  std::size_t texturesCreated = 0;   ///< fresh allocations
+  std::size_t texturesRecycled = 0;  ///< served from the free list
+  std::size_t texturesReleased = 0;
+  std::size_t pageOuts = 0;
+  std::size_t pageIns = 0;
+  std::size_t gpuBytes = 0;       ///< resident GPU bytes (live + free lists)
+  std::size_t peakGpuBytes = 0;
+};
+
+class TextureManager {
+ public:
+  explicit TextureManager(std::size_t gpuBudgetBytes, bool recycle = true)
+      : budget_(gpuBudgetBytes), recycle_(recycle) {}
+
+  /// Returns a texture of the given physical shape/config — recycled when a
+  /// compatible free texture exists, freshly allocated otherwise. May page
+  /// out LRU textures to stay under budget.
+  std::shared_ptr<GlTexture> acquire(PhysShape phys, TexConfig config);
+
+  /// Marks a texture reusable (called when the owning tensor is disposed).
+  void release(const std::shared_ptr<GlTexture>& tex);
+
+  /// Pins a texture for the duration of a device command: pages it in if
+  /// needed, stamps recency, and protects it from page-out. Must be paired
+  /// with unpin(). Called only from the GPU worker thread, which is also the
+  /// only thread that triggers page-outs — so an executing command's
+  /// textures can never be evicted under it.
+  void pin(const std::shared_ptr<GlTexture>& tex);
+  void unpin(const std::shared_ptr<GlTexture>& tex);
+
+  void setRecycling(bool on) { recycle_ = on; }
+  void setBudget(std::size_t bytes) { budget_ = bytes; }
+
+  TextureManagerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  using Key = std::tuple<int, int, bool, int>;  // rows, cols, packed, precision
+  static Key keyOf(const PhysShape& p, const TexConfig& c) {
+    return {p.rows, p.cols, c.packed, static_cast<int>(c.precision)};
+  }
+
+  void maybePageOutLocked();
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  bool recycle_;
+  std::map<Key, std::vector<std::shared_ptr<GlTexture>>> freeLists_;
+  /// All live (acquired, not released) textures, for LRU scans.
+  std::list<std::weak_ptr<GlTexture>> live_;
+  std::uint64_t clock_ = 0;
+  TextureManagerStats stats_;
+};
+
+}  // namespace tfjs::backends::webgl

@@ -1,0 +1,1135 @@
+#include "backends/webgl/webgl_backend.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "backends/common/ref_backend.h"  // applyBinary/applyUnary semantics
+#include "backends/webgl/tex_util.h"
+#include "core/engine.h"
+#include "core/util.h"
+
+namespace tfjs::backends::webgl {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}
+
+WebGLBackend::WebGLBackend(WebGLOptions opts)
+    : opts_(opts),
+      textures_(opts.gpuBudgetBytes, opts.recycleTextures),
+      ctx_(opts.device, &textures_) {}
+
+// ------------------------------------------------------------------ storage
+
+const WebGLBackend::Binding& WebGLBackend::binding(DataId id) const {
+  auto it = bindings_.find(id);
+  TFJS_CHECK_MSG(it != bindings_.end(), "Unknown webgl DataId " << id);
+  return it->second;
+}
+
+std::pair<DataId, std::shared_ptr<GlTexture>> WebGLBackend::makeOutput(
+    const Shape& logical) {
+  const PhysShape phys = tex_util::physShapeForLogical(logical, opts_.packed);
+  auto tex = textures_.acquire(
+      phys, TexConfig{opts_.packed, opts_.precision});
+  const DataId id = nextId_++;
+  bindings_[id] = Binding{tex, logical.size()};
+  return {id, std::move(tex)};
+}
+
+ShaderRun::Input WebGLBackend::input(const TensorSpec& spec) const {
+  return ShaderRun::Input{binding(spec.id).tex, spec.shape};
+}
+
+DataId WebGLBackend::run(ShaderRun r) {
+  // Find the DataId we just allocated for the output texture.
+  // (makeOutput/run are always paired by the kernel builders.)
+  ctx_.enqueueProgram(std::move(r));
+  return nextId_ - 1;
+}
+
+DataId WebGLBackend::write(std::span<const float> values, const Shape& shape) {
+  auto [id, tex] = makeOutput(shape);
+  ctx_.enqueueUpload(tex, std::vector<float>(values.begin(), values.end()));
+  return id;
+}
+
+std::vector<float> WebGLBackend::read(DataId id) {
+  const Binding& b = binding(id);
+  return ctx_.readPixels(b.tex, b.size);
+}
+
+std::future<std::vector<float>> WebGLBackend::readAsync(DataId id) {
+  const Binding& b = binding(id);
+  return ctx_.readbackAsync(b.tex, b.size);
+}
+
+void WebGLBackend::disposeData(DataId id) {
+  auto it = bindings_.find(id);
+  if (it == bindings_.end()) return;
+  textures_.release(it->second.tex);
+  bindings_.erase(it);
+}
+
+void WebGLBackend::flush() { ctx_.waitForIdle(); }
+
+double WebGLBackend::kernelTimeMs() const { return ctx_.stats().gpuTimeMs; }
+
+std::size_t WebGLBackend::memoryBytes() const {
+  return textures_.stats().gpuBytes;
+}
+
+// ------------------------------------------------------------------ kernels
+
+DataId WebGLBackend::binary(BinaryOp op, const TensorSpec& a,
+                            const TensorSpec& b, const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "binary";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(a), input(b)};
+  r.squeeze = opts_.squeeze;
+  const bool same = a.shape == outShape && b.shape == outShape;
+  if (same) {
+    r.main = [op](ShaderContext& ctx) {
+      const std::size_t i = ctx.outFlat();
+      ctx.setOutput(applyBinary(op, ctx.getFlat(0, i), ctx.getFlat(1, i)));
+    };
+  } else {
+    const Shape aShape = a.shape, bShape = b.shape, oShape = outShape;
+    r.main = [op, aShape, bShape, oShape](ShaderContext& ctx) {
+      const auto coords = ctx.outputCoords();
+      const float x =
+          ctx.getFlat(0, util::broadcastIndex(coords, aShape, oShape));
+      const float y =
+          ctx.getFlat(1, util::broadcastIndex(coords, bShape, oShape));
+      ctx.setOutput(applyBinary(op, x, y));
+    };
+  }
+  r.cost.invocations = elemInvocations(outShape.size());
+  r.cost.fetchesPerInvocation = 2;
+  r.cost.flopsPerInvocation =
+      (opts_.packed ? 4.0 : 1.0) + idxOps(a.shape) + idxOps(b.shape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
+                           float beta) {
+  auto [id, outTex] = makeOutput(x.shape);
+  ShaderRun r;
+  r.name = "unary";
+  r.outputShape = x.shape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [op, alpha, beta](ShaderContext& ctx) {
+    ctx.setOutput(applyUnary(op, ctx.getFlat(0, ctx.outFlat()), alpha, beta));
+  };
+  r.cost.invocations = elemInvocations(x.shape.size());
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = (opts_.packed ? 4.0 : 1.0) + idxOps(x.shape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::select(const TensorSpec& cond, const TensorSpec& a,
+                            const TensorSpec& b, const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "select";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(cond), input(a), input(b)};
+  r.squeeze = opts_.squeeze;
+  const Shape cShape = cond.shape, aShape = a.shape, bShape = b.shape,
+              oShape = outShape;
+  r.main = [cShape, aShape, bShape, oShape](ShaderContext& ctx) {
+    const auto coords = ctx.outputCoords();
+    const float c =
+        ctx.getFlat(0, util::broadcastIndex(coords, cShape, oShape));
+    ctx.setOutput(
+        c != 0 ? ctx.getFlat(1, util::broadcastIndex(coords, aShape, oShape))
+               : ctx.getFlat(2, util::broadcastIndex(coords, bShape, oShape)));
+  };
+  r.cost.invocations = elemInvocations(outShape.size());
+  r.cost.fetchesPerInvocation = 2;  // cond + one branch
+  r.cost.flopsPerInvocation = (opts_.packed ? 4.0 : 1.0) + 3 * idxOps(oShape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::matMul(const TensorSpec& a, const TensorSpec& b,
+                            bool transposeA, bool transposeB) {
+  const int bA = a.shape[0], bB = b.shape[0];
+  const int m = transposeA ? a.shape[2] : a.shape[1];
+  const int k = transposeA ? a.shape[1] : a.shape[2];
+  const int n = transposeB ? b.shape[1] : b.shape[2];
+  const int batch = std::max(bA, bB);
+  const Shape outShape{batch, m, n};
+
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "matMul";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(a), input(b)};
+  r.squeeze = opts_.squeeze;
+  // The Listing-2 shader: each output value loops over the shared dimension
+  // sampling A's row and B's column through the compiled getters.
+  r.main = [=](ShaderContext& ctx) {
+    const int bi = ctx.coord(0), i = ctx.coord(1), j = ctx.coord(2);
+    const int ba = bA == 1 ? 0 : bi;
+    const int bb = bB == 1 ? 0 : bi;
+    float acc = 0;
+    for (int p = 0; p < k; ++p) {
+      const std::array<int, 3> ac =
+          transposeA ? std::array<int, 3>{ba, p, i}
+                     : std::array<int, 3>{ba, i, p};
+      const std::array<int, 3> bc =
+          transposeB ? std::array<int, 3>{bb, j, p}
+                     : std::array<int, 3>{bb, p, j};
+      acc += ctx.get(0, std::span<const int>(ac)) *
+             ctx.get(1, std::span<const int>(bc));
+    }
+    ctx.setOutput(acc);
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * k * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * k;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
+                            const Conv2DInfo& ci) {
+  const Shape outShape{ci.batch, ci.outH, ci.outW, ci.outC};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "conv2d";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x), input(filter)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int b = ctx.coord(0), oy = ctx.coord(1), ox = ctx.coord(2),
+              oc = ctx.coord(3);
+    float acc = 0;
+    for (int fy = 0; fy < ci.filterH; ++fy) {
+      const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+      if (iy < 0 || iy >= ci.inH) continue;
+      for (int fx = 0; fx < ci.filterW; ++fx) {
+        const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+        if (ix < 0 || ix >= ci.inW) continue;
+        for (int ic = 0; ic < ci.inC; ++ic) {
+          const std::array<int, 4> xc{b, iy, ix, ic};
+          const std::array<int, 4> fc{fy, fx, ic, oc};
+          acc += ctx.get(0, std::span<const int>(xc)) *
+                 ctx.get(1, std::span<const int>(fc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double macs = static_cast<double>(ci.filterH) * ci.filterW * ci.inC;
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * macs * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * macs;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::conv2dBackpropInput(const TensorSpec& dy,
+                                         const TensorSpec& filter,
+                                         const Conv2DInfo& ci) {
+  const Shape outShape{ci.batch, ci.inH, ci.inW, ci.inC};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "conv2dBackpropInput";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(dy), input(filter)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int b = ctx.coord(0), iy = ctx.coord(1), ix = ctx.coord(2),
+              ic = ctx.coord(3);
+    float acc = 0;
+    for (int fy = 0; fy < ci.filterH; ++fy) {
+      const int oyNum = iy + ci.padTop - fy * ci.dilationH;
+      if (oyNum % ci.strideH != 0) continue;
+      const int oy = oyNum / ci.strideH;
+      if (oy < 0 || oy >= ci.outH) continue;
+      for (int fx = 0; fx < ci.filterW; ++fx) {
+        const int oxNum = ix + ci.padLeft - fx * ci.dilationW;
+        if (oxNum % ci.strideW != 0) continue;
+        const int ox = oxNum / ci.strideW;
+        if (ox < 0 || ox >= ci.outW) continue;
+        for (int oc = 0; oc < ci.outC; ++oc) {
+          const std::array<int, 4> dyc{b, oy, ox, oc};
+          const std::array<int, 4> fc{fy, fx, ic, oc};
+          acc += ctx.get(0, std::span<const int>(dyc)) *
+                 ctx.get(1, std::span<const int>(fc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double cover =
+      std::ceil(static_cast<double>(ci.filterH) / ci.strideH) *
+      std::ceil(static_cast<double>(ci.filterW) / ci.strideW);
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * cover * ci.outC * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * cover * ci.outC;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::conv2dBackpropFilter(const TensorSpec& x,
+                                          const TensorSpec& dy,
+                                          const Conv2DInfo& ci) {
+  const Shape outShape{ci.filterH, ci.filterW, ci.inC, ci.outC};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "conv2dBackpropFilter";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x), input(dy)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int fy = ctx.coord(0), fx = ctx.coord(1), ic = ctx.coord(2),
+              oc = ctx.coord(3);
+    float acc = 0;
+    for (int b = 0; b < ci.batch; ++b) {
+      for (int oy = 0; oy < ci.outH; ++oy) {
+        const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+        if (iy < 0 || iy >= ci.inH) continue;
+        for (int ox = 0; ox < ci.outW; ++ox) {
+          const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+          if (ix < 0 || ix >= ci.inW) continue;
+          const std::array<int, 4> xc{b, iy, ix, ic};
+          const std::array<int, 4> dyc{b, oy, ox, oc};
+          acc += ctx.get(0, std::span<const int>(xc)) *
+                 ctx.get(1, std::span<const int>(dyc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double spatial = static_cast<double>(ci.batch) * ci.outH * ci.outW;
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * spatial * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * spatial;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::depthwiseConv2d(const TensorSpec& x,
+                                     const TensorSpec& filter,
+                                     const Conv2DInfo& ci) {
+  const Shape outShape{ci.batch, ci.outH, ci.outW, ci.outC};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "depthwiseConv2d";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x), input(filter)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int b = ctx.coord(0), oy = ctx.coord(1), ox = ctx.coord(2),
+              oc = ctx.coord(3);
+    const int ic = oc / ci.channelMult;
+    const int q = oc % ci.channelMult;
+    float acc = 0;
+    for (int fy = 0; fy < ci.filterH; ++fy) {
+      const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+      if (iy < 0 || iy >= ci.inH) continue;
+      for (int fx = 0; fx < ci.filterW; ++fx) {
+        const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+        if (ix < 0 || ix >= ci.inW) continue;
+        const std::array<int, 4> xc{b, iy, ix, ic};
+        const std::array<int, 4> fc{fy, fx, ic, q};
+        acc += ctx.get(0, std::span<const int>(xc)) *
+               ctx.get(1, std::span<const int>(fc));
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double macs = static_cast<double>(ci.filterH) * ci.filterW;
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * macs * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * macs;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::depthwiseConv2dBackpropInput(const TensorSpec& dy,
+                                                  const TensorSpec& filter,
+                                                  const Conv2DInfo& ci) {
+  const Shape outShape{ci.batch, ci.inH, ci.inW, ci.inC};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "depthwiseConv2dBackpropInput";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(dy), input(filter)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int b = ctx.coord(0), iy = ctx.coord(1), ix = ctx.coord(2),
+              ic = ctx.coord(3);
+    float acc = 0;
+    for (int fy = 0; fy < ci.filterH; ++fy) {
+      const int oyNum = iy + ci.padTop - fy * ci.dilationH;
+      if (oyNum % ci.strideH != 0) continue;
+      const int oy = oyNum / ci.strideH;
+      if (oy < 0 || oy >= ci.outH) continue;
+      for (int fx = 0; fx < ci.filterW; ++fx) {
+        const int oxNum = ix + ci.padLeft - fx * ci.dilationW;
+        if (oxNum % ci.strideW != 0) continue;
+        const int ox = oxNum / ci.strideW;
+        if (ox < 0 || ox >= ci.outW) continue;
+        for (int q = 0; q < ci.channelMult; ++q) {
+          const std::array<int, 4> dyc{b, oy, ox, ic * ci.channelMult + q};
+          const std::array<int, 4> fc{fy, fx, ic, q};
+          acc += ctx.get(0, std::span<const int>(dyc)) *
+                 ctx.get(1, std::span<const int>(fc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double cover =
+      std::ceil(static_cast<double>(ci.filterH) / ci.strideH) *
+      std::ceil(static_cast<double>(ci.filterW) / ci.strideW);
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * cover * ci.channelMult * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * cover * ci.channelMult;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::depthwiseConv2dBackpropFilter(const TensorSpec& x,
+                                                   const TensorSpec& dy,
+                                                   const Conv2DInfo& ci) {
+  const Shape outShape{ci.filterH, ci.filterW, ci.inC, ci.channelMult};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "depthwiseConv2dBackpropFilter";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x), input(dy)};
+  r.squeeze = opts_.squeeze;
+  r.main = [ci](ShaderContext& ctx) {
+    const int fy = ctx.coord(0), fx = ctx.coord(1), ic = ctx.coord(2),
+              q = ctx.coord(3);
+    float acc = 0;
+    for (int b = 0; b < ci.batch; ++b) {
+      for (int oy = 0; oy < ci.outH; ++oy) {
+        const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+        if (iy < 0 || iy >= ci.inH) continue;
+        for (int ox = 0; ox < ci.outW; ++ox) {
+          const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+          if (ix < 0 || ix >= ci.inW) continue;
+          const std::array<int, 4> xc{b, iy, ix, ic};
+          const std::array<int, 4> dyc{b, oy, ox, ic * ci.channelMult + q};
+          acc += ctx.get(0, std::span<const int>(xc)) *
+                 ctx.get(1, std::span<const int>(dyc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double spatial = static_cast<double>(ci.batch) * ci.outH * ci.outW;
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2.0 * spatial * fetchScale();
+  r.cost.flopsPerInvocation = 2.0 * spatial;
+  r.cost.reusable = true;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::pool2d(PoolMode mode, const TensorSpec& x,
+                            const Pool2DInfo& pi) {
+  const Shape outShape{pi.batch, pi.outH, pi.outW, pi.channels};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = mode == PoolMode::kMax ? "maxPool" : "avgPool";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [mode, pi](ShaderContext& ctx) {
+    const int b = ctx.coord(0), oy = ctx.coord(1), ox = ctx.coord(2),
+              c = ctx.coord(3);
+    float acc = mode == PoolMode::kMax ? -kInf : 0.f;
+    int count = 0;
+    for (int fy = 0; fy < pi.filterH; ++fy) {
+      const int iy = oy * pi.strideH - pi.padTop + fy;
+      if (iy < 0 || iy >= pi.inH) continue;
+      for (int fx = 0; fx < pi.filterW; ++fx) {
+        const int ix = ox * pi.strideW - pi.padLeft + fx;
+        if (ix < 0 || ix >= pi.inW) continue;
+        const std::array<int, 4> xc{b, iy, ix, c};
+        const float v = ctx.get(0, std::span<const int>(xc));
+        if (mode == PoolMode::kMax) {
+          acc = std::max(acc, v);
+        } else {
+          acc += v;
+        }
+        ++count;
+      }
+    }
+    ctx.setOutput(mode == PoolMode::kMax
+                      ? acc
+                      : acc / static_cast<float>(std::max(count, 1)));
+  };
+  const double window = static_cast<double>(pi.filterH) * pi.filterW;
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = window * fetchScale();
+  r.cost.flopsPerInvocation = window;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::maxPoolBackprop(const TensorSpec& dy,
+                                     const TensorSpec& x,
+                                     const Pool2DInfo& pi) {
+  const Shape outShape{pi.batch, pi.inH, pi.inW, pi.channels};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "maxPoolBackprop";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(dy), input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [pi](ShaderContext& ctx) {
+    const int b = ctx.coord(0), iy = ctx.coord(1), ix = ctx.coord(2),
+              c = ctx.coord(3);
+    float acc = 0;
+    // Visit every window covering (iy, ix); credit dy when this position is
+    // the window's (first) argmax, recomputed from x.
+    for (int fy = 0; fy < pi.filterH; ++fy) {
+      const int oyNum = iy + pi.padTop - fy;
+      if (oyNum % pi.strideH != 0) continue;
+      const int oy = oyNum / pi.strideH;
+      if (oy < 0 || oy >= pi.outH) continue;
+      for (int fx = 0; fx < pi.filterW; ++fx) {
+        const int oxNum = ix + pi.padLeft - fx;
+        if (oxNum % pi.strideW != 0) continue;
+        const int ox = oxNum / pi.strideW;
+        if (ox < 0 || ox >= pi.outW) continue;
+        float best = -kInf;
+        int bestIy = -1, bestIx = -1;
+        for (int wy = 0; wy < pi.filterH; ++wy) {
+          const int yy = oy * pi.strideH - pi.padTop + wy;
+          if (yy < 0 || yy >= pi.inH) continue;
+          for (int wx = 0; wx < pi.filterW; ++wx) {
+            const int xx = ox * pi.strideW - pi.padLeft + wx;
+            if (xx < 0 || xx >= pi.inW) continue;
+            const std::array<int, 4> xc{b, yy, xx, c};
+            const float v = ctx.get(1, std::span<const int>(xc));
+            if (v > best) {
+              best = v;
+              bestIy = yy;
+              bestIx = xx;
+            }
+          }
+        }
+        if (bestIy == iy && bestIx == ix) {
+          const std::array<int, 4> dyc{b, oy, ox, c};
+          acc += ctx.get(0, std::span<const int>(dyc));
+        }
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double window = static_cast<double>(pi.filterH) * pi.filterW;
+  const double cover = std::ceil(window / (pi.strideH * pi.strideW));
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = cover * (window + 1) * fetchScale();
+  r.cost.flopsPerInvocation = cover * (window + 1);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::avgPoolBackprop(const TensorSpec& dy,
+                                     const Pool2DInfo& pi) {
+  const Shape outShape{pi.batch, pi.inH, pi.inW, pi.channels};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "avgPoolBackprop";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(dy)};
+  r.squeeze = opts_.squeeze;
+  r.main = [pi](ShaderContext& ctx) {
+    const int b = ctx.coord(0), iy = ctx.coord(1), ix = ctx.coord(2),
+              c = ctx.coord(3);
+    float acc = 0;
+    for (int fy = 0; fy < pi.filterH; ++fy) {
+      const int oyNum = iy + pi.padTop - fy;
+      if (oyNum % pi.strideH != 0) continue;
+      const int oy = oyNum / pi.strideH;
+      if (oy < 0 || oy >= pi.outH) continue;
+      for (int fx = 0; fx < pi.filterW; ++fx) {
+        const int oxNum = ix + pi.padLeft - fx;
+        if (oxNum % pi.strideW != 0) continue;
+        const int ox = oxNum / pi.strideW;
+        if (ox < 0 || ox >= pi.outW) continue;
+        // Forward divides by the count of in-bounds cells of the window.
+        int count = 0;
+        for (int wy = 0; wy < pi.filterH; ++wy) {
+          const int yy = oy * pi.strideH - pi.padTop + wy;
+          if (yy < 0 || yy >= pi.inH) continue;
+          for (int wx = 0; wx < pi.filterW; ++wx) {
+            const int xx = ox * pi.strideW - pi.padLeft + wx;
+            if (xx >= 0 && xx < pi.inW) ++count;
+          }
+        }
+        const std::array<int, 4> dyc{b, oy, ox, c};
+        acc += ctx.get(0, std::span<const int>(dyc)) /
+               static_cast<float>(std::max(count, 1));
+      }
+    }
+    ctx.setOutput(acc);
+  };
+  const double window = static_cast<double>(pi.filterH) * pi.filterW;
+  const double cover = std::ceil(window / (pi.strideH * pi.strideW));
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = cover * fetchScale();
+  r.cost.flopsPerInvocation = cover * (window + 2);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::reduce(ReduceOp op, const TensorSpec& x,
+                            std::size_t outer, std::size_t inner) {
+  const Shape outShape{static_cast<int>(outer)};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "reduce";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [op, inner](ShaderContext& ctx) {
+    const std::size_t base = ctx.outFlat() * inner;
+    float acc;
+    switch (op) {
+      case ReduceOp::kSum:
+      case ReduceOp::kMean: {
+        acc = 0;
+        for (std::size_t i = 0; i < inner; ++i) acc += ctx.getFlat(0, base + i);
+        if (op == ReduceOp::kMean) acc /= static_cast<float>(inner);
+        break;
+      }
+      case ReduceOp::kProd: {
+        acc = 1;
+        for (std::size_t i = 0; i < inner; ++i) acc *= ctx.getFlat(0, base + i);
+        break;
+      }
+      case ReduceOp::kMax: {
+        acc = -kInf;
+        for (std::size_t i = 0; i < inner; ++i) {
+          acc = std::max(acc, ctx.getFlat(0, base + i));
+        }
+        break;
+      }
+      case ReduceOp::kMin: {
+        acc = kInf;
+        for (std::size_t i = 0; i < inner; ++i) {
+          acc = std::min(acc, ctx.getFlat(0, base + i));
+        }
+        break;
+      }
+      case ReduceOp::kAny: {
+        acc = 0;
+        for (std::size_t i = 0; i < inner; ++i) {
+          if (ctx.getFlat(0, base + i) != 0) {
+            acc = 1;
+            break;
+          }
+        }
+        break;
+      }
+      case ReduceOp::kAll: {
+        acc = 1;
+        for (std::size_t i = 0; i < inner; ++i) {
+          if (ctx.getFlat(0, base + i) == 0) {
+            acc = 0;
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        acc = 0;
+    }
+    ctx.setOutput(acc);
+  };
+  r.cost.invocations = outer;
+  r.cost.fetchesPerInvocation = static_cast<double>(inner) * fetchScale();
+  r.cost.flopsPerInvocation = static_cast<double>(inner);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::arg(ArgOp op, const TensorSpec& x, std::size_t outer,
+                         std::size_t inner) {
+  const Shape outShape{static_cast<int>(outer)};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "arg";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [op, inner](ShaderContext& ctx) {
+    const std::size_t base = ctx.outFlat() * inner;
+    std::size_t best = 0;
+    float bestVal = ctx.getFlat(0, base);
+    for (std::size_t i = 1; i < inner; ++i) {
+      const float v = ctx.getFlat(0, base + i);
+      const bool better = op == ArgOp::kArgMax ? v > bestVal : v < bestVal;
+      if (better) {
+        best = i;
+        bestVal = v;
+      }
+    }
+    ctx.setOutput(static_cast<float>(best));
+  };
+  r.cost.invocations = outer;
+  r.cost.fetchesPerInvocation = static_cast<double>(inner) * fetchScale();
+  r.cost.flopsPerInvocation = static_cast<double>(inner);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::transpose(const TensorSpec& x, std::span<const int> perm,
+                               const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "transpose";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const std::vector<int> p(perm.begin(), perm.end());
+  const int rank = outShape.rank();
+  r.main = [p, rank](ShaderContext& ctx) {
+    std::array<int, 8> inCoords{};
+    for (int d = 0; d < rank; ++d) {
+      inCoords[static_cast<std::size_t>(p[static_cast<std::size_t>(d)])] =
+          ctx.coord(d);
+    }
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(inCoords.data(),
+                                static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(x.shape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::slice(const TensorSpec& x, std::span<const int> begin,
+                           const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "slice";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const std::vector<int> b(begin.begin(), begin.end());
+  const int rank = outShape.rank();
+  r.main = [b, rank](ShaderContext& ctx) {
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) {
+      c[static_cast<std::size_t>(d)] =
+          ctx.coord(d) + b[static_cast<std::size_t>(d)];
+    }
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(x.shape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::concat(std::span<const TensorSpec> xs, int axis,
+                            const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "concat";
+  r.outputShape = outShape;
+  r.output = outTex;
+  std::vector<int> axisOffsets;
+  int offset = 0;
+  for (const auto& spec : xs) {
+    r.inputs.push_back(input(spec));
+    axisOffsets.push_back(offset);
+    offset += spec.shape[axis];
+  }
+  r.squeeze = opts_.squeeze;
+  const int rank = outShape.rank();
+  const int nInputs = static_cast<int>(xs.size());
+  r.main = [axisOffsets, axis, rank, nInputs](ShaderContext& ctx) {
+    const int pos = ctx.coord(axis);
+    int which = nInputs - 1;
+    for (int i = 1; i < nInputs; ++i) {
+      if (pos < axisOffsets[static_cast<std::size_t>(i)]) {
+        which = i - 1;
+        break;
+      }
+    }
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) c[static_cast<std::size_t>(d)] = ctx.coord(d);
+    c[static_cast<std::size_t>(axis)] -=
+        axisOffsets[static_cast<std::size_t>(which)];
+    ctx.setOutput(ctx.get(
+        which,
+        std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(outShape) + nInputs;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::pad(const TensorSpec& x,
+                         std::span<const std::pair<int, int>> paddings,
+                         float constantValue, const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "pad";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const std::vector<std::pair<int, int>> pads(paddings.begin(),
+                                              paddings.end());
+  const Shape xShape = x.shape;
+  const int rank = outShape.rank();
+  r.main = [pads, xShape, constantValue, rank](ShaderContext& ctx) {
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) {
+      const int v = ctx.coord(d) - pads[static_cast<std::size_t>(d)].first;
+      if (v < 0 || v >= xShape[d]) {
+        ctx.setOutput(constantValue);
+        return;
+      }
+      c[static_cast<std::size_t>(d)] = v;
+    }
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(xShape) + rank;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::gather(const TensorSpec& x, const TensorSpec& indices,
+                            int axis, const Shape& outShape) {
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "gather";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x), input(indices)};
+  r.squeeze = opts_.squeeze;
+  const Shape xShape = x.shape;
+  const int rank = xShape.rank();
+  const int nIndices = static_cast<int>(indices.shape.size());
+  r.main = [xShape, axis, rank, nIndices](ShaderContext& ctx) {
+    (void)nIndices;
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) c[static_cast<std::size_t>(d)] = ctx.coord(d);
+    const auto idx = static_cast<int>(
+        ctx.getFlat(1, static_cast<std::size_t>(ctx.coord(axis))));
+    c[static_cast<std::size_t>(axis)] = idx;
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 2;
+  r.cost.flopsPerInvocation = idxOps(xShape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::tile(const TensorSpec& x, std::span<const int> reps,
+                          const Shape& outShape) {
+  (void)reps;
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "tile";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const Shape xShape = x.shape;
+  const int rank = outShape.rank();
+  r.main = [xShape, rank](ShaderContext& ctx) {
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) {
+      c[static_cast<std::size_t>(d)] = ctx.coord(d) % xShape[d];
+    }
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(xShape) + rank;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::reverse(const TensorSpec& x, std::span<const int> axes) {
+  const Shape outShape = x.shape;
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "reverse";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const Shape xShape = x.shape;
+  const int rank = outShape.rank();
+  std::array<bool, 8> flip{};
+  for (int a : axes) flip[static_cast<std::size_t>(a)] = true;
+  r.main = [xShape, rank, flip](ShaderContext& ctx) {
+    std::array<int, 8> c{};
+    for (int d = 0; d < rank; ++d) {
+      c[static_cast<std::size_t>(d)] =
+          flip[static_cast<std::size_t>(d)] ? xShape[d] - 1 - ctx.coord(d)
+                                            : ctx.coord(d);
+    }
+    ctx.setOutput(ctx.get(
+        0, std::span<const int>(c.data(), static_cast<std::size_t>(rank))));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = idxOps(xShape) + rank;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::resizeBilinear(const TensorSpec& x, int newH, int newW,
+                                    bool alignCorners) {
+  const int batch = x.shape[0], inH = x.shape[1], inW = x.shape[2],
+            c = x.shape[3];
+  (void)batch;
+  const Shape outShape{x.shape[0], newH, newW, c};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "resizeBilinear";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const float hScale =
+      alignCorners && newH > 1
+          ? static_cast<float>(inH - 1) / static_cast<float>(newH - 1)
+          : static_cast<float>(inH) / static_cast<float>(newH);
+  const float wScale =
+      alignCorners && newW > 1
+          ? static_cast<float>(inW - 1) / static_cast<float>(newW - 1)
+          : static_cast<float>(inW) / static_cast<float>(newW);
+  r.main = [=](ShaderContext& ctx) {
+    const int b = ctx.coord(0), y = ctx.coord(1), xo = ctx.coord(2),
+              ch = ctx.coord(3);
+    const float srcY = alignCorners ? y * hScale : (y + 0.5f) * hScale - 0.5f;
+    const float cy = std::clamp(srcY, 0.f, static_cast<float>(inH - 1));
+    const int y0 = static_cast<int>(std::floor(cy));
+    const int y1 = std::min(y0 + 1, inH - 1);
+    const float fy = cy - static_cast<float>(y0);
+    const float srcX =
+        alignCorners ? xo * wScale : (xo + 0.5f) * wScale - 0.5f;
+    const float cx = std::clamp(srcX, 0.f, static_cast<float>(inW - 1));
+    const int x0 = static_cast<int>(std::floor(cx));
+    const int x1 = std::min(x0 + 1, inW - 1);
+    const float fx = cx - static_cast<float>(x0);
+    auto at = [&](int yy, int xx) {
+      const std::array<int, 4> cc{b, yy, xx, ch};
+      return ctx.get(0, std::span<const int>(cc));
+    };
+    const float top = at(y0, x0) * (1 - fx) + at(y0, x1) * fx;
+    const float bot = at(y1, x0) * (1 - fx) + at(y1, x1) * fx;
+    ctx.setOutput(top * (1 - fy) + bot * fy);
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 4;
+  r.cost.flopsPerInvocation = 16 + idxOps(x.shape);
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::oneHot(const TensorSpec& indices, int depth,
+                            float onValue, float offValue) {
+  const Shape outShape{static_cast<int>(indices.shape.size()), depth};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "oneHot";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(indices)};
+  r.squeeze = opts_.squeeze;
+  r.main = [onValue, offValue](ShaderContext& ctx) {
+    const auto idx = static_cast<int>(
+        ctx.getFlat(0, static_cast<std::size_t>(ctx.coord(0))));
+    ctx.setOutput(idx == ctx.coord(1) ? onValue : offValue);
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = 1;
+  r.cost.flopsPerInvocation = 2;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::fill(std::size_t n, float value) {
+  const Shape outShape{static_cast<int>(n)};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "fill";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.squeeze = opts_.squeeze;
+  r.main = [value](ShaderContext& ctx) { ctx.setOutput(value); };
+  r.cost.invocations = elemInvocations(n);
+  r.cost.fetchesPerInvocation = 0;
+  r.cost.flopsPerInvocation = 1;
+  run(std::move(r));
+  return id;
+}
+
+namespace {
+/// Rank-selection shader body shared by the two topk kernels: finds the
+/// element of rank `want` (0 = largest) in a row by counting, per output —
+/// the shared-memory-free formulation a fragment shader is limited to.
+struct RankSelect {
+  std::size_t inner;
+  int k;
+  /// Returns (value, index) of the rank-(flat % k) element of row flat/k.
+  std::pair<float, std::size_t> operator()(const ShaderContext& ctx) const {
+    const std::size_t flat = ctx.outFlat();
+    const std::size_t o = flat / static_cast<std::size_t>(k);
+    const std::size_t want = flat % static_cast<std::size_t>(k);
+    const std::size_t base = o * inner;
+    for (std::size_t j = 0; j < inner; ++j) {
+      const float e = ctx.getFlat(0, base + j);
+      std::size_t rank = 0;
+      for (std::size_t m = 0; m < inner; ++m) {
+        const float v = ctx.getFlat(0, base + m);
+        if (v > e || (v == e && m < j)) ++rank;
+      }
+      if (rank == want) return {e, j};
+    }
+    return {0.f, 0};  // unreachable for valid inputs
+  }
+};
+}  // namespace
+
+DataId WebGLBackend::topkValues(const TensorSpec& x, std::size_t outer,
+                                std::size_t inner, int k) {
+  const Shape outShape{static_cast<int>(outer), k};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "topkValues";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const RankSelect select{inner, k};
+  r.main = [select](ShaderContext& ctx) { ctx.setOutput(select(ctx).first); };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation =
+      static_cast<double>(inner) * static_cast<double>(inner) * fetchScale();
+  r.cost.flopsPerInvocation = static_cast<double>(inner) * inner;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::topkIndices(const TensorSpec& x, std::size_t outer,
+                                 std::size_t inner, int k) {
+  const Shape outShape{static_cast<int>(outer), k};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "topkIndices";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  const RankSelect select{inner, k};
+  r.main = [select](ShaderContext& ctx) {
+    ctx.setOutput(static_cast<float>(select(ctx).second));
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation =
+      static_cast<double>(inner) * static_cast<double>(inner) * fetchScale();
+  r.cost.flopsPerInvocation = static_cast<double>(inner) * inner;
+  run(std::move(r));
+  return id;
+}
+
+DataId WebGLBackend::cumsum(const TensorSpec& x, std::size_t outer,
+                            std::size_t inner, bool exclusive, bool reverse) {
+  const Shape outShape{static_cast<int>(outer), static_cast<int>(inner)};
+  auto [id, outTex] = makeOutput(outShape);
+  ShaderRun r;
+  r.name = "cumsum";
+  r.outputShape = outShape;
+  r.output = outTex;
+  r.inputs = {input(x)};
+  r.squeeze = opts_.squeeze;
+  r.main = [inner, exclusive, reverse](ShaderContext& ctx) {
+    const std::size_t flat = ctx.outFlat();
+    const std::size_t o = flat / inner;
+    const std::size_t i = flat % inner;
+    const std::size_t base = o * inner;
+    float acc = 0;
+    // Position i sums the prefix (or suffix when reversed); exclusive
+    // drops its own element — each output independent, shader style.
+    for (std::size_t j = 0; j < inner; ++j) {
+      const bool include =
+          reverse ? (exclusive ? j > i : j >= i) : (exclusive ? j < i : j <= i);
+      if (include) acc += ctx.getFlat(0, base + j);
+    }
+    ctx.setOutput(acc);
+  };
+  r.cost.invocations = outShape.size();
+  r.cost.fetchesPerInvocation = static_cast<double>(inner) * fetchScale() / 2;
+  r.cost.flopsPerInvocation = static_cast<double>(inner) / 2;
+  run(std::move(r));
+  return id;
+}
+
+// ------------------------------------------------------------- registration
+
+void registerBackend() {
+  Engine::get().registerBackend(
+      "webgl", [] { return std::make_unique<WebGLBackend>(); },
+      /*priority=*/3);
+}
+
+void registerBackendVariant(const std::string& name, WebGLOptions opts,
+                            int priority) {
+  Engine::get().registerBackend(
+      name, [opts] { return std::make_unique<WebGLBackend>(opts); }, priority);
+}
+
+}  // namespace tfjs::backends::webgl

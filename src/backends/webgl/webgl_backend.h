@@ -1,0 +1,160 @@
+// WebGLBackend: the simulated-WebGL backend — the paper's highest-complexity
+// component (section 4.1), reproduced end to end:
+//
+//   tensor data lives in 2-D textures (GlTexture) laid out by the shader
+//   compiler's logical→physical mapping; kernels are per-output-element
+//   shader programs enqueued on a command queue drained by a GPU worker
+//   thread; fences implement async readback; a texture recycler and a
+//   GPU→CPU paging heuristic manage memory; RGBA packing and the squeezed
+//   coordinate mapping are the section 3.9 / 4.1 optimizations; fp16 texture
+//   mode reproduces the iOS numerical-precision behaviour of section 4.1.3.
+//
+// Timing: kernelTimeMs() is the modeled GPU busy time from the DeviceModel
+// (see device_model.h), the analogue of EXT_disjoint_timer_query.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "backends/webgl/gpgpu_context.h"
+#include "core/backend.h"
+
+namespace tfjs::backends::webgl {
+
+struct WebGLOptions {
+  DeviceModel device = irisProWebGL();
+  /// RGBA texel packing (section 3.9; 1.3-1.4x on PoseNet-class models).
+  bool packed = true;
+  /// Squeezed coordinate mapping (section 4.1; 1.3x average).
+  bool squeeze = true;
+  /// fp16 simulates the iOS Safari 16-bit float texture path.
+  TexPrecision precision = TexPrecision::fp32;
+  /// GPU memory budget before paging kicks in ("estimated from the screen
+  /// size" in the paper).
+  std::size_t gpuBudgetBytes = 256ull * 1024 * 1024;
+  /// Texture recycling (section 4.1.2); off only for ablation.
+  bool recycleTextures = true;
+};
+
+class WebGLBackend : public Backend {
+ public:
+  explicit WebGLBackend(WebGLOptions opts = {});
+
+  std::string name() const override { return "webgl"; }
+
+  // ---- storage
+  DataId write(std::span<const float> values, const Shape& shape) override;
+  std::vector<float> read(DataId id) override;
+  std::future<std::vector<float>> readAsync(DataId id) override;
+  void disposeData(DataId id) override;
+  void flush() override;
+  double kernelTimeMs() const override;
+  std::size_t memoryBytes() const override;
+  float epsilon() const override {
+    return opts_.precision == TexPrecision::fp16 ? 1e-4f : 1e-7f;
+  }
+
+  // ---- kernels
+  DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                const Shape& outShape) override;
+  DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
+               float beta) override;
+  DataId select(const TensorSpec& cond, const TensorSpec& a,
+                const TensorSpec& b, const Shape& outShape) override;
+  DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                bool transposeB) override;
+  DataId conv2d(const TensorSpec& x, const TensorSpec& filter,
+                const Conv2DInfo& info) override;
+  DataId conv2dBackpropInput(const TensorSpec& dy, const TensorSpec& filter,
+                             const Conv2DInfo& info) override;
+  DataId conv2dBackpropFilter(const TensorSpec& x, const TensorSpec& dy,
+                              const Conv2DInfo& info) override;
+  DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
+                         const Conv2DInfo& info) override;
+  DataId depthwiseConv2dBackpropInput(const TensorSpec& dy,
+                                      const TensorSpec& filter,
+                                      const Conv2DInfo& info) override;
+  DataId depthwiseConv2dBackpropFilter(const TensorSpec& x,
+                                       const TensorSpec& dy,
+                                       const Conv2DInfo& info) override;
+  DataId pool2d(PoolMode mode, const TensorSpec& x,
+                const Pool2DInfo& info) override;
+  DataId maxPoolBackprop(const TensorSpec& dy, const TensorSpec& x,
+                         const Pool2DInfo& info) override;
+  DataId avgPoolBackprop(const TensorSpec& dy,
+                         const Pool2DInfo& info) override;
+  DataId reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
+                std::size_t inner) override;
+  DataId arg(ArgOp op, const TensorSpec& x, std::size_t outer,
+             std::size_t inner) override;
+  DataId transpose(const TensorSpec& x, std::span<const int> perm,
+                   const Shape& outShape) override;
+  DataId slice(const TensorSpec& x, std::span<const int> begin,
+               const Shape& outShape) override;
+  DataId concat(std::span<const TensorSpec> xs, int axis,
+                const Shape& outShape) override;
+  DataId pad(const TensorSpec& x,
+             std::span<const std::pair<int, int>> paddings,
+             float constantValue, const Shape& outShape) override;
+  DataId gather(const TensorSpec& x, const TensorSpec& indices, int axis,
+                const Shape& outShape) override;
+  DataId tile(const TensorSpec& x, std::span<const int> reps,
+              const Shape& outShape) override;
+  DataId reverse(const TensorSpec& x, std::span<const int> axes) override;
+  DataId resizeBilinear(const TensorSpec& x, int newH, int newW,
+                        bool alignCorners) override;
+  DataId oneHot(const TensorSpec& indices, int depth, float onValue,
+                float offValue) override;
+  DataId fill(std::size_t n, float value) override;
+  DataId topkValues(const TensorSpec& x, std::size_t outer, std::size_t inner,
+                    int k) override;
+  DataId topkIndices(const TensorSpec& x, std::size_t outer,
+                     std::size_t inner, int k) override;
+  DataId cumsum(const TensorSpec& x, std::size_t outer, std::size_t inner,
+                bool exclusive, bool reverse) override;
+
+  // ---- introspection (tests / benches)
+  GpgpuStats gpuStats() const { return ctx_.stats(); }
+  TextureManagerStats textureStats() const { return textures_.stats(); }
+  const WebGLOptions& options() const { return opts_; }
+  GPGPUContext& context() { return ctx_; }
+
+ private:
+  struct Binding {
+    std::shared_ptr<GlTexture> tex;
+    std::size_t size = 0;
+  };
+
+  /// Index-op count the cost model charges per fetch of this shape.
+  int idxOps(const Shape& s) const {
+    return 2 * (opts_.squeeze ? s.squeezed().rank() : s.rank());
+  }
+  /// Element-wise invocation count: packing processes 4 values per texel.
+  std::size_t elemInvocations(std::size_t n) const {
+    return opts_.packed ? (n + 3) / 4 : n;
+  }
+  /// Packing also divides per-invocation fetches (vec4 loads, Listing 2).
+  double fetchScale() const { return opts_.packed ? 0.25 : 1.0; }
+
+  const Binding& binding(DataId id) const;
+  /// Allocates the output texture for a logical shape and registers it.
+  std::pair<DataId, std::shared_ptr<GlTexture>> makeOutput(
+      const Shape& logical);
+  ShaderRun::Input input(const TensorSpec& spec) const;
+  DataId run(ShaderRun run);
+
+  WebGLOptions opts_;
+  TextureManager textures_;
+  GPGPUContext ctx_;
+  std::unordered_map<DataId, Binding> bindings_;
+  DataId nextId_ = 1;
+};
+
+/// Registers "webgl" (highest priority, as in the paper's backend election).
+void registerBackend();
+/// Registers a configured variant under a custom name (benches use this for
+/// unpacked / fp16 / GTX-1080-model instances).
+void registerBackendVariant(const std::string& name, WebGLOptions opts,
+                            int priority = 0);
+
+}  // namespace tfjs::backends::webgl

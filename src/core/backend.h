@@ -1,0 +1,171 @@
+// Backend: the device abstraction of paper section 3.4.
+//
+// A backend implements (a) storage — write()/read()/disposeData() over opaque
+// DataIds, the analogue of the TypedArray-backed data containers — and
+// (b) kernels, device-specific implementations of the math that the ops layer
+// dispatches to ("operations call into kernels", section 3.3).
+//
+// Tensors are decoupled from the data that backs them: the engine's
+// DataContainer holds a (Backend*, DataId) pair plus a reference count, so
+// reshape/clone never copy and dispose releases storage only when the last
+// reference drops (section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/conv_util.h"
+#include "core/dtype.h"
+#include "core/error.h"
+#include "core/shape.h"
+
+namespace tfjs {
+
+using DataId = std::uint64_t;
+
+/// What a kernel sees of an input tensor: storage id + logical metadata.
+struct TensorSpec {
+  DataId id = 0;
+  Shape shape;
+  DType dtype = DType::f32;
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kFloorDiv, kMod, kPow, kMaximum, kMinimum,
+  kSquaredDiff, kAtan2,
+  // comparisons / logic produce 0.0 / 1.0
+  kEqual, kNotEqual, kGreater, kGreaterEqual, kLess, kLessEqual,
+  kLogicalAnd, kLogicalOr, kLogicalXor,
+};
+
+enum class UnaryOp {
+  kNeg, kAbs, kExp, kExpm1, kLog, kLog1p, kSqrt, kRsqrt, kSquare,
+  kReciprocal, kFloor, kCeil, kRound, kSign, kTrunc,
+  kSin, kCos, kTan, kAsin, kAcos, kAtan, kSinh, kCosh, kTanh,
+  kRelu, kRelu6, kSigmoid, kSoftplus, kElu, kSelu, kErf,
+  kLogicalNot, kIsNan, kIsFinite, kNotZero,
+  // parameterized: alpha (and beta for clip)
+  kLeakyRelu,     ///< alpha = negative slope
+  kClipByValue,   ///< alpha = min, beta = max
+  kStep,          ///< alpha = value for x == 0
+  kPowScalar,     ///< alpha = exponent
+  kAddScalar,     ///< alpha = addend
+  kMulScalar,     ///< alpha = factor
+};
+
+enum class ReduceOp { kSum, kMean, kProd, kMax, kMin, kAny, kAll };
+enum class ArgOp { kArgMax, kArgMin };
+enum class PoolMode { kMax, kAvg };
+
+/// Result of time(f) (paper section 3.8): wall time plus device kernel time.
+/// On the WebGL-sim backend kernelMs is the modeled GPU time, excluding
+/// upload/download, exactly like the EXT_disjoint_timer_query path.
+struct TimingInfo {
+  double wallMs = 0;
+  double kernelMs = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  // ---- storage -------------------------------------------------------
+  /// Uploads host values; returns an opaque id for the device buffer. The
+  /// logical shape lets texture backends choose a physical layout.
+  virtual DataId write(std::span<const float> values, const Shape& shape) = 0;
+  /// Blocking download (dataSync). Flushes pending device work.
+  virtual std::vector<float> read(DataId id) = 0;
+  /// Non-blocking download (data()): resolves when the device has finished
+  /// all work enqueued before this call.
+  virtual std::future<std::vector<float>> readAsync(DataId id) = 0;
+  virtual void disposeData(DataId id) = 0;
+  /// Blocks until all enqueued device work has completed.
+  virtual void flush() {}
+  /// Total accumulated kernel time (ms); device-specific semantics.
+  virtual double kernelTimeMs() const = 0;
+  /// Bytes currently held by the backend's storage.
+  virtual std::size_t memoryBytes() const = 0;
+
+  // ---- kernels -------------------------------------------------------
+  virtual DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                        const Shape& outShape) = 0;
+  virtual DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
+                       float beta) = 0;
+  virtual DataId select(const TensorSpec& cond, const TensorSpec& a,
+                        const TensorSpec& b, const Shape& outShape) = 0;
+  /// Batched matmul over rank-3 inputs [batch, m, k] x [batch, k, n]; batch
+  /// dims of size 1 broadcast.
+  virtual DataId matMul(const TensorSpec& a, const TensorSpec& b,
+                        bool transposeA, bool transposeB) = 0;
+  virtual DataId conv2d(const TensorSpec& x, const TensorSpec& filter,
+                        const Conv2DInfo& info) = 0;
+  virtual DataId conv2dBackpropInput(const TensorSpec& dy,
+                                     const TensorSpec& filter,
+                                     const Conv2DInfo& info) = 0;
+  virtual DataId conv2dBackpropFilter(const TensorSpec& x,
+                                      const TensorSpec& dy,
+                                      const Conv2DInfo& info) = 0;
+  virtual DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
+                                 const Conv2DInfo& info) = 0;
+  virtual DataId depthwiseConv2dBackpropInput(const TensorSpec& dy,
+                                              const TensorSpec& filter,
+                                              const Conv2DInfo& info) = 0;
+  virtual DataId depthwiseConv2dBackpropFilter(const TensorSpec& x,
+                                               const TensorSpec& dy,
+                                               const Conv2DInfo& info) = 0;
+  virtual DataId pool2d(PoolMode mode, const TensorSpec& x,
+                        const Pool2DInfo& info) = 0;
+  virtual DataId maxPoolBackprop(const TensorSpec& dy, const TensorSpec& x,
+                                 const Pool2DInfo& info) = 0;
+  virtual DataId avgPoolBackprop(const TensorSpec& dy,
+                                 const Pool2DInfo& info) = 0;
+  /// Reduces the trailing `inner` elements of x viewed as [outer, inner].
+  virtual DataId reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
+                        std::size_t inner) = 0;
+  /// Index of max/min over the trailing `inner` elements, as float values.
+  virtual DataId arg(ArgOp op, const TensorSpec& x, std::size_t outer,
+                     std::size_t inner) = 0;
+  virtual DataId transpose(const TensorSpec& x, std::span<const int> perm,
+                           const Shape& outShape) = 0;
+  virtual DataId slice(const TensorSpec& x, std::span<const int> begin,
+                       const Shape& outShape) = 0;
+  virtual DataId concat(std::span<const TensorSpec> xs, int axis,
+                        const Shape& outShape) = 0;
+  virtual DataId pad(const TensorSpec& x,
+                     std::span<const std::pair<int, int>> paddings,
+                     float constantValue, const Shape& outShape) = 0;
+  virtual DataId gather(const TensorSpec& x, const TensorSpec& indices,
+                        int axis, const Shape& outShape) = 0;
+  virtual DataId tile(const TensorSpec& x, std::span<const int> reps,
+                      const Shape& outShape) = 0;
+  virtual DataId reverse(const TensorSpec& x, std::span<const int> axes) = 0;
+  virtual DataId resizeBilinear(const TensorSpec& x, int newH, int newW,
+                                bool alignCorners) = 0;
+  virtual DataId oneHot(const TensorSpec& indices, int depth, float onValue,
+                        float offValue) = 0;
+  virtual DataId fill(std::size_t n, float value) = 0;
+  /// Top-k values (sorted descending) of each trailing `inner` segment of x
+  /// viewed as [outer, inner]; output is [outer, k].
+  virtual DataId topkValues(const TensorSpec& x, std::size_t outer,
+                            std::size_t inner, int k) = 0;
+  /// Indices (as floats) matching topkValues.
+  virtual DataId topkIndices(const TensorSpec& x, std::size_t outer,
+                             std::size_t inner, int k) = 0;
+  /// Prefix sum along the trailing `inner` dimension of [outer, inner].
+  virtual DataId cumsum(const TensorSpec& x, std::size_t outer,
+                        std::size_t inner, bool exclusive, bool reverse) = 0;
+
+  /// Smallest additive constant guaranteed distinguishable from zero in the
+  /// backend's arithmetic. The WebGL-sim backend returns a larger value on
+  /// fp16 devices — the paper's fix for log(x + 1e-8) rounding to log(x)
+  /// on iOS (section 4.1.3).
+  virtual float epsilon() const { return 1e-7f; }
+};
+
+}  // namespace tfjs

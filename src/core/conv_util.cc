@@ -1,0 +1,68 @@
+#include "core/conv_util.h"
+
+namespace tfjs::conv_util {
+
+Conv2DInfo computeConv2DInfo(const Shape& x, const Shape& filter, int strideH,
+                             int strideW, PadMode pad, int dilationH,
+                             int dilationW, bool depthwise) {
+  TFJS_ARG_CHECK(x.rank() == 4, "conv2d expects NHWC input, got rank "
+                                    << x.rank());
+  TFJS_ARG_CHECK(filter.rank() == 4,
+                 "conv2d expects rank-4 filter, got rank " << filter.rank());
+  TFJS_ARG_CHECK(strideH > 0 && strideW > 0, "strides must be positive");
+  TFJS_ARG_CHECK(dilationH > 0 && dilationW > 0, "dilations must be positive");
+
+  Conv2DInfo info;
+  info.batch = x[0];
+  info.inH = x[1];
+  info.inW = x[2];
+  info.inC = x[3];
+  info.filterH = filter[0];
+  info.filterW = filter[1];
+  info.strideH = strideH;
+  info.strideW = strideW;
+  info.dilationH = dilationH;
+  info.dilationW = dilationW;
+
+  TFJS_ARG_CHECK(filter[2] == info.inC,
+                 "filter in-channels " << filter[2]
+                     << " != input channels " << info.inC);
+  if (depthwise) {
+    info.channelMult = filter[3];
+    info.outC = info.inC * info.channelMult;
+  } else {
+    info.outC = filter[3];
+  }
+
+  info.outH = outputSize(info.inH, info.filterH, strideH, dilationH, pad);
+  info.outW = outputSize(info.inW, info.filterW, strideW, dilationW, pad);
+  info.padTop =
+      padBefore(info.inH, info.outH, info.filterH, strideH, dilationH, pad);
+  info.padLeft =
+      padBefore(info.inW, info.outW, info.filterW, strideW, dilationW, pad);
+  return info;
+}
+
+Pool2DInfo computePool2DInfo(const Shape& x, int filterH, int filterW,
+                             int strideH, int strideW, PadMode pad) {
+  TFJS_ARG_CHECK(x.rank() == 4, "pool2d expects NHWC input, got rank "
+                                    << x.rank());
+  TFJS_ARG_CHECK(filterH > 0 && filterW > 0, "pool filter must be positive");
+  TFJS_ARG_CHECK(strideH > 0 && strideW > 0, "pool strides must be positive");
+  Pool2DInfo info;
+  info.batch = x[0];
+  info.inH = x[1];
+  info.inW = x[2];
+  info.channels = x[3];
+  info.filterH = filterH;
+  info.filterW = filterW;
+  info.strideH = strideH;
+  info.strideW = strideW;
+  info.outH = outputSize(info.inH, filterH, strideH, 1, pad);
+  info.outW = outputSize(info.inW, filterW, strideW, 1, pad);
+  info.padTop = padBefore(info.inH, info.outH, filterH, strideH, 1, pad);
+  info.padLeft = padBefore(info.inW, info.outW, filterW, strideW, 1, pad);
+  return info;
+}
+
+}  // namespace tfjs::conv_util

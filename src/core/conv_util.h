@@ -1,0 +1,89 @@
+// Convolution / pooling geometry, resolved once in the ops layer and handed
+// to backend kernels as explicit numbers (mirrors tfjs conv_util).
+//
+// All spatial ops use NHWC activations and HWIO filters ([h, w, inC, outC];
+// depthwise filters are [h, w, inC, channelMult]).
+#pragma once
+
+#include <string>
+
+#include "core/error.h"
+#include "core/shape.h"
+
+namespace tfjs {
+
+enum class PadMode { kValid, kSame };
+
+inline PadMode padModeFromName(const std::string& s) {
+  if (s == "valid") return PadMode::kValid;
+  if (s == "same") return PadMode::kSame;
+  throw InvalidArgumentError("Unknown padding mode: " + s);
+}
+
+struct Conv2DInfo {
+  int batch = 0;
+  int inH = 0, inW = 0, inC = 0;
+  int outH = 0, outW = 0, outC = 0;
+  int filterH = 0, filterW = 0;
+  int strideH = 1, strideW = 1;
+  int dilationH = 1, dilationW = 1;
+  int padTop = 0, padLeft = 0;
+  /// Depthwise channel multiplier (0 for regular convolution).
+  int channelMult = 0;
+
+  std::size_t flops() const {
+    // 2 (mul+add) per MAC; depthwise has inC*mult output channels with
+    // filterH*filterW MACs each, regular conv has inC*filterH*filterW MACs
+    // per output element.
+    const std::size_t outElems = static_cast<std::size_t>(batch) *
+                                 static_cast<std::size_t>(outH) *
+                                 static_cast<std::size_t>(outW) *
+                                 static_cast<std::size_t>(outC);
+    const std::size_t macs =
+        channelMult > 0
+            ? static_cast<std::size_t>(filterH) * filterW
+            : static_cast<std::size_t>(filterH) * filterW * inC;
+    return 2 * outElems * macs;
+  }
+};
+
+struct Pool2DInfo {
+  int batch = 0;
+  int inH = 0, inW = 0, channels = 0;
+  int outH = 0, outW = 0;
+  int filterH = 0, filterW = 0;
+  int strideH = 1, strideW = 1;
+  int padTop = 0, padLeft = 0;
+};
+
+namespace conv_util {
+
+/// Output extent along one spatial axis.
+inline int outputSize(int in, int filter, int stride, int dilation,
+                      PadMode pad) {
+  const int effective = (filter - 1) * dilation + 1;
+  if (pad == PadMode::kSame) return (in + stride - 1) / stride;
+  TFJS_ARG_CHECK(in >= effective,
+                 "valid padding requires input " << in
+                     << " >= effective filter " << effective);
+  return (in - effective) / stride + 1;
+}
+
+/// Leading (top/left) padding for SAME; 0 for VALID.
+inline int padBefore(int in, int out, int filter, int stride, int dilation,
+                     PadMode pad) {
+  if (pad == PadMode::kValid) return 0;
+  const int effective = (filter - 1) * dilation + 1;
+  const int total = (out - 1) * stride + effective - in;
+  return total > 0 ? total / 2 : 0;
+}
+
+Conv2DInfo computeConv2DInfo(const Shape& x, const Shape& filter, int strideH,
+                             int strideW, PadMode pad, int dilationH = 1,
+                             int dilationW = 1, bool depthwise = false);
+
+Pool2DInfo computePool2DInfo(const Shape& x, int filterH, int filterW,
+                             int strideH, int strideW, PadMode pad);
+
+}  // namespace conv_util
+}  // namespace tfjs

@@ -1,0 +1,53 @@
+// Tensor element types.
+//
+// Mirroring the paper's WebGL backend — which stores every dtype in float
+// textures — all backends in tfjs-cpp store elements as float32; the dtype is
+// tensor metadata that controls op semantics (e.g. comparisons produce b8,
+// floor-division for i32). int32 values are exact up to 2^24 in a float,
+// matching the real WebGL backend's limits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/error.h"
+
+namespace tfjs {
+
+enum class DType {
+  f32,  ///< 32-bit float (default)
+  i32,  ///< 32-bit integer semantics (stored as float)
+  b8,   ///< boolean semantics: elements are 0.0 or 1.0
+};
+
+inline const char* dtypeName(DType d) {
+  switch (d) {
+    case DType::f32: return "float32";
+    case DType::i32: return "int32";
+    case DType::b8: return "bool";
+  }
+  return "unknown";
+}
+
+/// Bytes per element as reported by memory accounting. All dtypes occupy a
+/// float internally (see file comment); bool advertises 1 byte to match the
+/// upstream library's `memory()` accounting.
+inline std::size_t dtypeBytes(DType d) {
+  return d == DType::b8 ? 1 : 4;
+}
+
+inline DType dtypeFromName(const std::string& s) {
+  if (s == "float32") return DType::f32;
+  if (s == "int32") return DType::i32;
+  if (s == "bool") return DType::b8;
+  throw InvalidArgumentError("Unknown dtype name: " + s);
+}
+
+/// Type-promotion rule for binary ops: float wins over int wins over bool.
+inline DType promoteTypes(DType a, DType b) {
+  if (a == DType::f32 || b == DType::f32) return DType::f32;
+  if (a == DType::i32 || b == DType::i32) return DType::i32;
+  return DType::b8;
+}
+
+}  // namespace tfjs

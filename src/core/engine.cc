@@ -1,0 +1,338 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+namespace tfjs {
+
+Engine& Engine::get() {
+  // Leaked singleton: backends (and their worker threads) live for the whole
+  // process so tensors in static storage never dangle.
+  static Engine* engine = new Engine();
+  return *engine;
+}
+
+// ------------------------------------------------------------- backends
+
+void Engine::registerBackend(const std::string& name, BackendFactory factory,
+                             int priority) {
+  auto& slot = backends_[name];
+  slot.factory = std::move(factory);
+  slot.priority = priority;
+}
+
+void Engine::setBackend(const std::string& name) {
+  auto it = backends_.find(name);
+  TFJS_ARG_CHECK(it != backends_.end(), "Unknown backend '" << name << "'");
+  if (!it->second.instance) it->second.instance = it->second.factory();
+  activeBackend_ = name;
+}
+
+Backend& Engine::backend() {
+  if (activeBackend_.empty()) {
+    // Elect the highest-priority registered backend (paper: webgl, then
+    // node/native, then plain cpu fallback).
+    TFJS_ARG_CHECK(!backends_.empty(), "No backends registered");
+    const std::string* best = nullptr;
+    int bestPriority = -1;
+    for (const auto& [name, reg] : backends_) {
+      if (reg.priority > bestPriority) {
+        bestPriority = reg.priority;
+        best = &name;
+      }
+    }
+    setBackend(*best);
+  }
+  return *backends_.at(activeBackend_).instance;
+}
+
+const std::string& Engine::backendName() {
+  backend();  // force election
+  return activeBackend_;
+}
+
+std::vector<std::string> Engine::registeredBackends() const {
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& [name, reg] : backends_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Engine::removeBackendInstance(const std::string& name) {
+  auto it = backends_.find(name);
+  if (it == backends_.end()) return;
+  it->second.instance.reset();
+  if (activeBackend_ == name) activeBackend_.clear();
+}
+
+// ------------------------------------------------- creation & tracking
+
+void Engine::trackTensor(const std::shared_ptr<internal::TensorInfo>& info) {
+  ++memory_.numTensors;
+  if (!scopes_.empty()) scopes_.back().push_back(info);
+}
+
+Tensor Engine::makeTensorFromHost(std::span<const float> values,
+                                  const Shape& shape, DType dtype) {
+  TFJS_ARG_CHECK(values.size() == shape.size(),
+                 "Data length " << values.size() << " does not match shape "
+                                << shape.toString());
+  Backend& b = backend();
+  const DataId id = b.write(values, shape);
+  return makeTensorFromDataId(id, shape, dtype, &b);
+}
+
+Tensor Engine::makeTensorFromDataId(DataId id, const Shape& shape, DType dtype,
+                                    Backend* owner) {
+  if (owner == nullptr) owner = &backend();
+  auto container = std::make_shared<internal::DataContainer>();
+  container->backend = owner;
+  container->dataId = id;
+  container->sizeElems = shape.size();
+  container->bytes = shape.size() * dtypeBytes(dtype);
+  container->refCount = 1;
+
+  ++memory_.numDataBuffers;
+  memory_.numBytes += container->bytes;
+  peakBytes_ = std::max(peakBytes_, memory_.numBytes);
+
+  auto info = std::make_shared<internal::TensorInfo>();
+  info->id = nextTensorId();
+  info->shape = shape;
+  info->dtype = dtype;
+  info->container = std::move(container);
+  trackTensor(info);
+  return Tensor(info);
+}
+
+Tensor Engine::makeAlias(const Tensor& t, const Shape& shape, DType dtype) {
+  const auto& src = t.infoPtr();
+  TFJS_CHECK(src && !src->disposed);
+  auto info = std::make_shared<internal::TensorInfo>();
+  info->id = nextTensorId();
+  info->shape = shape;
+  info->dtype = dtype;
+  info->container = src->container;
+  ++info->container->refCount;
+  trackTensor(info);
+  Tensor alias(info);
+  // Aliases (clone/reshape/widening cast) are differentiable identities:
+  // record them centrally so gradients flow through Tensor::clone() and
+  // Tensor::reshape() without each op layer re-recording.
+  if (tape_ != nullptr) {
+    const Tensor source(src);
+    if (tape_->watched(std::span<const Tensor>(&source, 1))) {
+      const Shape srcShape = src->shape;
+      tape_->record("alias", std::span<const Tensor>(&source, 1), alias,
+                    [srcShape](const Tensor& dy) {
+                      return std::vector<Tensor>{dy.reshape(srcShape)};
+                    });
+    }
+  }
+  return alias;
+}
+
+void Engine::disposeTensor(const internal::TensorInfo& constInfo) {
+  auto& info = const_cast<internal::TensorInfo&>(constInfo);
+  if (info.disposed) return;
+  // A tensor referenced by the active gradient tape must stay alive until
+  // backward has consumed it; the disposal request is deferred — the grad
+  // API clears the flag and its scope collects the tensor afterwards.
+  if (info.taped && tape_ != nullptr) return;
+  info.disposed = true;
+  TFJS_CHECK(memory_.numTensors > 0);
+  --memory_.numTensors;
+
+  auto& c = *info.container;
+  TFJS_CHECK(c.refCount > 0);
+  if (--c.refCount == 0 && !c.released) {
+    c.released = true;
+    c.backend->disposeData(c.dataId);
+    TFJS_CHECK(memory_.numDataBuffers > 0);
+    --memory_.numDataBuffers;
+    TFJS_CHECK(memory_.numBytes >= c.bytes);
+    memory_.numBytes -= c.bytes;
+  }
+}
+
+TensorSpec Engine::prepareInput(const Tensor& t) {
+  TFJS_ARG_CHECK(t.defined(), "Op received a null Tensor");
+  if (t.isDisposed()) {
+    throw DisposedError("Op received a disposed tensor");
+  }
+  auto& info = *t.infoPtr();
+  Backend& active = backend();
+  auto& c = *info.container;
+  if (c.backend != &active) {
+    // Cross-backend migration: download from the owning backend and upload
+    // to the active one. All aliases of the container migrate together.
+    const std::vector<float> host = c.backend->read(c.dataId);
+    c.backend->disposeData(c.dataId);
+    c.dataId = active.write(host, info.shape);
+    c.backend = &active;
+  }
+  return TensorSpec{c.dataId, info.shape, info.dtype};
+}
+
+// ----------------------------------------------------------------- scopes
+
+void Engine::startScope() { scopes_.emplace_back(); }
+
+void Engine::endScope(std::span<const Tensor> escaping) {
+  TFJS_CHECK_MSG(!scopes_.empty(), "endScope without startScope");
+  auto scope = std::move(scopes_.back());
+  scopes_.pop_back();
+
+  std::unordered_set<std::int64_t> escapeIds;
+  for (const auto& t : escaping) {
+    if (t.defined() && !t.isDisposed()) escapeIds.insert(t.infoPtr()->id);
+  }
+
+  for (auto& info : scope) {
+    if (info->disposed) continue;
+    if (info->kept || info->taped || escapeIds.count(info->id)) {
+      // Survivors transfer to the parent scope (if any). Taped tensors are
+      // needed by pending gradient computation; the grad API clears the
+      // flag and re-collects them after backward.
+      if (!scopes_.empty() && !info->kept) scopes_.back().push_back(info);
+      continue;
+    }
+    disposeTensor(*info);
+  }
+}
+
+namespace {
+/// Ends the engine scope on scope exit even when f throws.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(Engine& e) : engine_(e) { engine_.startScope(); }
+  ~ScopeGuard() {
+    if (!done_) engine_.endScope({});
+  }
+  void finish(std::span<const Tensor> escaping) {
+    engine_.endScope(escaping);
+    done_ = true;
+  }
+
+ private:
+  Engine& engine_;
+  bool done_ = false;
+};
+}  // namespace
+
+Tensor Engine::tidy(const std::function<Tensor()>& f) {
+  ScopeGuard guard(*this);
+  Tensor result = f();
+  if (result.defined() && !result.isDisposed()) {
+    guard.finish(std::span<const Tensor>(&result, 1));
+  } else {
+    guard.finish({});
+  }
+  return result;
+}
+
+std::vector<Tensor> Engine::tidy(
+    const std::function<std::vector<Tensor>()>& f) {
+  ScopeGuard guard(*this);
+  std::vector<Tensor> results = f();
+  guard.finish(results);
+  return results;
+}
+
+void Engine::tidyVoid(const std::function<void()>& f) {
+  ScopeGuard guard(*this);
+  f();
+  guard.finish({});
+}
+
+// --------------------------------------------- debugging and profiling
+
+void Engine::onKernelDispatched(const std::string& opName,
+                                const Tensor& output) {
+  if (profiling_ && activeProfile_ != nullptr) {
+    activeProfile_->kernels.push_back(ProfileInfo::KernelRecord{
+        opName, output.shape(), output.size() * dtypeBytes(output.dtype())});
+  }
+  if (debug_) {
+    // Debug mode (section 3.8): download every kernel output and throw at
+    // the first op that introduces a NaN or Inf.
+    const auto vals = output.dataSync();
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (std::isnan(vals[i]) || std::isinf(vals[i])) {
+        throw NumericError("Numeric instability: op '" + opName +
+                           "' produced " +
+                           (std::isnan(vals[i]) ? "NaN" : "Inf") +
+                           " at flat index " + std::to_string(i) +
+                           " (output shape " + output.shape().toString() +
+                           ")");
+      }
+    }
+  }
+}
+
+TimingInfo Engine::time(const std::function<void()>& f) {
+  Backend& b = backend();
+  b.flush();
+  const double kernelMsBefore = b.kernelTimeMs();
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  b.flush();
+  const auto end = std::chrono::steady_clock::now();
+  TimingInfo t;
+  t.wallMs =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  t.kernelMs = b.kernelTimeMs() - kernelMsBefore;
+  return t;
+}
+
+ProfileInfo Engine::profile(const std::function<void()>& f) {
+  ProfileInfo info;
+  const std::size_t tensorsBefore = memory_.numTensors;
+  const std::size_t bytesBefore = memory_.numBytes;
+  peakBytes_ = memory_.numBytes;
+
+  profiling_ = true;
+  activeProfile_ = &info;
+  try {
+    f();
+  } catch (...) {
+    profiling_ = false;
+    activeProfile_ = nullptr;
+    throw;
+  }
+  profiling_ = false;
+  activeProfile_ = nullptr;
+
+  info.newTensors = memory_.numTensors > tensorsBefore
+                        ? memory_.numTensors - tensorsBefore
+                        : 0;
+  info.newBytes =
+      memory_.numBytes > bytesBefore ? memory_.numBytes - bytesBefore : 0;
+  info.peakBytes = peakBytes_;
+  return info;
+}
+
+// -------------------------------------------------------------- variables
+
+void Engine::registerVariable(const std::string& name, const Variable& v) {
+  for (auto& [n, var] : variables_) {
+    if (n == name) {
+      var = v;
+      return;
+    }
+  }
+  variables_.emplace_back(name, v);
+}
+
+std::vector<Variable> Engine::trainableVariables() const {
+  std::vector<Variable> out;
+  for (const auto& [name, v] : variables_) {
+    if (v.defined() && v.trainable()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace tfjs

@@ -1,0 +1,192 @@
+// Engine: the global runtime of tfjs-cpp (paper sections 3.3–3.8).
+//
+// Responsibilities, mirroring the upstream engine:
+//  * backend registry & the active backend ("webgl-sim", "cpu", "native");
+//  * tensor/data-container tracking for memory() accounting;
+//  * tidy() scopes that dispose intermediate tensors (section 3.7);
+//  * the gradient-tape hook used by the eager autodiff engine (section 3.5);
+//  * debug mode (per-kernel NaN checks) and the profiler (section 3.8).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/tensor.h"
+
+namespace tfjs {
+
+/// Snapshot of live-memory accounting, as returned by tf.memory().
+struct MemoryInfo {
+  std::size_t numTensors = 0;
+  std::size_t numDataBuffers = 0;
+  std::size_t numBytes = 0;
+};
+
+/// Result of profile(f) (paper section 3.8).
+struct ProfileInfo {
+  std::size_t newTensors = 0;
+  std::size_t newBytes = 0;
+  std::size_t peakBytes = 0;
+  /// One record per kernel dispatched inside f, in order.
+  struct KernelRecord {
+    std::string name;
+    Shape outputShape;
+    std::size_t outputBytes = 0;
+  };
+  std::vector<KernelRecord> kernels;
+};
+
+/// Computes input gradients given the output gradient. Created by the ops
+/// layer as a closure over the op's saved inputs.
+using GradFunc = std::function<std::vector<Tensor>(const Tensor& dy)>;
+
+/// Tape interface implemented by the autodiff module; the engine only knows
+/// how to forward op records to it.
+class TapeRecorder {
+ public:
+  virtual ~TapeRecorder() = default;
+  virtual void record(const std::string& opName,
+                      std::span<const Tensor> inputs, const Tensor& output,
+                      GradFunc gradFunc) = 0;
+  /// True if gradients flow through any of these tensors.
+  virtual bool watched(std::span<const Tensor> inputs) const = 0;
+};
+
+class Engine {
+ public:
+  /// The process-wide engine. Never destroyed (leaked singleton) so that
+  /// tensors in static storage never outlive their backends.
+  static Engine& get();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- backends ------------------------------------------------------
+  using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+  /// Registers a backend under `name`. Higher priority wins the default
+  /// election (the paper's automatic fallback order: webgl > native > cpu).
+  void registerBackend(const std::string& name, BackendFactory factory,
+                       int priority = 0);
+  /// Switches the active backend, instantiating it on first use.
+  void setBackend(const std::string& name);
+  Backend& backend();
+  const std::string& backendName();
+  std::vector<std::string> registeredBackends() const;
+  /// Destroys a live backend instance (its factory stays registered). All
+  /// tensors on that backend must have been disposed.
+  void removeBackendInstance(const std::string& name);
+
+  // ---- tensor creation & tracking -------------------------------------
+  /// Uploads host data to the active backend and returns a tracked tensor.
+  Tensor makeTensorFromHost(std::span<const float> values, const Shape& shape,
+                            DType dtype = DType::f32);
+  /// Wraps a backend-produced buffer (kernel output) in a tracked tensor.
+  Tensor makeTensorFromDataId(DataId id, const Shape& shape, DType dtype,
+                              Backend* backend = nullptr);
+  /// New tensor aliasing `t`'s container with different metadata (reshape,
+  /// clone, metadata-only cast).
+  Tensor makeAlias(const Tensor& t, const Shape& shape, DType dtype);
+
+  void disposeTensor(const internal::TensorInfo& info);
+
+  MemoryInfo memory() const { return memory_; }
+
+  /// Ensures `t`'s data lives on the active backend, migrating (download +
+  /// upload) if it was created on another backend.
+  TensorSpec prepareInput(const Tensor& t);
+
+  // ---- scopes (tidy) ---------------------------------------------------
+  void startScope();
+  /// Ends the innermost scope; tensors in `escaping` (plus kept tensors)
+  /// survive and transfer to the parent scope.
+  void endScope(std::span<const Tensor> escaping);
+
+  /// Runs f inside a scope and disposes every intermediate tensor except the
+  /// returned one (paper section 3.7).
+  Tensor tidy(const std::function<Tensor()>& f);
+  std::vector<Tensor> tidy(const std::function<std::vector<Tensor>()>& f);
+  /// Scope for side-effecting blocks with no surviving tensors.
+  void tidyVoid(const std::function<void()>& f);
+
+  // ---- autodiff hook ---------------------------------------------------
+  TapeRecorder* tape() { return tape_; }
+  void setTape(TapeRecorder* t) { tape_ = t; }
+
+  // ---- debugging & profiling (section 3.8) -----------------------------
+  bool debugMode() const { return debug_; }
+  void setDebugMode(bool on) { debug_ = on; }
+
+  /// Called by the ops layer after each kernel dispatch; feeds the profiler
+  /// and, in debug mode, runs the NaN check.
+  void onKernelDispatched(const std::string& opName, const Tensor& output);
+
+  TimingInfo time(const std::function<void()>& f);
+  ProfileInfo profile(const std::function<void()>& f);
+
+  // ---- variables -------------------------------------------------------
+  void registerVariable(const std::string& name, const Variable& v);
+  std::vector<Variable> trainableVariables() const;
+
+  std::int64_t nextTensorId() { return nextTensorId_++; }
+
+ private:
+  Engine() = default;
+  void trackTensor(const std::shared_ptr<internal::TensorInfo>& info);
+
+  struct RegisteredBackend {
+    BackendFactory factory;
+    int priority = 0;
+    std::unique_ptr<Backend> instance;
+  };
+
+  std::unordered_map<std::string, RegisteredBackend> backends_;
+  std::string activeBackend_;
+
+  MemoryInfo memory_;
+  std::size_t peakBytes_ = 0;
+
+  std::vector<std::vector<std::shared_ptr<internal::TensorInfo>>> scopes_;
+
+  TapeRecorder* tape_ = nullptr;
+  bool debug_ = false;
+
+  bool profiling_ = false;
+  ProfileInfo* activeProfile_ = nullptr;
+
+  std::vector<std::pair<std::string, Variable>> variables_;
+
+  std::int64_t nextTensorId_ = 1;
+};
+
+/// Convenience free functions mirroring the tf.* namespace.
+inline MemoryInfo memory() { return Engine::get().memory(); }
+inline Tensor tidy(const std::function<Tensor()>& f) {
+  return Engine::get().tidy(f);
+}
+inline std::vector<Tensor> tidyAll(
+    const std::function<std::vector<Tensor>()>& f) {
+  return Engine::get().tidy(f);
+}
+inline void tidyVoid(const std::function<void()>& f) {
+  Engine::get().tidyVoid(f);
+}
+inline TimingInfo time(const std::function<void()>& f) {
+  return Engine::get().time(f);
+}
+inline ProfileInfo profile(const std::function<void()>& f) {
+  return Engine::get().profile(f);
+}
+inline void setBackend(const std::string& name) {
+  Engine::get().setBackend(name);
+}
+inline const std::string& getBackendName() {
+  return Engine::get().backendName();
+}
+
+}  // namespace tfjs

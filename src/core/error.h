@@ -1,0 +1,87 @@
+// Error hierarchy for tfjs-cpp.
+//
+// User-facing failures (bad shapes, disposed tensors, unknown backends) throw
+// exceptions derived from tfjs::Error; internal invariant violations use
+// TFJS_CHECK which throws InternalError with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tfjs {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed invalid arguments (shape mismatch, bad axis, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A tensor (or its backing data) was used after dispose().
+class DisposedError : public Error {
+ public:
+  explicit DisposedError(const std::string& what) : Error(what) {}
+};
+
+/// The active backend does not implement a requested kernel.
+class UnimplementedError : public Error {
+ public:
+  explicit UnimplementedError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (a library bug, not a user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the debug-mode NaN checker (paper section 3.8): identifies the
+/// first kernel whose output contains a NaN or Inf.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TFJS_CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace internal
+
+#define TFJS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) ::tfjs::internal::checkFailed(#cond, __FILE__, __LINE__, \
+                                               "");                       \
+  } while (0)
+
+#define TFJS_CHECK_MSG(cond, msg)                                 \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << msg;                                                 \
+      ::tfjs::internal::checkFailed(#cond, __FILE__, __LINE__,    \
+                                    os_.str());                   \
+    }                                                             \
+  } while (0)
+
+/// Throws InvalidArgumentError with a streamed message when cond is false.
+#define TFJS_ARG_CHECK(cond, msg)                  \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::ostringstream os_;                      \
+      os_ << msg;                                  \
+      throw ::tfjs::InvalidArgumentError(os_.str()); \
+    }                                              \
+  } while (0)
+
+}  // namespace tfjs

@@ -1,0 +1,81 @@
+#include "core/event_loop.h"
+
+#include <thread>
+
+namespace tfjs::async {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+EventLoop::EventLoop(double fps) : periodMs_(1000.0 / fps) {}
+
+void EventLoop::postTask(std::function<void()> task) {
+  tasks_.push_back(std::move(task));
+}
+
+void EventLoop::onFrame(std::function<void(int)> cb) {
+  frameCallback_ = std::move(cb);
+}
+
+FrameStats EventLoop::run(double durationMs) {
+  FrameStats stats;
+  const auto start = Clock::now();
+  double nextFrameAt = 0;
+  double lastFrameFired = 0;
+  int frameIndex = 0;
+
+  while (msSince(start) < durationMs) {
+    const double now = msSince(start);
+
+    if (now + 1e-9 >= nextFrameAt) {
+      // Frame is due. Lateness measures how long the main thread was busy
+      // (e.g. blocked in dataSync) past the frame's scheduled time.
+      const double lateness = now - nextFrameAt;
+      ++stats.framesScheduled;
+      stats.totalLatenessMs += lateness;
+      if (lateness <= periodMs_ * 0.5) {
+        ++stats.framesOnTime;
+      } else {
+        ++stats.framesDropped;
+      }
+      stats.maxStallMs = std::max(stats.maxStallMs, now - lastFrameFired);
+      lastFrameFired = now;
+      if (frameCallback_) frameCallback_(frameIndex);
+      ++frameIndex;
+      // Catch up: frames that should have fired while we were blocked are
+      // counted as dropped rather than replayed (browsers coalesce rAF).
+      while (nextFrameAt <= now) {
+        nextFrameAt += periodMs_;
+        if (nextFrameAt <= now) {
+          ++stats.framesScheduled;
+          ++stats.framesDropped;
+          stats.totalLatenessMs += now - nextFrameAt;
+        }
+      }
+      continue;
+    }
+
+    if (!tasks_.empty()) {
+      auto task = std::move(tasks_.front());
+      tasks_.pop_front();
+      task();  // may block the loop — that is the point of Figure 2
+      continue;
+    }
+
+    // Idle: sleep until the next frame is due.
+    const double sleepMs = nextFrameAt - msSince(start);
+    if (sleepMs > 0.05) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(std::min(sleepMs, 2.0)));
+    }
+  }
+  return stats;
+}
+
+}  // namespace tfjs::async

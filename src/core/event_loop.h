@@ -1,0 +1,49 @@
+// A simulated browser main thread (UI thread) used to reproduce the
+// timelines of paper Figures 2 and 3.
+//
+// The loop fires an animation-frame callback on a fixed cadence (default
+// 60 FPS). Tasks posted to the loop run on the same thread — exactly the
+// single-threaded JS model of section 2.1. A blocking dataSync() inside a
+// task therefore starves frames (Figure 2); an async data() future lets the
+// loop keep painting while the simulated GPU works (Figure 3). FrameStats
+// quantifies the difference: on-time frames, dropped frames, and the longest
+// main-thread stall.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <functional>
+
+namespace tfjs::async {
+
+struct FrameStats {
+  int framesScheduled = 0;
+  int framesOnTime = 0;
+  int framesDropped = 0;   ///< frames that fired >50% of a period late
+  double maxStallMs = 0;   ///< longest gap between consecutive frames
+  double totalLatenessMs = 0;
+};
+
+class EventLoop {
+ public:
+  explicit EventLoop(double fps = 60.0);
+
+  /// Posts a task to run on the loop thread as soon as possible.
+  void postTask(std::function<void()> task);
+
+  /// Registers the per-frame callback (the "requestAnimationFrame" handler).
+  void onFrame(std::function<void(int frameIndex)> cb);
+
+  /// Runs the loop on the calling thread for `durationMs` of wall time,
+  /// interleaving frames and posted tasks. Returns frame statistics.
+  FrameStats run(double durationMs);
+
+  double framePeriodMs() const { return periodMs_; }
+
+ private:
+  double periodMs_;
+  std::deque<std::function<void()>> tasks_;
+  std::function<void(int)> frameCallback_;
+};
+
+}  // namespace tfjs::async

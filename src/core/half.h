@@ -1,0 +1,82 @@
+// IEEE-754 half-precision (binary16) round-trip, used by the WebGL-sim
+// backend's 16-bit texture mode to reproduce the iOS numerical-precision
+// behaviour described in paper section 4.1.3 (log(x + 1e-8) underflowing
+// because 1e-8 is not representable in fp16 next to x).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tfjs {
+
+/// Converts a float to the nearest binary16 value (round-to-nearest-even),
+/// returned as its 16-bit pattern.
+inline std::uint16_t floatToHalf(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::uint32_t mant = x & 0x007FFFFFu;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127;
+
+  if (exp == 128) {  // Inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0));
+  }
+  if (exp > 15) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal
+    std::uint32_t half = sign |
+                         (static_cast<std::uint32_t>(exp + 15) << 10) |
+                         (mant >> 13);
+    // round to nearest even on the 13 truncated bits
+    const std::uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(half);
+  }
+  if (exp >= -24) {  // subnormal: value = bits * 2^-24
+    mant |= 0x00800000u;  // implicit leading 1
+    // bits = round(mant * 2^(exp+1)) with round-to-nearest-even.
+    const int shift = -exp - 1;  // 14..23
+    std::uint32_t half = sign | (mant >> shift);
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(half);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+/// Expands a binary16 bit pattern back to float.
+inline float halfToFloat(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t expo = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t x;
+  if (expo == 0) {
+    if (mant == 0) {
+      x = sign;  // zero
+    } else {     // subnormal: normalize
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      x = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3FFu) << 13);
+    }
+  } else if (expo == 31) {
+    x = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    x = sign | ((expo - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, 4);
+  return f;
+}
+
+/// Quantizes a float through binary16 and back — the value a 16-bit WebGL
+/// texture would actually hold.
+inline float roundTripHalf(float f) { return halfToFloat(floatToHalf(f)); }
+
+}  // namespace tfjs

@@ -1,0 +1,81 @@
+#include "core/random.h"
+
+#include <cmath>
+
+namespace tfjs {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+Random::Random(std::uint64_t seed) {
+  // splitmix64 expansion of the seed into the xoshiro state.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 4; ++i) {
+    z += 0x9E3779B97F4A7C15ull;
+    std::uint64_t t = z;
+    t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+    t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+    s_[i] = static_cast<std::uint32_t>((t ^ (t >> 31)) >> 16) | 1u;
+  }
+}
+
+std::uint32_t Random::next() {
+  const std::uint32_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint32_t t = s_[1] << 9;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 11);
+  return result;
+}
+
+float Random::uniform() {
+  return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+}
+
+float Random::uniform(float lo, float hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+float Random::normal() {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spare_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float mag = std::sqrt(-2.0f * std::log(u1));
+  const float twoPi = 6.28318530717958647692f;
+  spare_ = mag * std::sin(twoPi * u2);
+  hasSpare_ = true;
+  return mag * std::cos(twoPi * u2);
+}
+
+float Random::normal(float mean, float stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint32_t Random::below(std::uint32_t n) {
+  return n == 0 ? 0 : next() % n;
+}
+
+std::vector<float> Random::uniformVector(std::size_t n, float lo, float hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<float> Random::normalVector(std::size_t n, float mean,
+                                        float stddev) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = normal(mean, stddev);
+  return v;
+}
+
+}  // namespace tfjs

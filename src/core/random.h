@@ -1,0 +1,37 @@
+// Deterministic, seedable random number generation used for synthetic
+// weights and datasets (DESIGN.md substitution: pre-trained weights →
+// seeded initializers with architecture-faithful shapes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tfjs {
+
+/// Small, fast counter-free PRNG (xoshiro128**) with explicit seeding so
+/// every experiment is reproducible run-to-run.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 42);
+
+  /// Uniform in [0, 1).
+  float uniform();
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  /// Standard normal via Box–Muller.
+  float normal();
+  float normal(float mean, float stddev);
+  /// Uniform integer in [0, n).
+  std::uint32_t below(std::uint32_t n);
+
+  std::vector<float> uniformVector(std::size_t n, float lo, float hi);
+  std::vector<float> normalVector(std::size_t n, float mean, float stddev);
+
+ private:
+  std::uint32_t next();
+  std::uint32_t s_[4];
+  bool hasSpare_ = false;
+  float spare_ = 0;
+};
+
+}  // namespace tfjs

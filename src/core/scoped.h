@@ -1,0 +1,62 @@
+// ScopedTensor: host-language-assisted memory management.
+//
+// Paper section 4.2: "Since Node.js and Google's V8 JS engine exposes
+// finalization APIs, it eliminates the need for manual memory management,
+// reducing the cognitive overhead for our users." C++ has deterministic
+// destruction instead of finalizers, which is strictly better: a
+// ScopedTensor disposes its tensor at scope exit, so code written against
+// it needs neither dispose() nor tidy().
+//
+// Move-only (the scope owns the storage claim); release() opts back into
+// manual management; get()/operator-> hand out the underlying Tensor for op
+// calls.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace tfjs {
+
+class ScopedTensor {
+ public:
+  ScopedTensor() = default;
+  /// Takes ownership of the tensor's storage claim.
+  explicit ScopedTensor(Tensor t) : t_(std::move(t)) {}
+
+  ScopedTensor(const ScopedTensor&) = delete;
+  ScopedTensor& operator=(const ScopedTensor&) = delete;
+
+  ScopedTensor(ScopedTensor&& o) noexcept : t_(o.t_) { o.t_ = Tensor(); }
+  ScopedTensor& operator=(ScopedTensor&& o) noexcept {
+    if (this != &o) {
+      reset();
+      t_ = o.t_;
+      o.t_ = Tensor();
+    }
+    return *this;
+  }
+
+  ~ScopedTensor() { reset(); }
+
+  /// Replaces the held tensor, disposing the previous one.
+  void reset(Tensor next = Tensor()) {
+    if (t_.defined() && !t_.isDisposed()) t_.dispose();
+    t_ = std::move(next);
+  }
+
+  /// Releases ownership without disposing; returns the tensor.
+  Tensor release() {
+    Tensor out = t_;
+    t_ = Tensor();
+    return out;
+  }
+
+  const Tensor& get() const { return t_; }
+  const Tensor* operator->() const { return &t_; }
+  const Tensor& operator*() const { return t_; }
+  explicit operator bool() const { return t_.defined() && !t_.isDisposed(); }
+
+ private:
+  Tensor t_;
+};
+
+}  // namespace tfjs

@@ -1,0 +1,86 @@
+// Shape: the logical N-D extent of a tensor.
+//
+// Shapes are small value types (rank <= 6 in practice). They are decoupled
+// from physical layout — the WebGL-sim backend maps a logical Shape onto a
+// 2-D physical texture (paper section 4.1), and reshape never touches data.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace tfjs {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int> dims) : dims_(std::move(dims)) { validate(); }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Total number of elements (1 for a scalar shape).
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (int d : dims_) n *= static_cast<std::size_t>(d);
+    return n;
+  }
+
+  int operator[](int axis) const {
+    TFJS_CHECK_MSG(axis >= 0 && axis < rank(),
+                   "axis " << axis << " out of range for rank " << rank());
+    return dims_[static_cast<std::size_t>(axis)];
+  }
+
+  const std::vector<int>& dims() const { return dims_; }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  /// Row-major strides, in elements.
+  std::vector<std::size_t> strides() const {
+    std::vector<std::size_t> s(dims_.size(), 1);
+    for (int i = rank() - 2; i >= 0; --i) {
+      s[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i + 1)] *
+          static_cast<std::size_t>(dims_[static_cast<std::size_t>(i + 1)]);
+    }
+    return s;
+  }
+
+  /// Shape with all size-1 dimensions removed (used by the shader compiler's
+  /// squeezed-coordinate optimization, paper section 4.1).
+  Shape squeezed() const {
+    std::vector<int> out;
+    for (int d : dims_) {
+      if (d != 1) out.push_back(d);
+    }
+    return Shape(std::move(out));
+  }
+
+  std::string toString() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (int d : dims_) {
+      // -1 is the "infer this dimension" placeholder accepted (and resolved)
+      // by ops::reshape; all other dimensions must be non-negative.
+      TFJS_ARG_CHECK(d >= -1, "Shape dimensions must be non-negative, got "
+                                  << toString());
+    }
+  }
+
+  std::vector<int> dims_;
+};
+
+}  // namespace tfjs

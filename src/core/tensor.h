@@ -1,0 +1,139 @@
+// Tensor: the immutable, multi-dimensional value handle of paper section 3.1,
+// decoupled from its backing storage (section 3.4).
+//
+// A Tensor is a cheap value type: copying it copies a shared_ptr to the
+// TensorInfo. reshape()/clone() create a *new* tensor over the *same*
+// DataContainer (reference counted), so they are effectively free. dispose()
+// decrements the container's reference count; storage is released when it
+// reaches zero. Using a disposed tensor throws DisposedError — the observable
+// analogue of the WebGL-memory discipline the paper describes (section 3.7).
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/dtype.h"
+#include "core/shape.h"
+
+namespace tfjs {
+
+class Engine;
+
+namespace internal {
+
+/// Reference-counted device buffer; the analogue of the TypedArray-backed
+/// data container of section 3.4. Owned jointly by all tensors that alias it.
+struct DataContainer {
+  Backend* backend = nullptr;
+  DataId dataId = 0;
+  std::size_t sizeElems = 0;
+  std::size_t bytes = 0;
+  int refCount = 0;
+  bool released = false;
+};
+
+struct TensorInfo {
+  std::int64_t id = 0;
+  Shape shape;
+  DType dtype = DType::f32;
+  std::shared_ptr<DataContainer> container;
+  bool disposed = false;
+  bool kept = false;   ///< survives tidy() scope teardown
+  bool taped = false;  ///< referenced by the active gradient tape: scope
+                       ///< teardown defers disposal until backward is done
+};
+
+}  // namespace internal
+
+class Tensor {
+ public:
+  /// Null handle; most APIs throw if used. Test with defined().
+  Tensor() = default;
+
+  bool defined() const { return info_ != nullptr; }
+
+  const Shape& shape() const { return info().shape; }
+  DType dtype() const { return info().dtype; }
+  int rank() const { return info().shape.rank(); }
+  std::size_t size() const { return info().shape.size(); }
+  /// Unique id of this tensor (not of its data container).
+  std::int64_t id() const { return info().id; }
+  /// Id of the shared data container — equal across reshape/clone aliases.
+  DataId dataId() const;
+
+  bool isDisposed() const { return !info_ || info_->disposed; }
+
+  /// Blocking download of the tensor's values (paper: tensor.dataSync()).
+  std::vector<float> dataSync() const;
+  /// Asynchronous download; resolves when the device finishes pending work
+  /// (paper: tensor.data()).
+  std::future<std::vector<float>> data() const;
+  /// Convenience for scalars.
+  float scalarSync() const;
+
+  /// New tensor over the same storage with a different logical shape; free.
+  Tensor reshape(const Shape& newShape) const;
+  /// New tensor aliasing the same storage; free.
+  Tensor clone() const;
+  /// Flattened view ([size()]).
+  Tensor flatten() const;
+  /// Returns this tensor as the given dtype. Metadata-only when widening
+  /// (b8→i32→f32); narrowing to i32/b8 materializes via the active backend.
+  Tensor cast(DType dtype) const;
+
+  /// Releases this tensor's claim on its storage (section 3.7).
+  void dispose() const;
+  /// Marks the tensor to survive enclosing tidy() scopes.
+  const Tensor& keep() const;
+
+  std::string toString(bool verbose = false) const;
+  void print(bool verbose = false) const;
+
+  // Internal: used by the engine/ops layers.
+  const std::shared_ptr<internal::TensorInfo>& infoPtr() const { return info_; }
+  explicit Tensor(std::shared_ptr<internal::TensorInfo> info)
+      : info_(std::move(info)) {}
+
+ private:
+  internal::TensorInfo& info() const;
+
+  std::shared_ptr<internal::TensorInfo> info_;
+};
+
+/// A mutable, named weight: survives tidy() and can be re-assigned in place
+/// (the target of optimizer updates). Mirrors tf.Variable.
+class Variable {
+ public:
+  Variable() = default;
+  /// Takes ownership of `initial` (it is kept and tracked by the variable).
+  explicit Variable(const Tensor& initial, std::string name = "",
+                    bool trainable = true);
+
+  bool defined() const { return state_ != nullptr; }
+  const Tensor& value() const;
+  const std::string& name() const;
+  bool trainable() const;
+  void setTrainable(bool t);
+  const Shape& shape() const { return value().shape(); }
+  DType dtype() const { return value().dtype(); }
+
+  /// Replaces the variable's value; the previous value is disposed and
+  /// `next` is kept. Shape and dtype must match.
+  void assign(const Tensor& next) const;
+  /// Disposes the current value and detaches the variable.
+  void dispose() const;
+
+ private:
+  struct State {
+    Tensor current;
+    std::string name;
+    bool trainable = true;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tfjs

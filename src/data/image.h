@@ -1,0 +1,42 @@
+// A host-side image — the stand-in for the browser's HTMLImageElement in the
+// friendly model-wrapper APIs (paper Listing 3), which take native objects
+// rather than tensors.
+#pragma once
+
+#include <vector>
+
+#include "core/error.h"
+#include "core/tensor.h"
+
+namespace tfjs::data {
+
+struct Image {
+  int height = 0;
+  int width = 0;
+  int channels = 3;
+  /// Row-major HWC pixel values in [0, 255].
+  std::vector<float> pixels;
+
+  float& at(int y, int x, int c) {
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+  }
+  float at(int y, int x, int c) const {
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+  }
+
+  static Image filled(int height, int width, int channels, float value) {
+    Image img;
+    img.height = height;
+    img.width = width;
+    img.channels = channels;
+    img.pixels.assign(
+        static_cast<std::size_t>(height) * width * channels, value);
+    return img;
+  }
+};
+
+/// tf.fromPixels analogue: uploads an image as a [1, h, w, c] tensor with
+/// values normalized to [-1, 1] (the MobileNet preprocessing convention).
+Tensor fromPixels(const Image& img, bool normalize = true);
+
+}  // namespace tfjs::data

@@ -1,0 +1,212 @@
+#include "data/pipeline.h"
+
+#include "ops/ops.h"
+
+namespace tfjs::data {
+
+namespace o = tfjs::ops;
+
+namespace {
+
+/// Adapts a std::function into an ExampleIterator.
+class FnIterator : public ExampleIterator {
+ public:
+  explicit FnIterator(std::function<std::optional<Example>()> fn)
+      : fn_(std::move(fn)) {}
+  std::optional<Example> next() override { return fn_(); }
+
+ private:
+  std::function<std::optional<Example>()> fn_;
+};
+
+}  // namespace
+
+PipelinePtr Pipeline::map(std::function<Example(Example)> f) {
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, f = std::move(f)]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    return std::make_unique<FnIterator>([it, f]() -> std::optional<Example> {
+      auto e = (*it)->next();
+      if (!e) return std::nullopt;
+      return f(std::move(*e));
+    });
+  });
+}
+
+PipelinePtr Pipeline::filter(std::function<bool(const Example&)> pred) {
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, pred = std::move(pred)]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    return std::make_unique<FnIterator>(
+        [it, pred]() -> std::optional<Example> {
+          for (;;) {
+            auto e = (*it)->next();
+            if (!e) return std::nullopt;
+            if (pred(*e)) return e;
+            e->dispose();
+          }
+        });
+  });
+}
+
+PipelinePtr Pipeline::take(std::size_t n) {
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, n]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    auto remaining = std::make_shared<std::size_t>(n);
+    return std::make_unique<FnIterator>(
+        [it, remaining]() -> std::optional<Example> {
+          if (*remaining == 0) return std::nullopt;
+          auto e = (*it)->next();
+          if (e) --*remaining;
+          return e;
+        });
+  });
+}
+
+PipelinePtr Pipeline::repeat(int count) {
+  TFJS_ARG_CHECK(count >= 1, "repeat count must be >= 1");
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, count]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    auto left = std::make_shared<int>(count);
+    return std::make_unique<FnIterator>(
+        [self, it, left]() -> std::optional<Example> {
+          for (;;) {
+            auto e = (*it)->next();
+            if (e) return e;
+            if (--*left <= 0) return std::nullopt;
+            *it = self->iterator();
+          }
+        });
+  });
+}
+
+PipelinePtr Pipeline::shuffle(std::size_t bufferSize, std::uint64_t seed) {
+  TFJS_ARG_CHECK(bufferSize >= 1, "shuffle buffer must be >= 1");
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, bufferSize, seed]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    auto buffer = std::make_shared<std::vector<Example>>();
+    auto rng = std::make_shared<Random>(seed);
+    return std::make_unique<FnIterator>(
+        [it, buffer, rng, bufferSize]() -> std::optional<Example> {
+          while (buffer->size() < bufferSize) {
+            auto e = (*it)->next();
+            if (!e) break;
+            buffer->push_back(std::move(*e));
+          }
+          if (buffer->empty()) return std::nullopt;
+          const std::size_t pick =
+              rng->below(static_cast<std::uint32_t>(buffer->size()));
+          Example out = std::move((*buffer)[pick]);
+          (*buffer)[pick] = std::move(buffer->back());
+          buffer->pop_back();
+          return out;
+        });
+  });
+}
+
+PipelinePtr Pipeline::batch(int size) {
+  TFJS_ARG_CHECK(size >= 1, "batch size must be >= 1");
+  auto self = shared_from_this();
+  return std::make_shared<Pipeline>([self, size]() {
+    auto it = std::make_shared<std::unique_ptr<ExampleIterator>>(
+        self->iterator());
+    return std::make_unique<FnIterator>(
+        [it, size]() -> std::optional<Example> {
+          std::vector<Tensor> feats, labels;
+          for (int i = 0; i < size; ++i) {
+            auto e = (*it)->next();
+            if (!e) break;
+            feats.push_back(o::expandDims(e->features, 0));
+            labels.push_back(o::expandDims(e->label, 0));
+            e->dispose();
+          }
+          if (feats.empty()) return std::nullopt;
+          Example out;
+          out.features = o::concat(feats, 0);
+          out.label = o::concat(labels, 0);
+          for (auto& t : feats) t.dispose();
+          for (auto& t : labels) t.dispose();
+          return out;
+        });
+  });
+}
+
+void Pipeline::forEach(const std::function<void(Example)>& f) const {
+  auto it = iterator();
+  while (auto e = it->next()) f(std::move(*e));
+}
+
+std::vector<Example> Pipeline::collect() const {
+  std::vector<Example> out;
+  forEach([&](Example e) { out.push_back(std::move(e)); });
+  return out;
+}
+
+std::size_t Pipeline::count() const {
+  std::size_t n = 0;
+  forEach([&](Example e) {
+    ++n;
+    e.dispose();
+  });
+  return n;
+}
+
+PipelinePtr Pipeline::fromTensors(const Tensor& features,
+                                  const Tensor& labels) {
+  TFJS_ARG_CHECK(features.shape()[0] == labels.shape()[0],
+                 "fromTensors: feature/label counts differ");
+  // Keep handles alive inside the pipeline.
+  const Tensor f = features.clone();
+  const Tensor l = labels.clone();
+  f.keep();
+  l.keep();
+  const int n = features.shape()[0];
+  return std::make_shared<Pipeline>([f, l, n]() {
+    auto index = std::make_shared<int>(0);
+    return std::make_unique<FnIterator>(
+        [f, l, n, index]() -> std::optional<Example> {
+          if (*index >= n) return std::nullopt;
+          const int i = (*index)++;
+          std::vector<int> fBegin(static_cast<std::size_t>(f.rank()), 0);
+          std::vector<int> fSize = f.shape().dims();
+          fBegin[0] = i;
+          fSize[0] = 1;
+          std::vector<int> lBegin(static_cast<std::size_t>(l.rank()), 0);
+          std::vector<int> lSize = l.shape().dims();
+          lBegin[0] = i;
+          lSize[0] = 1;
+          Example e;
+          Tensor fs = ops::slice(f, fBegin, fSize);
+          Tensor ls = ops::slice(l, lBegin, lSize);
+          // Drop the leading singleton: elements are single examples.
+          e.features = fs.reshape(
+              Shape(std::vector<int>(fSize.begin() + 1, fSize.end())));
+          e.label = ls.reshape(
+              Shape(std::vector<int>(lSize.begin() + 1, lSize.end())));
+          fs.dispose();
+          ls.dispose();
+          return e;
+        });
+  });
+}
+
+PipelinePtr Pipeline::fromGenerator(
+    std::function<std::optional<Example>(std::size_t)> gen) {
+  return std::make_shared<Pipeline>([gen = std::move(gen)]() {
+    auto index = std::make_shared<std::size_t>(0);
+    return std::make_unique<FnIterator>(
+        [gen, index]() -> std::optional<Example> {
+          return gen((*index)++);
+        });
+  });
+}
+
+}  // namespace tfjs::data

@@ -1,0 +1,89 @@
+// A tf.data-style input pipeline — the paper's stated future work ("we see
+// a need to provide support for full machine learning workflows, including
+// data input, output, and transformation", section 7), realized the way
+// tfjs-data later did: lazy, pull-based datasets with functional combinators.
+//
+// A Pipeline yields Examples (feature tensor + label tensor) one at a time;
+// combinators (map / filter / take / shuffle / batch / repeat) wrap the
+// source without materializing it. forEach / toBatches drive the pipeline.
+// All tensors yielded to user callbacks are owned by the callback.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/random.h"
+#include "core/tensor.h"
+
+namespace tfjs::data {
+
+/// One element of a dataset stream.
+struct Example {
+  Tensor features;
+  Tensor label;
+
+  void dispose() {
+    if (features.defined()) features.dispose();
+    if (label.defined()) label.dispose();
+  }
+};
+
+/// Pull-based element source; next() returns nullopt when exhausted.
+class ExampleIterator {
+ public:
+  virtual ~ExampleIterator() = default;
+  virtual std::optional<Example> next() = 0;
+};
+
+class Pipeline;
+using PipelinePtr = std::shared_ptr<Pipeline>;
+
+class Pipeline : public std::enable_shared_from_this<Pipeline> {
+ public:
+  using IteratorFactory = std::function<std::unique_ptr<ExampleIterator>()>;
+
+  explicit Pipeline(IteratorFactory factory) : factory_(std::move(factory)) {}
+
+  /// Fresh iterator over the (possibly transformed) stream. Each call
+  /// restarts the pipeline — sources must be re-iterable.
+  std::unique_ptr<ExampleIterator> iterator() const { return factory_(); }
+
+  // ---- combinators (lazy; each returns a new pipeline) ----
+  /// Applies f to every example. f owns the input and returns a new example.
+  PipelinePtr map(std::function<Example(Example)> f);
+  /// Keeps examples for which pred is true (pred must not dispose).
+  PipelinePtr filter(std::function<bool(const Example&)> pred);
+  /// First n examples.
+  PipelinePtr take(std::size_t n);
+  /// Repeats the stream `count` times (count >= 1).
+  PipelinePtr repeat(int count);
+  /// Shuffles with a reservoir of `bufferSize` elements (tf.data semantics).
+  PipelinePtr shuffle(std::size_t bufferSize, std::uint64_t seed = 42);
+  /// Groups `size` consecutive examples into one Example whose tensors gain
+  /// a leading batch dimension (the final partial batch is kept).
+  PipelinePtr batch(int size);
+
+  // ---- sinks ----
+  /// Drives the pipeline; the callback owns each example.
+  void forEach(const std::function<void(Example)>& f) const;
+  /// Materializes everything (convenience for tests / small data).
+  std::vector<Example> collect() const;
+  /// Number of examples (consumes one pass).
+  std::size_t count() const;
+
+  // ---- sources ----
+  /// From parallel tensors: element i is (features[i], labels[i]).
+  static PipelinePtr fromTensors(const Tensor& features, const Tensor& labels);
+  /// From a generator function returning nullopt when done; `reset` is
+  /// called at the start of each iteration.
+  static PipelinePtr fromGenerator(
+      std::function<std::optional<Example>(std::size_t index)> gen);
+
+ private:
+  IteratorFactory factory_;
+};
+
+}  // namespace tfjs::data

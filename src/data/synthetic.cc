@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/random.h"
+#include "ops/ops.h"
+
+namespace tfjs::data {
+
+namespace o = tfjs::ops;
+
+Tensor fromPixels(const Image& img, bool normalize) {
+  std::vector<float> values = img.pixels;
+  if (normalize) {
+    for (auto& v : values) v = v / 127.5f - 1.0f;
+  }
+  return o::tensor(values, Shape{1, img.height, img.width, img.channels});
+}
+
+namespace {
+
+/// Draws one of a few fixed stroke patterns (per class) onto a canvas.
+void drawPattern(std::vector<float>& canvas, int size, int cls, int dy,
+                 int dx) {
+  auto set = [&](int y, int x) {
+    y = std::clamp(y + dy, 0, size - 1);
+    x = std::clamp(x + dx, 0, size - 1);
+    canvas[static_cast<std::size_t>(y) * size + x] = 1.0f;
+  };
+  const int mid = size / 2;
+  switch (cls % 4) {
+    case 0:  // vertical bar
+      for (int y = 1; y < size - 1; ++y) set(y, mid);
+      break;
+    case 1:  // horizontal bar
+      for (int x = 1; x < size - 1; ++x) set(mid, x);
+      break;
+    case 2:  // diagonal
+      for (int i = 1; i < size - 1; ++i) set(i, i);
+      break;
+    case 3:  // box outline
+      for (int i = 2; i < size - 2; ++i) {
+        set(2, i);
+        set(size - 3, i);
+        set(i, 2);
+        set(i, size - 3);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Dataset makeSyntheticDigits(int numExamples, int size, int numClasses,
+                            float noiseStddev, std::uint64_t seed) {
+  TFJS_ARG_CHECK(numClasses >= 2 && numClasses <= 4,
+                 "makeSyntheticDigits supports 2-4 classes");
+  Random rng(seed);
+  const std::size_t pixelsPer = static_cast<std::size_t>(size) * size;
+  std::vector<float> images(static_cast<std::size_t>(numExamples) * pixelsPer);
+  std::vector<float> labels(
+      static_cast<std::size_t>(numExamples) * numClasses, 0.f);
+
+  for (int i = 0; i < numExamples; ++i) {
+    const int cls = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+        numClasses)));
+    std::vector<float> canvas(pixelsPer, 0.f);
+    const int dy = static_cast<int>(rng.below(3)) - 1;  // jitter +-1 px
+    const int dx = static_cast<int>(rng.below(3)) - 1;
+    drawPattern(canvas, size, cls, dy, dx);
+    for (std::size_t p = 0; p < pixelsPer; ++p) {
+      images[static_cast<std::size_t>(i) * pixelsPer + p] =
+          canvas[p] + rng.normal(0, noiseStddev);
+    }
+    labels[static_cast<std::size_t>(i) * numClasses + cls] = 1.0f;
+  }
+
+  Dataset ds;
+  ds.images = o::tensor(images, Shape{numExamples, size, size, 1});
+  ds.labels = o::tensor(labels, Shape{numExamples, numClasses});
+  ds.numClasses = numClasses;
+  return ds;
+}
+
+std::pair<Tensor, Tensor> makeLinearData(int n, float slope, float intercept,
+                                         float noiseStddev,
+                                         std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<float> xs(static_cast<std::size_t>(n));
+  std::vector<float> ys(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float x = rng.uniform(-1, 1);
+    xs[static_cast<std::size_t>(i)] = x;
+    ys[static_cast<std::size_t>(i)] =
+        slope * x + intercept + rng.normal(0, noiseStddev);
+  }
+  return {o::tensor(xs, Shape{n, 1}), o::tensor(ys, Shape{n, 1})};
+}
+
+Image makeTestImage(int height, int width, float blobY, float blobX,
+                    std::uint64_t seed) {
+  Random rng(seed);
+  Image img = Image::filled(height, width, 3, 0);
+  const float sigma = static_cast<float>(std::min(height, width)) / 10.0f;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Smooth background gradients plus noise.
+      const float gy = static_cast<float>(y) / static_cast<float>(height);
+      const float gx = static_cast<float>(x) / static_cast<float>(width);
+      const float dy = (static_cast<float>(y) - blobY) / sigma;
+      const float dx = (static_cast<float>(x) - blobX) / sigma;
+      const float blob = 200.0f * std::exp(-0.5f * (dy * dy + dx * dx));
+      img.at(y, x, 0) = std::clamp(40 * gy + blob + rng.normal(0, 4), 0.f,
+                                   255.f);
+      img.at(y, x, 1) = std::clamp(40 * gx + blob + rng.normal(0, 4), 0.f,
+                                   255.f);
+      img.at(y, x, 2) = std::clamp(30 + 0.5f * blob + rng.normal(0, 4), 0.f,
+                                   255.f);
+    }
+  }
+  return img;
+}
+
+}  // namespace tfjs::data

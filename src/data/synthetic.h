@@ -1,0 +1,45 @@
+// Synthetic datasets (DESIGN.md substitution for proprietary data): seeded,
+// structured generators whose classes are genuinely separable, so training
+// experiments measure the framework rather than the data.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/image.h"
+#include "core/tensor.h"
+
+namespace tfjs::data {
+
+/// A labelled image-classification dataset held as two tensors.
+struct Dataset {
+  Tensor images;  ///< [n, h, w, c]
+  Tensor labels;  ///< [n, numClasses] one-hot
+  int numClasses = 0;
+
+  void dispose() {
+    images.dispose();
+    labels.dispose();
+  }
+};
+
+/// MNIST-like synthetic digits: each class is a fixed stroke pattern on a
+/// `size`x`size` canvas, rendered with per-example jitter and pixel noise.
+/// Classes are separable but not trivially so (noise ~ N(0, noiseStddev)).
+Dataset makeSyntheticDigits(int numExamples, int size = 12,
+                            int numClasses = 4, float noiseStddev = 0.25f,
+                            std::uint64_t seed = 42);
+
+/// Linear-regression toy data: y = slope*x + intercept + noise (Listing 1's
+/// "synthetic data" workload).
+std::pair<Tensor, Tensor> makeLinearData(int n, float slope, float intercept,
+                                         float noiseStddev = 0,
+                                         std::uint64_t seed = 42);
+
+/// A photo-like test image with smooth gradients and a bright blob at a
+/// controllable position (used by the PoseNet demo and benches).
+Image makeTestImage(int height, int width, float blobY, float blobX,
+                    std::uint64_t seed = 42);
+
+}  // namespace tfjs::data

@@ -1,0 +1,98 @@
+#include "io/converter.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tfjs::io {
+
+bool isTrainingOnlyOp(const std::string& op) {
+  static const std::unordered_set<std::string> kTrainingOps = {
+      "ApplyGradientDescent", "ApplyAdam", "ApplyMomentum", "ApplyRMSProp",
+      "ApplyAdagrad", "AssignSub", "AssignAdd",
+      "SaveV2", "RestoreV2", "MergeV2Checkpoints",
+      "BroadcastGradientArgs", "PreventGradient", "StopGradient",
+      "Conv2DBackpropInput", "Conv2DBackpropFilter",
+      "MaxPoolGrad", "AvgPoolGrad", "ReluGrad", "BiasAddGrad",
+      "SparseSoftmaxCrossEntropyWithLogits", "SoftmaxCrossEntropyWithLogits",
+      "NoOp",
+  };
+  return kTrainingOps.count(op) > 0 || op.rfind("Apply", 0) == 0;
+}
+
+namespace {
+/// Strips the ":0"-style output-slot suffix and the "^" control-edge prefix
+/// from a SavedModel input reference.
+std::string canonicalName(const std::string& ref) {
+  std::string name = ref;
+  if (!name.empty() && name[0] == '^') name = name.substr(1);
+  const auto colon = name.find(':');
+  if (colon != std::string::npos) name = name.substr(0, colon);
+  return name;
+}
+}  // namespace
+
+GraphDef pruneTrainingOps(const GraphDef& graph) {
+  std::unordered_map<std::string, const GraphNode*> byName;
+  for (const auto& n : graph.nodes) byName[n.name] = &n;
+
+  // Reverse reachability from the inference outputs, never traversing into
+  // training-only ops.
+  std::unordered_set<std::string> keep;
+  std::deque<std::string> frontier(graph.outputs.begin(),
+                                   graph.outputs.end());
+  while (!frontier.empty()) {
+    const std::string name = canonicalName(frontier.front());
+    frontier.pop_front();
+    if (keep.count(name)) continue;
+    auto it = byName.find(name);
+    TFJS_ARG_CHECK(it != byName.end(),
+                   "Graph references unknown node '" << name << "'");
+    if (isTrainingOnlyOp(it->second->op)) continue;
+    keep.insert(name);
+    for (const auto& in : it->second->inputs) {
+      frontier.push_back(canonicalName(in));
+    }
+  }
+
+  GraphDef pruned;
+  pruned.outputs = graph.outputs;
+  for (const auto& n : graph.nodes) {
+    if (keep.count(n.name)) pruned.nodes.push_back(n);
+  }
+  return pruned;
+}
+
+WeightsManifest convertGraph(const GraphDef& graph, Quantization quantization,
+                             std::size_t maxShardBytes, ConvertStats* stats) {
+  auto weightBytes = [](const GraphDef& g) {
+    std::size_t bytes = 0;
+    for (const auto& n : g.nodes) {
+      if (n.weight.defined() && !n.weight.isDisposed()) {
+        bytes += n.weight.size() * 4;
+      }
+    }
+    return bytes;
+  };
+
+  const GraphDef pruned = pruneTrainingOps(graph);
+  std::vector<std::pair<std::string, Tensor>> weights;
+  for (const auto& n : pruned.nodes) {
+    if (n.weight.defined() && !n.weight.isDisposed()) {
+      weights.emplace_back(n.name, n.weight);
+    }
+  }
+  WeightsManifest manifest =
+      encodeWeights(weights, quantization, maxShardBytes);
+
+  if (stats != nullptr) {
+    stats->nodesBefore = graph.nodes.size();
+    stats->nodesAfter = pruned.nodes.size();
+    stats->weightsBytesBefore = weightBytes(graph);
+    stats->weightsBytesAfter = manifest.totalBytes();
+    stats->shards = manifest.shards.size();
+  }
+  return manifest;
+}
+
+}  // namespace tfjs::io

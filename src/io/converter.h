@@ -1,0 +1,61 @@
+// The model converter (paper section 5.1): "TensorFlow.js optimizes the
+// model by pruning unnecessary operations (e.g. training operations) and
+// packs weights into 4MB files", optionally quantizing them.
+//
+// The paper's converter consumes TensorFlow SavedModels; here the input is a
+// minimal SavedModel-like GraphDef — nodes with op types, inputs, and
+// attached weights — which the converter dead-code-eliminates against the
+// inference outputs (dropping optimizer/gradient/save subgraphs) and lowers
+// into ModelArtifacts (topology + sharded, optionally quantized weights).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/model_io.h"
+
+namespace tfjs::io {
+
+/// A SavedModel-like computation graph node.
+struct GraphNode {
+  std::string name;
+  std::string op;  ///< e.g. "Conv2D", "VariableV2", "ApplyAdam", "SaveV2"
+  std::vector<std::string> inputs;
+  /// Weight payload for variable nodes (undefined otherwise).
+  Tensor weight;
+  /// Op attributes (strides, padding, ...), JSON-encoded like the converter's
+  /// serialized attr map. Null for attr-less ops.
+  Json attrs;
+};
+
+struct GraphDef {
+  std::vector<GraphNode> nodes;
+  /// Names of the inference outputs (the converter's --output_node_names).
+  std::vector<std::string> outputs;
+};
+
+struct ConvertStats {
+  std::size_t nodesBefore = 0;
+  std::size_t nodesAfter = 0;
+  std::size_t weightsBytesBefore = 0;
+  std::size_t weightsBytesAfter = 0;
+  std::size_t shards = 0;
+};
+
+/// True for ops that only exist for training/checkpointing (optimizer
+/// updates, gradient computation, savers) — the pruning targets.
+bool isTrainingOnlyOp(const std::string& op);
+
+/// Removes every node not reachable (via input edges) from the inference
+/// outputs, after first dropping training-only ops. Returns the pruned graph.
+GraphDef pruneTrainingOps(const GraphDef& graph);
+
+/// Full conversion: prune, then pack the surviving variables' weights into
+/// shards with optional quantization. `stats` (optional) reports what the
+/// conversion saved.
+WeightsManifest convertGraph(const GraphDef& graph,
+                             Quantization quantization = Quantization::kNone,
+                             std::size_t maxShardBytes = kDefaultShardBytes,
+                             ConvertStats* stats = nullptr);
+
+}  // namespace tfjs::io

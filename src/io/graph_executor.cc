@@ -1,0 +1,187 @@
+#include "io/graph_executor.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace tfjs::io {
+
+namespace o = tfjs::ops;
+
+namespace {
+
+std::string canonical(const std::string& ref) {
+  std::string name = ref;
+  if (!name.empty() && name[0] == '^') name = name.substr(1);
+  const auto colon = name.find(':');
+  if (colon != std::string::npos) name = name.substr(0, colon);
+  return name;
+}
+
+/// attrs["strides"] = [1, sH, sW, 1] (NHWC), TF convention.
+std::pair<int, int> spatialStrides(const Json& attrs) {
+  if (!attrs.has("strides")) return {1, 1};
+  const auto& s = attrs.at("strides").asArray();
+  TFJS_ARG_CHECK(s.size() == 4, "strides attr must have 4 entries (NHWC)");
+  return {s[1].asInt(), s[2].asInt()};
+}
+
+PadMode padAttr(const Json& attrs) {
+  if (!attrs.has("padding")) return PadMode::kValid;
+  const std::string& p = attrs.at("padding").asString();
+  if (p == "SAME" || p == "same") return PadMode::kSame;
+  if (p == "VALID" || p == "valid") return PadMode::kValid;
+  throw InvalidArgumentError("Unknown padding attr: " + p);
+}
+
+}  // namespace
+
+GraphExecutor::GraphExecutor(GraphDef graph) : graph_(std::move(graph)) {
+  for (const auto& n : graph_.nodes) {
+    TFJS_ARG_CHECK(byName_.emplace(n.name, &n).second,
+                   "Duplicate graph node '" << n.name << "'");
+    if (n.weight.defined() && !n.weight.isDisposed()) n.weight.keep();
+  }
+}
+
+GraphExecutor::~GraphExecutor() {
+  for (const auto& n : graph_.nodes) {
+    if (n.weight.defined() && !n.weight.isDisposed()) n.weight.dispose();
+  }
+}
+
+std::vector<Tensor> GraphExecutor::execute(
+    const std::map<std::string, Tensor>& feeds,
+    std::span<const std::string> outputs) {
+  std::vector<Tensor> results;
+  Engine& engine = Engine::get();
+  engine.startScope();
+  try {
+    std::map<std::string, Tensor> memo;
+    std::vector<std::string> inProgress;
+    for (const auto& out : outputs) {
+      results.push_back(
+          evaluate(canonical(out), feeds, memo, inProgress).clone());
+    }
+  } catch (...) {
+    engine.endScope({});
+    throw;
+  }
+  engine.endScope(results);
+  return results;
+}
+
+Tensor GraphExecutor::execute(const std::map<std::string, Tensor>& feeds) {
+  TFJS_ARG_CHECK(!graph_.outputs.empty(), "Graph declares no outputs");
+  const std::array<std::string, 1> outs{graph_.outputs[0]};
+  return execute(feeds, outs)[0];
+}
+
+Tensor GraphExecutor::evaluate(const std::string& name,
+                               const std::map<std::string, Tensor>& feeds,
+                               std::map<std::string, Tensor>& memo,
+                               std::vector<std::string>& inProgress) {
+  if (auto it = memo.find(name); it != memo.end()) return it->second;
+  TFJS_ARG_CHECK(std::find(inProgress.begin(), inProgress.end(), name) ==
+                     inProgress.end(),
+                 "Graph cycle through node '" << name << "'");
+  auto nodeIt = byName_.find(name);
+  TFJS_ARG_CHECK(nodeIt != byName_.end(), "Unknown graph node '" << name
+                                              << "'");
+  const GraphNode& node = *nodeIt->second;
+  inProgress.push_back(name);
+
+  auto in = [&](std::size_t i) -> Tensor {
+    TFJS_ARG_CHECK(i < node.inputs.size(),
+                   "Node '" << name << "' (" << node.op << ") is missing input "
+                            << i);
+    return evaluate(canonical(node.inputs[i]), feeds, memo, inProgress);
+  };
+
+  Tensor result;
+  const std::string& op = node.op;
+  if (op == "Placeholder") {
+    auto fed = feeds.find(name);
+    TFJS_ARG_CHECK(fed != feeds.end(),
+                   "No feed provided for placeholder '" << name << "'");
+    result = fed->second.clone();
+  } else if (op == "VariableV2" || op == "Const") {
+    TFJS_ARG_CHECK(node.weight.defined() && !node.weight.isDisposed(),
+                   "Node '" << name << "' has no weight payload");
+    result = node.weight.clone();
+  } else if (op == "Identity") {
+    result = in(0).clone();
+  } else if (op == "Conv2D") {
+    const auto [sH, sW] = spatialStrides(node.attrs);
+    result = o::conv2d(in(0), in(1), sH, sW, padAttr(node.attrs));
+  } else if (op == "DepthwiseConv2dNative") {
+    const auto [sH, sW] = spatialStrides(node.attrs);
+    result = o::depthwiseConv2d(in(0), in(1), sH, sW, padAttr(node.attrs));
+  } else if (op == "MaxPool" || op == "AvgPool") {
+    const auto [sH, sW] = spatialStrides(node.attrs);
+    int kH = 2, kW = 2;
+    if (node.attrs.has("ksize")) {
+      const auto& ks = node.attrs.at("ksize").asArray();
+      kH = ks[1].asInt();
+      kW = ks[2].asInt();
+    }
+    result = op == "MaxPool"
+                 ? o::maxPool(in(0), kH, kW, sH, sW, padAttr(node.attrs))
+                 : o::avgPool(in(0), kH, kW, sH, sW, padAttr(node.attrs));
+  } else if (op == "Relu") {
+    result = o::relu(in(0));
+  } else if (op == "Relu6") {
+    result = o::relu6(in(0));
+  } else if (op == "Sigmoid") {
+    result = o::sigmoid(in(0));
+  } else if (op == "Tanh") {
+    result = o::tanh(in(0));
+  } else if (op == "Softmax") {
+    result = o::softmax(in(0));
+  } else if (op == "Add" || op == "AddV2" || op == "BiasAdd") {
+    result = o::add(in(0), in(1));
+  } else if (op == "Sub") {
+    result = o::sub(in(0), in(1));
+  } else if (op == "Mul") {
+    result = o::mul(in(0), in(1));
+  } else if (op == "RealDiv") {
+    result = o::div(in(0), in(1));
+  } else if (op == "MatMul") {
+    const bool tA = node.attrs.has("transpose_a") &&
+                    node.attrs.at("transpose_a").asBool();
+    const bool tB = node.attrs.has("transpose_b") &&
+                    node.attrs.at("transpose_b").asBool();
+    result = o::matMul(in(0), in(1), tA, tB);
+  } else if (op == "Reshape") {
+    TFJS_ARG_CHECK(node.attrs.has("shape"),
+                   "Reshape node '" << name << "' needs a shape attr");
+    std::vector<int> dims;
+    for (const auto& d : node.attrs.at("shape").asArray()) {
+      dims.push_back(d.asInt());
+    }
+    result = o::reshape(in(0), Shape(dims));
+  } else if (op == "Squeeze") {
+    result = o::squeeze(in(0));
+  } else if (op == "Mean") {
+    std::vector<int> axes;
+    if (node.attrs.has("axes")) {
+      for (const auto& a : node.attrs.at("axes").asArray()) {
+        axes.push_back(a.asInt());
+      }
+    }
+    const bool keep =
+        node.attrs.has("keep_dims") && node.attrs.at("keep_dims").asBool();
+    result = o::mean(in(0), axes, keep);
+  } else {
+    throw UnimplementedError("GraphExecutor: unsupported op '" + op +
+                             "' (node '" + name +
+                             "'); run pruneTrainingOps first?");
+  }
+
+  inProgress.pop_back();
+  memo.emplace(name, result);
+  return result;
+}
+
+}  // namespace tfjs::io

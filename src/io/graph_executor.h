@@ -1,0 +1,50 @@
+// GraphExecutor: runs a converted SavedModel-style graph (paper section 5.1:
+// the converter "can load and execute pre-trained TensorFlow SavedModels" —
+// the upstream GraphModel, as opposed to the Keras-topology LayersModel).
+//
+// The executor evaluates a pruned GraphDef lazily and memoized: each node's
+// op is dispatched to the Ops API, so converted graphs run on whichever
+// backend is active, with the same async/memory semantics as everything
+// else. The supported op set covers the inference graphs the converter
+// emits for conv-nets (conv/pool/activations/matmul/normalization/reshape).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/converter.h"
+
+namespace tfjs::io {
+
+class GraphExecutor {
+ public:
+  /// Takes the (ideally already pruned) graph; weight tensors are kept alive
+  /// for the executor's lifetime.
+  explicit GraphExecutor(GraphDef graph);
+  ~GraphExecutor();
+
+  GraphExecutor(const GraphExecutor&) = delete;
+  GraphExecutor& operator=(const GraphExecutor&) = delete;
+
+  /// Evaluates the named output nodes given placeholder feeds. Returned
+  /// tensors are owned by the caller; intermediates are disposed.
+  std::vector<Tensor> execute(const std::map<std::string, Tensor>& feeds,
+                              std::span<const std::string> outputs);
+
+  /// Convenience: evaluates the graph's first registered output.
+  Tensor execute(const std::map<std::string, Tensor>& feeds);
+
+  const GraphDef& graph() const { return graph_; }
+
+ private:
+  Tensor evaluate(const std::string& name,
+                  const std::map<std::string, Tensor>& feeds,
+                  std::map<std::string, Tensor>& memo,
+                  std::vector<std::string>& inProgress);
+
+  GraphDef graph_;
+  std::map<std::string, const GraphNode*> byName_;
+};
+
+}  // namespace tfjs::io

@@ -1,0 +1,90 @@
+// Minimal JSON value type + parser/serializer, used for the Keras-compatible
+// model topology format (paper sections 3.2 and 5.1). Self-contained: depends
+// only on core/error.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/error.h"
+
+namespace tfjs::io {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps keys sorted: serialization is deterministic, which the
+/// round-trip tests rely on.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(std::size_t i) : v_(static_cast<double>(i)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool isBool() const { return std::holds_alternative<bool>(v_); }
+  bool isNumber() const { return std::holds_alternative<double>(v_); }
+  bool isString() const { return std::holds_alternative<std::string>(v_); }
+  bool isArray() const { return std::holds_alternative<JsonArray>(v_); }
+  bool isObject() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool asBool() const { return get<bool>("bool"); }
+  double asDouble() const { return get<double>("number"); }
+  int asInt() const { return static_cast<int>(asDouble()); }
+  const std::string& asString() const { return get<std::string>("string"); }
+  const JsonArray& asArray() const { return get<JsonArray>("array"); }
+  JsonArray& asArray() { return getMut<JsonArray>("array"); }
+  const JsonObject& asObject() const { return get<JsonObject>("object"); }
+  JsonObject& asObject() { return getMut<JsonObject>("object"); }
+
+  /// Object member access; throws when missing (use has() to probe).
+  const Json& at(const std::string& key) const {
+    const auto& obj = asObject();
+    auto it = obj.find(key);
+    TFJS_ARG_CHECK(it != obj.end(), "JSON object has no key '" << key << "'");
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return isObject() && asObject().count(key) > 0;
+  }
+  Json& operator[](const std::string& key) {
+    if (isNull()) v_ = JsonObject{};
+    return getMut<JsonObject>("object")[key];
+  }
+
+  std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; throws InvalidArgumentError on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    const T* p = std::get_if<T>(&v_);
+    TFJS_ARG_CHECK(p != nullptr, "JSON value is not a " << what);
+    return *p;
+  }
+  template <typename T>
+  T& getMut(const char* what) {
+    T* p = std::get_if<T>(&v_);
+    TFJS_ARG_CHECK(p != nullptr, "JSON value is not a " << what);
+    return *p;
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v_;
+};
+
+}  // namespace tfjs::io

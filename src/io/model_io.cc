@@ -1,0 +1,116 @@
+#include "io/model_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.h"
+
+namespace tfjs::io {
+
+namespace fs = std::filesystem;
+
+ModelArtifacts serializeModel(const layers::Sequential& model,
+                              const Shape& inputShape,
+                              const SaveOptions& opts) {
+  ModelArtifacts artifacts;
+
+  std::vector<std::pair<std::string, Tensor>> named;
+  for (const auto& w : model.weights()) {
+    named.emplace_back(w.name(), w.value());
+  }
+  artifacts.weights =
+      encodeWeights(named, opts.quantization, opts.maxShardBytes);
+
+  Json root;
+  root["format"] = "tfjs-cpp-layers-model";
+  root["generatedBy"] = "tfjs-cpp";
+  root["modelTopology"] = model.toConfig();
+  JsonArray inputDims;
+  for (int d : inputShape.dims()) inputDims.emplace_back(d);
+  root["inputShape"] = Json(std::move(inputDims));
+
+  JsonArray paths;
+  for (std::size_t i = 0; i < artifacts.weights.shards.size(); ++i) {
+    paths.emplace_back("group1-shard" + std::to_string(i + 1) + "of" +
+                       std::to_string(artifacts.weights.shards.size()) +
+                       ".bin");
+  }
+  JsonArray specs;
+  for (const auto& s : artifacts.weights.specs) specs.push_back(s.toJson());
+  Json group;
+  group["paths"] = Json(std::move(paths));
+  group["weights"] = Json(std::move(specs));
+  JsonArray manifest;
+  manifest.push_back(std::move(group));
+  root["weightsManifest"] = Json(std::move(manifest));
+
+  artifacts.modelJson = std::move(root);
+  return artifacts;
+}
+
+std::unique_ptr<layers::Sequential> deserializeModel(
+    const ModelArtifacts& artifacts) {
+  auto model =
+      layers::Sequential::fromConfig(artifacts.modelJson.at("modelTopology"));
+
+  std::vector<int> dims;
+  for (const auto& d : artifacts.modelJson.at("inputShape").asArray()) {
+    dims.push_back(d.asInt());
+  }
+  model->build(Shape(dims));
+
+  auto named = decodeWeights(artifacts.weights);
+  const auto vars = model->weights();
+  TFJS_ARG_CHECK(named.size() == vars.size(),
+                 "Model has " << vars.size() << " weights; manifest holds "
+                              << named.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    vars[i].assign(named[i].second);
+  }
+  return model;
+}
+
+void saveModel(const layers::Sequential& model, const Shape& inputShape,
+               const std::string& dir, const SaveOptions& opts) {
+  ModelArtifacts artifacts = serializeModel(model, inputShape, opts);
+  fs::create_directories(dir);
+  {
+    std::ofstream out(fs::path(dir) / "model.json");
+    TFJS_ARG_CHECK(out.good(), "Cannot write model.json into " << dir);
+    out << artifacts.modelJson.dump(2);
+  }
+  const auto& paths =
+      artifacts.modelJson.at("weightsManifest").asArray()[0].at("paths");
+  for (std::size_t i = 0; i < artifacts.weights.shards.size(); ++i) {
+    std::ofstream out(fs::path(dir) / paths.asArray()[i].asString(),
+                      std::ios::binary);
+    TFJS_ARG_CHECK(out.good(), "Cannot write weight shard into " << dir);
+    out.write(
+        reinterpret_cast<const char*>(artifacts.weights.shards[i].data()),
+        static_cast<std::streamsize>(artifacts.weights.shards[i].size()));
+  }
+}
+
+std::unique_ptr<layers::Sequential> loadModel(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / "model.json");
+  TFJS_ARG_CHECK(in.good(), "No model.json in " << dir);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ModelArtifacts artifacts;
+  artifacts.modelJson = Json::parse(text);
+
+  const Json& group = artifacts.modelJson.at("weightsManifest").asArray()[0];
+  for (const auto& spec : group.at("weights").asArray()) {
+    artifacts.weights.specs.push_back(WeightSpec::fromJson(spec));
+  }
+  for (const auto& p : group.at("paths").asArray()) {
+    std::ifstream shard(fs::path(dir) / p.asString(), std::ios::binary);
+    TFJS_ARG_CHECK(shard.good(), "Missing weight shard " << p.asString());
+    artifacts.weights.shards.emplace_back(
+        (std::istreambuf_iterator<char>(shard)),
+        std::istreambuf_iterator<char>());
+  }
+  return deserializeModel(artifacts);
+}
+
+}  // namespace tfjs::io

@@ -1,0 +1,43 @@
+// Model persistence (paper section 5.1): saveModel writes the tfjs web
+// format — a model.json holding the Keras-compatible topology plus a weights
+// manifest referencing binary shard files of at most 4 MB — and loadModel is
+// the tf.loadModel(url) analogue that reconstructs a ready-to-run model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "io/weights.h"
+#include "layers/sequential.h"
+
+namespace tfjs::io {
+
+struct SaveOptions {
+  Quantization quantization = Quantization::kNone;
+  std::size_t maxShardBytes = kDefaultShardBytes;
+};
+
+/// Serialized artifacts in memory (what the converter produces and the
+/// browser fetches): topology JSON + weight shards.
+struct ModelArtifacts {
+  Json modelJson;  ///< topology + weightsManifest (paths & specs)
+  WeightsManifest weights;
+};
+
+/// Serializes a built model to in-memory artifacts.
+ModelArtifacts serializeModel(const layers::Sequential& model,
+                              const Shape& inputShape,
+                              const SaveOptions& opts = {});
+
+/// Reconstructs a built model (weights loaded) from artifacts.
+std::unique_ptr<layers::Sequential> deserializeModel(
+    const ModelArtifacts& artifacts);
+
+/// Writes model.json plus group1-shard{i}of{N}.bin files into `dir`.
+void saveModel(const layers::Sequential& model, const Shape& inputShape,
+               const std::string& dir, const SaveOptions& opts = {});
+
+/// Loads a model saved by saveModel (the tf.loadModel analogue).
+std::unique_ptr<layers::Sequential> loadModel(const std::string& dir);
+
+}  // namespace tfjs::io

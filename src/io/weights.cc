@@ -1,0 +1,214 @@
+#include "io/weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/engine.h"
+
+namespace tfjs::io {
+
+const char* quantizationName(Quantization q) {
+  switch (q) {
+    case Quantization::kNone: return "none";
+    case Quantization::kUint8: return "uint8";
+    case Quantization::kUint16: return "uint16";
+  }
+  return "none";
+}
+
+Quantization quantizationFromName(const std::string& s) {
+  if (s == "none") return Quantization::kNone;
+  if (s == "uint8") return Quantization::kUint8;
+  if (s == "uint16") return Quantization::kUint16;
+  throw InvalidArgumentError("Unknown quantization: " + s);
+}
+
+Json WeightSpec::toJson() const {
+  Json j;
+  j["name"] = name;
+  JsonArray dims;
+  for (int d : shape.dims()) dims.emplace_back(d);
+  j["shape"] = Json(std::move(dims));
+  j["dtype"] = dtypeName(dtype);
+  if (quantization != Quantization::kNone) {
+    Json q;
+    q["dtype"] = quantizationName(quantization);
+    q["min"] = static_cast<double>(quantMin);
+    q["scale"] = static_cast<double>(quantScale);
+    j["quantization"] = q;
+  }
+  return j;
+}
+
+WeightSpec WeightSpec::fromJson(const Json& j) {
+  WeightSpec s;
+  s.name = j.at("name").asString();
+  std::vector<int> dims;
+  for (const auto& d : j.at("shape").asArray()) dims.push_back(d.asInt());
+  s.shape = Shape(dims);
+  s.dtype = dtypeFromName(j.at("dtype").asString());
+  if (j.has("quantization")) {
+    const Json& q = j.at("quantization");
+    s.quantization = quantizationFromName(q.at("dtype").asString());
+    s.quantMin = static_cast<float>(q.at("min").asDouble());
+    s.quantScale = static_cast<float>(q.at("scale").asDouble());
+  }
+  return s;
+}
+
+namespace {
+
+/// Appends bytes to the shard list, splitting at the shard limit — the 4 MB
+/// packing of paper section 5.1.
+class ShardWriter {
+ public:
+  explicit ShardWriter(std::size_t limit) : limit_(limit) {}
+
+  void append(const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+      if (shards_.empty() || shards_.back().size() == limit_) {
+        shards_.emplace_back();
+        shards_.back().reserve(std::min(limit_, n));
+      }
+      auto& shard = shards_.back();
+      const std::size_t take = std::min(n, limit_ - shard.size());
+      shard.insert(shard.end(), data, data + take);
+      data += take;
+      n -= take;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> take() { return std::move(shards_); }
+
+ private:
+  std::size_t limit_;
+  std::vector<std::vector<std::uint8_t>> shards_;
+};
+
+/// Reads the logically contiguous byte stream back out of the shards.
+class ShardReader {
+ public:
+  explicit ShardReader(const std::vector<std::vector<std::uint8_t>>& shards)
+      : shards_(shards) {}
+
+  void read(std::uint8_t* out, std::size_t n) {
+    while (n > 0) {
+      TFJS_ARG_CHECK(shard_ < shards_.size(),
+                     "weights manifest truncated: ran out of shard data");
+      const auto& shard = shards_[shard_];
+      const std::size_t avail = shard.size() - offset_;
+      const std::size_t take = std::min(n, avail);
+      std::memcpy(out, shard.data() + offset_, take);
+      out += take;
+      offset_ += take;
+      n -= take;
+      if (offset_ == shard.size()) {
+        ++shard_;
+        offset_ = 0;
+      }
+    }
+  }
+
+ private:
+  const std::vector<std::vector<std::uint8_t>>& shards_;
+  std::size_t shard_ = 0;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+WeightsManifest encodeWeights(
+    std::span<const std::pair<std::string, Tensor>> weights,
+    Quantization quantization, std::size_t maxShardBytes) {
+  TFJS_ARG_CHECK(maxShardBytes > 0, "shard size must be positive");
+  WeightsManifest manifest;
+  ShardWriter writer(maxShardBytes);
+
+  for (const auto& [name, tensor] : weights) {
+    WeightSpec spec;
+    spec.name = name;
+    spec.shape = tensor.shape();
+    spec.dtype = tensor.dtype();
+    // Only f32 payloads are quantized; integer/bool weights stay exact.
+    const Quantization q =
+        tensor.dtype() == DType::f32 ? quantization : Quantization::kNone;
+    spec.quantization = q;
+    const std::vector<float> values = tensor.dataSync();
+
+    if (q == Quantization::kNone) {
+      writer.append(reinterpret_cast<const std::uint8_t*>(values.data()),
+                    values.size() * 4);
+    } else {
+      float lo = std::numeric_limits<float>::infinity();
+      float hi = -std::numeric_limits<float>::infinity();
+      for (float v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (values.empty()) lo = hi = 0;
+      const std::size_t levels = q == Quantization::kUint8 ? 255 : 65535;
+      spec.quantMin = lo;
+      spec.quantScale =
+          hi == lo ? 1.0f : (hi - lo) / static_cast<float>(levels);
+      if (q == Quantization::kUint8) {
+        std::vector<std::uint8_t> quantized(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          quantized[i] = static_cast<std::uint8_t>(
+              std::lround((values[i] - spec.quantMin) / spec.quantScale));
+        }
+        writer.append(quantized.data(), quantized.size());
+      } else {
+        std::vector<std::uint16_t> quantized(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          quantized[i] = static_cast<std::uint16_t>(
+              std::lround((values[i] - spec.quantMin) / spec.quantScale));
+        }
+        writer.append(
+            reinterpret_cast<const std::uint8_t*>(quantized.data()),
+            quantized.size() * 2);
+      }
+    }
+    manifest.specs.push_back(std::move(spec));
+  }
+  manifest.shards = writer.take();
+  return manifest;
+}
+
+std::vector<std::pair<std::string, Tensor>> decodeWeights(
+    const WeightsManifest& manifest) {
+  ShardReader reader(manifest.shards);
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& spec : manifest.specs) {
+    const std::size_t n = spec.shape.size();
+    std::vector<float> values(n);
+    switch (spec.quantization) {
+      case Quantization::kNone: {
+        reader.read(reinterpret_cast<std::uint8_t*>(values.data()), n * 4);
+        break;
+      }
+      case Quantization::kUint8: {
+        std::vector<std::uint8_t> q(n);
+        reader.read(q.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          values[i] = spec.quantMin + spec.quantScale * static_cast<float>(q[i]);
+        }
+        break;
+      }
+      case Quantization::kUint16: {
+        std::vector<std::uint16_t> q(n);
+        reader.read(reinterpret_cast<std::uint8_t*>(q.data()), n * 2);
+        for (std::size_t i = 0; i < n; ++i) {
+          values[i] = spec.quantMin + spec.quantScale * static_cast<float>(q[i]);
+        }
+        break;
+      }
+    }
+    out.emplace_back(spec.name, Engine::get().makeTensorFromHost(
+                                    values, spec.shape, spec.dtype));
+  }
+  return out;
+}
+
+}  // namespace tfjs::io

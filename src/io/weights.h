@@ -1,0 +1,61 @@
+// Weight serialization (paper section 5.1): weights are packed into binary
+// shards of at most 4 MB ("optimizing for browser auto-caching") and can be
+// linearly quantized to uint8/uint16, "reducing the model size by 4X".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.h"
+#include "io/json.h"
+
+namespace tfjs::io {
+
+inline constexpr std::size_t kDefaultShardBytes = 4 * 1024 * 1024;
+
+enum class Quantization { kNone, kUint8, kUint16 };
+
+const char* quantizationName(Quantization q);
+Quantization quantizationFromName(const std::string& s);
+
+/// Metadata for one serialized weight, mirroring the tfjs weights-manifest
+/// entry ({name, shape, dtype, quantization: {min, scale, dtype}}).
+struct WeightSpec {
+  std::string name;
+  Shape shape;
+  DType dtype = DType::f32;
+  Quantization quantization = Quantization::kNone;
+  float quantMin = 0;    ///< dequantized value of level 0
+  float quantScale = 1;  ///< dequantized step per level
+
+  Json toJson() const;
+  static WeightSpec fromJson(const Json& j);
+};
+
+/// A serialized weight set: ordered specs plus binary shards (each at most
+/// the shard limit).
+struct WeightsManifest {
+  std::vector<WeightSpec> specs;
+  std::vector<std::vector<std::uint8_t>> shards;
+
+  std::size_t totalBytes() const {
+    std::size_t n = 0;
+    for (const auto& s : shards) n += s.size();
+    return n;
+  }
+};
+
+/// Serializes named tensors in order, quantizing if requested.
+WeightsManifest encodeWeights(
+    std::span<const std::pair<std::string, Tensor>> weights,
+    Quantization quantization = Quantization::kNone,
+    std::size_t maxShardBytes = kDefaultShardBytes);
+
+/// Reconstructs tensors (on the active backend) from a manifest. Quantized
+/// weights are dequantized to f32.
+std::vector<std::pair<std::string, Tensor>> decodeWeights(
+    const WeightsManifest& manifest);
+
+}  // namespace tfjs::io

@@ -1,0 +1,125 @@
+// Convolutional and pooling layers (NHWC).
+#pragma once
+
+#include "layers/layer.h"
+
+namespace tfjs::layers {
+
+struct Conv2DOptions {
+  int filters = 0;
+  int kernelH = 3, kernelW = 3;
+  int strideH = 1, strideW = 1;
+  std::string padding = "valid";  // "valid" | "same"
+  std::string activation = "linear";
+  bool useBias = true;
+  std::string kernelInitializer = "glorotUniform";
+  std::string name;
+};
+
+class Conv2D : public Layer {
+ public:
+  explicit Conv2D(Conv2DOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Conv2D"; }
+  io::Json getConfig() const override;
+
+ private:
+  Conv2DOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  Variable kernel_, bias_;
+};
+
+struct DepthwiseConv2DOptions {
+  int kernelH = 3, kernelW = 3;
+  int strideH = 1, strideW = 1;
+  int depthMultiplier = 1;
+  std::string padding = "valid";
+  std::string activation = "linear";
+  bool useBias = true;
+  std::string kernelInitializer = "glorotUniform";
+  std::string name;
+};
+
+class DepthwiseConv2D : public Layer {
+ public:
+  explicit DepthwiseConv2D(DepthwiseConv2DOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "DepthwiseConv2D"; }
+  io::Json getConfig() const override;
+
+ private:
+  DepthwiseConv2DOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  Variable kernel_, bias_;
+};
+
+struct Pool2DOptions {
+  int poolH = 2, poolW = 2;
+  int strideH = 2, strideW = 2;
+  std::string padding = "valid";
+  std::string name;
+};
+
+class MaxPooling2D : public Layer {
+ public:
+  explicit MaxPooling2D(Pool2DOptions opts = {});
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "MaxPooling2D"; }
+  io::Json getConfig() const override;
+
+ private:
+  Pool2DOptions opts_;
+};
+
+class AveragePooling2D : public Layer {
+ public:
+  explicit AveragePooling2D(Pool2DOptions opts = {});
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "AveragePooling2D"; }
+  io::Json getConfig() const override;
+
+ private:
+  Pool2DOptions opts_;
+};
+
+/// Averages over all spatial positions: [b,h,w,c] -> [b,c].
+class GlobalAveragePooling2D : public Layer {
+ public:
+  explicit GlobalAveragePooling2D(std::string name = "");
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "GlobalAveragePooling2D"; }
+};
+
+struct BatchNormOptions {
+  float momentum = 0.99f;
+  float epsilon = 1e-3f;
+  bool center = true;
+  bool scale = true;
+  std::string name;
+};
+
+/// Batch normalization over the trailing (channel) axis. In training mode
+/// batch statistics are used and the moving averages updated; at inference
+/// the moving averages are used.
+class BatchNormalization : public Layer {
+ public:
+  explicit BatchNormalization(BatchNormOptions opts = {});
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "BatchNormalization"; }
+  io::Json getConfig() const override;
+
+ private:
+  BatchNormOptions opts_;
+  Variable gamma_, beta_, movingMean_, movingVar_;
+};
+
+}  // namespace tfjs::layers

@@ -1,0 +1,87 @@
+// Core layers: Dense, Flatten, Reshape, Activation, Dropout.
+#pragma once
+
+#include "layers/layer.h"
+
+namespace tfjs::layers {
+
+struct DenseOptions {
+  int units = 0;
+  std::string activation = "linear";
+  bool useBias = true;
+  std::string kernelInitializer = "glorotUniform";
+  std::string biasInitializer = "zeros";
+  std::string name;
+};
+
+/// Fully connected layer: y = activation(x · W + b).
+class Dense : public Layer {
+ public:
+  explicit Dense(DenseOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Dense"; }
+  io::Json getConfig() const override;
+
+  const Variable& kernel() const { return kernel_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  DenseOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  Variable kernel_, bias_;
+};
+
+/// Flattens all non-batch dimensions.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name = "");
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Flatten"; }
+};
+
+/// Reshapes non-batch dimensions to a fixed target.
+class Reshape : public Layer {
+ public:
+  Reshape(Shape targetShape, std::string name = "");
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Reshape"; }
+  io::Json getConfig() const override;
+
+ private:
+  Shape target_;  ///< without batch dim
+};
+
+/// Applies a named activation function element-wise.
+class Activation : public Layer {
+ public:
+  explicit Activation(std::string activation, std::string name = "");
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Activation"; }
+  io::Json getConfig() const override;
+
+ private:
+  std::string activationName_;
+  std::function<Tensor(const Tensor&)> activation_;
+};
+
+/// Inverted dropout; identity at inference (paper section 3.2 layers with
+/// train/test behaviour).
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::string name = "");
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Dropout"; }
+  io::Json getConfig() const override;
+
+ private:
+  float rate_;
+  std::uint64_t step_ = 0;  ///< varies the mask between calls
+};
+
+}  // namespace tfjs::layers

@@ -1,0 +1,146 @@
+#include "layers/initializers.h"
+
+#include <cmath>
+
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+namespace {
+
+class Zeros : public Initializer {
+ public:
+  Tensor init(const Shape& s, int, int, std::uint64_t) const override {
+    return o::zeros(s);
+  }
+  std::string name() const override { return "zeros"; }
+};
+
+class Ones : public Initializer {
+ public:
+  Tensor init(const Shape& s, int, int, std::uint64_t) const override {
+    return o::ones(s);
+  }
+  std::string name() const override { return "ones"; }
+};
+
+class Constant : public Initializer {
+ public:
+  explicit Constant(float v) : v_(v) {}
+  Tensor init(const Shape& s, int, int, std::uint64_t) const override {
+    return o::fill(s, v_);
+  }
+  std::string name() const override { return "constant"; }
+
+ private:
+  float v_;
+};
+
+class RandomNormal : public Initializer {
+ public:
+  RandomNormal(float mean, float stddev) : mean_(mean), stddev_(stddev) {}
+  Tensor init(const Shape& s, int, int, std::uint64_t seed) const override {
+    return o::randomNormal(s, mean_, stddev_, seed);
+  }
+  std::string name() const override { return "randomNormal"; }
+
+ private:
+  float mean_, stddev_;
+};
+
+class RandomUniform : public Initializer {
+ public:
+  RandomUniform(float lo, float hi) : lo_(lo), hi_(hi) {}
+  Tensor init(const Shape& s, int, int, std::uint64_t seed) const override {
+    return o::randomUniform(s, lo_, hi_, seed);
+  }
+  std::string name() const override { return "randomUniform"; }
+
+ private:
+  float lo_, hi_;
+};
+
+class GlorotUniform : public Initializer {
+ public:
+  Tensor init(const Shape& s, int fanIn, int fanOut,
+              std::uint64_t seed) const override {
+    const float limit = std::sqrt(6.0f / static_cast<float>(fanIn + fanOut));
+    return o::randomUniform(s, -limit, limit, seed);
+  }
+  std::string name() const override { return "glorotUniform"; }
+};
+
+class GlorotNormal : public Initializer {
+ public:
+  Tensor init(const Shape& s, int fanIn, int fanOut,
+              std::uint64_t seed) const override {
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fanIn + fanOut));
+    return o::randomNormal(s, 0, stddev, seed);
+  }
+  std::string name() const override { return "glorotNormal"; }
+};
+
+class HeNormal : public Initializer {
+ public:
+  Tensor init(const Shape& s, int fanIn, int, std::uint64_t seed) const override {
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fanIn));
+    return o::randomNormal(s, 0, stddev, seed);
+  }
+  std::string name() const override { return "heNormal"; }
+};
+
+class HeUniform : public Initializer {
+ public:
+  Tensor init(const Shape& s, int fanIn, int, std::uint64_t seed) const override {
+    const float limit = std::sqrt(6.0f / static_cast<float>(fanIn));
+    return o::randomUniform(s, -limit, limit, seed);
+  }
+  std::string name() const override { return "heUniform"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Initializer> zerosInitializer() {
+  return std::make_unique<Zeros>();
+}
+std::unique_ptr<Initializer> onesInitializer() {
+  return std::make_unique<Ones>();
+}
+std::unique_ptr<Initializer> constantInitializer(float v) {
+  return std::make_unique<Constant>(v);
+}
+std::unique_ptr<Initializer> randomNormalInitializer(float mean,
+                                                     float stddev) {
+  return std::make_unique<RandomNormal>(mean, stddev);
+}
+std::unique_ptr<Initializer> randomUniformInitializer(float lo, float hi) {
+  return std::make_unique<RandomUniform>(lo, hi);
+}
+std::unique_ptr<Initializer> glorotUniformInitializer() {
+  return std::make_unique<GlorotUniform>();
+}
+std::unique_ptr<Initializer> glorotNormalInitializer() {
+  return std::make_unique<GlorotNormal>();
+}
+std::unique_ptr<Initializer> heNormalInitializer() {
+  return std::make_unique<HeNormal>();
+}
+std::unique_ptr<Initializer> heUniformInitializer() {
+  return std::make_unique<HeUniform>();
+}
+
+std::unique_ptr<Initializer> makeInitializer(const std::string& name) {
+  if (name == "zeros") return zerosInitializer();
+  if (name == "ones") return onesInitializer();
+  if (name == "randomNormal") return randomNormalInitializer();
+  if (name == "randomUniform") return randomUniformInitializer();
+  if (name == "glorotUniform") return glorotUniformInitializer();
+  if (name == "glorotNormal") return glorotNormalInitializer();
+  if (name == "heNormal") return heNormalInitializer();
+  if (name == "heUniform") return heUniformInitializer();
+  throw InvalidArgumentError("Unknown initializer: " + name);
+}
+
+}  // namespace tfjs::layers

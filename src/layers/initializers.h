@@ -1,0 +1,41 @@
+// Weight initializers (Keras-compatible names), used by the Layers API's
+// "reasonable defaults" philosophy (paper section 3.2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace tfjs::layers {
+
+class Initializer {
+ public:
+  virtual ~Initializer() = default;
+  /// fanIn/fanOut let variance-scaling initializers adapt to the weight's
+  /// role; element count alone is not enough for conv filters.
+  virtual Tensor init(const Shape& shape, int fanIn, int fanOut,
+                      std::uint64_t seed) const = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Initializer> zerosInitializer();
+std::unique_ptr<Initializer> onesInitializer();
+std::unique_ptr<Initializer> constantInitializer(float value);
+std::unique_ptr<Initializer> randomNormalInitializer(float mean = 0,
+                                                     float stddev = 0.05f);
+std::unique_ptr<Initializer> randomUniformInitializer(float lo = -0.05f,
+                                                      float hi = 0.05f);
+/// Glorot/Xavier: uniform in ±sqrt(6 / (fanIn + fanOut)).
+std::unique_ptr<Initializer> glorotUniformInitializer();
+/// Glorot/Xavier: normal with stddev sqrt(2 / (fanIn + fanOut)).
+std::unique_ptr<Initializer> glorotNormalInitializer();
+/// He: normal with stddev sqrt(2 / fanIn) — the ReLU-era default.
+std::unique_ptr<Initializer> heNormalInitializer();
+std::unique_ptr<Initializer> heUniformInitializer();
+
+/// Factory by Keras-style name ("glorotUniform", "zeros", ...).
+std::unique_ptr<Initializer> makeInitializer(const std::string& name);
+
+}  // namespace tfjs::layers

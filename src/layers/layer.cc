@@ -1,0 +1,199 @@
+#include "layers/layer.h"
+
+#include "core/engine.h"
+#include "layers/conv_layers.h"
+#include "layers/core_layers.h"
+#include "layers/rnn_layers.h"
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+int Layer::nextId_ = 0;
+
+std::function<Tensor(const Tensor&)> makeActivation(const std::string& name) {
+  if (name.empty() || name == "linear") {
+    return [](const Tensor& x) { return x.clone(); };
+  }
+  if (name == "relu") return [](const Tensor& x) { return o::relu(x); };
+  if (name == "relu6") return [](const Tensor& x) { return o::relu6(x); };
+  if (name == "sigmoid") return [](const Tensor& x) { return o::sigmoid(x); };
+  if (name == "tanh") return [](const Tensor& x) { return o::tanh(x); };
+  if (name == "softmax") return [](const Tensor& x) { return o::softmax(x); };
+  if (name == "softplus") {
+    return [](const Tensor& x) { return o::softplus(x); };
+  }
+  if (name == "elu") return [](const Tensor& x) { return o::elu(x); };
+  if (name == "selu") return [](const Tensor& x) { return o::selu(x); };
+  throw InvalidArgumentError("Unknown activation: " + name);
+}
+
+Layer::Layer(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) name_ = "layer_" + std::to_string(nextId_++);
+}
+
+Tensor Layer::apply(const Tensor& x, bool training) {
+  if (!built_) build(x.shape());
+  return call(x, training);
+}
+
+io::Json Layer::getConfig() const {
+  io::JsonObject o;
+  o["name"] = name_;
+  return io::Json(std::move(o));
+}
+
+std::vector<Variable> Layer::trainableWeights() const {
+  std::vector<Variable> out;
+  for (const auto& w : weights_) {
+    if (w.trainable()) out.push_back(w);
+  }
+  return out;
+}
+
+void Layer::setWeightValues(std::span<const Tensor> values) {
+  TFJS_ARG_CHECK(values.size() == weights_.size(),
+                 "Layer '" << name_ << "' has " << weights_.size()
+                           << " weights; got " << values.size() << " values");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weights_[i].assign(values[i]);
+  }
+}
+
+void Layer::dispose() {
+  for (auto& w : weights_) w.dispose();
+  weights_.clear();
+  built_ = false;
+}
+
+Variable Layer::addWeight(const std::string& weightName, const Shape& shape,
+                          const Initializer& init, int fanIn, int fanOut,
+                          bool trainable) {
+  // Deterministic per-weight seed: stable across runs, distinct per weight.
+  const std::uint64_t seed =
+      std::hash<std::string>{}(name_ + "/" + weightName) & 0xFFFFFFu;
+  Tensor value = init.init(shape, fanIn, fanOut, seed);
+  Variable v(value, name_ + "/" + weightName, trainable);
+  weights_.push_back(v);
+  return v;
+}
+
+Variable Layer::addWeightWithValue(const std::string& weightName,
+                                   const Tensor& value, bool trainable) {
+  Variable v(value, name_ + "/" + weightName, trainable);
+  weights_.push_back(v);
+  return v;
+}
+
+// ---------------------------------------------------------- deserialization
+
+LayerPtr layerFromConfig(const io::Json& spec) {
+  const std::string& cls = spec.at("class_name").asString();
+  const io::Json& cfg = spec.at("config");
+  const std::string name = cfg.has("name") ? cfg.at("name").asString() : "";
+
+  if (cls == "Dense") {
+    DenseOptions o;
+    o.units = cfg.at("units").asInt();
+    if (cfg.has("activation")) o.activation = cfg.at("activation").asString();
+    if (cfg.has("use_bias")) o.useBias = cfg.at("use_bias").asBool();
+    o.name = name;
+    return std::make_shared<Dense>(o);
+  }
+  if (cls == "Flatten") return std::make_shared<Flatten>(name);
+  if (cls == "Reshape") {
+    std::vector<int> dims;
+    for (const auto& d : cfg.at("target_shape").asArray()) {
+      dims.push_back(d.asInt());
+    }
+    return std::make_shared<Reshape>(Shape(dims), name);
+  }
+  if (cls == "Activation") {
+    return std::make_shared<Activation>(cfg.at("activation").asString(), name);
+  }
+  if (cls == "Dropout") {
+    return std::make_shared<Dropout>(
+        static_cast<float>(cfg.at("rate").asDouble()), name);
+  }
+  if (cls == "Conv2D" || cls == "DepthwiseConv2D") {
+    const auto& ks = cfg.at("kernel_size").asArray();
+    const auto& st = cfg.at("strides").asArray();
+    if (cls == "Conv2D") {
+      Conv2DOptions o;
+      o.filters = cfg.at("filters").asInt();
+      o.kernelH = ks[0].asInt();
+      o.kernelW = ks[1].asInt();
+      o.strideH = st[0].asInt();
+      o.strideW = st[1].asInt();
+      o.padding = cfg.at("padding").asString();
+      if (cfg.has("activation")) o.activation = cfg.at("activation").asString();
+      if (cfg.has("use_bias")) o.useBias = cfg.at("use_bias").asBool();
+      o.name = name;
+      return std::make_shared<Conv2D>(o);
+    }
+    DepthwiseConv2DOptions o;
+    o.kernelH = ks[0].asInt();
+    o.kernelW = ks[1].asInt();
+    o.strideH = st[0].asInt();
+    o.strideW = st[1].asInt();
+    if (cfg.has("depth_multiplier")) {
+      o.depthMultiplier = cfg.at("depth_multiplier").asInt();
+    }
+    o.padding = cfg.at("padding").asString();
+    if (cfg.has("activation")) o.activation = cfg.at("activation").asString();
+    if (cfg.has("use_bias")) o.useBias = cfg.at("use_bias").asBool();
+    o.name = name;
+    return std::make_shared<DepthwiseConv2D>(o);
+  }
+  if (cls == "MaxPooling2D" || cls == "AveragePooling2D") {
+    Pool2DOptions o;
+    const auto& ps = cfg.at("pool_size").asArray();
+    const auto& st = cfg.at("strides").asArray();
+    o.poolH = ps[0].asInt();
+    o.poolW = ps[1].asInt();
+    o.strideH = st[0].asInt();
+    o.strideW = st[1].asInt();
+    o.padding = cfg.at("padding").asString();
+    o.name = name;
+    if (cls == "MaxPooling2D") return std::make_shared<MaxPooling2D>(o);
+    return std::make_shared<AveragePooling2D>(o);
+  }
+  if (cls == "GlobalAveragePooling2D") {
+    return std::make_shared<GlobalAveragePooling2D>(name);
+  }
+  if (cls == "SimpleRNN" || cls == "GRU" || cls == "LSTM") {
+    RNNOptions o;
+    o.units = cfg.at("units").asInt();
+    if (cfg.has("activation")) o.activation = cfg.at("activation").asString();
+    if (cfg.has("recurrent_activation")) {
+      o.recurrentActivation = cfg.at("recurrent_activation").asString();
+    }
+    if (cfg.has("return_sequences")) {
+      o.returnSequences = cfg.at("return_sequences").asBool();
+    }
+    if (cfg.has("use_bias")) o.useBias = cfg.at("use_bias").asBool();
+    o.name = name;
+    if (cls == "SimpleRNN") return std::make_shared<SimpleRNN>(o);
+    if (cls == "GRU") return std::make_shared<GRU>(o);
+    return std::make_shared<LSTM>(o);
+  }
+  if (cls == "Embedding") {
+    return std::make_shared<Embedding>(cfg.at("input_dim").asInt(),
+                                       cfg.at("output_dim").asInt(), name);
+  }
+  if (cls == "BatchNormalization") {
+    BatchNormOptions o;
+    if (cfg.has("momentum")) {
+      o.momentum = static_cast<float>(cfg.at("momentum").asDouble());
+    }
+    if (cfg.has("epsilon")) {
+      o.epsilon = static_cast<float>(cfg.at("epsilon").asDouble());
+    }
+    o.name = name;
+    return std::make_shared<BatchNormalization>(o);
+  }
+  throw InvalidArgumentError("Unknown layer class: " + cls);
+}
+
+}  // namespace tfjs::layers

@@ -1,0 +1,81 @@
+// Layer base class — the heart of the Layers API (paper section 3.2): users
+// assemble models from pre-defined layers with reasonable defaults, mirroring
+// Keras (including the serialization format, enabling the paper's "two-way
+// door" between Keras Python and this library).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "io/json.h"
+#include "layers/initializers.h"
+
+namespace tfjs::layers {
+
+/// Activation function by Keras name ("linear", "relu", "softmax", ...).
+std::function<Tensor(const Tensor&)> makeActivation(const std::string& name);
+
+class Layer {
+ public:
+  explicit Layer(std::string name);
+  virtual ~Layer() = default;
+
+  const std::string& name() const { return name_; }
+  bool built() const { return built_; }
+
+  /// Creates the layer's weights for the given input shape (with batch dim).
+  /// Called automatically on first apply().
+  virtual void build(const Shape& /*inputShape*/) { built_ = true; }
+
+  /// Runs the layer, building on first use. `training` toggles
+  /// train-vs-inference behaviour (dropout, batch norm).
+  Tensor apply(const Tensor& x, bool training = false);
+
+  /// The layer computation; inputs are guaranteed built.
+  virtual Tensor call(const Tensor& x, bool training) = 0;
+
+  /// Output shape for a given input shape (batch dim included).
+  virtual Shape computeOutputShape(const Shape& inputShape) const = 0;
+
+  /// Keras-style class name ("Dense", "Conv2D", ...).
+  virtual std::string className() const = 0;
+  /// Constructor arguments as JSON (merged into the topology file).
+  virtual io::Json getConfig() const;
+
+  /// All weights, trainable first (order is the serialization order).
+  const std::vector<Variable>& weights() const { return weights_; }
+  std::vector<Variable> trainableWeights() const;
+
+  /// Replaces weight values in weights() order (model loading).
+  void setWeightValues(std::span<const Tensor> values);
+
+  /// Frees all weight tensors.
+  void dispose();
+
+ protected:
+  /// Registers a weight variable created from `init`.
+  Variable addWeight(const std::string& weightName, const Shape& shape,
+                     const Initializer& init, int fanIn, int fanOut,
+                     bool trainable = true);
+  /// Registers a weight with an explicit initial value (takes ownership).
+  Variable addWeightWithValue(const std::string& weightName,
+                              const Tensor& value, bool trainable = true);
+
+  bool built_ = false;
+
+ private:
+  std::string name_;
+  std::vector<Variable> weights_;
+  static int nextId_;
+};
+
+using LayerPtr = std::shared_ptr<Layer>;
+
+/// Deserializes a layer from {"class_name": ..., "config": {...}} — the
+/// registry behind model loading (io/model_io).
+LayerPtr layerFromConfig(const io::Json& spec);
+
+}  // namespace tfjs::layers

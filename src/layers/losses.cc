@@ -1,0 +1,88 @@
+#include "layers/losses.h"
+
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+Tensor meanSquaredError(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy(
+      [&] { return o::mean(o::squaredDifference(yTrue, yPred)); });
+}
+
+Tensor meanAbsoluteError(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy(
+      [&] { return o::mean(o::abs(o::sub(yTrue, yPred))); });
+}
+
+Tensor categoricalCrossentropy(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy([&] {
+    const float eps = Engine::get().backend().epsilon();
+    Tensor clipped = o::clipByValue(yPred, eps, 1.0f);
+    Tensor perExample =
+        o::neg(o::sum(o::mul(yTrue, o::log(clipped)), std::array<int, 1>{-1}));
+    return o::mean(perExample);
+  });
+}
+
+Tensor binaryCrossentropy(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy([&] {
+    const float eps = Engine::get().backend().epsilon();
+    Tensor p = o::clipByValue(yPred, eps, 1.0f - eps);
+    Tensor one = o::scalar(1);
+    Tensor loss = o::add(o::mul(yTrue, o::log(p)),
+                         o::mul(o::sub(one, yTrue), o::log(o::sub(one, p))));
+    return o::neg(o::mean(loss));
+  });
+}
+
+Tensor huberLoss(const Tensor& yTrue, const Tensor& yPred, float delta) {
+  return Engine::get().tidy([&] {
+    Tensor err = o::abs(o::sub(yTrue, yPred));
+    Tensor quadratic = o::minimum(err, o::scalar(delta));
+    Tensor linear = o::sub(err, quadratic);
+    // 0.5 q^2 + delta * l
+    return o::mean(o::add(o::mulScalar(o::square(quadratic), 0.5f),
+                          o::mulScalar(linear, delta)));
+  });
+}
+
+Tensor categoricalAccuracy(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy([&] {
+    Tensor predIdx = o::argMax(yPred, -1);
+    Tensor trueIdx = o::argMax(yTrue, -1);
+    return o::mean(o::cast(o::equal(predIdx, trueIdx), DType::f32));
+  });
+}
+
+Tensor binaryAccuracy(const Tensor& yTrue, const Tensor& yPred) {
+  return Engine::get().tidy([&] {
+    Tensor rounded = o::round(yPred);
+    return o::mean(o::cast(o::equal(rounded, yTrue), DType::f32));
+  });
+}
+
+LossFn makeLoss(const std::string& name) {
+  if (name == "meanSquaredError" || name == "mse") return meanSquaredError;
+  if (name == "meanAbsoluteError" || name == "mae") return meanAbsoluteError;
+  if (name == "categoricalCrossentropy") return categoricalCrossentropy;
+  if (name == "binaryCrossentropy") return binaryCrossentropy;
+  if (name == "huber") {
+    return [](const Tensor& t, const Tensor& p) { return huberLoss(t, p); };
+  }
+  throw InvalidArgumentError("Unknown loss: " + name);
+}
+
+MetricFn makeMetric(const std::string& name) {
+  if (name == "accuracy" || name == "categoricalAccuracy") {
+    return categoricalAccuracy;
+  }
+  if (name == "binaryAccuracy") return binaryAccuracy;
+  if (name == "mse") return meanSquaredError;
+  if (name == "mae") return meanAbsoluteError;
+  throw InvalidArgumentError("Unknown metric: " + name);
+}
+
+}  // namespace tfjs::layers

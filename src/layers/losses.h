@@ -1,0 +1,34 @@
+// Loss functions and metrics for model.compile (paper Listing 1:
+// {loss: 'meanSquaredError', optimizer: 'sgd'}).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/tensor.h"
+
+namespace tfjs::layers {
+
+/// A loss maps (yTrue, yPred) to a scalar tensor.
+using LossFn = std::function<Tensor(const Tensor& yTrue, const Tensor& yPred)>;
+/// A metric maps (yTrue, yPred) to a scalar tensor (not differentiated).
+using MetricFn =
+    std::function<Tensor(const Tensor& yTrue, const Tensor& yPred)>;
+
+Tensor meanSquaredError(const Tensor& yTrue, const Tensor& yPred);
+Tensor meanAbsoluteError(const Tensor& yTrue, const Tensor& yPred);
+/// Cross-entropy over probabilities in yPred (post-softmax), clipped for
+/// stability using the active backend's epsilon (paper section 4.1.3).
+Tensor categoricalCrossentropy(const Tensor& yTrue, const Tensor& yPred);
+Tensor binaryCrossentropy(const Tensor& yTrue, const Tensor& yPred);
+Tensor huberLoss(const Tensor& yTrue, const Tensor& yPred, float delta = 1.0f);
+
+/// Fraction of rows whose argmax matches (one-hot labels).
+Tensor categoricalAccuracy(const Tensor& yTrue, const Tensor& yPred);
+/// Fraction of elements where round(yPred) == yTrue (binary labels).
+Tensor binaryAccuracy(const Tensor& yTrue, const Tensor& yPred);
+
+LossFn makeLoss(const std::string& name);
+MetricFn makeMetric(const std::string& name);
+
+}  // namespace tfjs::layers

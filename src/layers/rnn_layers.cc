@@ -1,0 +1,305 @@
+#include "layers/rnn_layers.h"
+
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+namespace {
+
+/// x[:, t, :] as [batch, features]; slicing records gradients, so BPTT
+/// flows back into the sequence input too.
+Tensor timeStep(const Tensor& x, int t) {
+  const int batch = x.shape()[0], features = x.shape()[2];
+  const std::array<int, 3> begin{0, t, 0};
+  const std::array<int, 3> size{batch, 1, features};
+  Tensor sliced = o::slice(x, begin, size);
+  Tensor flat = sliced.reshape(Shape{batch, features});
+  sliced.dispose();
+  return flat;
+}
+
+/// Stacks per-step outputs [batch, units] into [batch, time, units].
+Tensor stackTime(std::span<const Tensor> steps) {
+  std::vector<Tensor> expanded;
+  expanded.reserve(steps.size());
+  for (const auto& s : steps) expanded.push_back(o::expandDims(s, 1));
+  Tensor out = o::concat(expanded, 1);
+  for (auto& t : expanded) t.dispose();
+  return out;
+}
+
+/// Column block g (of `blocks`) from a [batch, units*blocks] matrix.
+Tensor gate(const Tensor& z, int g, int units) {
+  const std::array<int, 2> begin{0, g * units};
+  const std::array<int, 2> size{z.shape()[0], units};
+  return o::slice(z, begin, size);
+}
+
+void validateSequenceInput(const Shape& s, const char* who) {
+  TFJS_ARG_CHECK(s.rank() == 3,
+                 who << " expects [batch, time, features] input, got "
+                     << s.toString());
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- SimpleRNN
+
+SimpleRNN::SimpleRNN(RNNOptions opts)
+    : Layer(opts.name), opts_(std::move(opts)),
+      activation_(makeActivation(opts_.activation)) {
+  TFJS_ARG_CHECK(opts_.units > 0, "SimpleRNN requires units > 0");
+}
+
+void SimpleRNN::build(const Shape& inputShape) {
+  validateSequenceInput(inputShape, "SimpleRNN");
+  const int features = inputShape[2];
+  kernel_ = addWeight("kernel", Shape{features, opts_.units},
+                      *makeInitializer(opts_.kernelInitializer), features,
+                      opts_.units);
+  // Orthogonal-ish: glorot keeps the recurrent spectrum tame enough here.
+  recurrentKernel_ = addWeight("recurrent_kernel",
+                               Shape{opts_.units, opts_.units},
+                               *glorotUniformInitializer(), opts_.units,
+                               opts_.units);
+  if (opts_.useBias) {
+    bias_ = addWeight("bias", Shape{opts_.units}, *zerosInitializer(),
+                      features, opts_.units);
+  }
+  built_ = true;
+}
+
+Tensor SimpleRNN::call(const Tensor& x, bool) {
+  validateSequenceInput(x.shape(), "SimpleRNN");
+  const int batch = x.shape()[0], steps = x.shape()[1];
+  Tensor h = o::zeros(Shape{batch, opts_.units});
+  std::vector<Tensor> outputs;
+  for (int t = 0; t < steps; ++t) {
+    Tensor xt = timeStep(x, t);
+    Tensor z = o::add(o::matMul(xt, kernel_.value()),
+                      o::matMul(h, recurrentKernel_.value()));
+    if (opts_.useBias) z = o::add(z, bias_.value());
+    Tensor next = activation_(z);
+    h.dispose();
+    h = next;
+    if (opts_.returnSequences) outputs.push_back(h.clone());
+    xt.dispose();
+    z.dispose();
+  }
+  if (!opts_.returnSequences) return h;
+  Tensor seq = stackTime(outputs);
+  for (auto& t : outputs) t.dispose();
+  h.dispose();
+  return seq;
+}
+
+Shape SimpleRNN::computeOutputShape(const Shape& in) const {
+  return opts_.returnSequences ? Shape{in[0], in[1], opts_.units}
+                               : Shape{in[0], opts_.units};
+}
+
+io::Json SimpleRNN::getConfig() const {
+  io::Json j = Layer::getConfig();
+  j["units"] = opts_.units;
+  j["activation"] = opts_.activation;
+  j["return_sequences"] = opts_.returnSequences;
+  j["use_bias"] = opts_.useBias;
+  return j;
+}
+
+// --------------------------------------------------------------------- GRU
+
+GRU::GRU(RNNOptions opts)
+    : Layer(opts.name), opts_(std::move(opts)),
+      activation_(makeActivation(opts_.activation)),
+      recurrentActivation_(makeActivation(opts_.recurrentActivation)) {
+  TFJS_ARG_CHECK(opts_.units > 0, "GRU requires units > 0");
+}
+
+void GRU::build(const Shape& inputShape) {
+  validateSequenceInput(inputShape, "GRU");
+  const int features = inputShape[2];
+  kernel_ = addWeight("kernel", Shape{features, 3 * opts_.units},
+                      *makeInitializer(opts_.kernelInitializer), features,
+                      3 * opts_.units);
+  recurrentKernel_ = addWeight("recurrent_kernel",
+                               Shape{opts_.units, 3 * opts_.units},
+                               *glorotUniformInitializer(), opts_.units,
+                               3 * opts_.units);
+  if (opts_.useBias) {
+    bias_ = addWeight("bias", Shape{3 * opts_.units}, *zerosInitializer(),
+                      features, 3 * opts_.units);
+  }
+  built_ = true;
+}
+
+Tensor GRU::call(const Tensor& x, bool) {
+  validateSequenceInput(x.shape(), "GRU");
+  const int batch = x.shape()[0], steps = x.shape()[1];
+  const int u = opts_.units;
+  Tensor h = o::zeros(Shape{batch, u});
+  std::vector<Tensor> outputs;
+  for (int t = 0; t < steps; ++t) {
+    Tensor xt = timeStep(x, t);
+    Tensor zx = o::matMul(xt, kernel_.value());        // [b, 3u]
+    Tensor zh = o::matMul(h, recurrentKernel_.value());  // [b, 3u]
+    if (opts_.useBias) zx = o::add(zx, bias_.value());
+    // Gates: update z, reset r, candidate n (reset applies to the recurrent
+    // contribution, the Keras v3 "reset_after=false" formulation).
+    Tensor zGate = recurrentActivation_(o::add(gate(zx, 0, u), gate(zh, 0, u)));
+    Tensor rGate = recurrentActivation_(o::add(gate(zx, 1, u), gate(zh, 1, u)));
+    Tensor nGate = activation_(
+        o::add(gate(zx, 2, u), o::mul(rGate, gate(zh, 2, u))));
+    // h' = (1 - z) * n + z * h
+    Tensor one = o::scalar(1);
+    Tensor next = o::add(o::mul(o::sub(one, zGate), nGate), o::mul(zGate, h));
+    h.dispose();
+    h = next;
+    if (opts_.returnSequences) outputs.push_back(h.clone());
+    for (Tensor tt : {xt, zx, zh, zGate, rGate, nGate, one}) tt.dispose();
+  }
+  if (!opts_.returnSequences) return h;
+  Tensor seq = stackTime(outputs);
+  for (auto& t : outputs) t.dispose();
+  h.dispose();
+  return seq;
+}
+
+Shape GRU::computeOutputShape(const Shape& in) const {
+  return opts_.returnSequences ? Shape{in[0], in[1], opts_.units}
+                               : Shape{in[0], opts_.units};
+}
+
+io::Json GRU::getConfig() const {
+  io::Json j = Layer::getConfig();
+  j["units"] = opts_.units;
+  j["activation"] = opts_.activation;
+  j["recurrent_activation"] = opts_.recurrentActivation;
+  j["return_sequences"] = opts_.returnSequences;
+  j["use_bias"] = opts_.useBias;
+  return j;
+}
+
+// -------------------------------------------------------------------- LSTM
+
+LSTM::LSTM(RNNOptions opts)
+    : Layer(opts.name), opts_(std::move(opts)),
+      activation_(makeActivation(opts_.activation)),
+      recurrentActivation_(makeActivation(opts_.recurrentActivation)) {
+  TFJS_ARG_CHECK(opts_.units > 0, "LSTM requires units > 0");
+}
+
+void LSTM::build(const Shape& inputShape) {
+  validateSequenceInput(inputShape, "LSTM");
+  const int features = inputShape[2];
+  kernel_ = addWeight("kernel", Shape{features, 4 * opts_.units},
+                      *makeInitializer(opts_.kernelInitializer), features,
+                      4 * opts_.units);
+  recurrentKernel_ = addWeight("recurrent_kernel",
+                               Shape{opts_.units, 4 * opts_.units},
+                               *glorotUniformInitializer(), opts_.units,
+                               4 * opts_.units);
+  if (opts_.useBias) {
+    // Forget-gate bias of 1: the standard trick to keep early gradients
+    // flowing; matches Keras unit_forget_bias.
+    std::vector<float> b(static_cast<std::size_t>(4 * opts_.units), 0.f);
+    for (int i = opts_.units; i < 2 * opts_.units; ++i) {
+      b[static_cast<std::size_t>(i)] = 1.f;
+    }
+    Tensor init = o::tensor(b, Shape{4 * opts_.units});
+    bias_ = addWeightWithValue("bias", init);
+  }
+  built_ = true;
+}
+
+Tensor LSTM::call(const Tensor& x, bool) {
+  validateSequenceInput(x.shape(), "LSTM");
+  const int batch = x.shape()[0], steps = x.shape()[1];
+  const int u = opts_.units;
+  Tensor h = o::zeros(Shape{batch, u});
+  Tensor c = o::zeros(Shape{batch, u});
+  std::vector<Tensor> outputs;
+  for (int t = 0; t < steps; ++t) {
+    Tensor xt = timeStep(x, t);
+    Tensor z = o::add(o::matMul(xt, kernel_.value()),
+                      o::matMul(h, recurrentKernel_.value()));
+    if (opts_.useBias) z = o::add(z, bias_.value());
+    Tensor i = recurrentActivation_(gate(z, 0, u));
+    Tensor f = recurrentActivation_(gate(z, 1, u));
+    Tensor g = activation_(gate(z, 2, u));
+    Tensor oGate = recurrentActivation_(gate(z, 3, u));
+    Tensor nextC = o::add(o::mul(f, c), o::mul(i, g));
+    Tensor nextH = o::mul(oGate, activation_(nextC));
+    h.dispose();
+    c.dispose();
+    h = nextH;
+    c = nextC;
+    if (opts_.returnSequences) outputs.push_back(h.clone());
+    for (Tensor tt : {xt, z, i, f, g, oGate}) tt.dispose();
+  }
+  c.dispose();
+  if (!opts_.returnSequences) return h;
+  Tensor seq = stackTime(outputs);
+  for (auto& t : outputs) t.dispose();
+  h.dispose();
+  return seq;
+}
+
+Shape LSTM::computeOutputShape(const Shape& in) const {
+  return opts_.returnSequences ? Shape{in[0], in[1], opts_.units}
+                               : Shape{in[0], opts_.units};
+}
+
+io::Json LSTM::getConfig() const {
+  io::Json j = Layer::getConfig();
+  j["units"] = opts_.units;
+  j["activation"] = opts_.activation;
+  j["recurrent_activation"] = opts_.recurrentActivation;
+  j["return_sequences"] = opts_.returnSequences;
+  j["use_bias"] = opts_.useBias;
+  return j;
+}
+
+// --------------------------------------------------------------- Embedding
+
+Embedding::Embedding(int vocabSize, int outputDim, std::string name)
+    : Layer(std::move(name)), vocabSize_(vocabSize), outputDim_(outputDim) {
+  TFJS_ARG_CHECK(vocabSize > 0 && outputDim > 0,
+                 "Embedding requires positive vocabSize and outputDim");
+}
+
+void Embedding::build(const Shape&) {
+  table_ = addWeight("embeddings", Shape{vocabSize_, outputDim_},
+                     *randomUniformInitializer(-0.05f, 0.05f), vocabSize_,
+                     outputDim_);
+  built_ = true;
+}
+
+Tensor Embedding::call(const Tensor& x, bool) {
+  TFJS_ARG_CHECK(x.rank() == 2,
+                 "Embedding expects [batch, time] indices, got "
+                     << x.shape().toString());
+  Tensor flat = x.flatten();
+  Tensor gathered = o::gather(table_.value(), flat, 0);
+  Tensor out = gathered.reshape(
+      Shape{x.shape()[0], x.shape()[1], outputDim_});
+  flat.dispose();
+  gathered.dispose();
+  return out;
+}
+
+Shape Embedding::computeOutputShape(const Shape& in) const {
+  return Shape{in[0], in[1], outputDim_};
+}
+
+io::Json Embedding::getConfig() const {
+  io::Json j = Layer::getConfig();
+  j["input_dim"] = vocabSize_;
+  j["output_dim"] = outputDim_;
+  return j;
+}
+
+}  // namespace tfjs::layers

@@ -1,0 +1,88 @@
+// Recurrent layers (SimpleRNN, GRU, LSTM) — part of the Keras-parity layer
+// set the Layers API mirrors (paper section 3.2). Sequence processing runs
+// as native C++ loops over time steps; because the autodiff engine is eager
+// (section 3.5), backpropagation-through-time falls out of the tape with no
+// special casing — the exact benefit the paper claims for eager engines.
+//
+// Inputs are [batch, time, features]; output is [batch, units], or
+// [batch, time, units] with returnSequences.
+#pragma once
+
+#include "layers/layer.h"
+
+namespace tfjs::layers {
+
+struct RNNOptions {
+  int units = 0;
+  std::string activation = "tanh";
+  std::string recurrentActivation = "sigmoid";  // GRU/LSTM gates
+  bool returnSequences = false;
+  bool useBias = true;
+  std::string kernelInitializer = "glorotUniform";
+  std::string name;
+};
+
+class SimpleRNN : public Layer {
+ public:
+  explicit SimpleRNN(RNNOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "SimpleRNN"; }
+  io::Json getConfig() const override;
+
+ private:
+  RNNOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  Variable kernel_, recurrentKernel_, bias_;
+};
+
+class GRU : public Layer {
+ public:
+  explicit GRU(RNNOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "GRU"; }
+  io::Json getConfig() const override;
+
+ private:
+  RNNOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  std::function<Tensor(const Tensor&)> recurrentActivation_;
+  Variable kernel_, recurrentKernel_, bias_;
+};
+
+class LSTM : public Layer {
+ public:
+  explicit LSTM(RNNOptions opts);
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "LSTM"; }
+  io::Json getConfig() const override;
+
+ private:
+  RNNOptions opts_;
+  std::function<Tensor(const Tensor&)> activation_;
+  std::function<Tensor(const Tensor&)> recurrentActivation_;
+  Variable kernel_, recurrentKernel_, bias_;
+};
+
+/// Token embedding lookup: i32 indices [batch, time] -> [batch, time, dim].
+/// Trainable: the gather op's axis-0 gradient scatter-adds into the table.
+class Embedding : public Layer {
+ public:
+  Embedding(int vocabSize, int outputDim, std::string name = "");
+  void build(const Shape& inputShape) override;
+  Tensor call(const Tensor& x, bool training) override;
+  Shape computeOutputShape(const Shape& inputShape) const override;
+  std::string className() const override { return "Embedding"; }
+  io::Json getConfig() const override;
+
+ private:
+  int vocabSize_, outputDim_;
+  Variable table_;
+};
+
+}  // namespace tfjs::layers

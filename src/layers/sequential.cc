@@ -1,0 +1,313 @@
+#include "layers/sequential.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/random.h"
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+Sequential::Sequential(std::string name) : name_(std::move(name)) {}
+
+Sequential::~Sequential() = default;
+
+void Sequential::add(LayerPtr layer) {
+  TFJS_ARG_CHECK(layer != nullptr, "add() requires a layer");
+  layers_.push_back(std::move(layer));
+}
+
+void Sequential::build(const Shape& inputShape) {
+  Shape shape = inputShape;
+  for (auto& layer : layers_) {
+    if (!layer->built()) layer->build(shape);
+    shape = layer->computeOutputShape(shape);
+  }
+}
+
+void Sequential::compile(CompileOptions opts) {
+  compileOpts_ = std::move(opts);
+  optimizer_ = autodiff::makeOptimizer(compileOpts_.optimizer,
+                                       compileOpts_.learningRate);
+  loss_ = makeLoss(compileOpts_.loss);
+  metricFns_.clear();
+  for (const auto& m : compileOpts_.metrics) {
+    metricFns_.push_back(makeMetric(m));
+  }
+}
+
+Tensor Sequential::apply(const Tensor& x, bool training) {
+  TFJS_ARG_CHECK(!layers_.empty(), "Model '" << name_ << "' has no layers");
+  build(x.shape());
+  Tensor current = x.clone();
+  for (auto& layer : layers_) {
+    Tensor next = layer->apply(current, training);
+    current.dispose();
+    current = next;
+  }
+  return current;
+}
+
+Tensor Sequential::predict(const Tensor& x) {
+  // Model-level memory management (paper section 3.7): users of the Layers
+  // API never call tidy() themselves.
+  return Engine::get().tidy([&] { return apply(x, /*training=*/false); });
+}
+
+namespace {
+
+/// Rows of t at the given indices, as a new tensor.
+Tensor takeRows(const Tensor& t, std::span<const std::size_t> indices) {
+  std::vector<float> idx(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    idx[i] = static_cast<float>(indices[i]);
+  }
+  return Engine::get().tidy([&] {
+    Tensor idxT = o::tensor1d(idx, DType::i32);
+    return o::gather(t, idxT, 0);
+  });
+}
+
+}  // namespace
+
+History Sequential::fit(const Tensor& x, const Tensor& y,
+                        const FitOptions& opts) {
+  TFJS_ARG_CHECK(compiled(), "Call compile() before fit()");
+  TFJS_ARG_CHECK(x.shape()[0] == y.shape()[0],
+                 "fit: x and y must have the same number of examples");
+  TFJS_ARG_CHECK(opts.epochs > 0 && opts.batchSize > 0,
+                 "fit: epochs and batchSize must be positive");
+  TFJS_ARG_CHECK(opts.validationSplit >= 0 && opts.validationSplit < 1,
+                 "fit: validationSplit must be in [0, 1)");
+  build(x.shape());
+
+  const std::size_t total = static_cast<std::size_t>(x.shape()[0]);
+  const std::size_t valCount =
+      static_cast<std::size_t>(static_cast<float>(total) *
+                               opts.validationSplit);
+  const std::size_t trainCount = total - valCount;
+  TFJS_ARG_CHECK(trainCount > 0, "fit: no training examples left after split");
+
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> valIdx(order.begin() + static_cast<std::ptrdiff_t>(
+                                                      trainCount),
+                                  order.end());
+  order.resize(trainCount);
+
+  Random rng(opts.seed);
+  History history;
+  history.metrics.resize(metricFns_.size());
+  history.valMetrics.resize(metricFns_.size());
+  const std::vector<Variable> vars = trainableWeights();
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    if (opts.shuffle) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.below(static_cast<std::uint32_t>(i))]);
+      }
+    }
+    double epochLoss = 0;
+    for (std::size_t start = 0; start < trainCount;
+         start += static_cast<std::size_t>(opts.batchSize)) {
+      const std::size_t end = std::min(
+          start + static_cast<std::size_t>(opts.batchSize), trainCount);
+      std::span<const std::size_t> batchIdx(order.data() + start, end - start);
+      Tensor batchX = takeRows(x, batchIdx);
+      Tensor batchY = takeRows(y, batchIdx);
+      Tensor cost = optimizer_->minimize(
+          [&] {
+            Tensor pred = apply(batchX, /*training=*/true);
+            return loss_(batchY, pred);
+          },
+          /*returnCost=*/true, vars);
+      epochLoss += static_cast<double>(cost.scalarSync()) *
+                   static_cast<double>(end - start);
+      cost.dispose();
+      batchX.dispose();
+      batchY.dispose();
+    }
+    history.loss.push_back(
+        static_cast<float>(epochLoss / static_cast<double>(trainCount)));
+
+    if (!metricFns_.empty()) {
+      EvalResult train = evaluateRange(x, y, order, opts.batchSize);
+      for (std::size_t m = 0; m < metricFns_.size(); ++m) {
+        history.metrics[m].push_back(train.metrics[m]);
+      }
+    }
+    if (valCount > 0) {
+      EvalResult val = evaluateRange(x, y, valIdx, opts.batchSize);
+      history.valLoss.push_back(val.loss);
+      for (std::size_t m = 0; m < metricFns_.size(); ++m) {
+        history.valMetrics[m].push_back(val.metrics[m]);
+      }
+    }
+    if (opts.verbose) {
+      std::printf("epoch %d/%d - loss %.5f%s\n", epoch + 1, opts.epochs,
+                  history.loss.back(),
+                  valCount > 0
+                      ? (" - val_loss " + std::to_string(history.valLoss.back()))
+                            .c_str()
+                      : "");
+    }
+  }
+  return history;
+}
+
+History Sequential::fitDataset(const data::Pipeline& dataset, int epochs,
+                               bool verbose) {
+  TFJS_ARG_CHECK(compiled(), "Call compile() before fitDataset()");
+  TFJS_ARG_CHECK(epochs > 0, "fitDataset: epochs must be positive");
+  History history;
+  std::vector<Variable> vars;  // resolved after the first batch builds
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double lossSum = 0;
+    std::size_t exampleCount = 0;
+    dataset.forEach([&](data::Example batch) {
+      build(batch.features.shape());
+      if (vars.empty()) vars = trainableWeights();
+      const auto n = static_cast<std::size_t>(batch.features.shape()[0]);
+      Tensor cost = optimizer_->minimize(
+          [&] {
+            Tensor pred = apply(batch.features, /*training=*/true);
+            return loss_(batch.label, pred);
+          },
+          /*returnCost=*/true, vars);
+      lossSum += static_cast<double>(cost.scalarSync()) *
+                 static_cast<double>(n);
+      exampleCount += n;
+      cost.dispose();
+      batch.dispose();
+    });
+    TFJS_ARG_CHECK(exampleCount > 0, "fitDataset: dataset produced no batches");
+    history.loss.push_back(
+        static_cast<float>(lossSum / static_cast<double>(exampleCount)));
+    if (verbose) {
+      std::printf("epoch %d/%d - loss %.5f (%zu examples)\n", epoch + 1,
+                  epochs, history.loss.back(), exampleCount);
+    }
+  }
+  return history;
+}
+
+EvalResult Sequential::evaluateRange(const Tensor& x, const Tensor& y,
+                                     std::span<const std::size_t> indices,
+                                     int batchSize) {
+  EvalResult result;
+  result.metrics.assign(metricFns_.size(), 0);
+  double lossSum = 0;
+  std::vector<double> metricSums(metricFns_.size(), 0);
+  for (std::size_t start = 0; start < indices.size();
+       start += static_cast<std::size_t>(batchSize)) {
+    const std::size_t end =
+        std::min(start + static_cast<std::size_t>(batchSize), indices.size());
+    std::span<const std::size_t> batchIdx(indices.data() + start, end - start);
+    const auto n = static_cast<double>(end - start);
+    Engine::get().tidyVoid([&] {
+      Tensor batchX = takeRows(x, batchIdx);
+      Tensor batchY = takeRows(y, batchIdx);
+      Tensor pred = apply(batchX, /*training=*/false);
+      Tensor l = loss_(batchY, pred);
+      lossSum += static_cast<double>(l.scalarSync()) * n;
+      for (std::size_t m = 0; m < metricFns_.size(); ++m) {
+        Tensor mv = metricFns_[m](batchY, pred);
+        metricSums[m] += static_cast<double>(mv.scalarSync()) * n;
+      }
+    });
+  }
+  const auto total = static_cast<double>(indices.size());
+  result.loss = static_cast<float>(lossSum / total);
+  for (std::size_t m = 0; m < metricFns_.size(); ++m) {
+    result.metrics[m] = static_cast<float>(metricSums[m] / total);
+  }
+  return result;
+}
+
+EvalResult Sequential::evaluate(const Tensor& x, const Tensor& y,
+                                int batchSize) {
+  TFJS_ARG_CHECK(compiled(), "Call compile() before evaluate()");
+  build(x.shape());
+  std::vector<std::size_t> all(static_cast<std::size_t>(x.shape()[0]));
+  std::iota(all.begin(), all.end(), 0);
+  return evaluateRange(x, y, all, batchSize);
+}
+
+std::vector<Variable> Sequential::weights() const {
+  std::vector<Variable> out;
+  for (const auto& layer : layers_) {
+    for (const auto& w : layer->weights()) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<Variable> Sequential::trainableWeights() const {
+  std::vector<Variable> out;
+  for (const auto& layer : layers_) {
+    for (const auto& w : layer->trainableWeights()) out.push_back(w);
+  }
+  return out;
+}
+
+std::size_t Sequential::countParams() const {
+  std::size_t n = 0;
+  for (const auto& w : weights()) n += w.value().size();
+  return n;
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream os;
+  os << "Model: " << name_ << "\n";
+  os << "_________________________________________________________________\n";
+  os << "Layer (type)                 Params\n";
+  os << "=================================================================\n";
+  for (const auto& layer : layers_) {
+    std::size_t params = 0;
+    for (const auto& w : layer->weights()) params += w.value().size();
+    std::string label = layer->name() + " (" + layer->className() + ")";
+    if (label.size() < 29) label.resize(29, ' ');
+    os << label << params << "\n";
+  }
+  os << "=================================================================\n";
+  os << "Total params: " << countParams() << "\n";
+  return os.str();
+}
+
+io::Json Sequential::toConfig() const {
+  io::JsonArray layerSpecs;
+  for (const auto& layer : layers_) {
+    io::JsonObject spec;
+    spec["class_name"] = layer->className();
+    spec["config"] = layer->getConfig();
+    layerSpecs.emplace_back(std::move(spec));
+  }
+  io::JsonObject cfg;
+  cfg["name"] = name_;
+  cfg["layers"] = io::Json(std::move(layerSpecs));
+  io::JsonObject root;
+  root["class_name"] = "Sequential";
+  root["config"] = io::Json(std::move(cfg));
+  return io::Json(std::move(root));
+}
+
+std::unique_ptr<Sequential> Sequential::fromConfig(const io::Json& config) {
+  TFJS_ARG_CHECK(config.at("class_name").asString() == "Sequential",
+                 "Expected a Sequential topology");
+  const io::Json& cfg = config.at("config");
+  auto model = std::make_unique<Sequential>(
+      cfg.has("name") ? cfg.at("name").asString() : "sequential");
+  for (const auto& spec : cfg.at("layers").asArray()) {
+    model->add(layerFromConfig(spec));
+  }
+  return model;
+}
+
+void Sequential::dispose() {
+  for (auto& layer : layers_) layer->dispose();
+}
+
+}  // namespace tfjs::layers

@@ -1,0 +1,127 @@
+// Sequential model (paper Listing 1): assemble layers, compile with a loss
+// and optimizer, then fit/predict/evaluate. Model-level methods manage
+// memory internally so Layers-API users never call dispose()/tidy()
+// themselves (paper section 3.7).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autodiff/optimizers.h"
+#include "data/pipeline.h"
+#include "layers/layer.h"
+#include "layers/losses.h"
+
+namespace tfjs::layers {
+
+struct CompileOptions {
+  std::string optimizer = "sgd";
+  float learningRate = 0.01f;
+  std::string loss = "meanSquaredError";
+  std::vector<std::string> metrics;
+};
+
+struct FitOptions {
+  int epochs = 1;
+  int batchSize = 32;
+  bool shuffle = true;
+  /// Fraction of the data held out for validation at the end of each epoch.
+  float validationSplit = 0;
+  bool verbose = false;
+  std::uint64_t seed = 42;
+};
+
+/// Per-epoch training record returned by fit() (the History object).
+struct History {
+  std::vector<float> loss;
+  std::vector<float> valLoss;
+  /// One series per compiled metric, indexed like CompileOptions::metrics.
+  std::vector<std::vector<float>> metrics;
+  std::vector<std::vector<float>> valMetrics;
+};
+
+struct EvalResult {
+  float loss = 0;
+  std::vector<float> metrics;
+};
+
+class Sequential {
+ public:
+  explicit Sequential(std::string name = "sequential");
+  ~Sequential();
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  /// Appends a layer (Listing 1: model.add(tf.layers.dense({...}))).
+  void add(LayerPtr layer);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+
+  /// Builds all layers for the given input shape (batch dim may be any
+  /// positive placeholder). Called automatically by fit/predict.
+  void build(const Shape& inputShape);
+
+  /// Specifies the loss and optimizer (Listing 1: model.compile(...)).
+  void compile(CompileOptions opts);
+
+  /// Forward pass in inference mode; memory-managed internally.
+  Tensor predict(const Tensor& x);
+  /// Forward pass with training-mode layer behaviour.
+  Tensor apply(const Tensor& x, bool training);
+
+  /// Trains with mini-batch gradient descent (Listing 1: model.fit(...)).
+  History fit(const Tensor& x, const Tensor& y, const FitOptions& opts = {});
+
+  /// Trains from a pipeline of already-batched Examples — the
+  /// model.fitDataset analogue closing the section 7 "data input" loop.
+  /// The model must be built (or the first batch builds it).
+  History fitDataset(const data::Pipeline& dataset, int epochs = 1,
+                     bool verbose = false);
+
+  /// Mean loss (and metrics) over the given data.
+  EvalResult evaluate(const Tensor& x, const Tensor& y, int batchSize = 32);
+
+  /// All weights in layer order (trainable and not).
+  std::vector<Variable> weights() const;
+  std::vector<Variable> trainableWeights() const;
+
+  /// Keras-style textual summary (layer, output shape, params).
+  std::string summary() const;
+  std::size_t countParams() const;
+
+  /// Keras-compatible topology JSON ({"class_name": "Sequential", ...}).
+  io::Json toConfig() const;
+  /// Rebuilds a model (unbuilt, weights uninitialized) from topology JSON.
+  static std::unique_ptr<Sequential> fromConfig(const io::Json& config);
+
+  const CompileOptions& compileOptions() const { return compileOpts_; }
+  bool compiled() const { return optimizer_ != nullptr; }
+
+  /// Frees all layer weights.
+  void dispose();
+
+ private:
+  EvalResult evaluateRange(const Tensor& x, const Tensor& y,
+                           std::span<const std::size_t> indices,
+                           int batchSize);
+
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+  CompileOptions compileOpts_;
+  std::unique_ptr<autodiff::Optimizer> optimizer_;
+  LossFn loss_;
+  std::vector<MetricFn> metricFns_;
+};
+
+}  // namespace tfjs::layers
+
+namespace tfjs {
+/// tf.sequential() analogue.
+inline std::unique_ptr<layers::Sequential> sequential(
+    std::string name = "sequential") {
+  return std::make_unique<layers::Sequential>(std::move(name));
+}
+}  // namespace tfjs

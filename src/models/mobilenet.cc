@@ -1,0 +1,177 @@
+#include "models/mobilenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/conv_util.h"
+#include "core/engine.h"
+#include "layers/conv_layers.h"
+#include "layers/core_layers.h"
+#include "ops/ops.h"
+
+namespace tfjs::models {
+
+namespace o = tfjs::ops;
+using layers::BatchNormalization;
+using layers::BatchNormOptions;
+using layers::Conv2D;
+using layers::Conv2DOptions;
+using layers::Dense;
+using layers::DenseOptions;
+using layers::DepthwiseConv2D;
+using layers::DepthwiseConv2DOptions;
+using layers::GlobalAveragePooling2D;
+using layers::Sequential;
+
+namespace {
+
+/// (pointwise filters, stride) for the 13 depthwise-separable blocks.
+constexpr std::pair<int, int> kBlocks[] = {
+    {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+    {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+    {512, 1}, {1024, 2}, {1024, 1},
+};
+
+int scaled(int channels, float alpha) {
+  return std::max(8, static_cast<int>(std::lround(channels * alpha)));
+}
+
+void addConvUnit(Sequential& m, const MobileNetOptions& opts, int filters,
+                 int kernel, int stride, const std::string& name) {
+  Conv2DOptions c;
+  c.filters = filters;
+  c.kernelH = c.kernelW = kernel;
+  c.strideH = c.strideW = stride;
+  c.padding = "same";
+  c.useBias = !opts.withBatchNorm;  // folded graphs carry the bias
+  c.activation = opts.withBatchNorm ? "linear" : "relu6";
+  // He init keeps activation variance stable through the 27-layer ReLU
+  // stack; with Glorot the folded (BN-less) graph collapses to ~0 features.
+  c.kernelInitializer = "heNormal";
+  c.name = name;
+  m.add(std::make_shared<Conv2D>(c));
+  if (opts.withBatchNorm) {
+    BatchNormOptions bn;
+    bn.name = name + "_bn";
+    m.add(std::make_shared<BatchNormalization>(bn));
+    m.add(std::make_shared<layers::Activation>("relu6", name + "_relu"));
+  }
+}
+
+void addDepthwiseUnit(Sequential& m, const MobileNetOptions& opts, int stride,
+                      const std::string& name) {
+  DepthwiseConv2DOptions d;
+  d.kernelH = d.kernelW = 3;
+  d.strideH = d.strideW = stride;
+  d.padding = "same";
+  d.useBias = !opts.withBatchNorm;
+  d.activation = opts.withBatchNorm ? "linear" : "relu6";
+  d.kernelInitializer = "heNormal";
+  d.name = name;
+  m.add(std::make_shared<DepthwiseConv2D>(d));
+  if (opts.withBatchNorm) {
+    BatchNormOptions bn;
+    bn.name = name + "_bn";
+    m.add(std::make_shared<BatchNormalization>(bn));
+    m.add(std::make_shared<layers::Activation>("relu6", name + "_relu"));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> buildMobileNetV1(const MobileNetOptions& opts) {
+  TFJS_ARG_CHECK(opts.alpha > 0, "MobileNet alpha must be positive");
+  TFJS_ARG_CHECK(opts.inputSize >= 32, "MobileNet input must be >= 32");
+  auto model = std::make_unique<Sequential>(
+      "mobilenet_v1_" + std::to_string(opts.alpha) + "_" +
+      std::to_string(opts.inputSize));
+
+  addConvUnit(*model, opts, scaled(32, opts.alpha), 3, 2, "conv1");
+  int blockIdx = 1;
+  for (const auto& [filters, stride] : kBlocks) {
+    const std::string base = "conv_dw_" + std::to_string(blockIdx);
+    addDepthwiseUnit(*model, opts, stride, base);
+    addConvUnit(*model, opts, scaled(filters, opts.alpha), 1, 1,
+                "conv_pw_" + std::to_string(blockIdx));
+    ++blockIdx;
+  }
+  if (opts.includeTop) {
+    model->add(std::make_shared<GlobalAveragePooling2D>("global_pool"));
+    DenseOptions d;
+    d.units = opts.numClasses;
+    d.activation = "softmax";
+    d.name = "predictions";
+    model->add(std::make_shared<Dense>(d));
+  }
+  return model;
+}
+
+std::size_t mobileNetV1Flops(const MobileNetOptions& opts) {
+  std::size_t flops = 0;
+  int size = opts.inputSize;
+  int channels = 3;
+
+  auto convFlops = [&](int outC, int kernel, int stride) {
+    size = (size + stride - 1) / stride;  // SAME padding
+    flops += 2ull * static_cast<std::size_t>(size) * size * outC * kernel *
+             kernel * channels;
+    channels = outC;
+  };
+  auto dwFlops = [&](int stride) {
+    size = (size + stride - 1) / stride;
+    flops += 2ull * static_cast<std::size_t>(size) * size * channels * 9;
+  };
+
+  convFlops(scaled(32, opts.alpha), 3, 2);
+  for (const auto& [filters, stride] : kBlocks) {
+    dwFlops(stride);
+    convFlops(scaled(filters, opts.alpha), 1, 1);
+  }
+  if (opts.includeTop) {
+    flops += 2ull * static_cast<std::size_t>(channels) * opts.numClasses;
+  }
+  return flops;
+}
+
+// ------------------------------------------------------------- classifier
+
+MobileNetClassifier::MobileNetClassifier(MobileNetOptions opts)
+    : opts_(std::move(opts)), model_(buildMobileNetV1(opts_)) {
+  model_->build(Shape{1, opts_.inputSize, opts_.inputSize, 3});
+}
+
+Tensor MobileNetClassifier::infer(const data::Image& img) {
+  return Engine::get().tidy([&] {
+    Tensor x = data::fromPixels(img);
+    if (img.height != opts_.inputSize || img.width != opts_.inputSize) {
+      x = o::resizeBilinear(x, opts_.inputSize, opts_.inputSize);
+    }
+    return model_->apply(x, /*training=*/false);
+  });
+}
+
+std::vector<MobileNetClassifier::Prediction> MobileNetClassifier::classify(
+    const data::Image& img, int topK) {
+  Tensor probs = infer(img);
+  const auto v = probs.dataSync();
+  probs.dispose();
+
+  std::vector<int> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  const int k = std::min<int>(topK, static_cast<int>(v.size()));
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int a, int b) {
+                      return v[static_cast<std::size_t>(a)] >
+                             v[static_cast<std::size_t>(b)];
+                    });
+  std::vector<Prediction> out;
+  for (int i = 0; i < k; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "class_%04d", idx[static_cast<std::size_t>(i)]);
+    out.push_back(Prediction{name, v[static_cast<std::size_t>(idx[
+        static_cast<std::size_t>(i)])]});
+  }
+  return out;
+}
+
+}  // namespace tfjs::models

@@ -1,0 +1,63 @@
+// MobileNet v1 (Howard et al. 2017) — the paper's benchmark workload
+// (Table 1) and the backbone of its hosted-models story (section 5.2).
+//
+// Weights are synthetic (seeded initializers): experiments here measure
+// execution, and FLOP counts / tensor shapes are architecture-determined
+// (DESIGN.md substitution table). The width multiplier (alpha) and input
+// size follow the upstream naming: MobileNet v1 1.0_224 is alpha=1,
+// inputSize=224.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/image.h"
+#include "layers/sequential.h"
+
+namespace tfjs::models {
+
+struct MobileNetOptions {
+  float alpha = 1.0f;   ///< width multiplier
+  int inputSize = 224;  ///< square input resolution
+  int numClasses = 1000;
+  bool includeTop = true;
+  /// true adds BatchNormalization after every conv (trainable graph);
+  /// false emits the converter-style folded graph (conv + bias only).
+  bool withBatchNorm = false;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the network; the returned model is unbuilt until first use.
+std::unique_ptr<layers::Sequential> buildMobileNetV1(
+    const MobileNetOptions& opts = {});
+
+/// Analytic multiply-add based FLOP count of one inference (used to sanity-
+/// check the device cost model).
+std::size_t mobileNetV1Flops(const MobileNetOptions& opts = {});
+
+/// Friendly classification wrapper (section 5.2): accepts a host Image and
+/// returns human-readable predictions — no tensors in the API.
+class MobileNetClassifier {
+ public:
+  explicit MobileNetClassifier(MobileNetOptions opts = {});
+
+  struct Prediction {
+    std::string className;
+    float probability = 0;
+  };
+  /// Resizes, normalizes, runs the network, and returns the top-k classes.
+  std::vector<Prediction> classify(const data::Image& img, int topK = 3);
+
+  /// Tensor-level escape hatch for expert users (transfer learning): the
+  /// activations of the layer before the classification head.
+  Tensor infer(const data::Image& img);
+
+  layers::Sequential& model() { return *model_; }
+
+ private:
+  MobileNetOptions opts_;
+  std::unique_ptr<layers::Sequential> model_;
+};
+
+}  // namespace tfjs::models

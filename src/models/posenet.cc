@@ -1,0 +1,132 @@
+#include "models/posenet.h"
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "models/mobilenet.h"
+#include "ops/ops.h"
+
+namespace tfjs::models {
+
+namespace o = tfjs::ops;
+
+const std::array<const char*, kNumKeypoints>& posenetPartNames() {
+  static const std::array<const char*, kNumKeypoints> kParts = {
+      "nose", "leftEye", "rightEye", "leftEar", "rightEar",
+      "leftShoulder", "rightShoulder", "leftElbow", "rightElbow",
+      "leftWrist", "rightWrist", "leftHip", "rightHip",
+      "leftKnee", "rightKnee", "leftAnkle", "rightAnkle"};
+  return kParts;
+}
+
+std::string Pose::toJsonString() const {
+  std::ostringstream os;
+  os << "{\n  \"score\": " << score << ",\n  \"keypoints\": [\n";
+  for (std::size_t i = 0; i < keypoints.size(); ++i) {
+    const auto& k = keypoints[i];
+    os << "    {\"position\": {\"x\": " << k.x << ", \"y\": " << k.y
+       << "}, \"part\": \"" << k.part << "\", \"score\": " << k.score << "}";
+    if (i + 1 < keypoints.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}";
+  return os.str();
+}
+
+PoseNet::PoseNet(PoseNetOptions opts) : opts_(std::move(opts)) {
+  TFJS_ARG_CHECK(opts_.outputStride == 8 || opts_.outputStride == 16 ||
+                     opts_.outputStride == 32,
+                 "PoseNet outputStride must be 8, 16 or 32");
+  // Truncated MobileNet: keep blocks until the spatial stride reaches
+  // outputStride (stride 16 = conv1 + first 5 separable blocks).
+  MobileNetOptions mn;
+  mn.alpha = opts_.alpha;
+  mn.inputSize = opts_.inputSize;
+  mn.includeTop = false;
+  mn.seed = opts_.seed;
+  auto full = buildMobileNetV1(mn);
+  backbone_ = std::make_unique<layers::Sequential>("posenet_backbone");
+  int stride = 1;
+  for (const auto& layer : full->layers()) {
+    // Track the cumulative stride by inspecting layer config.
+    const io::Json cfg = layer->getConfig();
+    if (cfg.has("strides")) {
+      stride *= cfg.at("strides").asArray()[0].asInt();
+    }
+    if (stride > opts_.outputStride) break;
+    backbone_->add(layer);
+  }
+
+  layers::Conv2DOptions hm;
+  hm.filters = kNumKeypoints;
+  hm.kernelH = hm.kernelW = 1;
+  hm.padding = "same";
+  hm.activation = "sigmoid";
+  hm.name = "heatmap";
+  heatmapHead_ = std::make_shared<layers::Conv2D>(hm);
+
+  layers::Conv2DOptions of;
+  of.filters = 2 * kNumKeypoints;
+  of.kernelH = of.kernelW = 1;
+  of.padding = "same";
+  of.name = "offset";
+  offsetHead_ = std::make_shared<layers::Conv2D>(of);
+}
+
+Pose PoseNet::estimateSinglePose(const data::Image& img) {
+  Pose pose;
+  Engine::get().tidyVoid([&] {
+    Tensor x = data::fromPixels(img);
+    if (img.height != opts_.inputSize || img.width != opts_.inputSize) {
+      x = o::resizeBilinear(x, opts_.inputSize, opts_.inputSize);
+    }
+    Tensor features = backbone_->apply(x, /*training=*/false);
+    Tensor heatmaps = heatmapHead_->apply(features);   // [1,h,w,17]
+    Tensor offsets = offsetHead_->apply(features);     // [1,h,w,34]
+
+    const int h = heatmaps.shape()[1];
+    const int w = heatmaps.shape()[2];
+    const auto hm = heatmaps.dataSync();
+    const auto off = offsets.dataSync();
+
+    // Rescale decoded positions from the network's input space back to the
+    // caller's image space.
+    const float scaleY =
+        static_cast<float>(img.height) / static_cast<float>(opts_.inputSize);
+    const float scaleX =
+        static_cast<float>(img.width) / static_cast<float>(opts_.inputSize);
+
+    float total = 0;
+    for (int k = 0; k < kNumKeypoints; ++k) {
+      // argmax over the k-th heatmap channel
+      int bestY = 0, bestX = 0;
+      float best = -1;
+      for (int y = 0; y < h; ++y) {
+        for (int xx = 0; xx < w; ++xx) {
+          const float v =
+              hm[(static_cast<std::size_t>(y) * w + xx) * kNumKeypoints + k];
+          if (v > best) {
+            best = v;
+            bestY = y;
+            bestX = xx;
+          }
+        }
+      }
+      const std::size_t offBase =
+          (static_cast<std::size_t>(bestY) * w + bestX) * 2 * kNumKeypoints;
+      const float dy = off[offBase + static_cast<std::size_t>(k)];
+      const float dx = off[offBase + static_cast<std::size_t>(kNumKeypoints + k)];
+      Keypoint kp;
+      kp.part = posenetPartNames()[static_cast<std::size_t>(k)];
+      kp.y = (static_cast<float>(bestY * opts_.outputStride) + dy) * scaleY;
+      kp.x = (static_cast<float>(bestX * opts_.outputStride) + dx) * scaleX;
+      kp.score = best;
+      total += best;
+      pose.keypoints.push_back(std::move(kp));
+    }
+    pose.score = total / kNumKeypoints;
+  });
+  return pose;
+}
+
+}  // namespace tfjs::models

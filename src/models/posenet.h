@@ -1,0 +1,69 @@
+// PoseNet (Oved 2018): human pose estimation, the paper's flagship hosted
+// model. Reproduces the friendly API of Listing 3 — the caller passes an
+// image and receives a plain Pose struct of named keypoints; tensors never
+// appear in the interface ("wrapper APIs that hide tensors from the user",
+// section 5.2).
+//
+// Architecture: a truncated MobileNet backbone at output stride 16, with two
+// 1x1-conv heads producing keypoint heatmaps [h', w', 17] and per-keypoint
+// (dy, dx) offsets [h', w', 34]. Single-pose decoding takes each heatmap's
+// argmax and refines it with the offset vector, as in the original release.
+// Weights are synthetic (DESIGN.md substitution) — the decode pipeline,
+// shapes, and op mix are the real ones.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/image.h"
+#include "layers/conv_layers.h"
+#include "layers/sequential.h"
+
+namespace tfjs::models {
+
+inline constexpr int kNumKeypoints = 17;
+
+/// The 17 COCO keypoint names, in heatmap-channel order.
+const std::array<const char*, kNumKeypoints>& posenetPartNames();
+
+struct Keypoint {
+  std::string part;
+  float x = 0;  ///< pixel position in the input image
+  float y = 0;
+  float score = 0;
+};
+
+struct Pose {
+  float score = 0;
+  std::vector<Keypoint> keypoints;
+
+  /// Console-output rendering in the spirit of Listing 3.
+  std::string toJsonString() const;
+};
+
+struct PoseNetOptions {
+  float alpha = 0.5f;   ///< MobileNet width multiplier (0.5 is the web default)
+  int inputSize = 225;  ///< resized square input
+  int outputStride = 16;
+  std::uint64_t seed = 42;
+};
+
+class PoseNet {
+ public:
+  explicit PoseNet(PoseNetOptions opts = {});
+
+  /// Listing 3: posenet.estimateSinglePose(imageElement) -> pose.
+  Pose estimateSinglePose(const data::Image& img);
+
+  layers::Sequential& backbone() { return *backbone_; }
+
+ private:
+  PoseNetOptions opts_;
+  std::unique_ptr<layers::Sequential> backbone_;
+  std::shared_ptr<layers::Conv2D> heatmapHead_;
+  std::shared_ptr<layers::Conv2D> offsetHead_;
+};
+
+}  // namespace tfjs::models

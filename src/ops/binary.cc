@@ -1,0 +1,188 @@
+// Element-wise binary ops with NumPy-style broadcasting, plus their
+// gradients (adjoint of broadcasting = sum over the expanded axes).
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+using internal::reduceGradTo;
+
+namespace {
+
+/// Dispatches a binary kernel with broadcasting; outDtype defaults to the
+/// promoted input dtype.
+Tensor dispatch(const char* name, BinaryOp op, const Tensor& a,
+                const Tensor& b, DType outDtype) {
+  const TensorSpec sa = E().prepareInput(a);
+  const TensorSpec sb = E().prepareInput(b);
+  const Shape out = util::broadcastShapes(sa.shape, sb.shape);
+  const DataId id = E().backend().binary(op, sa, sb, out);
+  return internal::wrapOutput(name, id, out, outDtype);
+}
+
+Tensor dispatchNum(const char* name, BinaryOp op, const Tensor& a,
+                   const Tensor& b) {
+  return dispatch(name, op, a, b, promoteTypes(a.dtype(), b.dtype()));
+}
+
+Tensor dispatchBool(const char* name, BinaryOp op, const Tensor& a,
+                    const Tensor& b) {
+  return dispatch(name, op, a, b, DType::b8);
+}
+
+/// Gradient mask helper: dy * (bool mask as float).
+Tensor maskedGrad(const Tensor& dy, const Tensor& mask, const Shape& target) {
+  return reduceGradTo(mul(dy, cast(mask, DType::f32)), target);
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("add", BinaryOp::kAdd, a, b);
+  record("add", {a, b}, y, [a, b](const Tensor& dy) {
+    return std::vector<Tensor>{reduceGradTo(dy, a.shape()),
+                               reduceGradTo(dy, b.shape())};
+  });
+  return y;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("sub", BinaryOp::kSub, a, b);
+  record("sub", {a, b}, y, [a, b](const Tensor& dy) {
+    return std::vector<Tensor>{reduceGradTo(dy, a.shape()),
+                               reduceGradTo(neg(dy), b.shape())};
+  });
+  return y;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("mul", BinaryOp::kMul, a, b);
+  record("mul", {a, b}, y, [a, b](const Tensor& dy) {
+    return std::vector<Tensor>{reduceGradTo(mul(dy, b), a.shape()),
+                               reduceGradTo(mul(dy, a), b.shape())};
+  });
+  return y;
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatch("div", BinaryOp::kDiv, a, b, DType::f32);
+  record("div", {a, b}, y, [a, b](const Tensor& dy) {
+    Tensor da = reduceGradTo(div(dy, b), a.shape());
+    Tensor db = reduceGradTo(neg(div(mul(dy, a), mul(b, b))), b.shape());
+    return std::vector<Tensor>{da, db};
+  });
+  return y;
+}
+
+Tensor floorDiv(const Tensor& a, const Tensor& b) {
+  return dispatchNum("floorDiv", BinaryOp::kFloorDiv, a, b);
+}
+
+Tensor mod(const Tensor& a, const Tensor& b) {
+  return dispatchNum("mod", BinaryOp::kMod, a, b);
+}
+
+Tensor pow(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatch("pow", BinaryOp::kPow, a, b, DType::f32);
+  record("pow", {a, b}, y, [a, b, y](const Tensor& dy) {
+    // da = dy * b * a^(b-1);  db = dy * y * ln(a), with ln(a) zeroed for
+    // a <= 0 (matching the upstream convention).
+    Tensor da = reduceGradTo(
+        mul(dy, mul(b, pow(a, sub(b, scalar(1))))), a.shape());
+    Tensor safeLog = where(greater(a, scalar(0)), log(maximum(a, scalar(1e-30f))),
+                           zerosLike(a));
+    Tensor db = reduceGradTo(mul(dy, mul(y, safeLog)), b.shape());
+    return std::vector<Tensor>{da, db};
+  });
+  return y;
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("maximum", BinaryOp::kMaximum, a, b);
+  record("maximum", {a, b}, y, [a, b](const Tensor& dy) {
+    Tensor aWins = greaterEqual(a, b);
+    return std::vector<Tensor>{maskedGrad(dy, aWins, a.shape()),
+                               maskedGrad(dy, logicalNot(aWins), b.shape())};
+  });
+  return y;
+}
+
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("minimum", BinaryOp::kMinimum, a, b);
+  record("minimum", {a, b}, y, [a, b](const Tensor& dy) {
+    Tensor aWins = lessEqual(a, b);
+    return std::vector<Tensor>{maskedGrad(dy, aWins, a.shape()),
+                               maskedGrad(dy, logicalNot(aWins), b.shape())};
+  });
+  return y;
+}
+
+Tensor squaredDifference(const Tensor& a, const Tensor& b) {
+  Tensor y = dispatchNum("squaredDifference", BinaryOp::kSquaredDiff, a, b);
+  record("squaredDifference", {a, b}, y, [a, b](const Tensor& dy) {
+    Tensor two = scalar(2);
+    Tensor d = mul(dy, mul(two, sub(a, b)));
+    return std::vector<Tensor>{reduceGradTo(d, a.shape()),
+                               reduceGradTo(neg(d), b.shape())};
+  });
+  return y;
+}
+
+Tensor atan2(const Tensor& a, const Tensor& b) {
+  return dispatch("atan2", BinaryOp::kAtan2, a, b, DType::f32);
+}
+
+Tensor addScalar(const Tensor& a, float s) { return add(a, scalar(s)); }
+Tensor subScalar(const Tensor& a, float s) { return sub(a, scalar(s)); }
+Tensor mulScalar(const Tensor& a, float s) { return mul(a, scalar(s)); }
+Tensor divScalar(const Tensor& a, float s) { return div(a, scalar(s)); }
+
+Tensor equal(const Tensor& a, const Tensor& b) {
+  return dispatchBool("equal", BinaryOp::kEqual, a, b);
+}
+Tensor notEqual(const Tensor& a, const Tensor& b) {
+  return dispatchBool("notEqual", BinaryOp::kNotEqual, a, b);
+}
+Tensor greater(const Tensor& a, const Tensor& b) {
+  return dispatchBool("greater", BinaryOp::kGreater, a, b);
+}
+Tensor greaterEqual(const Tensor& a, const Tensor& b) {
+  return dispatchBool("greaterEqual", BinaryOp::kGreaterEqual, a, b);
+}
+Tensor less(const Tensor& a, const Tensor& b) {
+  return dispatchBool("less", BinaryOp::kLess, a, b);
+}
+Tensor lessEqual(const Tensor& a, const Tensor& b) {
+  return dispatchBool("lessEqual", BinaryOp::kLessEqual, a, b);
+}
+Tensor logicalAnd(const Tensor& a, const Tensor& b) {
+  return dispatchBool("logicalAnd", BinaryOp::kLogicalAnd, a, b);
+}
+Tensor logicalOr(const Tensor& a, const Tensor& b) {
+  return dispatchBool("logicalOr", BinaryOp::kLogicalOr, a, b);
+}
+Tensor logicalXor(const Tensor& a, const Tensor& b) {
+  return dispatchBool("logicalXor", BinaryOp::kLogicalXor, a, b);
+}
+
+Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  const TensorSpec sc = E().prepareInput(cond);
+  const TensorSpec sa = E().prepareInput(a);
+  const TensorSpec sb = E().prepareInput(b);
+  Shape out = util::broadcastShapes(util::broadcastShapes(sc.shape, sa.shape),
+                                    sb.shape);
+  const DataId id = E().backend().select(sc, sa, sb, out);
+  Tensor y = internal::wrapOutput("where", id, out,
+                                  promoteTypes(a.dtype(), b.dtype()));
+  record("where", {a, b}, y, [cond, a, b](const Tensor& dy) {
+    Tensor zero = zerosLike(dy);
+    return std::vector<Tensor>{
+        reduceGradTo(where(cond, dy, zero), a.shape()),
+        reduceGradTo(where(cond, zero, dy), b.shape())};
+  });
+  return y;
+}
+
+}  // namespace tfjs::ops

@@ -1,0 +1,52 @@
+// Internal plumbing shared by the op implementations: kernel dispatch,
+// profiler/debug notification, and gradient-tape recording.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/engine.h"
+#include "ops/ops.h"
+
+namespace tfjs::ops::internal {
+
+inline Engine& E() { return Engine::get(); }
+
+/// Wraps a kernel-produced buffer in a tracked tensor and notifies the
+/// engine (profiler records / debug-mode NaN check, paper section 3.8).
+inline Tensor wrapOutput(const char* name, DataId id, const Shape& shape,
+                         DType dtype) {
+  Tensor t = E().makeTensorFromDataId(id, shape, dtype);
+  E().onKernelDispatched(name, t);
+  return t;
+}
+
+/// Records a pullback onto the active tape when gradients are being traced
+/// through any of the inputs.
+inline void record(const char* name, std::initializer_list<Tensor> inputs,
+                   const Tensor& output, GradFunc grad) {
+  TapeRecorder* tape = E().tape();
+  if (tape == nullptr) return;
+  std::vector<Tensor> ins(inputs);
+  if (!tape->watched(ins)) return;
+  tape->record(name, ins, output, std::move(grad));
+}
+
+/// Sums `dy` over the axes that broadcasting expanded, then reshapes to
+/// `target` — the standard gradient adjoint of implicit broadcasting.
+Tensor reduceGradTo(const Tensor& dy, const Shape& target);
+
+/// RAII tape suspension for ops that are internally composite: the helper
+/// steps are not recorded; the public op records one composite gradient.
+class TapePause {
+ public:
+  TapePause() : saved_(E().tape()) { E().setTape(nullptr); }
+  ~TapePause() { E().setTape(saved_); }
+  TapePause(const TapePause&) = delete;
+  TapePause& operator=(const TapePause&) = delete;
+
+ private:
+  TapeRecorder* saved_;
+};
+
+}  // namespace tfjs::ops::internal

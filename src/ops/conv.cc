@@ -1,0 +1,142 @@
+// Convolutions and pooling. Geometry (SAME/VALID padding, strides,
+// dilations) is resolved here into an explicit Conv2DInfo/Pool2DInfo; the
+// backends only ever see resolved numbers.
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+
+namespace {
+
+Tensor convBackpropInput(const Tensor& dy, const Tensor& filter,
+                         const Conv2DInfo& info) {
+  const TensorSpec sdy = E().prepareInput(dy);
+  const TensorSpec sf = E().prepareInput(filter);
+  const DataId id = E().backend().conv2dBackpropInput(sdy, sf, info);
+  return internal::wrapOutput("conv2dBackpropInput", id,
+                              Shape{info.batch, info.inH, info.inW, info.inC},
+                              DType::f32);
+}
+
+Tensor convBackpropFilter(const Tensor& x, const Tensor& dy,
+                          const Conv2DInfo& info) {
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sdy = E().prepareInput(dy);
+  const DataId id = E().backend().conv2dBackpropFilter(sx, sdy, info);
+  return internal::wrapOutput(
+      "conv2dBackpropFilter", id,
+      Shape{info.filterH, info.filterW, info.inC, info.outC}, DType::f32);
+}
+
+Tensor dwBackpropInput(const Tensor& dy, const Tensor& filter,
+                       const Conv2DInfo& info) {
+  const TensorSpec sdy = E().prepareInput(dy);
+  const TensorSpec sf = E().prepareInput(filter);
+  const DataId id = E().backend().depthwiseConv2dBackpropInput(sdy, sf, info);
+  return internal::wrapOutput("depthwiseConv2dBackpropInput", id,
+                              Shape{info.batch, info.inH, info.inW, info.inC},
+                              DType::f32);
+}
+
+Tensor dwBackpropFilter(const Tensor& x, const Tensor& dy,
+                        const Conv2DInfo& info) {
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sdy = E().prepareInput(dy);
+  const DataId id = E().backend().depthwiseConv2dBackpropFilter(sx, sdy, info);
+  return internal::wrapOutput(
+      "depthwiseConv2dBackpropFilter", id,
+      Shape{info.filterH, info.filterW, info.inC, info.channelMult},
+      DType::f32);
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
+              PadMode pad, int dilationH, int dilationW) {
+  const Conv2DInfo info = conv_util::computeConv2DInfo(
+      x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
+      /*depthwise=*/false);
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sf = E().prepareInput(filter);
+  const DataId id = E().backend().conv2d(sx, sf, info);
+  Tensor y = internal::wrapOutput(
+      "conv2d", id, Shape{info.batch, info.outH, info.outW, info.outC},
+      DType::f32);
+  record("conv2d", {x, filter}, y, [x, filter, info](const Tensor& dy) {
+    return std::vector<Tensor>{convBackpropInput(dy, filter, info),
+                               convBackpropFilter(x, dy, info)};
+  });
+  return y;
+}
+
+Tensor depthwiseConv2d(const Tensor& x, const Tensor& filter, int strideH,
+                       int strideW, PadMode pad, int dilationH,
+                       int dilationW) {
+  const Conv2DInfo info = conv_util::computeConv2DInfo(
+      x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
+      /*depthwise=*/true);
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sf = E().prepareInput(filter);
+  const DataId id = E().backend().depthwiseConv2d(sx, sf, info);
+  Tensor y = internal::wrapOutput(
+      "depthwiseConv2d", id,
+      Shape{info.batch, info.outH, info.outW, info.outC}, DType::f32);
+  record("depthwiseConv2d", {x, filter}, y,
+         [x, filter, info](const Tensor& dy) {
+           return std::vector<Tensor>{dwBackpropInput(dy, filter, info),
+                                      dwBackpropFilter(x, dy, info)};
+         });
+  return y;
+}
+
+Tensor separableConv2d(const Tensor& x, const Tensor& depthwiseFilter,
+                       const Tensor& pointwiseFilter, int strideH, int strideW,
+                       PadMode pad) {
+  Tensor dw = depthwiseConv2d(x, depthwiseFilter, strideH, strideW, pad);
+  Tensor y = conv2d(dw, pointwiseFilter, 1, 1, PadMode::kValid);
+  dw.dispose();
+  return y;
+}
+
+Tensor maxPool(const Tensor& x, int filterH, int filterW, int strideH,
+               int strideW, PadMode pad) {
+  const Pool2DInfo info = conv_util::computePool2DInfo(
+      x.shape(), filterH, filterW, strideH, strideW, pad);
+  const TensorSpec sx = E().prepareInput(x);
+  const DataId id = E().backend().pool2d(PoolMode::kMax, sx, info);
+  Tensor y = internal::wrapOutput(
+      "maxPool", id, Shape{info.batch, info.outH, info.outW, info.channels},
+      DType::f32);
+  record("maxPool", {x}, y, [x, info](const Tensor& dy) {
+    const TensorSpec sdy = E().prepareInput(dy);
+    const TensorSpec sxIn = E().prepareInput(x);
+    const DataId gid = E().backend().maxPoolBackprop(sdy, sxIn, info);
+    return std::vector<Tensor>{internal::wrapOutput(
+        "maxPoolBackprop", gid,
+        Shape{info.batch, info.inH, info.inW, info.channels}, DType::f32)};
+  });
+  return y;
+}
+
+Tensor avgPool(const Tensor& x, int filterH, int filterW, int strideH,
+               int strideW, PadMode pad) {
+  const Pool2DInfo info = conv_util::computePool2DInfo(
+      x.shape(), filterH, filterW, strideH, strideW, pad);
+  const TensorSpec sx = E().prepareInput(x);
+  const DataId id = E().backend().pool2d(PoolMode::kAvg, sx, info);
+  Tensor y = internal::wrapOutput(
+      "avgPool", id, Shape{info.batch, info.outH, info.outW, info.channels},
+      DType::f32);
+  record("avgPool", {x}, y, [info](const Tensor& dy) {
+    const TensorSpec sdy = E().prepareInput(dy);
+    const DataId gid = E().backend().avgPoolBackprop(sdy, info);
+    return std::vector<Tensor>{internal::wrapOutput(
+        "avgPoolBackprop", gid,
+        Shape{info.batch, info.inH, info.inW, info.channels}, DType::f32)};
+  });
+  return y;
+}
+
+}  // namespace tfjs::ops

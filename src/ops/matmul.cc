@@ -1,0 +1,110 @@
+// Matrix multiplication (rank-2 or batched rank-3, mirroring tf.matMul),
+// with the standard four-case transpose gradients.
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+using internal::reduceGradTo;
+
+namespace {
+
+/// Normalizes a rank-2 tensor to rank-3 with batch 1 (alias, free).
+Tensor to3d(const Tensor& t) {
+  if (t.rank() == 3) return t.clone();
+  return t.reshape(Shape{1, t.shape()[0], t.shape()[1]});
+}
+
+}  // namespace
+
+Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
+              bool transposeB) {
+  TFJS_ARG_CHECK(a.rank() == 2 || a.rank() == 3,
+                 "matMul expects rank 2 or 3 for a, got " << a.rank());
+  TFJS_ARG_CHECK(b.rank() == 2 || b.rank() == 3,
+                 "matMul expects rank 2 or 3 for b, got " << b.rank());
+
+  Tensor y;
+  {
+    internal::TapePause pause;
+    Tensor a3 = to3d(a);
+    Tensor b3 = to3d(b);
+    const int kA = transposeA ? a3.shape()[1] : a3.shape()[2];
+    const int kB = transposeB ? b3.shape()[2] : b3.shape()[1];
+    TFJS_ARG_CHECK(kA == kB, "matMul inner dimensions must agree: "
+                                 << a.shape().toString() << " x "
+                                 << b.shape().toString());
+    const int bA = a3.shape()[0], bB = b3.shape()[0];
+    TFJS_ARG_CHECK(bA == bB || bA == 1 || bB == 1,
+                   "matMul batch dims must match or broadcast");
+    const TensorSpec sa = E().prepareInput(a3);
+    const TensorSpec sb = E().prepareInput(b3);
+    const DataId id = E().backend().matMul(sa, sb, transposeA, transposeB);
+    const int m = transposeA ? a3.shape()[2] : a3.shape()[1];
+    const int n = transposeB ? b3.shape()[1] : b3.shape()[2];
+    const Shape out3{std::max(bA, bB), m, n};
+    Tensor y3 = E().makeTensorFromDataId(id, out3, DType::f32);
+    if (a.rank() == 2 && b.rank() == 2) {
+      y = y3.reshape(Shape{m, n});
+      y3.dispose();
+    } else {
+      y = y3;
+    }
+    a3.dispose();
+    b3.dispose();
+  }
+  E().onKernelDispatched("matMul", y);
+
+  record("matMul", {a, b}, y, [a, b, transposeA, transposeB](const Tensor& dy) {
+    // Standard transpose-aware adjoints, then reduce over broadcast batch.
+    Tensor da3, db3;
+    if (!transposeA && !transposeB) {
+      da3 = matMul(dy, b, false, true);
+      db3 = matMul(a, dy, true, false);
+    } else if (!transposeA && transposeB) {
+      da3 = matMul(dy, b, false, false);
+      db3 = matMul(dy, a, true, false);
+    } else if (transposeA && !transposeB) {
+      da3 = matMul(b, dy, false, true);
+      db3 = matMul(a, dy, false, false);
+    } else {
+      da3 = matMul(b, dy, true, true);
+      db3 = matMul(dy, a, true, true);
+    }
+    Tensor da = reduceGradTo(da3, a.shape());
+    Tensor db = reduceGradTo(db3, b.shape());
+    da3.dispose();
+    db3.dispose();
+    return std::vector<Tensor>{da, db};
+  });
+  return y;
+}
+
+Tensor dot(const Tensor& a, const Tensor& b) {
+  TFJS_ARG_CHECK(a.rank() == 1 && b.rank() == 1,
+                 "dot expects two 1-D tensors");
+  TFJS_ARG_CHECK(a.size() == b.size(), "dot length mismatch");
+  Tensor a2 = a.reshape(Shape{1, static_cast<int>(a.size())});
+  Tensor b2 = b.reshape(Shape{static_cast<int>(b.size()), 1});
+  Tensor y2 = matMul(a2, b2);
+  Tensor y = y2.reshape(Shape{});
+  a2.dispose();
+  b2.dispose();
+  y2.dispose();
+  return y;
+}
+
+Tensor outerProduct(const Tensor& a, const Tensor& b) {
+  TFJS_ARG_CHECK(a.rank() == 1 && b.rank() == 1,
+                 "outerProduct expects two 1-D tensors");
+  Tensor a2 = a.reshape(Shape{static_cast<int>(a.size()), 1});
+  Tensor b2 = b.reshape(Shape{1, static_cast<int>(b.size())});
+  Tensor y = matMul(a2, b2);
+  a2.dispose();
+  b2.dispose();
+  return y;
+}
+
+}  // namespace tfjs::ops

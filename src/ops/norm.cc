@@ -1,0 +1,101 @@
+// Softmax / logSoftmax (custom composite gradients), batch normalization
+// (fully composite — gradients fall out of the tape), and dropout.
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+
+Tensor softmax(const Tensor& logits, int axis) {
+  const int norm = axis < 0 ? axis + logits.rank() : axis;
+  TFJS_ARG_CHECK(norm == logits.rank() - 1,
+                 "softmax currently supports the last axis only");
+  Tensor y;
+  {
+    internal::TapePause pause;
+    const std::array<int, 1> axes{norm};
+    Tensor mx = max(logits, axes, /*keepDims=*/true);
+    Tensor shifted = sub(logits, mx);
+    Tensor e = exp(shifted);
+    Tensor denom = sum(e, axes, /*keepDims=*/true);
+    y = div(e, denom);
+    mx.dispose();
+    shifted.dispose();
+    e.dispose();
+    denom.dispose();
+  }
+  E().onKernelDispatched("softmax", y);
+  const int lastAxis = norm;
+  record("softmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
+    // dx = (dy - sum(dy * y, axis, keep)) * y
+    const std::array<int, 1> axes{lastAxis};
+    Tensor dyTimesY = mul(dy, y);
+    Tensor s = sum(dyTimesY, axes, /*keepDims=*/true);
+    Tensor dx = mul(sub(dy, s), y);
+    dyTimesY.dispose();
+    s.dispose();
+    return std::vector<Tensor>{dx};
+  });
+  return y;
+}
+
+Tensor logSoftmax(const Tensor& logits, int axis) {
+  const int norm = axis < 0 ? axis + logits.rank() : axis;
+  TFJS_ARG_CHECK(norm == logits.rank() - 1,
+                 "logSoftmax currently supports the last axis only");
+  Tensor y;
+  {
+    internal::TapePause pause;
+    const std::array<int, 1> axes{norm};
+    Tensor mx = max(logits, axes, true);
+    Tensor shifted = sub(logits, mx);
+    Tensor e = exp(shifted);
+    Tensor denom = sum(e, axes, true);
+    Tensor logDenom = log(denom);
+    y = sub(shifted, logDenom);
+    mx.dispose();
+    shifted.dispose();
+    e.dispose();
+    denom.dispose();
+    logDenom.dispose();
+  }
+  E().onKernelDispatched("logSoftmax", y);
+  const int lastAxis = norm;
+  record("logSoftmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
+    // dx = dy - softmax(x) * sum(dy, axis, keep)
+    const std::array<int, 1> axes{lastAxis};
+    Tensor sm = exp(y);
+    Tensor s = sum(dy, axes, true);
+    Tensor dx = sub(dy, mul(sm, s));
+    sm.dispose();
+    s.dispose();
+    return std::vector<Tensor>{dx};
+  });
+  return y;
+}
+
+Tensor batchNorm(const Tensor& x, const Tensor& mean, const Tensor& variance,
+                 const Tensor& offset, const Tensor& scale,
+                 float varianceEpsilon) {
+  // Fully composite: every step is a recorded elementary op, so gradients
+  // w.r.t. x / mean / variance / offset / scale come from the tape.
+  return Engine::get().tidy([&] {
+    Tensor inv = rsqrt(addScalar(variance, varianceEpsilon));
+    Tensor normed = mul(sub(x, mean), inv);
+    return add(mul(normed, scale), offset);
+  });
+}
+
+Tensor dropout(const Tensor& x, float rate, std::uint64_t seed) {
+  TFJS_ARG_CHECK(rate >= 0 && rate < 1, "dropout rate must be in [0, 1)");
+  if (rate == 0) return x.clone();
+  return Engine::get().tidy([&] {
+    Tensor noise = randomUniform(x.shape(), 0, 1, seed);
+    Tensor mask = cast(greaterEqual(noise, scalar(rate)), DType::f32);
+    return div(mul(x, mask), scalar(1.0f - rate));
+  });
+}
+
+}  // namespace tfjs::ops

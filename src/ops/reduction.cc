@@ -1,0 +1,230 @@
+// Reductions. Internally the input is transposed (if needed) so the reduced
+// axes are trailing, viewed as [outer, inner], and handed to the backend's
+// reduce kernel. The internal steps run with the tape paused; each public op
+// records one composite gradient.
+#include <algorithm>
+#include <array>
+
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+
+namespace internal {
+
+Tensor reduceGradTo(const Tensor& dy, const Shape& target) {
+  if (dy.shape() == target) return dy.clone();
+  const std::vector<int> axes = util::broadcastedAxes(target, dy.shape());
+  TapePause pause;
+  Tensor summed = axes.empty() ? dy.clone() : sum(dy, axes, /*keepDims=*/true);
+  Tensor out = summed.reshape(target);
+  summed.dispose();
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+struct ReducePlan {
+  Tensor prepared;     ///< input with reduce axes trailing (may alias x)
+  std::size_t outer = 1, inner = 1;
+  Shape outShape;      ///< result shape (respecting keepDims)
+  Shape keepShape;     ///< result shape with keepDims=true (for gradients)
+  std::vector<int> axes;
+};
+
+ReducePlan plan(const Tensor& x, std::span<const int> axesIn, bool keepDims) {
+  ReducePlan p;
+  std::vector<int> allAxes;
+  if (axesIn.empty()) {
+    for (int i = 0; i < x.rank(); ++i) allAxes.push_back(i);
+  } else {
+    allAxes = util::normalizeAxes(axesIn, x.rank());
+  }
+  p.axes = allAxes;
+  p.outShape = util::reducedShape(x.shape(), allAxes, keepDims);
+  p.keepShape = util::reducedShape(x.shape(), allAxes, /*keepDims=*/true);
+
+  // Are the reduce axes already trailing?
+  bool trailing = true;
+  for (std::size_t i = 0; i < allAxes.size(); ++i) {
+    if (allAxes[i] != x.rank() - static_cast<int>(allAxes.size()) +
+                          static_cast<int>(i)) {
+      trailing = false;
+      break;
+    }
+  }
+  if (trailing) {
+    p.prepared = x.clone();
+  } else {
+    std::vector<int> perm;
+    for (int i = 0; i < x.rank(); ++i) {
+      if (std::find(allAxes.begin(), allAxes.end(), i) == allAxes.end()) {
+        perm.push_back(i);
+      }
+    }
+    for (int a : allAxes) perm.push_back(a);
+    p.prepared = transpose(x, perm);
+  }
+  for (int a : allAxes) p.inner *= static_cast<std::size_t>(x.shape()[a]);
+  p.outer = x.size() / std::max<std::size_t>(p.inner, 1);
+  if (p.inner == 0) p.inner = 1;  // reducing an empty-dim tensor
+  return p;
+}
+
+Tensor dispatchReduce(const char* name, ReduceOp op, const Tensor& x,
+                      std::span<const int> axes, bool keepDims, DType dtype) {
+  internal::TapePause pause;
+  ReducePlan p = plan(x, axes, keepDims);
+  const TensorSpec spec = E().prepareInput(p.prepared);
+  const DataId id = E().backend().reduce(op, spec, p.outer, p.inner);
+  Tensor flat = E().makeTensorFromDataId(
+      id, Shape{static_cast<int>(p.outer)}, dtype);
+  Tensor y = flat.reshape(p.outShape);
+  flat.dispose();
+  p.prepared.dispose();
+  E().onKernelDispatched(name, y);
+  return y;
+}
+
+}  // namespace
+
+Tensor sum(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  Tensor y = dispatchReduce("sum", ReduceOp::kSum, x, axes, keepDims,
+                            x.dtype() == DType::b8 ? DType::i32 : x.dtype());
+  // Empty `axes` means all axes; recompute for the gradient closure.
+  std::vector<int> allAxes = axes.empty()
+                                 ? [&] {
+                                     std::vector<int> v;
+                                     for (int i = 0; i < x.rank(); ++i)
+                                       v.push_back(i);
+                                     return v;
+                                   }()
+                                 : util::normalizeAxes(axes, x.rank());
+  const Shape keep = util::reducedShape(x.shape(), allAxes, true);
+  record("sum", {x}, y, [x, keep](const Tensor& dy) {
+    Tensor dyK = dy.reshape(keep);
+    Tensor dx = mul(dyK, onesLike(x));
+    dyK.dispose();
+    return std::vector<Tensor>{dx};
+  });
+  return y;
+}
+
+Tensor mean(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  Tensor y = dispatchReduce("mean", ReduceOp::kMean, x, axes, keepDims,
+                            DType::f32);
+  std::vector<int> allAxes = axes.empty()
+                                 ? [&] {
+                                     std::vector<int> v;
+                                     for (int i = 0; i < x.rank(); ++i)
+                                       v.push_back(i);
+                                     return v;
+                                   }()
+                                 : util::normalizeAxes(axes, x.rank());
+  const Shape keep = util::reducedShape(x.shape(), allAxes, true);
+  const float n = static_cast<float>(x.size() / std::max<std::size_t>(
+                                                    keep.size(), 1));
+  record("mean", {x}, y, [x, keep, n](const Tensor& dy) {
+    Tensor dyK = dy.reshape(keep);
+    Tensor dx = mul(divScalar(dyK, n), onesLike(x));
+    dyK.dispose();
+    return std::vector<Tensor>{dx};
+  });
+  return y;
+}
+
+namespace {
+/// Shared gradient for max/min: route dy to the extremal positions.
+GradFunc extremeGrad(const Tensor& x, const Tensor& y, const Shape& keep) {
+  return [x, y, keep](const Tensor& dy) {
+    Tensor yK = y.reshape(keep);
+    Tensor dyK = dy.reshape(keep);
+    Tensor mask = cast(equal(x, yK), DType::f32);
+    Tensor dx = mul(dyK, mask);
+    yK.dispose();
+    dyK.dispose();
+    mask.dispose();
+    return std::vector<Tensor>{dx};
+  };
+}
+}  // namespace
+
+Tensor max(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  Tensor y =
+      dispatchReduce("max", ReduceOp::kMax, x, axes, keepDims, x.dtype());
+  std::vector<int> allAxes = axes.empty()
+                                 ? [&] {
+                                     std::vector<int> v;
+                                     for (int i = 0; i < x.rank(); ++i)
+                                       v.push_back(i);
+                                     return v;
+                                   }()
+                                 : util::normalizeAxes(axes, x.rank());
+  const Shape keep = util::reducedShape(x.shape(), allAxes, true);
+  record("max", {x}, y, extremeGrad(x, y, keep));
+  return y;
+}
+
+Tensor min(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  Tensor y =
+      dispatchReduce("min", ReduceOp::kMin, x, axes, keepDims, x.dtype());
+  std::vector<int> allAxes = axes.empty()
+                                 ? [&] {
+                                     std::vector<int> v;
+                                     for (int i = 0; i < x.rank(); ++i)
+                                       v.push_back(i);
+                                     return v;
+                                   }()
+                                 : util::normalizeAxes(axes, x.rank());
+  const Shape keep = util::reducedShape(x.shape(), allAxes, true);
+  record("min", {x}, y, extremeGrad(x, y, keep));
+  return y;
+}
+
+Tensor prod(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  return dispatchReduce("prod", ReduceOp::kProd, x, axes, keepDims, x.dtype());
+}
+
+Tensor any(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  return dispatchReduce("any", ReduceOp::kAny, x, axes, keepDims, DType::b8);
+}
+
+Tensor all(const Tensor& x, std::span<const int> axes, bool keepDims) {
+  return dispatchReduce("all", ReduceOp::kAll, x, axes, keepDims, DType::b8);
+}
+
+namespace {
+Tensor dispatchArg(const char* name, ArgOp op, const Tensor& x, int axis) {
+  internal::TapePause pause;
+  const int norm = axis < 0 ? axis + x.rank() : axis;
+  TFJS_ARG_CHECK(norm >= 0 && norm < x.rank(),
+                 name << ": axis " << axis << " out of range for rank "
+                      << x.rank());
+  const std::array<int, 1> axes{norm};
+  ReducePlan p = plan(x, axes, /*keepDims=*/false);
+  const TensorSpec spec = E().prepareInput(p.prepared);
+  const DataId id = E().backend().arg(op, spec, p.outer, p.inner);
+  Tensor flat = E().makeTensorFromDataId(
+      id, Shape{static_cast<int>(p.outer)}, DType::i32);
+  Tensor y = flat.reshape(p.outShape);
+  flat.dispose();
+  p.prepared.dispose();
+  E().onKernelDispatched(name, y);
+  return y;
+}
+}  // namespace
+
+Tensor argMax(const Tensor& x, int axis) {
+  return dispatchArg("argMax", ArgOp::kArgMax, x, axis);
+}
+
+Tensor argMin(const Tensor& x, int axis) {
+  return dispatchArg("argMin", ArgOp::kArgMin, x, axis);
+}
+
+}  // namespace tfjs::ops

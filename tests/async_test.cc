@@ -1,0 +1,181 @@
+// Asynchronous-execution tests (paper sections 3.6 and 4.1.1): the event
+// loop, promise-style data(), fence ordering, and the Figure 2/3 semantics
+// in miniature.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "backends/webgl/webgl_backend.h"
+#include "core/engine.h"
+#include "core/event_loop.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+using async::EventLoop;
+using async::FrameStats;
+
+class AsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("webgl"); }
+};
+
+TEST_F(AsyncTest, EventLoopFiresFramesOnCadence) {
+  EventLoop loop(100);  // 10 ms period
+  int frames = 0;
+  loop.onFrame([&](int) { ++frames; });
+  FrameStats stats = loop.run(100);
+  EXPECT_GE(frames, 8);
+  EXPECT_LE(frames, 12);
+  EXPECT_EQ(stats.framesDropped, 0);
+}
+
+TEST_F(AsyncTest, EventLoopRunsPostedTasksBetweenFrames) {
+  EventLoop loop(60);
+  int taskRuns = 0;
+  loop.postTask([&] { ++taskRuns; });
+  loop.postTask([&] { ++taskRuns; });
+  loop.run(50);
+  EXPECT_EQ(taskRuns, 2);
+}
+
+TEST_F(AsyncTest, BlockingTaskDropsFrames) {
+  EventLoop loop(60);
+  loop.onFrame([](int) {});
+  loop.postTask([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  });
+  FrameStats stats = loop.run(160);
+  EXPECT_GT(stats.framesDropped, 0);
+  EXPECT_GT(stats.maxStallMs, 60);
+}
+
+TEST_F(AsyncTest, FrameIndexIncrements) {
+  EventLoop loop(120);
+  std::vector<int> indices;
+  loop.onFrame([&](int i) { indices.push_back(i); });
+  loop.run(60);
+  ASSERT_GE(indices.size(), 3u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], static_cast<int>(i));
+  }
+}
+
+// ------------------------------------------------------- data() semantics
+
+TEST_F(AsyncTest, DataFutureResolvesWithoutExplicitFlush) {
+  Tensor a = o::randomNormal(Shape{64, 64}, 0, 1, 1);
+  Tensor b = o::matMul(a, a);
+  auto fut = b.data();
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get().size(), 64u * 64);
+  a.dispose();
+  b.dispose();
+}
+
+TEST_F(AsyncTest, MultipleOutstandingReadbacksResolveInOrder) {
+  Tensor x = o::scalar(1);
+  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<Tensor> tensors;
+  for (int i = 0; i < 5; ++i) {
+    Tensor y = o::mulScalar(x, static_cast<float>(i));
+    futures.push_back(y.data());
+    tensors.push_back(y);
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(futures[static_cast<std::size_t>(i)].get()[0],
+                    static_cast<float>(i));
+  }
+  for (auto& t : tensors) t.dispose();
+  x.dispose();
+}
+
+TEST_F(AsyncTest, DataSyncAfterDataReturnsSameValues) {
+  Tensor a = o::tensor({1, 2, 3}, Shape{3});
+  Tensor b = o::square(a);
+  auto fut = b.data();
+  const auto viaSync = b.dataSync();
+  const auto viaAsync = fut.get();
+  EXPECT_EQ(viaSync, viaAsync);
+  a.dispose();
+  b.dispose();
+}
+
+TEST_F(AsyncTest, CpuBackendsProvideReadyFutures) {
+  // The same data() API works on synchronous backends (section 3.6: the API
+  // is uniform; only the implementation differs).
+  setBackend("native");
+  Tensor a = o::tensor({4.f}, Shape{1});
+  auto fut = a.data();
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_FLOAT_EQ(fut.get()[0], 4);
+  a.dispose();
+  setBackend("webgl");
+}
+
+// ---------------------------------------------------------- fence ordering
+
+TEST_F(AsyncTest, FenceAfterWorkWaitsForThatWork) {
+  auto& backend =
+      dynamic_cast<backends::webgl::WebGLBackend&>(Engine::get().backend());
+  const auto before = backend.gpuStats().programsRun;
+  Tensor a = o::randomNormal(Shape{96, 96}, 0, 1, 2);
+  Tensor b = o::matMul(a, a);
+  Tensor c = o::relu(b);
+  backend.context().insertFence().get();
+  EXPECT_GE(backend.gpuStats().programsRun, before + 2);
+  for (Tensor t : {a, b, c}) t.dispose();
+}
+
+TEST_F(AsyncTest, FlushDrainsEverything) {
+  Tensor acc = o::scalar(0);
+  for (int i = 0; i < 25; ++i) {
+    Tensor next = o::addScalar(acc, 2);
+    acc.dispose();
+    acc = next;
+  }
+  Engine::get().backend().flush();
+  // After flush, even dataSync is instantaneous (already computed).
+  EXPECT_FLOAT_EQ(acc.scalarSync(), 50);
+  acc.dispose();
+}
+
+// ----------------------------------------------- Figure 2/3 in miniature
+
+TEST_F(AsyncTest, DataSyncBlocksLoopButDataDoesNot) {
+  Tensor w = o::randomNormal(Shape{160, 160}, 0, 1, 3);
+
+  auto run = [&](bool useAsync) {
+    EventLoop loop(60);
+    loop.onFrame([](int) {});
+    std::future<std::vector<float>> pending;
+    loop.postTask([&] {
+      Tensor y = o::matMul(w, w);
+      if (useAsync) {
+        pending = y.data();
+      } else {
+        y.dataSync();
+      }
+      y.dispose();
+    });
+    FrameStats stats = loop.run(150);
+    if (pending.valid()) pending.get();
+    return stats;
+  };
+
+  FrameStats sync = run(false);
+  FrameStats async = run(true);
+  EXPECT_LE(async.maxStallMs, sync.maxStallMs);
+  EXPECT_LE(async.framesDropped, sync.framesDropped);
+  w.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,332 @@
+// Eager autodiff tests (paper section 3.5): analytic gradients, numerical
+// gradient checks, native control flow through the tape, variable gradients,
+// and optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/optimizers.h"
+#include "autodiff/tape.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+namespace ad = autodiff;
+
+class AutodiffTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { setBackend(GetParam()); }
+};
+
+// Run the full autodiff suite on native (fast) and webgl (async device);
+// cpu shares kernels semantics with native via the shared scalar ops.
+INSTANTIATE_TEST_SUITE_P(Backends, AutodiffTest,
+                         ::testing::Values("native", "webgl"),
+                         [](const auto& info) { return info.param; });
+
+/// Central-difference numerical gradient of f at x (element-wise).
+std::vector<float> numericalGrad(
+    const std::function<Tensor(const Tensor&)>& f, const Tensor& x,
+    float eps = 1e-2f) {
+  const auto xv = x.dataSync();
+  std::vector<float> g(xv.size());
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    auto perturbed = xv;
+    perturbed[i] = xv[i] + eps;
+    Tensor xp = o::tensor(perturbed, x.shape());
+    perturbed[i] = xv[i] - eps;
+    Tensor xm = o::tensor(perturbed, x.shape());
+    Tensor yp = f(xp);
+    Tensor ym = f(xm);
+    g[i] = (yp.scalarSync() - ym.scalarSync()) / (2 * eps);
+    xp.dispose();
+    xm.dispose();
+    yp.dispose();
+    ym.dispose();
+  }
+  return g;
+}
+
+TEST_P(AutodiffTest, GradOfSquare) {
+  Tensor x = o::tensor({3.f}, Shape{1});
+  Tensor g = ad::grad([](const Tensor& t) { return o::sum(o::square(t)); }, x);
+  test::expectValues(g, {6});  // d(x^2)/dx = 2x
+  x.dispose();
+  g.dispose();
+}
+
+TEST_P(AutodiffTest, GradBasicChain) {
+  // y = sum((2x + 1)^2); dy/dx = 2 * (2x+1) * 2 = 8x + 4
+  Tensor x = o::tensor({0, 1, 2}, Shape{3});
+  Tensor g = ad::grad(
+      [](const Tensor& t) {
+        return o::sum(o::square(o::addScalar(o::mulScalar(t, 2), 1)));
+      },
+      x);
+  test::expectValues(g, {4, 12, 20});
+  x.dispose();
+  g.dispose();
+}
+
+TEST_P(AutodiffTest, GradNotLeakedIntermediates) {
+  Tensor x = o::tensor({1, 2}, Shape{2});
+  const auto before = memory();
+  Tensor g = ad::grad(
+      [](const Tensor& t) { return o::sum(o::mul(o::exp(t), o::tanh(t))); },
+      x);
+  // Only the gradient survives the grad scope.
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  g.dispose();
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, GradMatMul) {
+  // y = sum(A·B): dA = ones·B^T, dB = A^T·ones.
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  Tensor b = o::tensor({5, 6, 7, 8}, Shape{2, 2});
+  auto gs = ad::grads(
+      [](std::span<const Tensor> xs) {
+        return o::sum(o::matMul(xs[0], xs[1]));
+      },
+      std::array<Tensor, 2>{a, b});
+  test::expectValues(gs[0], {11, 15, 11, 15});
+  test::expectValues(gs[1], {4, 4, 6, 6});
+  for (auto& g : gs) g.dispose();
+  a.dispose();
+  b.dispose();
+}
+
+TEST_P(AutodiffTest, GradBroadcastReducesCorrectly) {
+  // z = sum(a * b) with b broadcast over rows: db sums over rows.
+  Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  Tensor b = o::tensor({1, 1, 1}, Shape{3});
+  auto gs = ad::grads(
+      [](std::span<const Tensor> xs) { return o::sum(o::mul(xs[0], xs[1])); },
+      std::array<Tensor, 2>{a, b});
+  test::expectShape(gs[1], Shape{3});
+  test::expectValues(gs[1], {5, 7, 9});
+  for (auto& g : gs) g.dispose();
+  a.dispose();
+  b.dispose();
+}
+
+TEST_P(AutodiffTest, NumericalCheckUnaryChain) {
+  Tensor x = o::tensor({0.5f, -0.3f, 1.2f, 0.1f}, Shape{4});
+  auto f = [](const Tensor& t) {
+    return o::sum(o::mul(o::sigmoid(t), o::tanh(o::mulScalar(t, 0.5f))));
+  };
+  Tensor g = ad::grad(f, x);
+  const auto expected = numericalGrad(f, x);
+  test::expectValues(g, expected, 1e-2f);
+  g.dispose();
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, NumericalCheckSoftmaxCrossEntropyStyle) {
+  Tensor x = o::tensor({0.2f, -0.4f, 0.7f, 0.1f, 0.5f, -0.2f}, Shape{2, 3});
+  Tensor labels = o::tensor({1, 0, 0, 0, 0, 1}, Shape{2, 3});
+  labels.keep();
+  auto f = [&labels](const Tensor& t) {
+    Tensor p = o::softmax(t);
+    Tensor logp = o::log(o::maximum(p, o::scalar(1e-7f)));
+    return o::neg(o::sum(o::mul(labels, logp)));
+  };
+  Tensor g = ad::grad(f, x);
+  const auto expected = numericalGrad(f, x);
+  test::expectValues(g, expected, 2e-2f);
+  g.dispose();
+  x.dispose();
+  labels.dispose();
+}
+
+TEST_P(AutodiffTest, NumericalCheckConv2D) {
+  Tensor x = o::randomNormal(Shape{1, 4, 4, 2}, 0, 1, 11);
+  Tensor f = o::randomNormal(Shape{3, 3, 2, 2}, 0, 0.5f, 12);
+  f.keep();
+  auto loss = [&f](const Tensor& t) {
+    return o::sum(o::square(o::conv2d(t, f, 1, 1, PadMode::kSame)));
+  };
+  Tensor g = ad::grad(loss, x);
+  const auto expected = numericalGrad(loss, x, 1e-2f);
+  const auto got = g.dataSync();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 0.05f) << "at " << i;
+  }
+  g.dispose();
+  x.dispose();
+  f.dispose();
+}
+
+TEST_P(AutodiffTest, NumericalCheckDepthwiseConvAndPool) {
+  Tensor x = o::randomNormal(Shape{1, 4, 4, 2}, 0, 1, 13);
+  Tensor f = o::randomNormal(Shape{2, 2, 2, 1}, 0, 0.5f, 14);
+  f.keep();
+  auto loss = [&f](const Tensor& t) {
+    Tensor dw = o::depthwiseConv2d(t, f, 1, 1, PadMode::kValid);
+    Tensor p = o::avgPool(dw, 2, 2, 1, 1, PadMode::kValid);
+    return o::sum(o::square(p));
+  };
+  Tensor g = ad::grad(loss, x);
+  const auto expected = numericalGrad(loss, x, 1e-2f);
+  const auto got = g.dataSync();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 0.05f) << "at " << i;
+  }
+  g.dispose();
+  x.dispose();
+  f.dispose();
+}
+
+TEST_P(AutodiffTest, MaxPoolRoutesGradientToArgmax) {
+  Tensor x = o::tensor({1, 5, 2, 3}, Shape{1, 2, 2, 1});
+  Tensor g = ad::grad(
+      [](const Tensor& t) {
+        return o::sum(o::maxPool(t, 2, 2, 1, 1, PadMode::kValid));
+      },
+      x);
+  test::expectValues(g, {0, 1, 0, 0});
+  g.dispose();
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, NativeControlFlowInTracedFunction) {
+  // The eager benefit the paper highlights: plain C++ if/while in f.
+  Tensor x = o::tensor({2.f}, Shape{1});
+  auto f = [](const Tensor& t) {
+    Tensor acc = t.clone();
+    for (int i = 0; i < 3; ++i) {
+      acc = o::mul(acc, t);  // acc = t^4 after loop
+    }
+    return o::sum(acc);
+  };
+  Tensor g = ad::grad(f, x);
+  test::expectValues(g, {32});  // d(t^4)/dt = 4 t^3 = 32
+  g.dispose();
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, DisconnectedInputGetsZeros) {
+  Tensor x = o::tensor({1, 2}, Shape{2});
+  Tensor unused = o::tensor({3, 4}, Shape{2});
+  auto gs = ad::grads(
+      [](std::span<const Tensor> xs) { return o::sum(o::square(xs[0])); },
+      std::array<Tensor, 2>{x, unused});
+  test::expectValues(gs[1], {0, 0});
+  for (auto& g : gs) g.dispose();
+  x.dispose();
+  unused.dispose();
+}
+
+TEST_P(AutodiffTest, ValueAndGradsReturnsLoss) {
+  Tensor x = o::tensor({3.f}, Shape{1});
+  auto [y, gs] = ad::valueAndGrads([&] { return o::sum(o::square(x)); },
+                                   std::span<const Tensor>(&x, 1));
+  EXPECT_FLOAT_EQ(y.scalarSync(), 9);
+  test::expectValues(gs[0], {6});
+  y.dispose();
+  gs[0].dispose();
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, NestedGradThrows) {
+  Tensor x = o::tensor({1.f}, Shape{1});
+  EXPECT_THROW(
+      ad::grad(
+          [](const Tensor& t) {
+            Tensor inner =
+                ad::grad([](const Tensor& u) { return o::sum(u); }, t);
+            return o::sum(inner);
+          },
+          x),
+      InvalidArgumentError);
+  x.dispose();
+}
+
+TEST_P(AutodiffTest, VariableGrads) {
+  Variable w(o::tensor({2.f}, Shape{1}), "ad_w_" + std::string(GetParam()));
+  Variable b(o::tensor({1.f}, Shape{1}), "ad_b_" + std::string(GetParam()));
+  auto result = ad::variableGrads(
+      [&] {
+        // loss = (w*3 + b)^2 = 49; dw = 2*7*3 = 42, db = 2*7 = 14
+        Tensor pred = o::add(o::mulScalar(w.value(), 3), b.value());
+        return o::sum(o::square(pred));
+      },
+      std::array<Variable, 2>{w, b});
+  EXPECT_FLOAT_EQ(result.value.scalarSync(), 49);
+  test::expectValues(result.grads[0].second, {42});
+  test::expectValues(result.grads[1].second, {14});
+  result.value.dispose();
+  for (auto& [v, g] : result.grads) g.dispose();
+  w.dispose();
+  b.dispose();
+}
+
+// ------------------------------------------------------------- optimizers
+
+/// One quadratic-descent step sanity check per optimizer: loss must drop.
+class OptimizerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+INSTANTIATE_TEST_SUITE_P(All, OptimizerTest,
+                         ::testing::Values("sgd", "momentum", "rmsprop",
+                                           "adam", "adagrad"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(OptimizerTest, ConvergesOnQuadratic) {
+  Variable x(o::tensor({5.f}, Shape{1}),
+             std::string("opt_x_") + GetParam());
+  // Adagrad's effective step decays as 1/sqrt(sum g^2); give it a larger
+  // base rate so all optimizers are compared over the same 60 steps.
+  const float lr = std::string(GetParam()) == "adagrad" ? 1.0f : 0.1f;
+  auto optimizer = ad::makeOptimizer(GetParam(), lr);
+  auto loss = [&] { return o::sum(o::square(x.value())); };
+  float first = 0, last = 0;
+  for (int i = 0; i < 60; ++i) {
+    Tensor cost = optimizer->minimize(loss, /*returnCost=*/true,
+                                      std::array<Variable, 1>{x});
+    const float c = cost.scalarSync();
+    if (i == 0) first = c;
+    last = c;
+    cost.dispose();
+  }
+  EXPECT_LT(last, first * 0.2f) << "optimizer " << GetParam()
+                                << " failed to reduce the loss";
+  x.dispose();
+}
+
+TEST_F(OptimizerTest, SgdMatchesClosedForm) {
+  setBackend("native");
+  Variable x(o::tensor({1.f}, Shape{1}), "opt_sgd_exact");
+  ad::SGDOptimizer sgd(0.25f);
+  // loss = x^2, grad = 2x, step: x <- x - 0.25*2x = 0.5x
+  for (int i = 0; i < 3; ++i) {
+    Tensor c = sgd.minimize([&] { return o::sum(o::square(x.value())); });
+    (void)c;
+  }
+  EXPECT_NEAR(x.value().scalarSync(), 0.125f, 1e-6f);
+  x.dispose();
+}
+
+TEST_F(OptimizerTest, MinimizeDoesNotLeak) {
+  setBackend("native");
+  Variable x(o::tensor({2.f}, Shape{1}), "opt_leak_check");
+  ad::AdamOptimizer adam(0.01f);
+  auto loss = [&] { return o::sum(o::square(x.value())); };
+  // Warm-up creates the optimizer slots.
+  adam.minimize(loss, false, std::array<Variable, 1>{x});
+  const auto before = memory();
+  for (int i = 0; i < 5; ++i) {
+    adam.minimize(loss, false, std::array<Variable, 1>{x});
+  }
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  EXPECT_EQ(memory().numBytes, before.numBytes);
+  x.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

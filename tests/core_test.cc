@@ -1,0 +1,346 @@
+// Core library tests: shapes, broadcasting utilities, tensor lifetime
+// (dispose / refcounted data containers / free reshape-clone), tidy scopes,
+// memory accounting, fp16 round-trip, and the profiler (paper sections
+// 3.4, 3.7, 3.8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/half.h"
+#include "core/util.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+// ----------------------------------------------------------------- shapes
+
+TEST_F(CoreTest, ShapeBasics) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.size(), 24u);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s.toString(), "[2,3,4]");
+  auto strides = s.strides();
+  EXPECT_EQ(strides[0], 12u);
+  EXPECT_EQ(strides[1], 4u);
+  EXPECT_EQ(strides[2], 1u);
+}
+
+TEST_F(CoreTest, ShapeScalarAndEmptyDim) {
+  Shape scalar{};
+  EXPECT_EQ(scalar.rank(), 0);
+  EXPECT_EQ(scalar.size(), 1u);
+  Shape empty{0, 3};
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST_F(CoreTest, ShapeSqueezed) {
+  Shape s{1, 3, 1, 2};
+  EXPECT_EQ(s.squeezed().toString(), "[3,2]");
+  EXPECT_EQ(Shape({1, 1}).squeezed().rank(), 0);
+}
+
+TEST_F(CoreTest, ShapeNegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -2}), InvalidArgumentError);
+}
+
+TEST_F(CoreTest, BroadcastShapes) {
+  EXPECT_EQ(util::broadcastShapes(Shape{2, 3}, Shape{3}).toString(), "[2,3]");
+  EXPECT_EQ(util::broadcastShapes(Shape{4, 1, 3}, Shape{2, 1}).toString(),
+            "[4,2,3]");
+  EXPECT_EQ(util::broadcastShapes(Shape{}, Shape{5}).toString(), "[5]");
+  EXPECT_THROW(util::broadcastShapes(Shape{2, 3}, Shape{4}),
+               InvalidArgumentError);
+}
+
+TEST_F(CoreTest, BroadcastedAxes) {
+  auto axes = util::broadcastedAxes(Shape{3}, Shape{2, 3});
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0], 0);
+  axes = util::broadcastedAxes(Shape{4, 1, 3}, Shape{4, 2, 3});
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0], 1);
+}
+
+TEST_F(CoreTest, NormalizeAxes) {
+  auto axes = util::normalizeAxes(std::array<int, 2>{-1, 0}, 3);
+  EXPECT_EQ(axes, (std::vector<int>{0, 2}));
+  EXPECT_THROW(util::normalizeAxes(std::array<int, 1>{3}, 3),
+               InvalidArgumentError);
+  EXPECT_THROW(util::normalizeAxes(std::array<int, 2>{1, 1}, 3),
+               InvalidArgumentError);
+}
+
+// ----------------------------------------------------- tensors & lifetime
+
+TEST_F(CoreTest, TensorCreateAndRead) {
+  Tensor t = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.size(), 6u);
+  test::expectValues(t, {1, 2, 3, 4, 5, 6});
+  t.dispose();
+}
+
+TEST_F(CoreTest, DisposedTensorThrows) {
+  Tensor t = o::scalar(1);
+  t.dispose();
+  EXPECT_TRUE(t.isDisposed());
+  EXPECT_THROW(t.dataSync(), DisposedError);
+  EXPECT_THROW(o::add(t, t), DisposedError);
+  // Double dispose is a no-op.
+  t.dispose();
+}
+
+TEST_F(CoreTest, ReshapeSharesDataContainer) {
+  const auto before = memory();
+  Tensor t = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  Tensor r = t.reshape(Shape{4});
+  // Two tensors, ONE data buffer: reshape is free (paper section 3.4).
+  EXPECT_EQ(memory().numTensors, before.numTensors + 2);
+  EXPECT_EQ(memory().numDataBuffers, before.numDataBuffers + 1);
+  EXPECT_EQ(t.dataId(), r.dataId());
+  test::expectValues(r, {1, 2, 3, 4});
+  // Disposing one alias keeps the container alive for the other.
+  t.dispose();
+  test::expectValues(r, {1, 2, 3, 4});
+  r.dispose();
+  EXPECT_EQ(memory().numDataBuffers, before.numDataBuffers);
+  EXPECT_EQ(memory().numBytes, before.numBytes);
+}
+
+TEST_F(CoreTest, CloneSharesDataContainer) {
+  Tensor t = o::tensor({7, 8}, Shape{2});
+  Tensor c = t.clone();
+  EXPECT_EQ(t.dataId(), c.dataId());
+  EXPECT_NE(t.id(), c.id());
+  t.dispose();
+  c.dispose();
+}
+
+TEST_F(CoreTest, ReshapeWrongSizeThrows) {
+  Tensor t = o::tensor({1, 2, 3, 4}, Shape{4});
+  EXPECT_THROW(t.reshape(Shape{3}), InvalidArgumentError);
+  t.dispose();
+}
+
+TEST_F(CoreTest, CastWideningIsFree) {
+  const auto before = memory();
+  Tensor i = o::tensor({1, 0, 2}, Shape{3}, DType::i32);
+  Tensor f = i.cast(DType::f32);
+  EXPECT_EQ(memory().numDataBuffers, before.numDataBuffers + 1);
+  EXPECT_EQ(f.dtype(), DType::f32);
+  i.dispose();
+  f.dispose();
+}
+
+TEST_F(CoreTest, CastNarrowingMaterializes) {
+  Tensor f = o::tensor({1.7f, -2.3f, 0.f}, Shape{3});
+  Tensor i = f.cast(DType::i32);
+  EXPECT_EQ(i.dtype(), DType::i32);
+  test::expectValues(i, {1, -2, 0});
+  Tensor b = f.cast(DType::b8);
+  test::expectValues(b, {1, 1, 0});
+  f.dispose();
+  i.dispose();
+  b.dispose();
+}
+
+// -------------------------------------------------------------- tidy/memory
+
+TEST_F(CoreTest, TidyDisposesIntermediates) {
+  const auto before = memory();
+  Tensor result = tidy([] {
+    Tensor a = o::tensor({1, 2}, Shape{2});
+    Tensor b = o::tensor({3, 4}, Shape{2});
+    Tensor c = o::add(a, b);     // intermediate
+    return o::mulScalar(c, 2);   // survives
+  });
+  // Exactly the returned tensor survives (plus its buffer).
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  test::expectValues(result, {8, 12});
+  result.dispose();
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  EXPECT_EQ(memory().numBytes, before.numBytes);
+}
+
+TEST_F(CoreTest, TidyNested) {
+  const auto before = memory();
+  Tensor r = tidy([] {
+    Tensor inner = tidy([] {
+      Tensor a = o::scalar(2);
+      return o::mulScalar(a, 3);
+    });
+    return o::addScalar(inner, 1);
+  });
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  EXPECT_FLOAT_EQ(r.scalarSync(), 7);
+  r.dispose();
+}
+
+TEST_F(CoreTest, KeepSurvivesTidy) {
+  const auto before = memory();
+  Tensor kept;
+  tidyVoid([&] {
+    kept = o::scalar(5);
+    kept.keep();
+    Tensor tmp = o::scalar(6);  // disposed by tidy
+    (void)tmp;
+  });
+  EXPECT_FALSE(kept.isDisposed());
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  kept.dispose();
+}
+
+TEST_F(CoreTest, TidyEndsScopeOnException) {
+  const auto before = memory();
+  EXPECT_THROW(tidyVoid([&] {
+    Tensor tmp = o::scalar(1);
+    (void)tmp;
+    throw InvalidArgumentError("boom");
+  }),
+               InvalidArgumentError);
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+}
+
+TEST_F(CoreTest, MemoryLeakWithoutDisposeIsObservable) {
+  const auto before = memory();
+  {
+    Tensor t = o::tensor({1, 2, 3, 4}, Shape{4});
+    (void)t;
+    // handle goes out of scope WITHOUT dispose: the data container leaks,
+    // exactly the failure mode the paper's section 3.7 warns about.
+  }
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  EXPECT_GT(memory().numBytes, before.numBytes);
+}
+
+// -------------------------------------------------------------- variables
+
+TEST_F(CoreTest, VariableAssignAndDispose) {
+  Variable v(o::tensor({1, 2}, Shape{2}), "core_test_var");
+  test::expectValues(v.value(), {1, 2});
+  Tensor next = o::tensor({3, 4}, Shape{2});
+  v.assign(next);
+  test::expectValues(v.value(), {3, 4});
+  // Shape mismatch rejected.
+  Tensor bad = o::tensor({1, 2, 3}, Shape{3});
+  EXPECT_THROW(v.assign(bad), InvalidArgumentError);
+  bad.dispose();
+  v.dispose();
+}
+
+TEST_F(CoreTest, VariableSurvivesTidy) {
+  Variable v(o::scalar(1), "core_test_var2");
+  tidyVoid([&] {
+    Tensor next = o::addScalar(v.value(), 1);
+    v.assign(next);
+  });
+  EXPECT_FLOAT_EQ(v.value().scalarSync(), 2);
+  v.dispose();
+}
+
+// ---------------------------------------------------------------- fp16
+
+TEST_F(CoreTest, HalfRoundTripExactSmallIntegers) {
+  for (float f : {0.f, 1.f, -1.f, 2.f, 1024.f, -2048.f, 0.5f, 0.25f}) {
+    EXPECT_FLOAT_EQ(roundTripHalf(f), f);
+  }
+}
+
+TEST_F(CoreTest, HalfUnderflowAndOverflow) {
+  // 1e-8 is below the smallest subnormal half (~5.96e-8): flushes to zero.
+  EXPECT_FLOAT_EQ(roundTripHalf(1e-8f), 0.f);
+  // 1e5 overflows the half range (max 65504): becomes +inf.
+  EXPECT_TRUE(std::isinf(roundTripHalf(1e5f)));
+  // Max finite half survives.
+  EXPECT_FLOAT_EQ(roundTripHalf(65504.f), 65504.f);
+}
+
+TEST_F(CoreTest, HalfRoundsToNearest) {
+  // 1 + 2^-11 is exactly between 1 and the next half (1 + 2^-10):
+  // round-to-even gives 1.
+  EXPECT_FLOAT_EQ(roundTripHalf(1.0f + 0.00048828125f), 1.0f);
+  EXPECT_FLOAT_EQ(roundTripHalf(2049.f), 2048.f);  // 11-bit mantissa limit
+}
+
+// -------------------------------------------------------- time / profile
+
+TEST_F(CoreTest, TimeReportsKernelTime) {
+  Tensor a = o::randomNormal(Shape{64, 64});
+  TimingInfo t = time([&] {
+    Tensor b = o::matMul(a, a);
+    b.dataSync();
+    b.dispose();
+  });
+  EXPECT_GT(t.wallMs, 0);
+  EXPECT_GT(t.kernelMs, 0);
+  a.dispose();
+}
+
+TEST_F(CoreTest, ProfileCountsNewTensorsAndKernels) {
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{4});
+  ProfileInfo info = profile([&] {
+    Tensor b = o::addScalar(a, 1);  // scalar() + add -> >= 2 tensors
+    b.dispose();
+  });
+  EXPECT_GE(info.kernels.size(), 1u);
+  EXPECT_GT(info.peakBytes, 0u);
+  bool sawAdd = false;
+  for (const auto& k : info.kernels) sawAdd |= (k.name == "add");
+  EXPECT_TRUE(sawAdd);
+  a.dispose();
+}
+
+TEST_F(CoreTest, DebugModeThrowsOnNaN) {
+  Engine::get().setDebugMode(true);
+  Tensor bad = o::tensor({-1.0f}, Shape{1});
+  try {
+    Tensor y = o::log(bad);  // log(-1) = NaN
+    y.dispose();
+    Engine::get().setDebugMode(false);
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    Engine::get().setDebugMode(false);
+    EXPECT_NE(std::string(e.what()).find("log"), std::string::npos);
+  }
+  bad.dispose();
+}
+
+// ---------------------------------------------------------- backend mgmt
+
+TEST_F(CoreTest, BackendRegistryListsAll) {
+  auto names = Engine::get().registeredBackends();
+  EXPECT_NE(std::find(names.begin(), names.end(), "cpu"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "native"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "webgl"), names.end());
+}
+
+TEST_F(CoreTest, UnknownBackendThrows) {
+  EXPECT_THROW(setBackend("does-not-exist"), InvalidArgumentError);
+}
+
+TEST_F(CoreTest, CrossBackendMigration) {
+  setBackend("native");
+  Tensor a = o::tensor({1, 2, 3}, Shape{3});
+  setBackend("cpu");
+  // Using a native-born tensor on cpu migrates its container.
+  Tensor b = o::addScalar(a, 1);
+  test::expectValues(b, {2, 3, 4});
+  a.dispose();
+  b.dispose();
+  setBackend("native");
+}
+
+}  // namespace
+}  // namespace tfjs

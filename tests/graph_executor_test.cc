@@ -1,0 +1,205 @@
+// GraphExecutor tests (paper section 5.1 — "load and execute pre-trained
+// TensorFlow SavedModels"): op dispatch, attrs, memoization, pruning
+// integration (convert-then-execute), error paths, and cross-backend runs.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "io/graph_executor.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+using io::GraphDef;
+using io::GraphExecutor;
+using io::GraphNode;
+using io::Json;
+
+class GraphExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+GraphNode node(std::string name, std::string op,
+               std::vector<std::string> inputs, Tensor weight = Tensor(),
+               Json attrs = Json()) {
+  return GraphNode{std::move(name), std::move(op), std::move(inputs),
+                   weight, std::move(attrs)};
+}
+
+TEST_F(GraphExecutorTest, LinearGraphMatchesOps) {
+  // y = sigmoid(x·W + b)
+  GraphDef g;
+  Tensor w = o::randomNormal(Shape{3, 2}, 0, 1, 1);
+  Tensor b = o::randomNormal(Shape{2}, 0, 1, 2);
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("w", "VariableV2", {}, w));
+  g.nodes.push_back(node("b", "VariableV2", {}, b));
+  g.nodes.push_back(node("mm", "MatMul", {"x", "w"}));
+  g.nodes.push_back(node("biased", "BiasAdd", {"mm", "b"}));
+  g.nodes.push_back(node("out", "Sigmoid", {"biased"}));
+  g.outputs = {"out"};
+  GraphExecutor exec(std::move(g));
+
+  Tensor x = o::randomNormal(Shape{4, 3}, 0, 1, 3);
+  Tensor got = exec.execute({{"x", x}});
+  Tensor expected = o::sigmoid(o::add(o::matMul(x, w), b));
+  test::expectClose(got, expected, 1e-5f);
+  for (Tensor t : {x, got, expected, w, b}) t.dispose();
+}
+
+TEST_F(GraphExecutorTest, ConvPoolGraphWithAttrs) {
+  GraphDef g;
+  Tensor f = o::randomNormal(Shape{3, 3, 1, 4}, 0, 0.5f, 4);
+  Json convAttrs;
+  convAttrs["strides"] = Json(io::JsonArray{Json(1), Json(2), Json(2), Json(1)});
+  convAttrs["padding"] = "SAME";
+  Json poolAttrs;
+  poolAttrs["ksize"] = Json(io::JsonArray{Json(1), Json(2), Json(2), Json(1)});
+  poolAttrs["strides"] = Json(io::JsonArray{Json(1), Json(2), Json(2), Json(1)});
+  poolAttrs["padding"] = "VALID";
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("f", "VariableV2", {}, f));
+  g.nodes.push_back(node("conv", "Conv2D", {"x", "f"}, Tensor(), convAttrs));
+  g.nodes.push_back(node("act", "Relu6", {"conv"}));
+  g.nodes.push_back(node("pool", "MaxPool", {"act"}, Tensor(), poolAttrs));
+  g.outputs = {"pool"};
+  GraphExecutor exec(std::move(g));
+
+  Tensor x = o::randomNormal(Shape{1, 8, 8, 1}, 0, 1, 5);
+  Tensor got = exec.execute({{"x", x}});
+  Tensor expected = o::maxPool(
+      o::relu6(o::conv2d(x, f, 2, 2, PadMode::kSame)), 2, 2, 2, 2,
+      PadMode::kValid);
+  test::expectShape(got, Shape{1, 2, 2, 4});
+  test::expectClose(got, expected, 1e-5f);
+  for (Tensor t : {x, got, expected, f}) t.dispose();
+}
+
+TEST_F(GraphExecutorTest, DiamondGraphEvaluatesSharedNodeOnce) {
+  // x -> square -> (a = s + s): the shared node must be memoized, which the
+  // profiler can observe (square dispatched exactly once).
+  GraphDef g;
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("s", "Mul", {"x", "x"}));
+  g.nodes.push_back(node("a", "Add", {"s", "s"}));
+  g.outputs = {"a"};
+  GraphExecutor exec(std::move(g));
+
+  Tensor x = o::tensor({2, 3}, Shape{2});
+  int mulKernels = 0;
+  ProfileInfo prof = profile([&] {
+    Tensor y = exec.execute({{"x", x}});
+    test::expectValues(y, {8, 18});
+    y.dispose();
+  });
+  for (const auto& k : prof.kernels) mulKernels += k.name == "mul";
+  EXPECT_EQ(mulKernels, 1);
+  x.dispose();
+}
+
+TEST_F(GraphExecutorTest, PruneThenExecuteEndToEnd) {
+  // The section 5.1 workflow: a training graph is pruned, and the surviving
+  // inference graph executes to the same values the ops produce.
+  GraphDef g;
+  Tensor w = o::randomNormal(Shape{4, 2}, 0, 1, 6);
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("w", "VariableV2", {}, w));
+  g.nodes.push_back(node("logits", "MatMul", {"x", "w"}));
+  g.nodes.push_back(node("probs", "Softmax", {"logits"}));
+  g.nodes.push_back(node("grad", "Conv2DBackpropFilter", {"x", "logits"}));
+  g.nodes.push_back(node("m", "VariableV2", {}, o::zeros(Shape{4, 2})));
+  g.nodes.push_back(node("train", "ApplyAdam", {"w", "m", "grad"}));
+  g.outputs = {"probs"};
+
+  GraphDef pruned = io::pruneTrainingOps(g);
+  EXPECT_EQ(pruned.nodes.size(), 4u);
+  GraphExecutor exec(std::move(pruned));
+  Tensor x = o::randomNormal(Shape{3, 4}, 0, 1, 7);
+  Tensor got = exec.execute({{"x", x}});
+  Tensor expected = o::softmax(o::matMul(x, w));
+  test::expectClose(got, expected, 1e-5f);
+  for (Tensor t : {x, got, expected}) t.dispose();
+}
+
+TEST_F(GraphExecutorTest, ReshapeMeanIdentity) {
+  GraphDef g;
+  Json reshapeAttrs;
+  reshapeAttrs["shape"] =
+      Json(io::JsonArray{Json(2), Json(-1)});
+  Json meanAttrs;
+  meanAttrs["axes"] = Json(io::JsonArray{Json(1)});
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("r", "Reshape", {"x"}, Tensor(), reshapeAttrs));
+  g.nodes.push_back(node("m", "Mean", {"r"}, Tensor(), meanAttrs));
+  g.nodes.push_back(node("out", "Identity", {"m:0"}));
+  g.outputs = {"out:0"};
+  GraphExecutor exec(std::move(g));
+  Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{6});
+  Tensor got = exec.execute({{"x", x}});
+  test::expectValues(got, {2, 5});
+  x.dispose();
+  got.dispose();
+}
+
+TEST_F(GraphExecutorTest, ErrorPaths) {
+  GraphDef g;
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("bad", "SomeUnknownOp", {"x"}));
+  g.nodes.push_back(node("loop", "Relu", {"loop"}));
+  g.outputs = {"bad"};
+  GraphExecutor exec(std::move(g));
+  Tensor x = o::scalar(1);
+  // Missing feed (evaluate the placeholder itself).
+  const std::array<std::string, 1> xOut{"x"};
+  EXPECT_THROW(exec.execute({}, xOut), InvalidArgumentError);
+  // Unsupported op.
+  EXPECT_THROW(exec.execute({{"x", x}}), UnimplementedError);
+  // Cycle.
+  const std::array<std::string, 1> loopOut{"loop"};
+  EXPECT_THROW(exec.execute({{"x", x}}, loopOut), InvalidArgumentError);
+  x.dispose();
+}
+
+TEST_F(GraphExecutorTest, RunsOnWebGLBackendToo) {
+  GraphDef g;
+  Tensor w = o::randomNormal(Shape{2, 2}, 0, 1, 8);
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("w", "VariableV2", {}, w));
+  g.nodes.push_back(node("y", "MatMul", {"x", "w"}));
+  g.outputs = {"y"};
+  GraphExecutor exec(std::move(g));
+
+  Tensor x = o::tensor({1, 0, 0, 1}, Shape{2, 2});
+  Tensor native = exec.execute({{"x", x}});
+  setBackend("webgl");
+  Tensor webgl = exec.execute({{"x", x}});
+  test::expectClose(native, webgl, 1e-5f);
+  setBackend("native");
+  for (Tensor t : {x, native, webgl}) t.dispose();
+}
+
+TEST_F(GraphExecutorTest, NoLeaksAcrossExecutions) {
+  GraphDef g;
+  Tensor w = o::randomNormal(Shape{4, 4}, 0, 1, 9);
+  g.nodes.push_back(node("x", "Placeholder", {}));
+  g.nodes.push_back(node("w", "VariableV2", {}, w));
+  g.nodes.push_back(node("h", "MatMul", {"x", "w"}));
+  g.nodes.push_back(node("out", "Relu", {"h"}));
+  g.outputs = {"out"};
+  GraphExecutor exec(std::move(g));
+  Tensor x = o::randomNormal(Shape{2, 4}, 0, 1, 10);
+  exec.execute({{"x", x}}).dispose();  // warm-up
+  const auto before = memory();
+  for (int i = 0; i < 3; ++i) {
+    Tensor y = exec.execute({{"x", x}});
+    y.dispose();
+  }
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  x.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,353 @@
+// Layers API tests (paper section 3.2): layer math, building, the Listing-1
+// linear-regression workflow, CNN training on separable synthetic data,
+// serialization configs, and model-level memory management.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "layers/conv_layers.h"
+#include "layers/core_layers.h"
+#include "layers/losses.h"
+#include "layers/sequential.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+namespace L = layers;
+
+class LayersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+TEST_F(LayersTest, DenseForwardKnownWeights) {
+  L::DenseOptions opts;
+  opts.units = 2;
+  opts.name = "dense_known";
+  L::Dense dense(opts);
+  Tensor x = o::tensor({1, 2, 3}, Shape{1, 3});
+  Tensor y = dense.apply(x);
+  test::expectShape(y, Shape{1, 2});
+  // Set explicit weights and re-check the math.
+  Tensor w = o::tensor({1, 0, 0, 1, 1, 1}, Shape{3, 2});
+  Tensor b = o::tensor({10, 20}, Shape{2});
+  dense.setWeightValues(std::array<Tensor, 2>{w, b});
+  Tensor y2 = dense.apply(x);
+  test::expectValues(y2, {1 + 3 + 10, 2 + 3 + 20});
+  x.dispose();
+  y.dispose();
+  y2.dispose();
+  dense.dispose();
+}
+
+TEST_F(LayersTest, DenseActivationAndShapes) {
+  L::DenseOptions opts;
+  opts.units = 4;
+  opts.activation = "relu";
+  L::Dense dense(opts);
+  Tensor x = o::randomNormal(Shape{5, 3}, 0, 1, 3);
+  Tensor y = dense.apply(x);
+  test::expectShape(y, Shape{5, 4});
+  for (float v : y.dataSync()) EXPECT_GE(v, 0);
+  EXPECT_EQ(dense.weights().size(), 2u);
+  x.dispose();
+  y.dispose();
+  dense.dispose();
+}
+
+TEST_F(LayersTest, FlattenReshapeActivationDropout) {
+  Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{1, 2, 3, 1});
+  L::Flatten flatten;
+  test::expectShape(flatten.apply(x), Shape{1, 6});
+
+  L::Reshape reshape(Shape{3, 2});
+  test::expectShape(reshape.apply(x), Shape{1, 3, 2});
+
+  L::Activation act("relu");
+  Tensor neg = o::tensor({-1, 2}, Shape{1, 2});
+  test::expectValues(act.apply(neg), {0, 2});
+
+  L::Dropout drop(0.5f);
+  Tensor ones = o::ones(Shape{1, 100});
+  Tensor inference = drop.apply(ones, /*training=*/false);
+  test::expectClose(inference, ones);
+  Tensor training = drop.apply(ones, /*training=*/true);
+  int zeros = 0;
+  for (float v : training.dataSync()) zeros += v == 0.f;
+  EXPECT_GT(zeros, 20);
+  for (Tensor t : {x, neg, ones, inference, training}) t.dispose();
+}
+
+TEST_F(LayersTest, Conv2DAndPoolingLayers) {
+  L::Conv2DOptions c;
+  c.filters = 4;
+  c.kernelH = c.kernelW = 3;
+  c.padding = "same";
+  L::Conv2D conv(c);
+  Tensor x = o::randomNormal(Shape{2, 8, 8, 3}, 0, 1, 5);
+  Tensor y = conv.apply(x);
+  test::expectShape(y, Shape{2, 8, 8, 4});
+  EXPECT_EQ(conv.computeOutputShape(x.shape()).toString(), "[2,8,8,4]");
+
+  L::MaxPooling2D pool;
+  Tensor p = pool.apply(y);
+  test::expectShape(p, Shape{2, 4, 4, 4});
+
+  L::GlobalAveragePooling2D gap;
+  Tensor g = gap.apply(y);
+  test::expectShape(g, Shape{2, 4});
+
+  for (Tensor t : {x, y, p, g}) t.dispose();
+  conv.dispose();
+}
+
+TEST_F(LayersTest, BatchNormTrainingNormalizesBatch) {
+  L::BatchNormalization bn;
+  Tensor x = o::tensor({0, 2, 4, 6}, Shape{4, 1});  // mean 3, var 5
+  Tensor y = bn.apply(x, /*training=*/true);
+  const auto v = y.dataSync();
+  float mean = 0;
+  for (float f : v) mean += f / 4;
+  EXPECT_NEAR(mean, 0, 1e-4f);
+  // Moving stats moved toward the batch statistics.
+  const auto movingMean = bn.weights()[2].value().dataSync();
+  EXPECT_GT(movingMean[0], 0);
+  x.dispose();
+  y.dispose();
+  bn.dispose();
+}
+
+TEST_F(LayersTest, Listing1LinearRegression) {
+  // The paper's Listing 1: one dense unit, sgd + meanSquaredError, trained
+  // on y = 2x - 1; predict(5) ~ 9.
+  auto model = sequential("listing1");
+  L::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<L::Dense>(d));
+  L::CompileOptions c;
+  c.optimizer = "sgd";
+  c.learningRate = 0.1f;
+  c.loss = "meanSquaredError";
+  model->compile(c);
+
+  Tensor xs = o::tensor({1, 2, 3, 4}, Shape{4, 1});
+  Tensor ys = o::tensor({1, 3, 5, 7}, Shape{4, 1});
+  L::FitOptions fit;
+  fit.epochs = 200;
+  fit.batchSize = 4;
+  L::History h = model->fit(xs, ys, fit);
+  EXPECT_LT(h.loss.back(), 1e-3f);
+  EXPECT_LT(h.loss.back(), h.loss.front());
+
+  Tensor x = o::tensor({5.f}, Shape{1, 1});
+  Tensor pred = model->predict(x);
+  EXPECT_NEAR(pred.scalarSync(), 9.0f, 0.2f);
+  for (Tensor t : {xs, ys, x, pred}) t.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, CnnLearnsSyntheticDigits) {
+  auto ds = data::makeSyntheticDigits(/*numExamples=*/160, /*size=*/12,
+                                      /*numClasses=*/4);
+  auto model = sequential("digits_cnn");
+  L::Conv2DOptions c1;
+  c1.filters = 8;
+  c1.kernelH = c1.kernelW = 3;
+  c1.activation = "relu";
+  c1.padding = "same";
+  model->add(std::make_shared<L::Conv2D>(c1));
+  model->add(std::make_shared<L::MaxPooling2D>());
+  model->add(std::make_shared<L::Flatten>());
+  L::DenseOptions d;
+  d.units = 4;
+  d.activation = "softmax";
+  model->add(std::make_shared<L::Dense>(d));
+
+  L::CompileOptions c;
+  c.optimizer = "adam";
+  c.learningRate = 0.01f;
+  c.loss = "categoricalCrossentropy";
+  c.metrics = {"accuracy"};
+  model->compile(c);
+
+  L::FitOptions fit;
+  fit.epochs = 6;
+  fit.batchSize = 16;
+  L::History h = model->fit(ds.images, ds.labels, fit);
+  EXPECT_GT(h.metrics[0].back(), 0.9f)
+      << "CNN failed to learn separable synthetic digits";
+  EXPECT_LT(h.loss.back(), h.loss.front());
+
+  L::EvalResult eval = model->evaluate(ds.images, ds.labels);
+  EXPECT_GT(eval.metrics[0], 0.9f);
+
+  ds.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, FitWithValidationSplit) {
+  auto [xs, ys] = data::makeLinearData(100, 2, -1, 0.05f);
+  auto model = sequential();
+  L::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<L::Dense>(d));
+  L::CompileOptions c;
+  c.learningRate = 0.2f;
+  model->compile(c);
+  L::FitOptions fit;
+  fit.epochs = 20;
+  fit.batchSize = 16;
+  fit.validationSplit = 0.25f;
+  L::History h = model->fit(xs, ys, fit);
+  ASSERT_EQ(h.valLoss.size(), 20u);
+  EXPECT_LT(h.valLoss.back(), h.valLoss.front());
+  xs.dispose();
+  ys.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, FitDoesNotLeakTensors) {
+  auto [xs, ys] = data::makeLinearData(32, 1, 0);
+  auto model = sequential();
+  L::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<L::Dense>(d));
+  model->compile({});
+  L::FitOptions fit;
+  fit.epochs = 1;
+  fit.batchSize = 8;
+  model->fit(xs, ys, fit);  // builds weights + optimizer slots
+  const auto before = memory();
+  model->fit(xs, ys, fit);
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  EXPECT_EQ(memory().numBytes, before.numBytes);
+  xs.dispose();
+  ys.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, PredictManagesMemory) {
+  auto model = sequential();
+  L::DenseOptions d;
+  d.units = 2;
+  model->add(std::make_shared<L::Dense>(d));
+  Tensor x = o::randomNormal(Shape{4, 3}, 0, 1, 9);
+  Tensor warm = model->predict(x);
+  warm.dispose();
+  const auto before = memory();
+  Tensor y = model->predict(x);
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  y.dispose();
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  x.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, UncompiledFitThrows) {
+  auto model = sequential();
+  L::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<L::Dense>(d));
+  Tensor x = o::ones(Shape{2, 1});
+  EXPECT_THROW(model->fit(x, x), InvalidArgumentError);
+  x.dispose();
+  model->dispose();
+}
+
+TEST_F(LayersTest, SummaryAndParamCount) {
+  auto model = sequential("summary_model");
+  L::DenseOptions d;
+  d.units = 4;
+  model->add(std::make_shared<L::Dense>(d));
+  model->build(Shape{1, 3});
+  EXPECT_EQ(model->countParams(), 3u * 4 + 4);
+  const std::string s = model->summary();
+  EXPECT_NE(s.find("Dense"), std::string::npos);
+  EXPECT_NE(s.find("16"), std::string::npos);
+  model->dispose();
+}
+
+TEST_F(LayersTest, ConfigRoundTrip) {
+  auto model = sequential("roundtrip");
+  L::Conv2DOptions c1;
+  c1.filters = 2;
+  c1.kernelH = c1.kernelW = 3;
+  c1.padding = "same";
+  c1.activation = "relu";
+  model->add(std::make_shared<L::Conv2D>(c1));
+  model->add(std::make_shared<L::MaxPooling2D>());
+  model->add(std::make_shared<L::Flatten>());
+  L::DenseOptions d;
+  d.units = 3;
+  d.activation = "softmax";
+  model->add(std::make_shared<L::Dense>(d));
+
+  const io::Json config = model->toConfig();
+  auto clone = L::Sequential::fromConfig(config);
+  ASSERT_EQ(clone->layers().size(), model->layers().size());
+  // Same config serializes identically (deterministic JSON).
+  EXPECT_EQ(clone->toConfig().dump(), config.dump());
+  // And the clone is runnable.
+  Tensor x = o::randomNormal(Shape{1, 8, 8, 1}, 0, 1, 21);
+  Tensor y = clone->predict(x);
+  test::expectShape(y, Shape{1, 3});
+  x.dispose();
+  y.dispose();
+  model->dispose();
+  clone->dispose();
+}
+
+TEST_F(LayersTest, LossFunctions) {
+  Tensor yTrue = o::tensor({1, 0, 0, 1}, Shape{2, 2});
+  Tensor yPred = o::tensor({0.9f, 0.1f, 0.2f, 0.8f}, Shape{2, 2});
+  EXPECT_NEAR(L::meanSquaredError(yTrue, yPred).scalarSync(),
+              (0.01f + 0.01f + 0.04f + 0.04f) / 4, 1e-5f);
+  EXPECT_NEAR(L::meanAbsoluteError(yTrue, yPred).scalarSync(), 0.15f, 1e-5f);
+  EXPECT_NEAR(L::categoricalCrossentropy(yTrue, yPred).scalarSync(),
+              -(std::log(0.9f) + std::log(0.8f)) / 2, 1e-4f);
+  EXPECT_NEAR(L::categoricalAccuracy(yTrue, yPred).scalarSync(), 1.0f, 1e-6f);
+  Tensor bad = o::tensor({0.1f, 0.9f, 0.2f, 0.8f}, Shape{2, 2});
+  EXPECT_NEAR(L::categoricalAccuracy(yTrue, bad).scalarSync(), 0.5f, 1e-6f);
+  for (Tensor t : {yTrue, yPred, bad}) t.dispose();
+}
+
+TEST_F(LayersTest, BinaryLossesAndHuber) {
+  Tensor yTrue = o::tensor({1, 0}, Shape{2, 1});
+  Tensor yPred = o::tensor({0.8f, 0.3f}, Shape{2, 1});
+  const float expected =
+      -(std::log(0.8f) + std::log(0.7f)) / 2;
+  EXPECT_NEAR(L::binaryCrossentropy(yTrue, yPred).scalarSync(), expected,
+              1e-4f);
+  EXPECT_NEAR(L::binaryAccuracy(yTrue, yPred).scalarSync(), 1.0f, 1e-6f);
+  // Huber: small errors quadratic, large linear.
+  Tensor t2 = o::tensor({0, 0}, Shape{2, 1});
+  Tensor p2 = o::tensor({0.5f, 3}, Shape{2, 1});
+  EXPECT_NEAR(L::huberLoss(t2, p2).scalarSync(),
+              (0.5f * 0.25f + (0.5f + 2.0f)) / 2, 1e-4f);
+  for (Tensor t : {yTrue, yPred, t2, p2}) t.dispose();
+}
+
+TEST_F(LayersTest, InitializersStatistics) {
+  auto glorot = L::glorotUniformInitializer();
+  Tensor w = glorot->init(Shape{100, 100}, 100, 100, 7);
+  const float limit = std::sqrt(6.0f / 200);
+  for (float v : w.dataSync()) {
+    EXPECT_LE(std::fabs(v), limit + 1e-5f);
+  }
+  auto he = L::heNormalInitializer();
+  Tensor h = he->init(Shape{200, 50}, 200, 50, 8);
+  float mean = 0;
+  for (float v : h.dataSync()) mean += v / 10000;
+  EXPECT_NEAR(mean, 0, 0.02f);
+  EXPECT_THROW(L::makeInitializer("bogus"), InvalidArgumentError);
+  w.dispose();
+  h.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

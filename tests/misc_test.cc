@@ -1,0 +1,326 @@
+// Long-tail coverage: conv geometry math, JSON and half-precision edges,
+// Random determinism, Tensor printing, engine backend management, gather
+// gradients (embedding training), and the device cost model's invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "backends/webgl/device_model.h"
+#include "core/conv_util.h"
+#include "core/engine.h"
+#include "core/half.h"
+#include "core/random.h"
+#include "core/scoped.h"
+#include "io/json.h"
+#include "layers/rnn_layers.h"
+#include "layers/sequential.h"
+#include "layers/core_layers.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+class MiscTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+// ------------------------------------------------------------- conv_util
+
+TEST_F(MiscTest, OutputSizeValidAndSame) {
+  using conv_util::outputSize;
+  // VALID: floor((in - filter)/stride) + 1
+  EXPECT_EQ(outputSize(224, 3, 2, 1, PadMode::kValid), 111);
+  EXPECT_EQ(outputSize(5, 3, 1, 1, PadMode::kValid), 3);
+  EXPECT_EQ(outputSize(5, 5, 1, 1, PadMode::kValid), 1);
+  // SAME: ceil(in/stride), independent of filter size
+  EXPECT_EQ(outputSize(224, 3, 2, 1, PadMode::kSame), 112);
+  EXPECT_EQ(outputSize(5, 3, 2, 1, PadMode::kSame), 3);
+  // Dilation enlarges the effective filter.
+  EXPECT_EQ(outputSize(7, 3, 1, 2, PadMode::kValid), 3);  // effective 5
+  // VALID with a filter larger than the input throws.
+  EXPECT_THROW(outputSize(2, 3, 1, 1, PadMode::kValid), InvalidArgumentError);
+}
+
+TEST_F(MiscTest, ComputeConv2DInfoGeometry) {
+  const Conv2DInfo info = conv_util::computeConv2DInfo(
+      Shape{1, 224, 224, 3}, Shape{3, 3, 3, 32}, 2, 2, PadMode::kSame);
+  EXPECT_EQ(info.outH, 112);
+  EXPECT_EQ(info.outW, 112);
+  EXPECT_EQ(info.outC, 32);
+  EXPECT_EQ(info.padTop, 0);  // 111*2+3-224 = 1 -> pad 0 before, 1 after
+  EXPECT_EQ(info.channelMult, 0);
+  // FLOP count: 2 * outElems * kH*kW*inC
+  EXPECT_EQ(info.flops(), 2ull * 112 * 112 * 32 * 27);
+  // Channel mismatch rejected.
+  EXPECT_THROW(conv_util::computeConv2DInfo(Shape{1, 8, 8, 4},
+                                            Shape{3, 3, 3, 8}, 1, 1,
+                                            PadMode::kSame),
+               InvalidArgumentError);
+}
+
+TEST_F(MiscTest, DepthwiseInfoChannelMultiplier) {
+  const Conv2DInfo info = conv_util::computeConv2DInfo(
+      Shape{1, 8, 8, 4}, Shape{3, 3, 4, 2}, 1, 1, PadMode::kSame, 1, 1,
+      /*depthwise=*/true);
+  EXPECT_EQ(info.channelMult, 2);
+  EXPECT_EQ(info.outC, 8);
+}
+
+// ------------------------------------------------------------ half / rng
+
+TEST_F(MiscTest, HalfSubnormals) {
+  // Smallest positive subnormal half is 2^-24 ~ 5.96e-8.
+  const float tiny = 5.9604645e-8f;
+  EXPECT_GT(roundTripHalf(tiny), 0.f);
+  EXPECT_FLOAT_EQ(roundTripHalf(tiny), tiny);
+  // Half of it flushes to zero.
+  EXPECT_FLOAT_EQ(roundTripHalf(tiny / 4), 0.f);
+  // Negative values keep their sign through subnormal range.
+  EXPECT_LT(roundTripHalf(-tiny), 0.f);
+}
+
+TEST_F(MiscTest, HalfPreservesInfAndNaN) {
+  EXPECT_TRUE(std::isinf(roundTripHalf(std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isnan(roundTripHalf(std::nanf(""))));
+}
+
+TEST_F(MiscTest, RandomIsDeterministicPerSeed) {
+  Random a(123), b(123), c(124);
+  bool anyDiff = false;
+  for (int i = 0; i < 100; ++i) {
+    const float va = a.uniform();
+    EXPECT_FLOAT_EQ(va, b.uniform());
+    anyDiff |= va != c.uniform();
+    EXPECT_GE(va, 0.f);
+    EXPECT_LT(va, 1.f);
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST_F(MiscTest, RandomNormalMoments) {
+  Random rng(9);
+  double sum = 0, sumSq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float v = rng.normal();
+    sum += v;
+    sumSq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.1);
+}
+
+// -------------------------------------------------------------- printing
+
+TEST_F(MiscTest, TensorToStringTruncatesLargeTensors) {
+  Tensor small = o::tensor({1.5f, 2.5f}, Shape{2});
+  const std::string s = small.toString();
+  EXPECT_NE(s.find("[2]"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  Tensor big = o::zeros(Shape{100});
+  EXPECT_NE(big.toString().find("..."), std::string::npos);
+  EXPECT_EQ(big.toString(true).find("..."), std::string::npos);
+  small.dispose();
+  big.dispose();
+}
+
+// ------------------------------------------------------ backend lifecycle
+
+TEST_F(MiscTest, RemoveBackendInstanceRecreatesOnDemand) {
+  setBackend("cpu");
+  Tensor t = o::scalar(1);
+  t.dispose();
+  Engine::get().removeBackendInstance("cpu");
+  // Setting it again instantiates a fresh backend.
+  setBackend("cpu");
+  Tensor u = o::scalar(2);
+  EXPECT_FLOAT_EQ(u.scalarSync(), 2);
+  u.dispose();
+  setBackend("native");
+}
+
+TEST_F(MiscTest, BackendElectionPrefersHighestPriority) {
+  // webgl registered at priority 3 wins the default election.
+  Engine::get().removeBackendInstance("does-not-matter");
+  // The active backend after explicit set in SetUp is native; verify the
+  // registry still knows all three.
+  auto names = Engine::get().registeredBackends();
+  EXPECT_GE(names.size(), 3u);
+}
+
+// ----------------------------------------------------- gather gradients
+
+TEST_F(MiscTest, GatherAxis0GradientScatters) {
+  Tensor table = o::tensor({1, 2, 3, 4, 5, 6}, Shape{3, 2});
+  Tensor idx = o::tensor({2, 0, 2}, Shape{3}, DType::i32);
+  idx.keep();
+  Tensor g = autodiff::grad(
+      [&](const Tensor& t) { return o::sum(o::gather(t, idx, 0)); }, table);
+  // Row 0 gathered once, row 1 never, row 2 twice.
+  test::expectValues(g, {1, 1, 0, 0, 2, 2});
+  g.dispose();
+  table.dispose();
+  idx.dispose();
+}
+
+TEST_F(MiscTest, EmbeddingTrainsEndToEnd) {
+  // Two tokens must map to two different classes; only the embedding table
+  // and the dense head are trainable.
+  setBackend("native");
+  auto model = sequential("embed_train");
+  model->add(std::make_shared<layers::Embedding>(4, 8, "emb_train"));
+  model->add(std::make_shared<layers::Flatten>());
+  layers::DenseOptions d;
+  d.units = 2;
+  d.activation = "softmax";
+  model->add(std::make_shared<layers::Dense>(d));
+  layers::CompileOptions c;
+  c.optimizer = "adam";
+  c.learningRate = 0.05f;
+  c.loss = "categoricalCrossentropy";
+  c.metrics = {"accuracy"};
+  model->compile(c);
+
+  // Sequences [t, t] with label = token parity.
+  std::vector<float> xs, ys;
+  for (int i = 0; i < 32; ++i) {
+    const int tok = i % 4;
+    xs.push_back(static_cast<float>(tok));
+    xs.push_back(static_cast<float>(tok));
+    ys.push_back(tok % 2 == 0 ? 1.f : 0.f);
+    ys.push_back(tok % 2 == 0 ? 0.f : 1.f);
+  }
+  Tensor x = o::tensor(xs, Shape{32, 2}, DType::i32);
+  Tensor y = o::tensor(ys, Shape{32, 2});
+  layers::FitOptions fit;
+  fit.epochs = 15;
+  fit.batchSize = 8;
+  layers::History h = model->fit(x, y, fit);
+  EXPECT_GT(h.metrics[0].back(), 0.95f)
+      << "embedding gradients not reaching the table";
+  x.dispose();
+  y.dispose();
+  model->dispose();
+}
+
+// ------------------------------------------------------ device model math
+
+TEST_F(MiscTest, PackingSpeedupBoundedByFour) {
+  using namespace backends::webgl;
+  const DeviceModel dev = irisProWebGL();
+  // A fetch-bound elementwise program: packed quarters both invocations and
+  // fetches -> asymptotic 4x, minus the fixed dispatch overhead.
+  ProgramCost unpacked;
+  unpacked.invocations = 1 << 22;
+  unpacked.fetchesPerInvocation = 2;
+  unpacked.flopsPerInvocation = 1;
+  ProgramCost packed = unpacked;
+  packed.invocations /= 4;
+  packed.flopsPerInvocation = 4;
+  const double s = dev.timeMs(unpacked, false) / dev.timeMs(packed, true);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LE(s, 4.0);
+}
+
+TEST_F(MiscTest, SharedMemoryOnlyHelpsReusablePrograms) {
+  using namespace backends::webgl;
+  DeviceModel cuda = gtx1080Cuda();
+  ProgramCost elementwise;
+  elementwise.invocations = 1 << 20;
+  elementwise.fetchesPerInvocation = 2;
+  elementwise.flopsPerInvocation = 1;
+  elementwise.reusable = false;
+  ProgramCost matmulish = elementwise;
+  matmulish.reusable = true;
+  EXPECT_LT(cuda.timeMs(matmulish, false), cuda.timeMs(elementwise, false));
+}
+
+// ------------------------------------------------------------- json edges
+
+TEST_F(MiscTest, JsonUnicodeEscapes) {
+  io::Json j = io::Json::parse(R"({"s": "aéb"})");
+  const std::string& s = j.at("s").asString();
+  EXPECT_EQ(s.size(), 4u);  // 'a' + 2-byte UTF-8 + 'b'
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[3], 'b');
+}
+
+TEST_F(MiscTest, JsonNumbersWithExponents) {
+  io::Json j = io::Json::parse(R"([1e3, -2.5E-2, 0.125])");
+  EXPECT_DOUBLE_EQ(j.asArray()[0].asDouble(), 1000);
+  EXPECT_DOUBLE_EQ(j.asArray()[1].asDouble(), -0.025);
+  EXPECT_DOUBLE_EQ(j.asArray()[2].asDouble(), 0.125);
+}
+
+TEST_F(MiscTest, JsonObjectBracketBuildsNested) {
+  io::Json j;
+  j["a"]["b"] = 3;
+  EXPECT_EQ(j.at("a").at("b").asInt(), 3);
+}
+
+// --------------------------------------------------------- tensor algebra
+
+TEST_F(MiscTest, ChainAliasesShareOneBuffer) {
+  const auto before = memory();
+  Tensor t = o::range(0, 24);
+  Tensor a = t.reshape(Shape{2, 12});
+  Tensor b = a.reshape(Shape{2, 3, 4});
+  Tensor c = b.flatten();
+  Tensor d = c.clone();
+  EXPECT_EQ(memory().numDataBuffers, before.numDataBuffers + 1);
+  EXPECT_EQ(memory().numTensors, before.numTensors + 5);
+  for (Tensor x : {t, a, b, c}) x.dispose();
+  // Last alias still reads the shared buffer.
+  EXPECT_FLOAT_EQ(d.dataSync()[23], 23);
+  d.dispose();
+  EXPECT_EQ(memory().numDataBuffers, before.numDataBuffers);
+}
+
+// ---------------------------------------------------------- ScopedTensor
+
+TEST_F(MiscTest, ScopedTensorDisposesAtScopeExit) {
+  const auto before = memory();
+  {
+    ScopedTensor s(o::tensor({1, 2, 3}, Shape{3}));
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+    test::expectValues(s.get(), {1, 2, 3});
+  }
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  EXPECT_EQ(memory().numBytes, before.numBytes);
+}
+
+TEST_F(MiscTest, ScopedTensorMoveAndReleaseSemantics) {
+  const auto before = memory();
+  ScopedTensor a(o::scalar(1));
+  ScopedTensor b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  // reset replaces and disposes the old value.
+  b.reset(o::scalar(2));
+  EXPECT_FLOAT_EQ(b.get().scalarSync(), 2);
+  EXPECT_EQ(memory().numTensors, before.numTensors + 1);
+  // release opts back into manual management.
+  Tensor manual = b.release();
+  EXPECT_FALSE(static_cast<bool>(b));
+  EXPECT_FLOAT_EQ(manual.scalarSync(), 2);
+  manual.dispose();
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+}
+
+TEST_F(MiscTest, ZeroSizedTensors) {
+  Tensor empty = o::tensor(std::vector<float>{}, Shape{0, 3});
+  EXPECT_EQ(empty.size(), 0u);
+  Tensor doubled = o::mulScalar(empty, 2);
+  EXPECT_EQ(doubled.dataSync().size(), 0u);
+  empty.dispose();
+  doubled.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,193 @@
+// Models-repo tests (paper section 5.2): MobileNet architecture shapes and
+// FLOP counts, the friendly classifier API, and the PoseNet wrapper with its
+// Listing-3 contract (no tensors in the interface).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "models/mobilenet.h"
+#include "models/posenet.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+class ModelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+TEST_F(ModelsTest, MobileNetOutputShapeAndSoftmax) {
+  models::MobileNetOptions opts;
+  opts.alpha = 0.25f;
+  opts.inputSize = 32;
+  opts.numClasses = 10;
+  auto model = models::buildMobileNetV1(opts);
+  Tensor x = o::randomNormal(Shape{2, 32, 32, 3}, 0, 1, 1);
+  Tensor y = model->predict(x);
+  test::expectShape(y, Shape{2, 10});
+  const auto v = y.dataSync();
+  float row0 = 0;
+  for (int i = 0; i < 10; ++i) row0 += v[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(row0, 1.0f, 1e-4f);  // softmax head
+  x.dispose();
+  y.dispose();
+  model->dispose();
+}
+
+TEST_F(ModelsTest, MobileNetLayerCount) {
+  // Folded graph: 1 stem conv + 13 x (dw + pw) + pool + dense = 29 layers.
+  auto model = models::buildMobileNetV1({});
+  EXPECT_EQ(model->layers().size(), 29u);
+  // With batch norm: each conv unit gains BN + Activation.
+  models::MobileNetOptions bn;
+  bn.withBatchNorm = true;
+  auto trainable = models::buildMobileNetV1(bn);
+  EXPECT_EQ(trainable->layers().size(), 29u + 2u * 27u);
+  model->dispose();
+  trainable->dispose();
+}
+
+TEST_F(ModelsTest, MobileNetFlopsMatchKnownScale) {
+  // MobileNet v1 1.0_224 is ~1.1 GFLOPs (569M MACs, Howard et al. Table 1).
+  const std::size_t flops = models::mobileNetV1Flops({});
+  EXPECT_GT(flops, 1'000'000'000u);
+  EXPECT_LT(flops, 1'300'000'000u);
+  // 0.25_128 is ~2x9 smaller in compute.
+  models::MobileNetOptions small;
+  small.alpha = 0.25f;
+  small.inputSize = 128;
+  EXPECT_LT(models::mobileNetV1Flops(small), flops / 20);
+}
+
+TEST_F(ModelsTest, MobileNetWidthMultiplierScalesParams) {
+  models::MobileNetOptions a100;
+  a100.inputSize = 64;
+  models::MobileNetOptions a050 = a100;
+  a050.alpha = 0.5f;
+  auto m1 = models::buildMobileNetV1(a100);
+  auto m2 = models::buildMobileNetV1(a050);
+  m1->build(Shape{1, 64, 64, 3});
+  m2->build(Shape{1, 64, 64, 3});
+  // Conv params scale ~quadratically with alpha; the dense head is linear.
+  EXPECT_GT(m1->countParams(), 2 * m2->countParams());
+  m1->dispose();
+  m2->dispose();
+}
+
+TEST_F(ModelsTest, ClassifierFriendlyApi) {
+  models::MobileNetOptions opts;
+  opts.alpha = 0.25f;
+  opts.inputSize = 32;
+  opts.numClasses = 10;
+  models::MobileNetClassifier classifier(opts);
+  // Input is a host image of a different size: the wrapper resizes.
+  data::Image img = data::makeTestImage(48, 64, 24, 32);
+  auto preds = classifier.classify(img, 3);
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_GE(preds[0].probability, preds[1].probability);
+  EXPECT_GE(preds[1].probability, preds[2].probability);
+  EXPECT_EQ(preds[0].className.substr(0, 6), "class_");
+  // Deterministic across calls.
+  auto again = classifier.classify(img, 3);
+  EXPECT_EQ(preds[0].className, again[0].className);
+  EXPECT_FLOAT_EQ(preds[0].probability, again[0].probability);
+}
+
+TEST_F(ModelsTest, ClassifierDoesNotLeak) {
+  models::MobileNetOptions opts;
+  opts.alpha = 0.25f;
+  opts.inputSize = 32;
+  opts.numClasses = 10;
+  models::MobileNetClassifier classifier(opts);
+  data::Image img = data::makeTestImage(32, 32, 16, 16);
+  classifier.classify(img);  // warm-up builds nothing extra
+  const auto before = memory();
+  classifier.classify(img);
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+}
+
+TEST_F(ModelsTest, PoseNetReturnsAll17NamedKeypoints) {
+  models::PoseNetOptions opts;
+  opts.inputSize = 65;  // small for test speed
+  models::PoseNet posenet(opts);
+  data::Image img = data::makeTestImage(120, 80, 30, 40);
+  models::Pose pose = posenet.estimateSinglePose(img);
+  ASSERT_EQ(pose.keypoints.size(), 17u);
+  EXPECT_EQ(pose.keypoints[0].part, "nose");
+  EXPECT_EQ(pose.keypoints[16].part, "rightAnkle");
+  for (const auto& k : pose.keypoints) {
+    // Positions land in the caller's image coordinate system.
+    EXPECT_GE(k.x, -16);
+    EXPECT_LE(k.x, 80 + 16);
+    EXPECT_GE(k.y, -16);
+    EXPECT_LE(k.y, 120 + 16);
+    // Sigmoid scores.
+    EXPECT_GE(k.score, 0);
+    EXPECT_LE(k.score, 1);
+  }
+  EXPECT_GT(pose.score, 0);
+  const std::string json = pose.toJsonString();
+  EXPECT_NE(json.find("\"part\": \"nose\""), std::string::npos);
+  EXPECT_NE(json.find("keypoints"), std::string::npos);
+}
+
+TEST_F(ModelsTest, PoseNetDeterministicAndNoTensorsLeaked) {
+  models::PoseNetOptions opts;
+  opts.inputSize = 65;
+  models::PoseNet posenet(opts);
+  data::Image img = data::makeTestImage(65, 65, 20, 20);
+  models::Pose a = posenet.estimateSinglePose(img);
+  const auto before = memory();
+  models::Pose b = posenet.estimateSinglePose(img);
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+  ASSERT_EQ(a.keypoints.size(), b.keypoints.size());
+  for (std::size_t i = 0; i < a.keypoints.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.keypoints[i].x, b.keypoints[i].x);
+    EXPECT_FLOAT_EQ(a.keypoints[i].score, b.keypoints[i].score);
+  }
+}
+
+TEST_F(ModelsTest, PoseNetOutputStrideControlsBackboneDepth) {
+  models::PoseNetOptions s8;
+  s8.outputStride = 8;
+  s8.inputSize = 65;
+  models::PoseNetOptions s16;
+  s16.outputStride = 16;
+  s16.inputSize = 65;
+  models::PoseNet p8(s8);
+  models::PoseNet p16(s16);
+  EXPECT_LT(p8.backbone().layers().size(), p16.backbone().layers().size());
+  EXPECT_THROW(models::PoseNet(models::PoseNetOptions{0.5f, 65, 7, 1}),
+               InvalidArgumentError);
+}
+
+TEST_F(ModelsTest, SyntheticDataIsSeparableAndSeeded) {
+  auto ds1 = data::makeSyntheticDigits(20, 12, 4, 0.1f, 7);
+  auto ds2 = data::makeSyntheticDigits(20, 12, 4, 0.1f, 7);
+  test::expectClose(ds1.images, ds2.images, 0);
+  test::expectClose(ds1.labels, ds2.labels, 0);
+  // One-hot labels: every row sums to 1.
+  Tensor rowSums = o::sum(ds1.labels, std::array<int, 1>{1});
+  for (float v : rowSums.dataSync()) EXPECT_FLOAT_EQ(v, 1);
+  rowSums.dispose();
+  ds1.dispose();
+  ds2.dispose();
+}
+
+TEST_F(ModelsTest, FromPixelsNormalization) {
+  data::Image img = data::Image::filled(2, 2, 3, 255);
+  Tensor t = data::fromPixels(img);
+  test::expectShape(t, Shape{1, 2, 2, 3});
+  for (float v : t.dataSync()) EXPECT_FLOAT_EQ(v, 1.0f);
+  Tensor raw = data::fromPixels(img, /*normalize=*/false);
+  for (float v : raw.dataSync()) EXPECT_FLOAT_EQ(v, 255.0f);
+  t.dispose();
+  raw.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,669 @@
+// Ops API tests, parameterized over every backend ("cpu" interpreted,
+// "native" vectorized, "webgl" simulated GPU) so all kernels are checked for
+// agreement on the same cases — the cross-backend consistency the paper's
+// testing infrastructure enforces across browsers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+class OpsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { setBackend(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, OpsTest,
+                         ::testing::Values("cpu", "native", "webgl"),
+                         [](const auto& info) { return info.param; });
+
+// ----------------------------------------------------------------- binary
+
+TEST_P(OpsTest, AddSameShape) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+    Tensor b = o::tensor({10, 20, 30, 40}, Shape{2, 2});
+    test::expectValues(o::add(a, b), {11, 22, 33, 44});
+  });
+}
+
+TEST_P(OpsTest, AddBroadcastRowVector) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    Tensor b = o::tensor({10, 20, 30}, Shape{3});
+    test::expectValues(o::add(a, b), {11, 22, 33, 14, 25, 36});
+  });
+}
+
+TEST_P(OpsTest, AddBroadcastColumnAndScalar) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+    Tensor col = o::tensor({10, 20}, Shape{2, 1});
+    test::expectValues(o::add(a, col), {11, 12, 23, 24});
+    test::expectValues(o::addScalar(a, 100), {101, 102, 103, 104});
+  });
+}
+
+TEST_P(OpsTest, SubMulDiv) {
+  tidyVoid([] {
+    Tensor a = o::tensor({4, 9, 16, 25}, Shape{4});
+    Tensor b = o::tensor({2, 3, 4, 5}, Shape{4});
+    test::expectValues(o::sub(a, b), {2, 6, 12, 20});
+    test::expectValues(o::mul(a, b), {8, 27, 64, 125});
+    test::expectValues(o::div(a, b), {2, 3, 4, 5});
+  });
+}
+
+TEST_P(OpsTest, PowMaximumMinimum) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3}, Shape{3});
+    Tensor b = o::tensor({3, 2, 1}, Shape{3});
+    test::expectValues(o::pow(a, b), {1, 4, 3});
+    test::expectValues(o::maximum(a, b), {3, 2, 3});
+    test::expectValues(o::minimum(a, b), {1, 2, 1});
+    test::expectValues(o::squaredDifference(a, b), {4, 0, 4});
+  });
+}
+
+TEST_P(OpsTest, FloorDivAndMod) {
+  tidyVoid([] {
+    Tensor a = o::tensor({7, -7, 7.5f}, Shape{3});
+    Tensor b = o::tensor({2, 2, 2}, Shape{3});
+    test::expectValues(o::floorDiv(a, b), {3, -4, 3});
+    test::expectValues(o::mod(a, b), {1, 1, 1.5f});  // floored mod
+  });
+}
+
+TEST_P(OpsTest, Comparisons) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3}, Shape{3});
+    Tensor b = o::tensor({2, 2, 2}, Shape{3});
+    test::expectValues(o::equal(a, b), {0, 1, 0});
+    test::expectValues(o::notEqual(a, b), {1, 0, 1});
+    test::expectValues(o::greater(a, b), {0, 0, 1});
+    test::expectValues(o::greaterEqual(a, b), {0, 1, 1});
+    test::expectValues(o::less(a, b), {1, 0, 0});
+    test::expectValues(o::lessEqual(a, b), {1, 1, 0});
+    EXPECT_EQ(o::equal(a, b).dtype(), DType::b8);
+  });
+}
+
+TEST_P(OpsTest, LogicalOps) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 1, 0, 0}, Shape{4}, DType::b8);
+    Tensor b = o::tensor({1, 0, 1, 0}, Shape{4}, DType::b8);
+    test::expectValues(o::logicalAnd(a, b), {1, 0, 0, 0});
+    test::expectValues(o::logicalOr(a, b), {1, 1, 1, 0});
+    test::expectValues(o::logicalXor(a, b), {0, 1, 1, 0});
+    test::expectValues(o::logicalNot(a), {0, 0, 1, 1});
+  });
+}
+
+TEST_P(OpsTest, Where) {
+  tidyVoid([] {
+    Tensor c = o::tensor({1, 0, 1, 0}, Shape{4}, DType::b8);
+    Tensor a = o::tensor({1, 2, 3, 4}, Shape{4});
+    Tensor b = o::tensor({10, 20, 30, 40}, Shape{4});
+    test::expectValues(o::where(c, a, b), {1, 20, 3, 40});
+  });
+}
+
+// ------------------------------------------------------------------ unary
+
+TEST_P(OpsTest, BasicUnary) {
+  tidyVoid([] {
+    Tensor x = o::tensor({-2, -0.5f, 0, 1.5f}, Shape{4});
+    test::expectValues(o::neg(x), {2, 0.5f, 0, -1.5f});
+    test::expectValues(o::abs(x), {2, 0.5f, 0, 1.5f});
+    test::expectValues(o::sign(x), {-1, -1, 0, 1});
+    test::expectValues(o::floor(x), {-2, -1, 0, 1});
+    test::expectValues(o::ceil(x), {-2, 0, 0, 2});
+    test::expectValues(o::square(x), {4, 0.25f, 0, 2.25f});
+  });
+}
+
+TEST_P(OpsTest, ExpLogSqrt) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 4, 9}, Shape{3});
+    test::expectValues(o::sqrt(x), {1, 2, 3});
+    test::expectValues(o::rsqrt(x), {1, 0.5f, 1.0f / 3}, 1e-4f);
+    test::expectValues(o::log(x), {0, std::log(4.f), std::log(9.f)}, 1e-4f);
+    Tensor e = o::tensor({0, 1, 2}, Shape{3});
+    test::expectValues(o::exp(e), {1, std::exp(1.f), std::exp(2.f)}, 1e-3f);
+  });
+}
+
+TEST_P(OpsTest, Activations) {
+  tidyVoid([] {
+    Tensor x = o::tensor({-3, -1, 0, 2, 8}, Shape{5});
+    test::expectValues(o::relu(x), {0, 0, 0, 2, 8});
+    test::expectValues(o::relu6(x), {0, 0, 0, 2, 6});
+    test::expectValues(o::leakyRelu(x, 0.1f), {-0.3f, -0.1f, 0, 2, 8},
+                       1e-5f);
+    test::expectValues(o::sigmoid(o::tensor({0.f}, Shape{1})), {0.5f});
+    test::expectValues(o::tanh(o::tensor({0.f}, Shape{1})), {0});
+    test::expectValues(o::clipByValue(x, -1, 3), {-1, -1, 0, 2, 3});
+    test::expectValues(o::step(x), {0, 0, 0, 1, 1});
+  });
+}
+
+TEST_P(OpsTest, EluSeluSoftplusErf) {
+  tidyVoid([] {
+    Tensor x = o::tensor({-1, 0, 1}, Shape{3});
+    test::expectValues(o::elu(x), {std::expm1(-1.f), 0, 1}, 1e-5f);
+    test::expectValues(o::softplus(x),
+                       {std::log1p(std::exp(-1.f)), std::log(2.f),
+                        std::log1p(std::exp(1.f))},
+                       1e-4f);
+    test::expectValues(o::erf(x), {std::erf(-1.f), 0, std::erf(1.f)}, 1e-4f);
+  });
+}
+
+TEST_P(OpsTest, NaNAndFiniteChecks) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 0, -1}, Shape{3});
+    Tensor nan = o::log(o::tensor({-1.f}, Shape{1}));
+    test::expectValues(o::isNaN(nan), {1});
+    test::expectValues(o::isFinite(x), {1, 1, 1});
+  });
+}
+
+// ----------------------------------------------------------------- matmul
+
+TEST_P(OpsTest, MatMul2D) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    Tensor b = o::tensor({7, 8, 9, 10, 11, 12}, Shape{3, 2});
+    test::expectValues(o::matMul(a, b), {58, 64, 139, 154});
+  });
+}
+
+TEST_P(OpsTest, MatMulTransposes) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});   // [2,3]
+    Tensor aT = o::tensor({1, 4, 2, 5, 3, 6}, Shape{3, 2});  // a^T
+    Tensor b = o::tensor({7, 8, 9, 10, 11, 12}, Shape{3, 2});
+    Tensor bT = o::tensor({7, 9, 11, 8, 10, 12}, Shape{2, 3});
+    Tensor expected = o::matMul(a, b);
+    test::expectClose(o::matMul(aT, b, true, false), expected);
+    test::expectClose(o::matMul(a, bT, false, true), expected);
+    test::expectClose(o::matMul(aT, bT, true, true), expected);
+  });
+}
+
+TEST_P(OpsTest, MatMulBatchedAndBroadcast) {
+  tidyVoid([] {
+    // batch 2: identical matrices stacked should equal twice the 2D result.
+    Tensor a = o::tensor({1, 2, 3, 4, 1, 2, 3, 4}, Shape{2, 2, 2});
+    Tensor b = o::tensor({5, 6, 7, 8, 5, 6, 7, 8}, Shape{2, 2, 2});
+    Tensor y = o::matMul(a, b);
+    test::expectValues(y, {19, 22, 43, 50, 19, 22, 43, 50});
+    // broadcast: batch-1 rhs against batch-2 lhs.
+    Tensor b1 = o::tensor({5, 6, 7, 8}, Shape{1, 2, 2});
+    test::expectClose(o::matMul(a, b1), y);
+  });
+}
+
+TEST_P(OpsTest, MatMulShapeMismatchThrows) {
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  Tensor b = o::tensor({1, 2, 3}, Shape{3, 1});
+  EXPECT_THROW(o::matMul(a, b), InvalidArgumentError);
+  a.dispose();
+  b.dispose();
+}
+
+TEST_P(OpsTest, DotAndOuter) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2, 3}, Shape{3});
+    Tensor b = o::tensor({4, 5, 6}, Shape{3});
+    EXPECT_FLOAT_EQ(o::dot(a, b).scalarSync(), 32);
+    test::expectValues(o::outerProduct(a, b),
+                       {4, 5, 6, 8, 10, 12, 12, 15, 18});
+  });
+}
+
+// ------------------------------------------------------------ convolution
+
+TEST_P(OpsTest, Conv2DIdentityKernel) {
+  tidyVoid([] {
+    // 1x1 identity filter: output == input.
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+    Tensor f = o::tensor({1.f}, Shape{1, 1, 1, 1});
+    test::expectValues(o::conv2d(x, f, 1, 1, PadMode::kValid), {1, 2, 3, 4});
+  });
+}
+
+TEST_P(OpsTest, Conv2DKnownValues) {
+  tidyVoid([] {
+    // 3x3 input, 2x2 sum filter, valid: each output = sum of 2x2 patch.
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6, 7, 8, 9}, Shape{1, 3, 3, 1});
+    Tensor f = o::ones(Shape{2, 2, 1, 1});
+    test::expectValues(o::conv2d(x, f, 1, 1, PadMode::kValid),
+                       {12, 16, 24, 28});
+  });
+}
+
+TEST_P(OpsTest, Conv2DSamePadding) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+    Tensor f = o::ones(Shape{3, 3, 1, 1});
+    // SAME keeps 2x2 output; each value sums the in-bounds 3x3 patch.
+    test::expectValues(o::conv2d(x, f, 1, 1, PadMode::kSame),
+                       {10, 10, 10, 10});
+  });
+}
+
+TEST_P(OpsTest, Conv2DStride2) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                          16},
+                         Shape{1, 4, 4, 1});
+    Tensor f = o::ones(Shape{2, 2, 1, 1});
+    test::expectValues(o::conv2d(x, f, 2, 2, PadMode::kValid),
+                       {14, 22, 46, 54});
+  });
+}
+
+TEST_P(OpsTest, Conv2DMultiChannel) {
+  tidyVoid([] {
+    // 2 input channels, 2 output channels, 1x1 filter = matmul over C.
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 1, 2, 2});
+    Tensor f = o::tensor({1, 0, 0, 1}, Shape{1, 1, 2, 2});  // identity
+    test::expectValues(o::conv2d(x, f, 1, 1, PadMode::kValid), {1, 2, 3, 4});
+    Tensor mix = o::tensor({0, 1, 1, 0}, Shape{1, 1, 2, 2});  // swap
+    test::expectValues(o::conv2d(x, mix, 1, 1, PadMode::kValid),
+                       {2, 1, 4, 3});
+  });
+}
+
+TEST_P(OpsTest, DepthwiseConv2D) {
+  tidyVoid([] {
+    // Two channels, each with its own 2x2 sum filter scaled by 1 and 10.
+    Tensor x = o::tensor({1, 1, 2, 2, 3, 3, 4, 4}, Shape{1, 2, 2, 2});
+    std::vector<float> fv(2 * 2 * 2 * 1);
+    // filter[fy][fx][c][0] = c == 0 ? 1 : 10
+    for (int fy = 0; fy < 2; ++fy) {
+      for (int fx = 0; fx < 2; ++fx) {
+        fv[static_cast<std::size_t>((fy * 2 + fx) * 2 + 0)] = 1;
+        fv[static_cast<std::size_t>((fy * 2 + fx) * 2 + 1)] = 10;
+      }
+    }
+    Tensor f = o::tensor(fv, Shape{2, 2, 2, 1});
+    test::expectValues(o::depthwiseConv2d(x, f, 1, 1, PadMode::kValid),
+                       {10, 100});
+  });
+}
+
+TEST_P(OpsTest, DepthwiseChannelMultiplier) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+    // channel multiplier 2: filter [1,1,1,2] with weights 1 and -1.
+    Tensor f = o::tensor({1, -1}, Shape{1, 1, 1, 2});
+    test::expectValues(o::depthwiseConv2d(x, f, 1, 1, PadMode::kValid),
+                       {1, -1, 2, -2, 3, -3, 4, -4});
+  });
+}
+
+TEST_P(OpsTest, SeparableConv2D) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+    Tensor dw = o::ones(Shape{2, 2, 1, 1});
+    Tensor pw = o::tensor({2.f}, Shape{1, 1, 1, 1});
+    test::expectValues(o::separableConv2d(x, dw, pw, 1, 1, PadMode::kValid),
+                       {20});
+  });
+}
+
+TEST_P(OpsTest, MaxAndAvgPool) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                          16},
+                         Shape{1, 4, 4, 1});
+    test::expectValues(o::maxPool(x, 2, 2, 2, 2, PadMode::kValid),
+                       {6, 8, 14, 16});
+    test::expectValues(o::avgPool(x, 2, 2, 2, 2, PadMode::kValid),
+                       {3.5f, 5.5f, 11.5f, 13.5f});
+  });
+}
+
+TEST_P(OpsTest, PoolSamePaddingExcludesPad) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+    // 3x3 SAME avg pool: corners average their in-bounds cells only.
+    test::expectValues(o::avgPool(x, 3, 3, 1, 1, PadMode::kSame),
+                       {2.5f, 2.5f, 2.5f, 2.5f});
+  });
+}
+
+// -------------------------------------------------------------- reductions
+
+TEST_P(OpsTest, SumAllAndAxes) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    EXPECT_FLOAT_EQ(o::sum(x).scalarSync(), 21);
+    test::expectValues(o::sum(x, std::array<int, 1>{0}), {5, 7, 9});
+    test::expectValues(o::sum(x, std::array<int, 1>{1}), {6, 15});
+    test::expectValues(o::sum(x, std::array<int, 1>{-1}), {6, 15});
+    Tensor keep = o::sum(x, std::array<int, 1>{1}, true);
+    test::expectShape(keep, Shape{2, 1});
+  });
+}
+
+TEST_P(OpsTest, MeanMaxMinProd) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    EXPECT_FLOAT_EQ(o::mean(x).scalarSync(), 3.5f);
+    test::expectValues(o::mean(x, std::array<int, 1>{1}), {2, 5});
+    EXPECT_FLOAT_EQ(o::max(x).scalarSync(), 6);
+    EXPECT_FLOAT_EQ(o::min(x).scalarSync(), 1);
+    test::expectValues(o::max(x, std::array<int, 1>{0}), {4, 5, 6});
+    test::expectValues(o::prod(x, std::array<int, 1>{1}), {6, 120});
+  });
+}
+
+TEST_P(OpsTest, AnyAllArgMaxArgMin) {
+  tidyVoid([] {
+    Tensor b = o::tensor({1, 0, 0, 1, 1, 1}, Shape{2, 3}, DType::b8);
+    test::expectValues(o::any(b, std::array<int, 1>{1}), {1, 1});
+    test::expectValues(o::all(b, std::array<int, 1>{1}), {0, 1});
+    Tensor x = o::tensor({3, 9, 4, 8, 2, 5}, Shape{2, 3});
+    test::expectValues(o::argMax(x), {1, 0});
+    test::expectValues(o::argMin(x), {0, 1});
+    EXPECT_EQ(o::argMax(x).dtype(), DType::i32);
+    // Reduction over a non-trailing axis exercises the transpose path.
+    test::expectValues(o::argMax(x, 0), {1, 0, 1});
+  });
+}
+
+// -------------------------------------------------------------- transforms
+
+TEST_P(OpsTest, ReshapeWithInference) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    test::expectShape(o::reshape(x, Shape{3, -1}), Shape{3, 2});
+    test::expectShape(o::flatten(x), Shape{6});
+    EXPECT_THROW(o::reshape(x, Shape{-1, -1}), InvalidArgumentError);
+  });
+}
+
+TEST_P(OpsTest, Transpose) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+    test::expectValues(o::transpose(x), {1, 4, 2, 5, 3, 6});
+    Tensor x3 = o::tensor({1, 2, 3, 4, 5, 6, 7, 8}, Shape{2, 2, 2});
+    test::expectValues(o::transpose(x3, std::array<int, 3>{2, 1, 0}),
+                       {1, 5, 3, 7, 2, 6, 4, 8});
+  });
+}
+
+TEST_P(OpsTest, SliceAndNegativeSize) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4, 5, 6, 7, 8, 9}, Shape{3, 3});
+    test::expectValues(
+        o::slice(x, std::array<int, 2>{1, 1}, std::array<int, 2>{2, 2}),
+        {5, 6, 8, 9});
+    test::expectValues(
+        o::slice(x, std::array<int, 2>{0, 2}, std::array<int, 2>{-1, -1}),
+        {3, 6, 9});
+    EXPECT_THROW(
+        o::slice(x, std::array<int, 2>{2, 2}, std::array<int, 2>{2, 2}),
+        InvalidArgumentError);
+  });
+}
+
+TEST_P(OpsTest, ConcatStackSplitUnstack) {
+  tidyVoid([] {
+    Tensor a = o::tensor({1, 2}, Shape{1, 2});
+    Tensor b = o::tensor({3, 4}, Shape{1, 2});
+    test::expectValues(o::concat({a, b}, 0), {1, 2, 3, 4});
+    test::expectValues(o::concat({a, b}, 1), {1, 2, 3, 4});
+    test::expectShape(o::concat({a, b}, 1), Shape{1, 4});
+
+    Tensor s = o::stack(std::array<Tensor, 2>{a.reshape(Shape{2}),
+                                              b.reshape(Shape{2})});
+    test::expectShape(s, Shape{2, 2});
+    test::expectValues(s, {1, 2, 3, 4});
+
+    auto parts = o::split(s, 2, 0);
+    test::expectValues(parts[0], {1, 2});
+    test::expectValues(parts[1], {3, 4});
+
+    auto rows = o::unstack(s, 0);
+    ASSERT_EQ(rows.size(), 2u);
+    test::expectShape(rows[0], Shape{2});
+    test::expectValues(rows[1], {3, 4});
+  });
+}
+
+TEST_P(OpsTest, PadGatherTileReverse) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+    test::expectValues(
+        o::pad(x, std::array<std::pair<int, int>, 2>{{{1, 0}, {0, 1}}}, 9),
+        {9, 9, 9, 1, 2, 9, 3, 4, 9});
+
+    Tensor idx = o::tensor({1, 0, 1}, Shape{3}, DType::i32);
+    test::expectValues(o::gather(x, idx, 0), {3, 4, 1, 2, 3, 4});
+    test::expectValues(o::gather(x, idx, 1), {2, 1, 2, 4, 3, 4});
+
+    test::expectValues(o::tile(x, std::array<int, 2>{1, 2}),
+                       {1, 2, 1, 2, 3, 4, 3, 4});
+    test::expectValues(o::reverse(x, std::array<int, 1>{0}), {3, 4, 1, 2});
+    test::expectValues(o::reverse(x, std::array<int, 1>{1}), {2, 1, 4, 3});
+  });
+}
+
+TEST_P(OpsTest, GatherOutOfRangeThrows) {
+  Tensor x = o::tensor({1, 2}, Shape{2});
+  Tensor idx = o::tensor({5}, Shape{1}, DType::i32);
+  EXPECT_THROW(
+      {
+        Tensor y = o::gather(x, idx, 0);
+        y.dataSync();  // webgl validates lazily at execution
+        y.dispose();
+      },
+      Error);
+  x.dispose();
+  idx.dispose();
+}
+
+TEST_P(OpsTest, ExpandSqueezeOneHot) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2}, Shape{2});
+    test::expectShape(o::expandDims(x, 0), Shape{1, 2});
+    test::expectShape(o::expandDims(x, -1), Shape{2, 1});
+    test::expectShape(o::squeeze(o::tensor({1.f}, Shape{1, 1, 1})), Shape{});
+
+    Tensor idx = o::tensor({0, 2}, Shape{2}, DType::i32);
+    test::expectValues(o::oneHot(idx, 3), {1, 0, 0, 0, 0, 1});
+    test::expectValues(o::oneHot(idx, 3, 5, -5), {5, -5, -5, -5, -5, 5});
+  });
+}
+
+TEST_P(OpsTest, ResizeBilinear) {
+  tidyVoid([] {
+    Tensor x = o::tensor({0, 2, 4, 6}, Shape{1, 2, 2, 1});
+    Tensor up = o::resizeBilinear(x, 4, 4, /*alignCorners=*/true);
+    const auto v = up.dataSync();
+    EXPECT_FLOAT_EQ(v[0], 0);
+    EXPECT_FLOAT_EQ(v[3], 2);
+    EXPECT_FLOAT_EQ(v[12], 4);
+    EXPECT_FLOAT_EQ(v[15], 6);
+    // Downsize keeps corners under alignCorners.
+    Tensor same = o::resizeBilinear(x, 2, 2, true);
+    test::expectValues(same, {0, 2, 4, 6});
+  });
+}
+
+// ------------------------------------------------------------- activations
+
+TEST_P(OpsTest, SoftmaxRowsSumToOne) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 1, 1, 1}, Shape{2, 3});
+    Tensor y = o::softmax(x);
+    const auto v = y.dataSync();
+    EXPECT_NEAR(v[0] + v[1] + v[2], 1.0f, 1e-5f);
+    EXPECT_NEAR(v[3], 1.0f / 3, 1e-5f);
+    EXPECT_LT(v[0], v[1]);
+    EXPECT_LT(v[1], v[2]);
+  });
+}
+
+TEST_P(OpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  tidyVoid([] {
+    // Without the max-shift these logits would overflow exp().
+    Tensor x = o::tensor({1000, 1001, 1002}, Shape{1, 3});
+    Tensor y = o::softmax(x);
+    const auto v = y.dataSync();
+    EXPECT_NEAR(v[0] + v[1] + v[2], 1.0f, 1e-5f);
+    EXPECT_FALSE(std::isnan(v[0]));
+  });
+}
+
+TEST_P(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  tidyVoid([] {
+    Tensor x = o::tensor({0.5f, -1, 2, 0, 1, -2}, Shape{2, 3});
+    test::expectClose(o::logSoftmax(x), o::log(o::softmax(x)), 1e-4f);
+  });
+}
+
+TEST_P(OpsTest, BatchNormInference) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+    Tensor mean = o::tensor({2, 3}, Shape{2});
+    Tensor variance = o::tensor({1, 4}, Shape{2});
+    Tensor offset = o::tensor({0, 1}, Shape{2});
+    Tensor scale = o::tensor({1, 2}, Shape{2});
+    Tensor y = o::batchNorm(x, mean, variance, offset, scale, 0);
+    // col0: (x-2)/1*1+0 ; col1: (x-3)/2*2+1
+    test::expectValues(y, {-1, 0, 1, 2}, 1e-3f);
+  });
+}
+
+TEST_P(OpsTest, DropoutZeroRateIsIdentityAndScaling) {
+  tidyVoid([] {
+    Tensor x = o::ones(Shape{1000});
+    test::expectClose(o::dropout(x, 0), x);
+    Tensor y = o::dropout(x, 0.5f, 7);
+    const auto v = y.dataSync();
+    int zeros = 0;
+    for (float f : v) {
+      EXPECT_TRUE(f == 0.f || std::fabs(f - 2.f) < 1e-6f);
+      zeros += f == 0.f;
+    }
+    EXPECT_GT(zeros, 350);
+    EXPECT_LT(zeros, 650);
+  });
+}
+
+// ------------------------------------------------------------ advanced ops
+
+TEST_P(OpsTest, TopK) {
+  tidyVoid([] {
+    Tensor x = o::tensor({3, 9, 4, 8, 2, 5}, Shape{2, 3});
+    o::TopK top = o::topk(x, 2);
+    test::expectShape(top.values, Shape{2, 2});
+    test::expectValues(top.values, {9, 4, 8, 5});
+    test::expectValues(top.indices, {1, 2, 0, 2});
+    EXPECT_EQ(top.indices.dtype(), DType::i32);
+    // k == lastDim returns a full descending sort.
+    o::TopK full = o::topk(x, 3);
+    test::expectValues(full.values, {9, 4, 3, 8, 5, 2});
+    // Ties break toward the lower index (TensorFlow convention).
+    Tensor ties = o::tensor({7, 7, 1}, Shape{1, 3});
+    test::expectValues(o::topk(ties, 2).indices, {0, 1});
+    EXPECT_THROW(o::topk(x, 4), InvalidArgumentError);
+  });
+}
+
+TEST_P(OpsTest, Cumsum) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{4});
+    test::expectValues(o::cumsum(x), {1, 3, 6, 10});
+    test::expectValues(o::cumsum(x, 0, /*exclusive=*/true), {0, 1, 3, 6});
+    test::expectValues(o::cumsum(x, 0, false, /*reverse=*/true),
+                       {10, 9, 7, 4});
+    test::expectValues(o::cumsum(x, 0, true, true), {9, 7, 4, 0});
+    // Axis 0 of a matrix sums down columns (exercises the transpose path).
+    Tensor m = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+    test::expectValues(o::cumsum(m, 0), {1, 2, 4, 6});
+    test::expectValues(o::cumsum(m, 1), {1, 3, 3, 7});
+  });
+}
+
+TEST_P(OpsTest, L2NormalizeAndNorm) {
+  tidyVoid([] {
+    Tensor x = o::tensor({3, 4}, Shape{2});
+    test::expectValues(o::l2Normalize(x), {0.6f, 0.8f}, 1e-5f);
+    EXPECT_NEAR(o::norm(x).scalarSync(), 5.0f, 1e-5f);
+    EXPECT_NEAR(o::norm(x, 1).scalarSync(), 7.0f, 1e-5f);
+    EXPECT_NEAR(o::norm(x, -1).scalarSync(), 4.0f, 1e-5f);  // inf-norm
+    // Zero vectors stay finite thanks to the epsilon guard.
+    Tensor zero = o::zeros(Shape{3});
+    for (float v : o::l2Normalize(zero).dataSync()) EXPECT_FLOAT_EQ(v, 0);
+  });
+}
+
+TEST_P(OpsTest, MomentsAndLogSumExp) {
+  tidyVoid([] {
+    Tensor x = o::tensor({1, 2, 3, 4}, Shape{4});
+    o::Moments m = o::moments(x);
+    EXPECT_NEAR(m.mean.scalarSync(), 2.5f, 1e-5f);
+    EXPECT_NEAR(m.variance.scalarSync(), 1.25f, 1e-5f);
+    // Stable even for logits that would overflow a naive exp.
+    Tensor big = o::tensor({1000, 1001}, Shape{2});
+    const float expected = 1001.0f + std::log1p(std::exp(-1.0f));
+    EXPECT_NEAR(o::logSumExp(big).scalarSync(), expected, 1e-3f);
+  });
+}
+
+TEST_P(OpsTest, Prelu) {
+  tidyVoid([] {
+    Tensor x = o::tensor({-2, -1, 0, 3}, Shape{4});
+    Tensor alpha = o::scalar(0.25f);
+    test::expectValues(o::prelu(x, alpha), {-0.5f, -0.25f, 0, 3});
+  });
+}
+
+// ---------------------------------------------------------------- creation
+
+TEST_P(OpsTest, CreationOps) {
+  tidyVoid([] {
+    test::expectValues(o::zeros(Shape{3}), {0, 0, 0});
+    test::expectValues(o::ones(Shape{2}), {1, 1});
+    test::expectValues(o::fill(Shape{2}, 3.5f), {3.5f, 3.5f});
+    test::expectValues(o::eye(2), {1, 0, 0, 1});
+    test::expectValues(o::range(0, 5, 2), {0, 2, 4});
+    test::expectValues(o::range(3, 0, -1), {3, 2, 1});
+    test::expectValues(o::linspace(0, 1, 3), {0, 0.5f, 1});
+    Tensor n = o::randomNormal(Shape{1000}, 0, 1, 1);
+    EXPECT_NEAR(o::mean(n).scalarSync(), 0, 0.1);
+    Tensor u = o::randomUniform(Shape{1000}, -1, 1, 2);
+    EXPECT_NEAR(o::mean(u).scalarSync(), 0, 0.1);
+    // Determinism: same seed, same values.
+    test::expectClose(o::randomNormal(Shape{8}, 0, 1, 3),
+                      o::randomNormal(Shape{8}, 0, 1, 3));
+  });
+}
+
+TEST_P(OpsTest, OperatorOverloads) {
+  using namespace tfjs::ops;  // NOLINT: operators
+  tidyVoid([] {
+    Tensor a = o::tensor({6, 8}, Shape{2});
+    Tensor b = o::tensor({2, 4}, Shape{2});
+    test::expectValues(a + b, {8, 12});
+    test::expectValues(a - b, {4, 4});
+    test::expectValues(a * b, {12, 32});
+    test::expectValues(a / b, {3, 2});
+  });
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,225 @@
+// Input-pipeline tests (the section 7 "full ML workflow" extension):
+// combinator semantics, laziness, memory discipline, and end-to-end training
+// from a pipeline.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/pipeline.h"
+#include "data/synthetic.h"
+#include "layers/core_layers.h"
+#include "layers/sequential.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+using data::Example;
+using data::Pipeline;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+
+  /// Source 0..n-1 as scalar feature == label.
+  data::PipelinePtr counter(int n) {
+    return Pipeline::fromGenerator(
+        [n](std::size_t i) -> std::optional<Example> {
+          if (i >= static_cast<std::size_t>(n)) return std::nullopt;
+          Example e;
+          e.features = o::scalar(static_cast<float>(i));
+          e.label = o::scalar(static_cast<float>(i));
+          return e;
+        });
+  }
+};
+
+TEST_F(PipelineTest, GeneratorSourceYieldsAll) {
+  auto p = counter(5);
+  std::vector<float> seen;
+  p->forEach([&](Example e) {
+    seen.push_back(e.features.scalarSync());
+    e.dispose();
+  });
+  EXPECT_EQ(seen, (std::vector<float>{0, 1, 2, 3, 4}));
+  // Re-iterable: a second pass yields the same stream.
+  EXPECT_EQ(p->count(), 5u);
+}
+
+TEST_F(PipelineTest, MapTransformsEveryExample) {
+  auto doubled = counter(4)->map([](Example e) {
+    Example out;
+    out.features = o::mulScalar(e.features, 2);
+    out.label = e.label.clone();
+    e.dispose();
+    return out;
+  });
+  std::vector<float> seen;
+  doubled->forEach([&](Example e) {
+    seen.push_back(e.features.scalarSync());
+    e.dispose();
+  });
+  EXPECT_EQ(seen, (std::vector<float>{0, 2, 4, 6}));
+}
+
+TEST_F(PipelineTest, FilterDropsAndTakeTruncates) {
+  auto evens = counter(10)->filter([](const Example& e) {
+    return static_cast<int>(e.features.scalarSync()) % 2 == 0;
+  });
+  EXPECT_EQ(evens->count(), 5u);
+  EXPECT_EQ(evens->take(2)->count(), 2u);
+  EXPECT_EQ(counter(3)->take(100)->count(), 3u);
+}
+
+TEST_F(PipelineTest, RepeatConcatenatesStreams) {
+  EXPECT_EQ(counter(3)->repeat(3)->count(), 9u);
+  EXPECT_THROW(counter(3)->repeat(0), InvalidArgumentError);
+}
+
+TEST_F(PipelineTest, ShuffleIsAPermutation) {
+  auto shuffled = counter(20)->shuffle(8, /*seed=*/3);
+  std::vector<float> seen;
+  shuffled->forEach([&](Example e) {
+    seen.push_back(e.features.scalarSync());
+    e.dispose();
+  });
+  ASSERT_EQ(seen.size(), 20u);
+  std::vector<float> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FLOAT_EQ(sorted[static_cast<std::size_t>(i)],
+                    static_cast<float>(i));
+  }
+  EXPECT_NE(seen, sorted) << "shuffle produced the identity order";
+}
+
+TEST_F(PipelineTest, BatchStacksWithPartialTail) {
+  auto batches = counter(7)->batch(3)->collect();
+  ASSERT_EQ(batches.size(), 3u);
+  test::expectShape(batches[0].features, Shape{3});
+  test::expectShape(batches[2].features, Shape{1});  // partial tail
+  test::expectValues(batches[1].features, {3, 4, 5});
+  for (auto& b : batches) b.dispose();
+}
+
+TEST_F(PipelineTest, FromTensorsSlicesRows) {
+  Tensor feats = o::tensor({1, 2, 3, 4, 5, 6}, Shape{3, 2});
+  Tensor labels = o::tensor({0, 1, 0}, Shape{3, 1});
+  auto p = Pipeline::fromTensors(feats, labels);
+  auto all = p->collect();
+  ASSERT_EQ(all.size(), 3u);
+  test::expectShape(all[0].features, Shape{2});
+  test::expectValues(all[1].features, {3, 4});
+  test::expectValues(all[2].label, {0});
+  for (auto& e : all) e.dispose();
+  feats.dispose();
+  labels.dispose();
+}
+
+TEST_F(PipelineTest, ChainedCombinatorsCompose) {
+  // take(evens . doubled, 3) == [0, 4, 8]
+  auto p = counter(20)
+               ->filter([](const Example& e) {
+                 return static_cast<int>(e.features.scalarSync()) % 2 == 0;
+               })
+               ->map([](Example e) {
+                 Example out;
+                 out.features = o::mulScalar(e.features, 2);
+                 out.label = e.label.clone();
+                 e.dispose();
+                 return out;
+               })
+               ->take(3);
+  std::vector<float> seen;
+  p->forEach([&](Example e) {
+    seen.push_back(e.features.scalarSync());
+    e.dispose();
+  });
+  EXPECT_EQ(seen, (std::vector<float>{0, 4, 8}));
+}
+
+TEST_F(PipelineTest, NoTensorLeaksWhenConsumerDisposes) {
+  auto p = counter(16)->shuffle(4)->batch(4);
+  p->count();  // warm-up (keeps nothing)
+  const auto before = memory();
+  p->forEach([](Example e) { e.dispose(); });
+  EXPECT_EQ(memory().numTensors, before.numTensors);
+}
+
+TEST_F(PipelineTest, TrainingFromPipelineBatches) {
+  // End-to-end: a model trained from pipeline batches learns y = 3x.
+  auto src = Pipeline::fromGenerator(
+      [](std::size_t i) -> std::optional<Example> {
+        if (i >= 64) return std::nullopt;
+        const float x = static_cast<float>(i % 16) / 8.0f - 1.0f;
+        Example e;
+        e.features = o::tensor({x}, Shape{1});
+        e.label = o::tensor({3 * x}, Shape{1});
+        return e;
+      });
+  auto model = sequential("pipeline_train");
+  layers::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<layers::Dense>(d));
+  model->compile({});
+  model->build(Shape{1, 1});  // weights must exist before minimize()
+  auto optimizer = autodiff::makeOptimizer("sgd", 0.2f);
+
+  auto batches = src->shuffle(16)->batch(8);
+  float lastLoss = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    batches->forEach([&](Example batch) {
+      Tensor cost = optimizer->minimize(
+          [&] {
+            Tensor pred = model->apply(batch.features, true);
+            return layers::meanSquaredError(batch.label, pred);
+          },
+          true, model->trainableWeights());
+      lastLoss = cost.scalarSync();
+      cost.dispose();
+      batch.dispose();
+    });
+  }
+  EXPECT_LT(lastLoss, 0.05f);
+  model->dispose();
+}
+
+TEST_F(PipelineTest, FitDatasetTrainsModel) {
+  // model.fitDataset: the Layers API consuming a pipeline directly.
+  auto [xs, ys] = data::makeLinearData(64, -2, 0.5f);
+  auto batches = Pipeline::fromTensors(xs, ys)->shuffle(32)->batch(16);
+  auto model = sequential("fit_dataset");
+  layers::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<layers::Dense>(d));
+  layers::CompileOptions c;
+  c.learningRate = 0.3f;
+  model->compile(c);
+  layers::History h = model->fitDataset(*batches, /*epochs=*/15);
+  ASSERT_EQ(h.loss.size(), 15u);
+  EXPECT_LT(h.loss.back(), 0.01f);
+  EXPECT_LT(h.loss.back(), h.loss.front());
+  // The learned weight approximates the generating slope.
+  const auto w = model->weights()[0].value().dataSync();
+  EXPECT_NEAR(w[0], -2.0f, 0.2f);
+  xs.dispose();
+  ys.dispose();
+  model->dispose();
+}
+
+TEST_F(PipelineTest, FitDatasetRequiresCompileAndData) {
+  auto model = sequential();
+  layers::DenseOptions d;
+  d.units = 1;
+  model->add(std::make_shared<layers::Dense>(d));
+  auto empty = Pipeline::fromGenerator(
+      [](std::size_t) -> std::optional<Example> { return std::nullopt; });
+  EXPECT_THROW(model->fitDataset(*empty), InvalidArgumentError);
+  model->compile({});
+  EXPECT_THROW(model->fitDataset(*empty), InvalidArgumentError);
+  model->dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,221 @@
+// Recurrent-layer tests: cell math against hand-computed values, shape
+// contracts, BPTT training on a synthetic sequence task (the eager-autodiff
+// payoff of paper section 3.5 — native loops, gradients for free), and
+// config round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/random.h"
+#include "layers/core_layers.h"
+#include "layers/rnn_layers.h"
+#include "layers/sequential.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+namespace L = layers;
+
+class RnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+TEST_F(RnnTest, SimpleRnnHandComputed) {
+  L::RNNOptions opts;
+  opts.units = 1;
+  opts.activation = "tanh";
+  opts.name = "rnn_hand";
+  L::SimpleRNN rnn(opts);
+  // x: one batch, two steps, one feature: [1, 2]; W=1, U=0.5, b=0.
+  Tensor x = o::tensor({1, 2}, Shape{1, 2, 1});
+  rnn.build(x.shape());
+  Tensor w = o::tensor({1.f}, Shape{1, 1});
+  Tensor u = o::tensor({0.5f}, Shape{1, 1});
+  Tensor b = o::tensor({0.f}, Shape{1});
+  rnn.setWeightValues(std::array<Tensor, 3>{w, u, b});
+  Tensor y = rnn.apply(x);
+  // h1 = tanh(1) ; h2 = tanh(2 + 0.5*h1)
+  const float h1 = std::tanh(1.0f);
+  const float h2 = std::tanh(2.0f + 0.5f * h1);
+  test::expectValues(y, {h2}, 1e-5f);
+  for (Tensor t : {x, y}) t.dispose();
+  rnn.dispose();
+}
+
+TEST_F(RnnTest, ReturnSequencesShape) {
+  // Both instances share a name so their seeded weights are identical.
+  for (auto make : {std::function<L::LayerPtr(bool)>([](bool seq) {
+         L::RNNOptions o;
+         o.units = 3;
+         o.returnSequences = seq;
+         o.name = "shape_simple";
+         return std::make_shared<L::SimpleRNN>(o);
+       }),
+       std::function<L::LayerPtr(bool)>([](bool seq) {
+         L::RNNOptions o;
+         o.units = 3;
+         o.returnSequences = seq;
+         o.name = "shape_gru";
+         return std::make_shared<L::GRU>(o);
+       }),
+       std::function<L::LayerPtr(bool)>([](bool seq) {
+         L::RNNOptions o;
+         o.units = 3;
+         o.returnSequences = seq;
+         o.name = "shape_lstm";
+         return std::make_shared<L::LSTM>(o);
+       })}) {
+    Tensor x = o::randomNormal(Shape{2, 5, 4}, 0, 1, 1);
+    auto last = make(false);
+    auto seq = make(true);
+    Tensor yLast = last->apply(x);
+    Tensor ySeq = seq->apply(x);
+    test::expectShape(yLast, Shape{2, 3});
+    test::expectShape(ySeq, Shape{2, 5, 3});
+    // Final sequence step equals the non-sequence output.
+    Tensor lastStep = o::slice(ySeq, std::array<int, 3>{0, 4, 0},
+                               std::array<int, 3>{2, 1, 3});
+    test::expectClose(lastStep.reshape(Shape{2, 3}), yLast, 1e-5f);
+    for (Tensor t : {x, yLast, ySeq, lastStep}) t.dispose();
+    last->dispose();
+    seq->dispose();
+  }
+}
+
+TEST_F(RnnTest, LstmForgetBiasInitializedToOne) {
+  L::RNNOptions opts;
+  opts.units = 2;
+  opts.name = "lstm_bias_check";
+  L::LSTM lstm(opts);
+  lstm.build(Shape{1, 3, 4});
+  // weights: kernel, recurrent, bias; bias layout [i f g o] x units.
+  const auto bias = lstm.weights()[2].value().dataSync();
+  ASSERT_EQ(bias.size(), 8u);
+  EXPECT_FLOAT_EQ(bias[2], 1);  // forget block
+  EXPECT_FLOAT_EQ(bias[3], 1);
+  EXPECT_FLOAT_EQ(bias[0], 0);  // input block
+  EXPECT_FLOAT_EQ(bias[6], 0);  // output block
+  lstm.dispose();
+}
+
+TEST_F(RnnTest, GruStaysBoundedOnLongSequence) {
+  L::RNNOptions opts;
+  opts.units = 4;
+  L::GRU gru(opts);
+  Tensor x = o::randomNormal(Shape{1, 50, 2}, 0, 3, 2);
+  Tensor y = gru.apply(x);
+  for (float v : y.dataSync()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 1.0f + 1e-5f);  // tanh-bounded state
+  }
+  x.dispose();
+  y.dispose();
+  gru.dispose();
+}
+
+/// Synthetic sequence task: label = whether the sum of the sequence is
+/// positive. Linearly separable for a recurrent accumulator.
+std::pair<Tensor, Tensor> makeSequenceData(int n, int steps,
+                                           std::uint64_t seed) {
+  tfjs::Random rng(seed);
+  std::vector<float> xs(static_cast<std::size_t>(n) * steps);
+  std::vector<float> ys(static_cast<std::size_t>(n) * 2, 0.f);
+  for (int i = 0; i < n; ++i) {
+    float sum = 0;
+    for (int t = 0; t < steps; ++t) {
+      const float v = rng.uniform(-1, 1);
+      xs[static_cast<std::size_t>(i) * steps + t] = v;
+      sum += v;
+    }
+    ys[static_cast<std::size_t>(i) * 2 + (sum > 0 ? 1 : 0)] = 1.f;
+  }
+  return {o::tensor(xs, Shape{n, steps, 1}), o::tensor(ys, Shape{n, 2})};
+}
+
+using RnnKind = const char*;
+class RnnTrainingTest : public ::testing::TestWithParam<RnnKind> {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+TEST_P(RnnTrainingTest, LearnsSequenceSumSign) {
+  auto [x, y] = makeSequenceData(128, 6, 5);
+  auto model = sequential(std::string("rnn_train_") + GetParam());
+  L::RNNOptions r;
+  r.units = 8;
+  if (std::string(GetParam()) == "simple") {
+    model->add(std::make_shared<L::SimpleRNN>(r));
+  } else if (std::string(GetParam()) == "gru") {
+    model->add(std::make_shared<L::GRU>(r));
+  } else {
+    model->add(std::make_shared<L::LSTM>(r));
+  }
+  L::DenseOptions d;
+  d.units = 2;
+  d.activation = "softmax";
+  model->add(std::make_shared<L::Dense>(d));
+  L::CompileOptions c;
+  c.optimizer = "adam";
+  c.learningRate = 0.02f;
+  c.loss = "categoricalCrossentropy";
+  c.metrics = {"accuracy"};
+  model->compile(c);
+  L::FitOptions fit;
+  fit.epochs = 10;
+  fit.batchSize = 32;
+  L::History h = model->fit(x, y, fit);
+  EXPECT_GT(h.metrics[0].back(), 0.85f)
+      << GetParam() << " failed to learn (BPTT broken?)";
+  EXPECT_LT(h.loss.back(), h.loss.front());
+  x.dispose();
+  y.dispose();
+  model->dispose();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, RnnTrainingTest,
+                         ::testing::Values("simple", "gru", "lstm"),
+                         [](const auto& info) { return info.param; });
+
+TEST_F(RnnTest, EmbeddingLookup) {
+  L::Embedding emb(5, 3, "emb_test");
+  Tensor idx = o::tensor({0, 2, 4, 2}, Shape{2, 2}, DType::i32);
+  Tensor y = emb.apply(idx);
+  test::expectShape(y, Shape{2, 2, 3});
+  // Same index -> same row.
+  const auto v = y.dataSync();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(v[1 * 3 + d], v[3 * 3 + d]);  // both are token 2
+  }
+  idx.dispose();
+  y.dispose();
+  emb.dispose();
+}
+
+TEST_F(RnnTest, RnnConfigRoundTrip) {
+  auto model = sequential("rnn_roundtrip");
+  L::RNNOptions r;
+  r.units = 4;
+  r.returnSequences = true;
+  model->add(std::make_shared<L::GRU>(r));
+  L::RNNOptions r2;
+  r2.units = 2;
+  model->add(std::make_shared<L::LSTM>(r2));
+  const io::Json cfg = model->toConfig();
+  auto clone = L::Sequential::fromConfig(cfg);
+  EXPECT_EQ(clone->toConfig().dump(), cfg.dump());
+  Tensor x = o::randomNormal(Shape{1, 3, 5}, 0, 1, 6);
+  Tensor y = clone->predict(x);
+  test::expectShape(y, Shape{1, 2});
+  x.dispose();
+  y.dispose();
+  model->dispose();
+  clone->dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -1,0 +1,11 @@
+// Shared gtest main: registers all backends once; individual suites pick the
+// backend they exercise via tfjs::setBackend.
+#include <gtest/gtest.h>
+
+#include "backends/register.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  tfjs::backends::registerAll();
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,36 @@
+// Assertion helpers shared by all test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace tfjs::test {
+
+/// Expects tensor values to match `expected` element-wise within tol.
+inline void expectValues(const Tensor& t, const std::vector<float>& expected,
+                         float tol = 1e-5f) {
+  const auto vals = t.dataSync();
+  ASSERT_EQ(vals.size(), expected.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(vals[i], expected[i], tol) << "at flat index " << i;
+  }
+}
+
+inline void expectShape(const Tensor& t, const Shape& s) {
+  EXPECT_EQ(t.shape().toString(), s.toString());
+}
+
+/// Expects two tensors to hold the same values within tol.
+inline void expectClose(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  const auto av = a.dataSync();
+  const auto bv = b.dataSync();
+  ASSERT_EQ(av.size(), bv.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    EXPECT_NEAR(av[i], bv[i], tol) << "at flat index " << i;
+  }
+}
+
+}  // namespace tfjs::test

@@ -1,0 +1,361 @@
+// WebGL-sim backend tests — the paper's section 4.1 mechanisms, each
+// exercised directly:
+//  * E4 (Figure 4): element-wise add executed as a per-pixel fragment shader;
+//  * logical→physical texture mapping and the squeezed-coordinate sampler;
+//  * packing (RGBA texels) storage and cost accounting;
+//  * E7: texture recycler; E8: GPU→CPU paging under a memory budget;
+//  * E9: fp16 textures and the log(x + eps) underflow of section 4.1.3;
+//  * async command queue: fences, async readback, blocking readPixels;
+//  * time() semantics: kernelMs is device time excluding transfers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "backends/webgl/tex_util.h"
+#include "backends/webgl/webgl_backend.h"
+#include "core/engine.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+using backends::webgl::GlTexture;
+using backends::webgl::PhysShape;
+using backends::webgl::TexConfig;
+using backends::webgl::TexPrecision;
+using backends::webgl::WebGLBackend;
+using backends::webgl::WebGLOptions;
+
+WebGLBackend& activeWebGL() {
+  return dynamic_cast<WebGLBackend&>(Engine::get().backend());
+}
+
+class WebGLTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("webgl"); }
+};
+
+// --------------------------------------------------- logical/physical layout
+
+TEST_F(WebGLTest, PhysShapeMirrorsSqueezedLogicalShape) {
+  using backends::webgl::tex_util::physShapeForLogical;
+  // The paper's example: logical 1x3x1x2 -> physical 3x2 texture.
+  PhysShape p = physShapeForLogical(Shape{1, 3, 1, 2}, /*packed=*/false);
+  EXPECT_EQ(p.rows, 3);
+  EXPECT_EQ(p.cols, 2);
+  // Rank-1 maps to a single row.
+  p = physShapeForLogical(Shape{128}, false);
+  EXPECT_EQ(p.rows, 1);
+  EXPECT_EQ(p.cols, 128);
+  // Higher ranks without unit dims use a near-square layout.
+  p = physShapeForLogical(Shape{8, 8, 8}, false);
+  EXPECT_EQ(p.texels(), 529u);  // 23x23 >= 512
+  EXPECT_LE(std::abs(p.rows - p.cols), 1);
+}
+
+TEST_F(WebGLTest, PhysShapeRespectsDeviceLimit) {
+  using backends::webgl::tex_util::physShapeForLogical;
+  // A [1, 5000] tensor exceeds the 4096 texel row limit -> near-square.
+  PhysShape p = physShapeForLogical(Shape{1, 5000}, false);
+  EXPECT_LE(p.cols, backends::webgl::tex_util::kMaxTextureSize);
+  EXPECT_GE(p.texels(), 5000u);
+}
+
+TEST_F(WebGLTest, PackedTextureQuartersTexelCount) {
+  using backends::webgl::tex_util::physShapeForSize;
+  PhysShape unpacked = physShapeForSize(1024, false);
+  PhysShape packed = physShapeForSize(1024, true);
+  EXPECT_EQ(unpacked.texels(), 1024u);
+  EXPECT_EQ(packed.texels(), 256u);
+  // Packed RGBA texels are 16 B vs 4 B — same bytes per value, 4x fewer
+  // texels (the sampler-efficiency win of section 3.9).
+  GlTexture u(unpacked, TexConfig{false, TexPrecision::fp32});
+  GlTexture q(packed, TexConfig{true, TexPrecision::fp32});
+  EXPECT_EQ(u.gpuBytes(), q.gpuBytes());
+}
+
+// ----------------------------------------------------------- E4 / Figure 4
+
+TEST_F(WebGLTest, Figure4ElementwiseAddRunsAsShader) {
+  auto& backend = activeWebGL();
+  const auto statsBefore = backend.gpuStats();
+  Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  Tensor b = o::tensor({10, 20, 30, 40, 50, 60}, Shape{2, 3});
+  Tensor c = o::add(a, b);
+  test::expectValues(c, {11, 22, 33, 44, 55, 66});
+  const auto statsAfter = backend.gpuStats();
+  // Exactly one program ran, invoked per output value with 2 fetches each
+  // (the GLSL main() of Figure 4).
+  EXPECT_EQ(statsAfter.programsRun, statsBefore.programsRun + 1);
+  EXPECT_EQ(statsAfter.texelFetches, statsBefore.texelFetches + 12);
+  for (Tensor t : {a, b, c}) t.dispose();
+}
+
+TEST_F(WebGLTest, ShaderFetchCountMatchesListing2MatMul) {
+  auto& backend = activeWebGL();
+  Tensor a = o::randomNormal(Shape{4, 8}, 0, 1, 1);
+  Tensor b = o::randomNormal(Shape{8, 3}, 0, 1, 2);
+  const auto before = backend.gpuStats();
+  Tensor c = o::matMul(a, b);
+  c.dataSync();
+  const auto after = backend.gpuStats();
+  // Listing 2: each of the 4*3 outputs loops over K=8 sampling A and B.
+  EXPECT_EQ(after.texelFetches - before.texelFetches, 4u * 3 * 8 * 2);
+  for (Tensor t : {a, b, c}) t.dispose();
+}
+
+// ------------------------------------------------------------ E7: recycler
+
+TEST_F(WebGLTest, TextureRecyclerReusesSameShapedTextures) {
+  auto& backend = activeWebGL();
+  // Warm up any internal allocations first.
+  for (int i = 0; i < 2; ++i) {
+    Tensor x = o::randomNormal(Shape{16, 16}, 0, 1, 3);
+    Tensor y = o::relu(x);
+    y.dataSync();
+    x.dispose();
+    y.dispose();
+  }
+  backend.flush();
+  const auto before = backend.textureStats();
+  // Repeated same-shape passes — the "multiple passes through the same ML
+  // model" pattern of section 4.1.2.
+  for (int i = 0; i < 10; ++i) {
+    Tensor x = o::randomNormal(Shape{16, 16}, 0, 1, 4);
+    Tensor y = o::relu(x);
+    y.dataSync();
+    x.dispose();
+    y.dispose();
+  }
+  backend.flush();
+  const auto after = backend.textureStats();
+  EXPECT_EQ(after.texturesCreated, before.texturesCreated)
+      << "same-shaped textures must be served from the recycler";
+  EXPECT_GE(after.texturesRecycled, before.texturesRecycled + 20);
+}
+
+TEST_F(WebGLTest, RecyclerKeepsMemoryFlatAcrossModelPasses) {
+  auto& backend = activeWebGL();
+  Tensor w = o::randomNormal(Shape{32, 32}, 0, 1, 5);
+  // Chained ops inside tidy — un-disposed intermediates (like the matMul
+  // temporary) would otherwise leak, the exact hazard of section 3.7.
+  auto pass = [&] {
+    tidyVoid([&] {
+      Tensor x = o::randomNormal(Shape{8, 32}, 0, 1, 6);
+      Tensor out = o::sigmoid(o::relu(o::matMul(x, w)));
+      out.dataSync();
+    });
+  };
+  pass();
+  pass();
+  backend.flush();
+  const std::size_t bytesBefore = backend.textureStats().gpuBytes;
+  for (int i = 0; i < 20; ++i) pass();
+  backend.flush();
+  EXPECT_EQ(backend.textureStats().gpuBytes, bytesBefore)
+      << "steady-state model passes must not grow GPU memory";
+  w.dispose();
+}
+
+// -------------------------------------------------------------- E8: paging
+
+TEST(WebGLPagingTest, PagesOutLeastRecentlyUsedTexturesOverBudget) {
+  // Dedicated tiny-budget backend instance: 64 KB GPU budget, tensors of
+  // 16 KB each; keeping 8 alive must page some out without data loss.
+  backends::webgl::registerBackendVariant(
+      "webgl-tiny",
+      [] {
+        WebGLOptions opts;
+        opts.gpuBudgetBytes = 64 * 1024;
+        return opts;
+      }());
+  setBackend("webgl-tiny");
+  auto& backend = activeWebGL();
+
+  std::vector<Tensor> tensors;
+  for (int i = 0; i < 8; ++i) {
+    Tensor t = o::fill(Shape{64, 64}, static_cast<float>(i));
+    Tensor u = o::addScalar(t, 1);  // force device work on each texture
+    u.dataSync();
+    u.dispose();
+    tensors.push_back(t);
+  }
+  backend.flush();
+  const auto stats = backend.textureStats();
+  EXPECT_GT(stats.pageOuts, 0u) << "exceeding the budget must page out";
+  EXPECT_LE(stats.gpuBytes, 80u * 1024) << "resident set must respect budget";
+
+  // Every tensor — including paged-out ones — reads back intact.
+  for (int i = 0; i < 8; ++i) {
+    const auto v = tensors[static_cast<std::size_t>(i)].dataSync();
+    EXPECT_FLOAT_EQ(v[0], static_cast<float>(i));
+    EXPECT_FLOAT_EQ(v.back(), static_cast<float>(i));
+  }
+  const auto after = backend.textureStats();
+  EXPECT_GT(after.pageIns, 0u) << "touching paged tensors must page back in";
+  for (auto& t : tensors) t.dispose();
+  setBackend("native");
+}
+
+// ---------------------------------------------------------- E9: fp16 mode
+
+TEST(WebGLFp16Test, EpsilonUnderflowReproducesIOSBug) {
+  backends::webgl::registerBackendVariant(
+      "webgl-fp16",
+      [] {
+        WebGLOptions opts;
+        opts.precision = TexPrecision::fp16;
+        return opts;
+      }());
+  setBackend("webgl-fp16");
+  auto& backend = activeWebGL();
+  EXPECT_FLOAT_EQ(backend.epsilon(), 1e-4f);
+
+  // The paper's bug: log(x + 1e-8) with x = 0 under fp16. 1e-8 flushes to
+  // zero in a 16-bit texture, so the add produces exactly 0 and log gives
+  // -inf — where fp32 would give log(1e-8).
+  Tensor x = o::tensor({0.f}, Shape{1});
+  Tensor brokenEps = o::scalar(1e-8f);
+  Tensor broken = o::log(o::add(x, brokenEps));
+  EXPECT_TRUE(std::isinf(broken.dataSync()[0]));
+
+  // The fix (section 4.1.3): adjust the global epsilon per device.
+  Tensor fixedEps = o::scalar(backend.epsilon());
+  Tensor fixed = o::log(o::add(x, fixedEps));
+  EXPECT_TRUE(std::isfinite(fixed.dataSync()[0]));
+  EXPECT_NEAR(fixed.dataSync()[0], std::log(1e-4f), 0.05f);
+
+  for (Tensor t : {x, brokenEps, broken, fixedEps, fixed}) t.dispose();
+  setBackend("native");
+}
+
+TEST(WebGLFp16Test, ValuesRoundThroughHalfPrecision) {
+  setBackend("webgl-fp16");
+  // 2049 is not representable in fp16 (11-bit mantissa): rounds to 2048.
+  Tensor t = o::tensor({2049.f, 0.1f}, Shape{2});
+  const auto v = t.dataSync();
+  EXPECT_FLOAT_EQ(v[0], 2048.f);
+  EXPECT_NEAR(v[1], 0.1f, 1e-4f);
+  EXPECT_NE(v[1], 0.1f);  // 0.1 is inexact in fp16
+  t.dispose();
+  setBackend("native");
+}
+
+// --------------------------------------------------- async queue mechanics
+
+TEST_F(WebGLTest, OpsReturnBeforeDeviceCompletes) {
+  // tf.matMul is "purposefully synchronous and returns a tensor whose data
+  // might not be computed yet" (section 3.6): enqueue must be far faster
+  // than executing + reading back.
+  Tensor a = o::randomNormal(Shape{128, 128}, 0, 1, 7);
+  auto t0 = std::chrono::steady_clock::now();
+  Tensor c = o::matMul(a, a);
+  auto t1 = std::chrono::steady_clock::now();
+  c.dataSync();  // forces the pipeline
+  auto t2 = std::chrono::steady_clock::now();
+  const double enqueueMs =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double totalMs =
+      std::chrono::duration<double, std::milli>(t2 - t0).count();
+  EXPECT_LT(enqueueMs, totalMs);
+  a.dispose();
+  c.dispose();
+}
+
+TEST_F(WebGLTest, AsyncDataResolvesWithCorrectValues) {
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{4});
+  Tensor b = o::mulScalar(a, 3);
+  std::future<std::vector<float>> fut = b.data();
+  const auto v = fut.get();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_FLOAT_EQ(v[3], 12);
+  a.dispose();
+  b.dispose();
+}
+
+TEST_F(WebGLTest, FencesRetireInOrder) {
+  auto& backend = activeWebGL();
+  Tensor x = o::randomNormal(Shape{64, 64}, 0, 1, 8);
+  Tensor y = o::matMul(x, x);
+  auto fence = backend.context().insertFence();
+  fence.wait();
+  // The fence retired, so the matmul before it must have executed.
+  const auto stats = backend.gpuStats();
+  EXPECT_GE(stats.programsRun, 1u);
+  EXPECT_GE(stats.fences, 1u);
+  x.dispose();
+  y.dispose();
+}
+
+TEST_F(WebGLTest, ManyQueuedOpsDrainCorrectly) {
+  // Stress ordering: a dependent chain of 100 adds through the queue.
+  Tensor acc = o::scalar(0);
+  for (int i = 1; i <= 100; ++i) {
+    Tensor next = o::addScalar(acc, 1);
+    acc.dispose();
+    acc = next;
+  }
+  EXPECT_FLOAT_EQ(acc.scalarSync(), 100);
+  acc.dispose();
+}
+
+// ------------------------------------------------------- timing semantics
+
+TEST_F(WebGLTest, KernelTimeExcludesUploadAndDownload) {
+  auto& backend = activeWebGL();
+  // Pure upload + readback: no programs, so kernel (GPU) time must not move.
+  const double kernelBefore = backend.kernelTimeMs();
+  Tensor t = o::tensor(std::vector<float>(4096, 1.f), Shape{4096});
+  t.dataSync();
+  const double kernelAfter = backend.kernelTimeMs();
+  EXPECT_DOUBLE_EQ(kernelBefore, kernelAfter);
+  // ...but transfer stats do.
+  EXPECT_GT(backend.gpuStats().uploadTimeMs, 0);
+  EXPECT_GT(backend.gpuStats().readbackTimeMs, 0);
+  t.dispose();
+}
+
+TEST_F(WebGLTest, TimeReportsModeledDeviceTime) {
+  Tensor a = o::randomNormal(Shape{64, 64}, 0, 1, 9);
+  TimingInfo t = time([&] {
+    Tensor c = o::matMul(a, a);
+    c.dispose();
+  });
+  // Modeled device time: at least the dispatch overhead of one program.
+  EXPECT_GE(t.kernelMs,
+            activeWebGL().context().device().dispatchOverheadMs * 0.99);
+  a.dispose();
+}
+
+// ------------------------------------------------------ device cost model
+
+TEST(WebGLDeviceModelTest, CudaBeatsWebGLOnReusablePrograms) {
+  using namespace backends::webgl;
+  ProgramCost matmulCost;
+  matmulCost.invocations = 224 * 224;
+  matmulCost.flopsPerInvocation = 2 * 512;
+  matmulCost.fetchesPerInvocation = 2 * 512;
+  matmulCost.reusable = true;
+  const double webglMs = gtx1080WebGL().timeMs(matmulCost, false);
+  const double cudaMs = gtx1080Cuda().timeMs(matmulCost, false);
+  // The paper reports a 3-10x WebGL-vs-CUDA gap on the same silicon.
+  EXPECT_GT(webglMs / cudaMs, 2.0);
+  EXPECT_LT(webglMs / cudaMs, 20.0);
+}
+
+TEST(WebGLDeviceModelTest, DispatchOverheadDominatesTinyPrograms) {
+  using namespace backends::webgl;
+  ProgramCost tiny;
+  tiny.invocations = 4;
+  tiny.flopsPerInvocation = 1;
+  tiny.fetchesPerInvocation = 2;
+  const DeviceModel dev = irisProWebGL();
+  EXPECT_NEAR(dev.timeMs(tiny, false), dev.dispatchOverheadMs, 1e-4);
+}
+
+}  // namespace
+}  // namespace tfjs

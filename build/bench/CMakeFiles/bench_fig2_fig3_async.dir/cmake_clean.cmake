@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fig3_async.dir/bench_fig2_fig3_async.cpp.o"
+  "CMakeFiles/bench_fig2_fig3_async.dir/bench_fig2_fig3_async.cpp.o.d"
+  "bench_fig2_fig3_async"
+  "bench_fig2_fig3_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fig3_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

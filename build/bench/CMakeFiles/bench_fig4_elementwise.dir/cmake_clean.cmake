@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_elementwise.dir/bench_fig4_elementwise.cpp.o"
+  "CMakeFiles/bench_fig4_elementwise.dir/bench_fig4_elementwise.cpp.o.d"
+  "bench_fig4_elementwise"
+  "bench_fig4_elementwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_elementwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

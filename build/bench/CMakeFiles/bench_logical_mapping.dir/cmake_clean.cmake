@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logical_mapping.dir/bench_logical_mapping.cpp.o"
+  "CMakeFiles/bench_logical_mapping.dir/bench_logical_mapping.cpp.o.d"
+  "bench_logical_mapping"
+  "bench_logical_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logical_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

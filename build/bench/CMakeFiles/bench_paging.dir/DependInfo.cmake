@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_paging.cpp" "bench/CMakeFiles/bench_paging.dir/bench_paging.cpp.o" "gcc" "bench/CMakeFiles/bench_paging.dir/bench_paging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/tfjs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tfjs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/layers/CMakeFiles/tfjs_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfjs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/tfjs_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tfjs_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/cpu/CMakeFiles/tfjs_backend_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/native/CMakeFiles/tfjs_backend_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tfjs_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/common/CMakeFiles/tfjs_backend_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

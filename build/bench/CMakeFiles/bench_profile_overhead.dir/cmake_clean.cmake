@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_overhead.dir/bench_profile_overhead.cpp.o"
+  "CMakeFiles/bench_profile_overhead.dir/bench_profile_overhead.cpp.o.d"
+  "bench_profile_overhead"
+  "bench_profile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

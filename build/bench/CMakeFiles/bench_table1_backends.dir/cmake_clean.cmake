@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_backends.dir/bench_table1_backends.cpp.o"
+  "CMakeFiles/bench_table1_backends.dir/bench_table1_backends.cpp.o.d"
+  "bench_table1_backends"
+  "bench_table1_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_texture_recycler.dir/bench_texture_recycler.cpp.o"
+  "CMakeFiles/bench_texture_recycler.dir/bench_texture_recycler.cpp.o.d"
+  "bench_texture_recycler"
+  "bench_texture_recycler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_texture_recycler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

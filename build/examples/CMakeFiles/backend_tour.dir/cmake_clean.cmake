@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_tour.dir/backend_tour.cpp.o"
+  "CMakeFiles/backend_tour.dir/backend_tour.cpp.o.d"
+  "backend_tour"
+  "backend_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_model.dir/convert_model.cpp.o"
+  "CMakeFiles/convert_model.dir/convert_model.cpp.o.d"
+  "convert_model"
+  "convert_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

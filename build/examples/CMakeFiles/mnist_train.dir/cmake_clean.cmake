@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_train.dir/mnist_train.cpp.o"
+  "CMakeFiles/mnist_train.dir/mnist_train.cpp.o.d"
+  "mnist_train"
+  "mnist_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posenet_demo.dir/posenet_demo.cpp.o"
+  "CMakeFiles/posenet_demo.dir/posenet_demo.cpp.o.d"
+  "posenet_demo"
+  "posenet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posenet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_rnn.dir/sequence_rnn.cpp.o"
+  "CMakeFiles/sequence_rnn.dir/sequence_rnn.cpp.o.d"
+  "sequence_rnn"
+  "sequence_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

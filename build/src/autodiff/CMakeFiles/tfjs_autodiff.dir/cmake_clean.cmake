@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_autodiff.dir/optimizers.cc.o"
+  "CMakeFiles/tfjs_autodiff.dir/optimizers.cc.o.d"
+  "CMakeFiles/tfjs_autodiff.dir/tape.cc.o"
+  "CMakeFiles/tfjs_autodiff.dir/tape.cc.o.d"
+  "libtfjs_autodiff.a"
+  "libtfjs_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfjs_autodiff.a"
+)

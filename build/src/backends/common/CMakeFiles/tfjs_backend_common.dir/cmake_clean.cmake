@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_backend_common.dir/ref_backend.cc.o"
+  "CMakeFiles/tfjs_backend_common.dir/ref_backend.cc.o.d"
+  "libtfjs_backend_common.a"
+  "libtfjs_backend_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_backend_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfjs_backend_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_backend_cpu.dir/cpu_backend.cc.o"
+  "CMakeFiles/tfjs_backend_cpu.dir/cpu_backend.cc.o.d"
+  "libtfjs_backend_cpu.a"
+  "libtfjs_backend_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_backend_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

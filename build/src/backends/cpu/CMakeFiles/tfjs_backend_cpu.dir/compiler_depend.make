@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfjs_backend_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_backend_native.dir/native_backend.cc.o"
+  "CMakeFiles/tfjs_backend_native.dir/native_backend.cc.o.d"
+  "libtfjs_backend_native.a"
+  "libtfjs_backend_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_backend_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/webgl/gpgpu_context.cc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/gpgpu_context.cc.o" "gcc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/gpgpu_context.cc.o.d"
+  "/root/repo/src/backends/webgl/shader_compiler.cc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/shader_compiler.cc.o" "gcc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/shader_compiler.cc.o.d"
+  "/root/repo/src/backends/webgl/tex_util.cc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/tex_util.cc.o" "gcc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/tex_util.cc.o.d"
+  "/root/repo/src/backends/webgl/texture_manager.cc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/texture_manager.cc.o" "gcc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/texture_manager.cc.o.d"
+  "/root/repo/src/backends/webgl/webgl_backend.cc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/webgl_backend.cc.o" "gcc" "src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/webgl_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/common/CMakeFiles/tfjs_backend_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

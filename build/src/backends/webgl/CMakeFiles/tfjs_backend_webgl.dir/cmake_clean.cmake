@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_backend_webgl.dir/gpgpu_context.cc.o"
+  "CMakeFiles/tfjs_backend_webgl.dir/gpgpu_context.cc.o.d"
+  "CMakeFiles/tfjs_backend_webgl.dir/shader_compiler.cc.o"
+  "CMakeFiles/tfjs_backend_webgl.dir/shader_compiler.cc.o.d"
+  "CMakeFiles/tfjs_backend_webgl.dir/tex_util.cc.o"
+  "CMakeFiles/tfjs_backend_webgl.dir/tex_util.cc.o.d"
+  "CMakeFiles/tfjs_backend_webgl.dir/texture_manager.cc.o"
+  "CMakeFiles/tfjs_backend_webgl.dir/texture_manager.cc.o.d"
+  "CMakeFiles/tfjs_backend_webgl.dir/webgl_backend.cc.o"
+  "CMakeFiles/tfjs_backend_webgl.dir/webgl_backend.cc.o.d"
+  "libtfjs_backend_webgl.a"
+  "libtfjs_backend_webgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_backend_webgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conv_util.cc" "src/core/CMakeFiles/tfjs_core.dir/conv_util.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/conv_util.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/tfjs_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/event_loop.cc" "src/core/CMakeFiles/tfjs_core.dir/event_loop.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/event_loop.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/core/CMakeFiles/tfjs_core.dir/random.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/random.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/tfjs_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/tensor.cc.o.d"
+  "/root/repo/src/core/util.cc" "src/core/CMakeFiles/tfjs_core.dir/util.cc.o" "gcc" "src/core/CMakeFiles/tfjs_core.dir/util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_core.dir/conv_util.cc.o"
+  "CMakeFiles/tfjs_core.dir/conv_util.cc.o.d"
+  "CMakeFiles/tfjs_core.dir/engine.cc.o"
+  "CMakeFiles/tfjs_core.dir/engine.cc.o.d"
+  "CMakeFiles/tfjs_core.dir/event_loop.cc.o"
+  "CMakeFiles/tfjs_core.dir/event_loop.cc.o.d"
+  "CMakeFiles/tfjs_core.dir/random.cc.o"
+  "CMakeFiles/tfjs_core.dir/random.cc.o.d"
+  "CMakeFiles/tfjs_core.dir/tensor.cc.o"
+  "CMakeFiles/tfjs_core.dir/tensor.cc.o.d"
+  "CMakeFiles/tfjs_core.dir/util.cc.o"
+  "CMakeFiles/tfjs_core.dir/util.cc.o.d"
+  "libtfjs_core.a"
+  "libtfjs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

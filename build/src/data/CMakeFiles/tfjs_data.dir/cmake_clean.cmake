@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_data.dir/pipeline.cc.o"
+  "CMakeFiles/tfjs_data.dir/pipeline.cc.o.d"
+  "CMakeFiles/tfjs_data.dir/synthetic.cc.o"
+  "CMakeFiles/tfjs_data.dir/synthetic.cc.o.d"
+  "libtfjs_data.a"
+  "libtfjs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

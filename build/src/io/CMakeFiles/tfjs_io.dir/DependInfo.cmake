@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/converter.cc" "src/io/CMakeFiles/tfjs_io.dir/converter.cc.o" "gcc" "src/io/CMakeFiles/tfjs_io.dir/converter.cc.o.d"
+  "/root/repo/src/io/graph_executor.cc" "src/io/CMakeFiles/tfjs_io.dir/graph_executor.cc.o" "gcc" "src/io/CMakeFiles/tfjs_io.dir/graph_executor.cc.o.d"
+  "/root/repo/src/io/model_io.cc" "src/io/CMakeFiles/tfjs_io.dir/model_io.cc.o" "gcc" "src/io/CMakeFiles/tfjs_io.dir/model_io.cc.o.d"
+  "/root/repo/src/io/weights.cc" "src/io/CMakeFiles/tfjs_io.dir/weights.cc.o" "gcc" "src/io/CMakeFiles/tfjs_io.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/tfjs_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/layers/CMakeFiles/tfjs_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tfjs_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfjs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/tfjs_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

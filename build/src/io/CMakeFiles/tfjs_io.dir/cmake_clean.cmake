@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_io.dir/converter.cc.o"
+  "CMakeFiles/tfjs_io.dir/converter.cc.o.d"
+  "CMakeFiles/tfjs_io.dir/graph_executor.cc.o"
+  "CMakeFiles/tfjs_io.dir/graph_executor.cc.o.d"
+  "CMakeFiles/tfjs_io.dir/model_io.cc.o"
+  "CMakeFiles/tfjs_io.dir/model_io.cc.o.d"
+  "CMakeFiles/tfjs_io.dir/weights.cc.o"
+  "CMakeFiles/tfjs_io.dir/weights.cc.o.d"
+  "libtfjs_io.a"
+  "libtfjs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

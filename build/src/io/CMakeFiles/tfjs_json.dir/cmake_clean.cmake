@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_json.dir/json.cc.o"
+  "CMakeFiles/tfjs_json.dir/json.cc.o.d"
+  "libtfjs_json.a"
+  "libtfjs_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

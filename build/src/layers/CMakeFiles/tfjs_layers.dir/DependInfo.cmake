@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layers/conv_layers.cc" "src/layers/CMakeFiles/tfjs_layers.dir/conv_layers.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/conv_layers.cc.o.d"
+  "/root/repo/src/layers/core_layers.cc" "src/layers/CMakeFiles/tfjs_layers.dir/core_layers.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/core_layers.cc.o.d"
+  "/root/repo/src/layers/initializers.cc" "src/layers/CMakeFiles/tfjs_layers.dir/initializers.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/initializers.cc.o.d"
+  "/root/repo/src/layers/layer.cc" "src/layers/CMakeFiles/tfjs_layers.dir/layer.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/layer.cc.o.d"
+  "/root/repo/src/layers/losses.cc" "src/layers/CMakeFiles/tfjs_layers.dir/losses.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/losses.cc.o.d"
+  "/root/repo/src/layers/rnn_layers.cc" "src/layers/CMakeFiles/tfjs_layers.dir/rnn_layers.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/rnn_layers.cc.o.d"
+  "/root/repo/src/layers/sequential.cc" "src/layers/CMakeFiles/tfjs_layers.dir/sequential.cc.o" "gcc" "src/layers/CMakeFiles/tfjs_layers.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/tfjs_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tfjs_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tfjs_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfjs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_layers.dir/conv_layers.cc.o"
+  "CMakeFiles/tfjs_layers.dir/conv_layers.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/core_layers.cc.o"
+  "CMakeFiles/tfjs_layers.dir/core_layers.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/initializers.cc.o"
+  "CMakeFiles/tfjs_layers.dir/initializers.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/layer.cc.o"
+  "CMakeFiles/tfjs_layers.dir/layer.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/losses.cc.o"
+  "CMakeFiles/tfjs_layers.dir/losses.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/rnn_layers.cc.o"
+  "CMakeFiles/tfjs_layers.dir/rnn_layers.cc.o.d"
+  "CMakeFiles/tfjs_layers.dir/sequential.cc.o"
+  "CMakeFiles/tfjs_layers.dir/sequential.cc.o.d"
+  "libtfjs_layers.a"
+  "libtfjs_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

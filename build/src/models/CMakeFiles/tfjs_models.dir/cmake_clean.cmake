@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_models.dir/mobilenet.cc.o"
+  "CMakeFiles/tfjs_models.dir/mobilenet.cc.o.d"
+  "CMakeFiles/tfjs_models.dir/posenet.cc.o"
+  "CMakeFiles/tfjs_models.dir/posenet.cc.o.d"
+  "libtfjs_models.a"
+  "libtfjs_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

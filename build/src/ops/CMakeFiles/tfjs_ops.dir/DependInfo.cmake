@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/advanced.cc" "src/ops/CMakeFiles/tfjs_ops.dir/advanced.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/advanced.cc.o.d"
+  "/root/repo/src/ops/binary.cc" "src/ops/CMakeFiles/tfjs_ops.dir/binary.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/binary.cc.o.d"
+  "/root/repo/src/ops/conv.cc" "src/ops/CMakeFiles/tfjs_ops.dir/conv.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/conv.cc.o.d"
+  "/root/repo/src/ops/creation.cc" "src/ops/CMakeFiles/tfjs_ops.dir/creation.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/creation.cc.o.d"
+  "/root/repo/src/ops/matmul.cc" "src/ops/CMakeFiles/tfjs_ops.dir/matmul.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/matmul.cc.o.d"
+  "/root/repo/src/ops/norm.cc" "src/ops/CMakeFiles/tfjs_ops.dir/norm.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/norm.cc.o.d"
+  "/root/repo/src/ops/reduction.cc" "src/ops/CMakeFiles/tfjs_ops.dir/reduction.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/reduction.cc.o.d"
+  "/root/repo/src/ops/transform.cc" "src/ops/CMakeFiles/tfjs_ops.dir/transform.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/transform.cc.o.d"
+  "/root/repo/src/ops/unary.cc" "src/ops/CMakeFiles/tfjs_ops.dir/unary.cc.o" "gcc" "src/ops/CMakeFiles/tfjs_ops.dir/unary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

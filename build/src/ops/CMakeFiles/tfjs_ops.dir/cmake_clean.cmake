@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfjs_ops.dir/advanced.cc.o"
+  "CMakeFiles/tfjs_ops.dir/advanced.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/binary.cc.o"
+  "CMakeFiles/tfjs_ops.dir/binary.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/conv.cc.o"
+  "CMakeFiles/tfjs_ops.dir/conv.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/creation.cc.o"
+  "CMakeFiles/tfjs_ops.dir/creation.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/matmul.cc.o"
+  "CMakeFiles/tfjs_ops.dir/matmul.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/norm.cc.o"
+  "CMakeFiles/tfjs_ops.dir/norm.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/reduction.cc.o"
+  "CMakeFiles/tfjs_ops.dir/reduction.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/transform.cc.o"
+  "CMakeFiles/tfjs_ops.dir/transform.cc.o.d"
+  "CMakeFiles/tfjs_ops.dir/unary.cc.o"
+  "CMakeFiles/tfjs_ops.dir/unary.cc.o.d"
+  "libtfjs_ops.a"
+  "libtfjs_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfjs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

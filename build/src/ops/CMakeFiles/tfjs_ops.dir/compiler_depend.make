@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfjs_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/autodiff_test.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/autodiff_test.dir/test_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/tfjs_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tfjs_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/cpu/CMakeFiles/tfjs_backend_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/native/CMakeFiles/tfjs_backend_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/webgl/CMakeFiles/tfjs_backend_webgl.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/common/CMakeFiles/tfjs_backend_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfjs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

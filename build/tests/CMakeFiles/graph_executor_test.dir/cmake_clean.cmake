@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_executor_test.dir/graph_executor_test.cc.o"
+  "CMakeFiles/graph_executor_test.dir/graph_executor_test.cc.o.d"
+  "CMakeFiles/graph_executor_test.dir/test_main.cc.o"
+  "CMakeFiles/graph_executor_test.dir/test_main.cc.o.d"
+  "graph_executor_test"
+  "graph_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

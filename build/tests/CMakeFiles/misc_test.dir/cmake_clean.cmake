@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_test.dir/misc_test.cc.o"
+  "CMakeFiles/misc_test.dir/misc_test.cc.o.d"
+  "CMakeFiles/misc_test.dir/test_main.cc.o"
+  "CMakeFiles/misc_test.dir/test_main.cc.o.d"
+  "misc_test"
+  "misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnn_test.dir/rnn_test.cc.o"
+  "CMakeFiles/rnn_test.dir/rnn_test.cc.o.d"
+  "CMakeFiles/rnn_test.dir/test_main.cc.o"
+  "CMakeFiles/rnn_test.dir/test_main.cc.o.d"
+  "rnn_test"
+  "rnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

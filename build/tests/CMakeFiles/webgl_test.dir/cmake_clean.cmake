@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgl_test.dir/test_main.cc.o"
+  "CMakeFiles/webgl_test.dir/test_main.cc.o.d"
+  "CMakeFiles/webgl_test.dir/webgl_test.cc.o"
+  "CMakeFiles/webgl_test.dir/webgl_test.cc.o.d"
+  "webgl_test"
+  "webgl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

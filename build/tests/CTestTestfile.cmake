@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ops_test "/root/repo/build/tests/ops_test")
+set_tests_properties(ops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autodiff_test "/root/repo/build/tests/autodiff_test")
+set_tests_properties(autodiff_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(layers_test "/root/repo/build/tests/layers_test")
+set_tests_properties(layers_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build/tests/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(models_test "/root/repo/build/tests/models_test")
+set_tests_properties(models_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(webgl_test "/root/repo/build/tests/webgl_test")
+set_tests_properties(webgl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(async_test "/root/repo/build/tests/async_test")
+set_tests_properties(async_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rnn_test "/root/repo/build/tests/rnn_test")
+set_tests_properties(rnn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_test "/root/repo/build/tests/pipeline_test")
+set_tests_properties(pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;26;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(misc_test "/root/repo/build/tests/misc_test")
+set_tests_properties(misc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;28;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_executor_test "/root/repo/build/tests/graph_executor_test")
+set_tests_properties(graph_executor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;30;tfjs_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,153 @@
+// Minimal JSON emitter for the bench harness. Benches write machine-readable
+// BENCH_*.json files at the repo root (alongside their stdout tables) so the
+// perf trajectory can be tracked across PRs.
+//
+// Supports exactly what the benches need: objects (insertion-ordered keys),
+// arrays, numbers, strings, and booleans. No parsing, no dependencies.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tfjs::bench {
+
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json number(double v) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static Json string(std::string v) {
+    Json j(Kind::kString);
+    j.str_ = std::move(v);
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::kBool);
+    j.num_ = v ? 1 : 0;
+    return j;
+  }
+
+  Json& set(const std::string& key, Json v) {
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  Json& set(const std::string& key, double v) {
+    return set(key, number(v));
+  }
+  Json& set(const std::string& key, int v) {
+    return set(key, number(v));
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    return set(key, string(v));
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, string(v));
+  }
+  Json& push(Json v) {
+    members_.emplace_back("", std::move(v));
+    return *this;
+  }
+
+  std::string dump(int indent = 0) const {
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+  }
+
+  /// Writes the document to `path` (with a trailing newline); returns false
+  /// and prints a warning on failure.
+  bool writeFile(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    f << dump() << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool };
+
+  explicit Json(Kind k) : kind_(k) {}
+
+  static void escape(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  }
+
+  void write(std::ostream& os, int depth) const {
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    const std::string childPad(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNumber:
+        if (std::isfinite(num_)) {
+          // Integers print without a fraction so thread counts stay ints.
+          if (num_ == static_cast<long long>(num_)) {
+            os << static_cast<long long>(num_);
+          } else {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.6g", num_);
+            os << buf;
+          }
+        } else {
+          os << "null";
+        }
+        break;
+      case Kind::kString:
+        escape(os, str_);
+        break;
+      case Kind::kBool:
+        os << (num_ != 0 ? "true" : "false");
+        break;
+      case Kind::kObject:
+      case Kind::kArray: {
+        const char open = kind_ == Kind::kObject ? '{' : '[';
+        const char close = kind_ == Kind::kObject ? '}' : ']';
+        if (members_.empty()) {
+          os << open << close;
+          break;
+        }
+        os << open << '\n';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << childPad;
+          if (kind_ == Kind::kObject) {
+            escape(os, members_[i].first);
+            os << ": ";
+          }
+          members_[i].second.write(os, depth + 1);
+          if (i + 1 < members_.size()) os << ',';
+          os << '\n';
+        }
+        os << pad << close;
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  double num_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace tfjs::bench

@@ -2,28 +2,50 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "core/engine.h"
+#include "core/thread_pool.h"
 #include "core/util.h"
 
 namespace tfjs::backends::native {
 
 namespace {
+using core::ThreadPool;
+
 // Cache-blocking parameters: the k×n panel of B (kKC*kNC floats) fits in L2;
-// the m×k panel of A (kMC*kKC) in L1-adjacent space.
+// the m×k panel of A (kMC*kKC) in L1-adjacent space. They double as the
+// parallel grain: one GEMM chunk is a kMC-row (or kNC-column) panel, so each
+// worker keeps the original blocked loop structure.
 constexpr int kMC = 64;
 constexpr int kKC = 256;
 constexpr int kNC = 512;
-}  // namespace
 
-void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
-                         int k, int n) {
-  for (int j0 = 0; j0 < n; j0 += kNC) {
-    const int jMax = std::min(j0 + kNC, n);
+/// Elementwise parallel grain: 32K floats (128 KB) per chunk amortizes
+/// dispatch while still splitting the 16M-element benchmark ~500 ways.
+constexpr std::size_t kElemGrain = std::size_t{1} << 15;
+
+/// Fixed grain for row-sliced spatial kernels (conv/pool/depthwise/reduce):
+/// enough rows that one chunk touches ~`target` scalars. Depends only on
+/// the problem shape, never the thread count — chunk boundaries (and thus
+/// results) are identical at any parallelism.
+std::size_t rowsPerChunk(std::size_t scalarsPerRow, std::size_t target) {
+  return std::max<std::size_t>(1, target / std::max<std::size_t>(1,
+                                                                 scalarsPerRow));
+}
+
+/// The blocked GEMM core restricted to rows [rowBegin, rowEnd) and columns
+/// [colBegin, colEnd) of C. For every C element the accumulation over p runs
+/// ascending regardless of how the row/column space is partitioned, so any
+/// tiling of disjoint tiles is bit-identical to the full serial sweep.
+void gemmTile(const float* A, const float* B, float* C, int k, int n,
+              int rowBegin, int rowEnd, int colBegin, int colEnd) {
+  for (int j0 = colBegin; j0 < colEnd; j0 += kNC) {
+    const int jMax = std::min(j0 + kNC, colEnd);
     for (int p0 = 0; p0 < k; p0 += kKC) {
       const int pMax = std::min(p0 + kKC, k);
-      for (int i0 = 0; i0 < m; i0 += kMC) {
-        const int iMax = std::min(i0 + kMC, m);
+      for (int i0 = rowBegin; i0 < rowEnd; i0 += kMC) {
+        const int iMax = std::min(i0 + kMC, rowEnd);
         for (int i = i0; i < iMax; ++i) {
           float* __restrict Crow = C + static_cast<std::size_t>(i) * n;
           for (int p = p0; p < pMax; ++p) {
@@ -40,6 +62,31 @@ void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
     }
   }
 }
+}  // namespace
+
+void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
+                         int k, int n) {
+  // Split along whichever axis yields more panels: row panels of kMC for
+  // tall/square C, column panels of kNC when C is short and wide (e.g. the
+  // [spatial, outC] GEMM of a 1x1 conv on a small image).
+  const std::size_t rowPanels = (static_cast<std::size_t>(m) + kMC - 1) / kMC;
+  const std::size_t colPanels = (static_cast<std::size_t>(n) + kNC - 1) / kNC;
+  if (rowPanels >= colPanels) {
+    ThreadPool::get().parallelFor(
+        static_cast<std::size_t>(m), kMC,
+        [&](std::size_t begin, std::size_t end) {
+          gemmTile(A, B, C, k, n, static_cast<int>(begin),
+                   static_cast<int>(end), 0, n);
+        });
+  } else {
+    ThreadPool::get().parallelFor(
+        static_cast<std::size_t>(n), kNC,
+        [&](std::size_t begin, std::size_t end) {
+          gemmTile(A, B, C, k, n, 0, m, static_cast<int>(begin),
+                   static_cast<int>(end));
+        });
+  }
+}
 
 DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
                              const TensorSpec& b, const Shape& outShape) {
@@ -52,27 +99,31 @@ DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
     const float* __restrict x = av.data();
     const float* __restrict y = bv.data();
     float* __restrict o = out.data();
-    const std::size_t nElems = out.size();
-    // Specialize the four arithmetic ops so the loops autovectorize; the
-    // rest fall through to the shared scalar kernel.
-    switch (op) {
-      case BinaryOp::kAdd:
-        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] + y[i];
-        break;
-      case BinaryOp::kSub:
-        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] - y[i];
-        break;
-      case BinaryOp::kMul:
-        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] * y[i];
-        break;
-      case BinaryOp::kDiv:
-        for (std::size_t i = 0; i < nElems; ++i) o[i] = x[i] / y[i];
-        break;
-      default:
-        for (std::size_t i = 0; i < nElems; ++i) {
-          o[i] = applyBinary(op, x[i], y[i]);
-        }
-    }
+    // Chunks write disjoint output ranges and each element depends only on
+    // its own inputs — any partition is trivially bit-identical.
+    ThreadPool::get().parallelFor(
+        out.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+          // Specialize the four arithmetic ops so the loops autovectorize;
+          // the rest fall through to the shared scalar kernel.
+          switch (op) {
+            case BinaryOp::kAdd:
+              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] + y[i];
+              break;
+            case BinaryOp::kSub:
+              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] - y[i];
+              break;
+            case BinaryOp::kMul:
+              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] * y[i];
+              break;
+            case BinaryOp::kDiv:
+              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] / y[i];
+              break;
+            default:
+              for (std::size_t i = begin; i < end; ++i) {
+                o[i] = applyBinary(op, x[i], y[i]);
+              }
+          }
+        });
     return store(std::move(out));
   }
   // Broadcast path: delegate to the reference implementation's logic by
@@ -87,33 +138,37 @@ DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
   std::vector<float> out(xv.size());
   const float* __restrict in = xv.data();
   float* __restrict o = out.data();
-  const std::size_t n = out.size();
-  switch (op) {
-    case UnaryOp::kRelu:
-      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] > 0 ? in[i] : 0;
-      break;
-    case UnaryOp::kRelu6:
-      for (std::size_t i = 0; i < n; ++i) {
-        o[i] = std::min(std::max(in[i], 0.f), 6.f);
-      }
-      break;
-    case UnaryOp::kNeg:
-      for (std::size_t i = 0; i < n; ++i) o[i] = -in[i];
-      break;
-    case UnaryOp::kSquare:
-      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] * in[i];
-      break;
-    case UnaryOp::kAddScalar:
-      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] + alpha;
-      break;
-    case UnaryOp::kMulScalar:
-      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] * alpha;
-      break;
-    default:
-      for (std::size_t i = 0; i < n; ++i) {
-        o[i] = applyUnary(op, in[i], alpha, beta);
-      }
-  }
+  ThreadPool::get().parallelFor(
+      out.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+        switch (op) {
+          case UnaryOp::kRelu:
+            for (std::size_t i = begin; i < end; ++i) {
+              o[i] = in[i] > 0 ? in[i] : 0;
+            }
+            break;
+          case UnaryOp::kRelu6:
+            for (std::size_t i = begin; i < end; ++i) {
+              o[i] = std::min(std::max(in[i], 0.f), 6.f);
+            }
+            break;
+          case UnaryOp::kNeg:
+            for (std::size_t i = begin; i < end; ++i) o[i] = -in[i];
+            break;
+          case UnaryOp::kSquare:
+            for (std::size_t i = begin; i < end; ++i) o[i] = in[i] * in[i];
+            break;
+          case UnaryOp::kAddScalar:
+            for (std::size_t i = begin; i < end; ++i) o[i] = in[i] + alpha;
+            break;
+          case UnaryOp::kMulScalar:
+            for (std::size_t i = begin; i < end; ++i) o[i] = in[i] * alpha;
+            break;
+          default:
+            for (std::size_t i = begin; i < end; ++i) {
+              o[i] = applyUnary(op, in[i], alpha, beta);
+            }
+        }
+      });
   return store(std::move(out));
 }
 
@@ -131,6 +186,7 @@ DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
 
   // Materialize transposed operands once so the GEMM core runs on
   // contiguous row-major panels (what a native BLAS would do when packing).
+  // The batch loop stays serial; each per-batch GEMM fans out on the pool.
   std::vector<float> aT, bT;
   for (int bi = 0; bi < batch; ++bi) {
     const float* A =
@@ -178,45 +234,55 @@ DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
   if (ci.filterH == 1 && ci.filterW == 1 && ci.strideH == 1 &&
       ci.strideW == 1 && ci.padTop == 0 && ci.padLeft == 0) {
     // 1x1 convolution IS a GEMM over [spatial, inC] x [inC, outC] — the
-    // dominant op in MobileNet.
-    for (int b = 0; b < ci.batch; ++b) {
-      gemm(xv.data() + static_cast<std::size_t>(b) * outSpatial * ci.inC,
-           fv.data(),
-           out.data() + static_cast<std::size_t>(b) * outSpatial * ci.outC,
-           static_cast<int>(outSpatial), ci.inC, ci.outC);
-    }
+    // dominant op in MobileNet. Input and output are contiguous across the
+    // batch, so all batches fold into one [batch*spatial, inC] GEMM whose
+    // row panels parallelise across the pool.
+    gemm(xv.data(), fv.data(), out.data(),
+         static_cast<int>(static_cast<std::size_t>(ci.batch) * outSpatial),
+         ci.inC, ci.outC);
     return store(std::move(out));
   }
 
-  // General path: im2col + GEMM per batch element.
-  std::vector<float> col(outSpatial * patch);
-  for (int b = 0; b < ci.batch; ++b) {
-    std::fill(col.begin(), col.end(), 0.f);
-    for (int oy = 0; oy < ci.outH; ++oy) {
-      for (int ox = 0; ox < ci.outW; ++ox) {
-        float* dst =
-            col.data() + (static_cast<std::size_t>(oy) * ci.outW + ox) * patch;
-        for (int fy = 0; fy < ci.filterH; ++fy) {
-          const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
-          if (iy < 0 || iy >= ci.inH) continue;
-          for (int fx = 0; fx < ci.filterW; ++fx) {
-            const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
-            if (ix < 0 || ix >= ci.inW) continue;
-            std::memcpy(
-                dst + (static_cast<std::size_t>(fy) * ci.filterW + fx) * ci.inC,
-                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
-                                 ci.inW +
-                             ix) *
-                                ci.inC,
-                static_cast<std::size_t>(ci.inC) * sizeof(float));
+  // General path: im2col + GEMM, sliced over the batch×outH row space. Each
+  // chunk packs its own rows into a private col buffer and runs the GEMM
+  // core on them (nested parallelFor runs inline on the worker). Per-element
+  // accumulation order matches the serial im2col+GEMM exactly.
+  const std::size_t totalRows = static_cast<std::size_t>(ci.batch) * ci.outH;
+  const std::size_t grain =
+      rowsPerChunk(static_cast<std::size_t>(ci.outW) * patch, 1 << 16);
+  ThreadPool::get().parallelFor(
+      totalRows, grain, [&](std::size_t rBegin, std::size_t rEnd) {
+        std::vector<float> col((rEnd - rBegin) * ci.outW * patch, 0.f);
+        for (std::size_t r = rBegin; r < rEnd; ++r) {
+          const int b = static_cast<int>(r) / ci.outH;
+          const int oy = static_cast<int>(r) % ci.outH;
+          float* colRow = col.data() + (r - rBegin) * ci.outW * patch;
+          for (int ox = 0; ox < ci.outW; ++ox) {
+            float* dst = colRow + static_cast<std::size_t>(ox) * patch;
+            for (int fy = 0; fy < ci.filterH; ++fy) {
+              const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+              if (iy < 0 || iy >= ci.inH) continue;
+              for (int fx = 0; fx < ci.filterW; ++fx) {
+                const int ix =
+                    ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+                if (ix < 0 || ix >= ci.inW) continue;
+                std::memcpy(
+                    dst + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                              ci.inC,
+                    xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                     ci.inW +
+                                 ix) *
+                                    ci.inC,
+                    static_cast<std::size_t>(ci.inC) * sizeof(float));
+              }
+            }
           }
         }
-      }
-    }
-    gemm(col.data(), fv.data(),
-         out.data() + static_cast<std::size_t>(b) * outSpatial * ci.outC,
-         static_cast<int>(outSpatial), static_cast<int>(patch), ci.outC);
-  }
+        gemm(col.data(), fv.data(),
+             out.data() + rBegin * ci.outW * ci.outC,
+             static_cast<int>((rEnd - rBegin) * ci.outW),
+             static_cast<int>(patch), ci.outC);
+      });
   return store(std::move(out));
 }
 
@@ -230,45 +296,105 @@ DataId NativeBackend::depthwiseConv2d(const TensorSpec& x,
   std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
                              ci.outW * ci.outC,
                          0.f);
-  // Channel-inner loops are contiguous in NHWC, so they autovectorize.
-  for (int b = 0; b < ci.batch; ++b) {
-    for (int oy = 0; oy < ci.outH; ++oy) {
-      for (int ox = 0; ox < ci.outW; ++ox) {
-        float* __restrict oRow =
-            out.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
-                              ci.outW +
-                          ox) *
-                             ci.outC;
-        for (int fy = 0; fy < ci.filterH; ++fy) {
-          const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
-          if (iy < 0 || iy >= ci.inH) continue;
-          for (int fx = 0; fx < ci.filterW; ++fx) {
-            const int ix = ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
-            if (ix < 0 || ix >= ci.inW) continue;
-            const float* __restrict xRow =
-                xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
-                                 ci.inW +
-                             ix) *
-                                ci.inC;
-            const float* __restrict fRow =
-                fv.data() + (static_cast<std::size_t>(fy) * ci.filterW + fx) *
-                                ci.inC * mult;
-            if (mult == 1) {
-              for (int ic = 0; ic < ci.inC; ++ic) {
-                oRow[ic] += xRow[ic] * fRow[ic];
-              }
-            } else {
-              for (int ic = 0; ic < ci.inC; ++ic) {
-                for (int q = 0; q < mult; ++q) {
-                  oRow[ic * mult + q] += xRow[ic] * fRow[ic * mult + q];
+  // Sliced over batch×outH output rows; channel-inner loops are contiguous
+  // in NHWC, so they autovectorize within each chunk.
+  const std::size_t totalRows = static_cast<std::size_t>(ci.batch) * ci.outH;
+  const std::size_t grain = rowsPerChunk(
+      static_cast<std::size_t>(ci.outW) * ci.filterH * ci.filterW * ci.inC *
+          mult,
+      1 << 14);
+  ThreadPool::get().parallelFor(
+      totalRows, grain, [&](std::size_t rBegin, std::size_t rEnd) {
+        for (std::size_t r = rBegin; r < rEnd; ++r) {
+          const int b = static_cast<int>(r) / ci.outH;
+          const int oy = static_cast<int>(r) % ci.outH;
+          for (int ox = 0; ox < ci.outW; ++ox) {
+            float* __restrict oRow =
+                out.data() + (r * ci.outW + ox) * ci.outC;
+            for (int fy = 0; fy < ci.filterH; ++fy) {
+              const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+              if (iy < 0 || iy >= ci.inH) continue;
+              for (int fx = 0; fx < ci.filterW; ++fx) {
+                const int ix =
+                    ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+                if (ix < 0 || ix >= ci.inW) continue;
+                const float* __restrict xRow =
+                    xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                     ci.inW +
+                                 ix) *
+                                    ci.inC;
+                const float* __restrict fRow =
+                    fv.data() +
+                    (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                        ci.inC * mult;
+                if (mult == 1) {
+                  for (int ic = 0; ic < ci.inC; ++ic) {
+                    oRow[ic] += xRow[ic] * fRow[ic];
+                  }
+                } else {
+                  for (int ic = 0; ic < ci.inC; ++ic) {
+                    for (int q = 0; q < mult; ++q) {
+                      oRow[ic * mult + q] += xRow[ic] * fRow[ic * mult + q];
+                    }
+                  }
                 }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
+  return store(std::move(out));
+}
+
+DataId NativeBackend::pool2d(PoolMode mode, const TensorSpec& x,
+                             const Pool2DInfo& pi) {
+  KernelTimer t(kernelMs_);
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const auto& xv = buf(x.id);
+  std::vector<float> out(static_cast<std::size_t>(pi.batch) * pi.outH *
+                         pi.outW * pi.channels);
+  // Per-window logic matches RefBackend::pool2d element-for-element; only
+  // the batch×outH outer space is sliced across the pool.
+  const std::size_t totalRows = static_cast<std::size_t>(pi.batch) * pi.outH;
+  const std::size_t grain = rowsPerChunk(
+      static_cast<std::size_t>(pi.outW) * pi.channels * pi.filterH *
+          pi.filterW,
+      1 << 14);
+  ThreadPool::get().parallelFor(
+      totalRows, grain, [&](std::size_t rBegin, std::size_t rEnd) {
+        for (std::size_t r = rBegin; r < rEnd; ++r) {
+          const int b = static_cast<int>(r) / pi.outH;
+          const int oy = static_cast<int>(r) % pi.outH;
+          for (int ox = 0; ox < pi.outW; ++ox) {
+            for (int c = 0; c < pi.channels; ++c) {
+              float acc = mode == PoolMode::kMax ? -kInf : 0.f;
+              int count = 0;
+              for (int fy = 0; fy < pi.filterH; ++fy) {
+                const int iy = oy * pi.strideH - pi.padTop + fy;
+                if (iy < 0 || iy >= pi.inH) continue;
+                for (int fx = 0; fx < pi.filterW; ++fx) {
+                  const int ix = ox * pi.strideW - pi.padLeft + fx;
+                  if (ix < 0 || ix >= pi.inW) continue;
+                  const float v =
+                      xv[((static_cast<std::size_t>(b) * pi.inH + iy) *
+                              pi.inW +
+                          ix) *
+                             pi.channels +
+                         c];
+                  if (mode == PoolMode::kMax) {
+                    acc = std::max(acc, v);
+                  } else {
+                    acc += v;
+                  }
+                  ++count;
+                }
+              }
+              out[(r * pi.outW + ox) * pi.channels + c] =
+                  mode == PoolMode::kMax ? acc : acc / std::max(count, 1);
+            }
+          }
+        }
+      });
   return store(std::move(out));
 }
 
@@ -280,21 +406,28 @@ DataId NativeBackend::reduce(ReduceOp op, const TensorSpec& x,
   }
   const auto& xv = buf(x.id);
   std::vector<float> out(outer);
-  for (std::size_t o = 0; o < outer; ++o) {
-    const float* __restrict row = xv.data() + o * inner;
-    // Four parallel accumulators break the dependency chain for SIMD.
-    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-    std::size_t i = 0;
-    for (; i + 4 <= inner; i += 4) {
-      acc0 += row[i];
-      acc1 += row[i + 1];
-      acc2 += row[i + 2];
-      acc3 += row[i + 3];
-    }
-    float acc = acc0 + acc1 + acc2 + acc3;
-    for (; i < inner; ++i) acc += row[i];
-    out[o] = op == ReduceOp::kMean ? acc / static_cast<float>(inner) : acc;
-  }
+  // Parallel over output rows only; each row's accumulation stays serial
+  // (4-way split), so the parallel result is bit-identical to 1 thread.
+  ThreadPool::get().parallelFor(
+      outer, rowsPerChunk(inner, 1 << 14),
+      [&](std::size_t oBegin, std::size_t oEnd) {
+        for (std::size_t o = oBegin; o < oEnd; ++o) {
+          const float* __restrict row = xv.data() + o * inner;
+          // Four parallel accumulators break the dependency chain for SIMD.
+          float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+          std::size_t i = 0;
+          for (; i + 4 <= inner; i += 4) {
+            acc0 += row[i];
+            acc1 += row[i + 1];
+            acc2 += row[i + 2];
+            acc3 += row[i + 3];
+          }
+          float acc = acc0 + acc1 + acc2 + acc3;
+          for (; i < inner; ++i) acc += row[i];
+          out[o] =
+              op == ReduceOp::kMean ? acc / static_cast<float>(inner) : acc;
+        }
+      });
   return store(std::move(out));
 }
 

@@ -3,9 +3,15 @@
 //
 // Instead of binding to an external library we implement the same role from
 // scratch: cache-blocked, vectorization-friendly kernels compiled with
-// -O3 -march=native. conv2d lowers to im2col + GEMM, the standard native-CPU
-// strategy. Long-tail data-movement kernels inherit the reference
-// implementations.
+// -O3 -march=native, parallelised across cores with the shared intra-op
+// thread pool (core/thread_pool.h) — the same two mechanisms (SIMD + an
+// Eigen-style intra-op pool) the TF C library uses. conv2d lowers to
+// im2col + GEMM, the standard native-CPU strategy. Long-tail data-movement
+// kernels inherit the reference implementations.
+//
+// Every parallel kernel uses a fixed chunk partition (independent of the
+// thread count), so results are bit-identical to the single-threaded path;
+// see DESIGN.md "Threading model".
 #pragma once
 
 #include "backends/common/ref_backend.h"
@@ -26,10 +32,13 @@ class NativeBackend : public RefBackend {
                 const Conv2DInfo& info) override;
   DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
                          const Conv2DInfo& info) override;
+  DataId pool2d(PoolMode mode, const TensorSpec& x,
+                const Pool2DInfo& info) override;
   DataId reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
                 std::size_t inner) override;
 
-  /// Single-matrix GEMM C[m,n] += A[m,k] * B[k,n]; exposed for tests.
+  /// Single-matrix GEMM C[m,n] += A[m,k] * B[k,n], parallelised over row or
+  /// column panels on the shared pool; exposed for tests.
   static void gemm(const float* A, const float* B, float* C, int m, int k,
                    int n);
 };

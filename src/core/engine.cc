@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/thread_pool.h"
+
 namespace tfjs {
 
 Engine& Engine::get() {
@@ -254,7 +256,8 @@ void Engine::onKernelDispatched(const std::string& opName,
                                 const Tensor& output) {
   if (profiling_ && activeProfile_ != nullptr) {
     activeProfile_->kernels.push_back(ProfileInfo::KernelRecord{
-        opName, output.shape(), output.size() * dtypeBytes(output.dtype())});
+        opName, output.shape(), output.size() * dtypeBytes(output.dtype()),
+        core::ThreadPool::get().takeLastParallelism()});
   }
   if (debug_) {
     // Debug mode (section 3.8): download every kernel output and throw at
@@ -314,6 +317,10 @@ ProfileInfo Engine::profile(const std::function<void()>& f) {
   info.peakBytes = peakBytes_;
   return info;
 }
+
+void Engine::setNumThreads(int n) { core::ThreadPool::get().setNumThreads(n); }
+
+int Engine::numThreads() const { return core::ThreadPool::get().numThreads(); }
 
 // -------------------------------------------------------------- variables
 

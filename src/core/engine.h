@@ -38,6 +38,10 @@ struct ProfileInfo {
     std::string name;
     Shape outputShape;
     std::size_t outputBytes = 0;
+    /// Peak intra-op parallelism the kernel achieved on the shared thread
+    /// pool (1 for serial kernels and for device backends, which do not use
+    /// the CPU pool).
+    int threads = 1;
   };
   std::vector<KernelRecord> kernels;
 };
@@ -129,6 +133,14 @@ class Engine {
   TimingInfo time(const std::function<void()>& f);
   ProfileInfo profile(const std::function<void()>& f);
 
+  // ---- intra-op threading (native backend) -----------------------------
+  /// Target CPU parallelism for backend kernels (the shared thread pool).
+  /// Defaults to TFJS_NUM_THREADS or hardware_concurrency; 1 gives the
+  /// deterministic fully-serial path. Results are bit-identical at any
+  /// setting (fixed chunk partitioning).
+  void setNumThreads(int n);
+  int numThreads() const;
+
   // ---- variables -------------------------------------------------------
   void registerVariable(const std::string& name, const Variable& v);
   std::vector<Variable> trainableVariables() const;
@@ -188,5 +200,7 @@ inline void setBackend(const std::string& name) {
 inline const std::string& getBackendName() {
   return Engine::get().backendName();
 }
+inline void setNumThreads(int n) { Engine::get().setNumThreads(n); }
+inline int getNumThreads() { return Engine::get().numThreads(); }
 
 }  // namespace tfjs

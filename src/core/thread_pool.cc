@@ -1,0 +1,215 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tfjs::core {
+
+namespace {
+/// True while the current thread is executing a chunk body; nested
+/// parallelFor calls detect this and run inline.
+thread_local bool tInParallelRegion = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One parallelFor invocation. Chunk *partitioning* is fixed by (n, grain);
+  /// chunk → thread assignment is first-come (the atomic counter), which is
+  /// scheduling-dependent but irrelevant to results: chunks are disjoint and
+  /// each runs serially on one thread.
+  struct Job {
+    std::size_t grain = 1;
+    std::size_t n = 0;
+    std::size_t numChunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<int> participants{0};
+    std::atomic<int> activeWorkers{0};  // workers (not caller) inside runChunks
+    std::atomic<bool> cancelled{false};
+    std::mutex excMu;
+    std::exception_ptr firstExc;
+  };
+
+  std::mutex mu;                 // guards workers/targetThreads/job pointer
+  std::condition_variable wake;  // workers wait here for a job
+  std::condition_variable done;  // caller waits here for workers to drain
+  std::vector<std::thread> workers;
+  Job* job = nullptr;            // currently published job, null when idle
+  std::uint64_t jobSeq = 0;      // bumped per job so workers run it once
+  int targetThreads = 1;
+  bool shuttingDown = false;
+  std::atomic<int> maxParallelismSinceTake{1};
+
+  void noteParticipant(Job& j) {
+    const int p = j.participants.fetch_add(1) + 1;
+    int prev = maxParallelismSinceTake.load(std::memory_order_relaxed);
+    while (prev < p &&
+           !maxParallelismSinceTake.compare_exchange_weak(prev, p)) {
+    }
+  }
+
+  void runChunks(Job& j) {
+    bool counted = false;
+    for (;;) {
+      if (j.cancelled.load(std::memory_order_relaxed)) break;
+      const std::size_t c =
+          j.nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= j.numChunks) break;
+      if (!counted) {
+        counted = true;
+        noteParticipant(j);
+      }
+      const std::size_t begin = c * j.grain;
+      const std::size_t end = std::min(begin + j.grain, j.n);
+      tInParallelRegion = true;
+      try {
+        (*j.fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(j.excMu);
+        if (!j.firstExc) j.firstExc = std::current_exception();
+        j.cancelled.store(true, std::memory_order_relaxed);
+      }
+      tInParallelRegion = false;
+    }
+  }
+
+  void workerLoop() {
+    std::uint64_t seenSeq = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      wake.wait(lk, [&] {
+        return shuttingDown || (job != nullptr && jobSeq != seenSeq);
+      });
+      if (shuttingDown) return;
+      Job* j = job;
+      seenSeq = jobSeq;
+      // Register under the lock: once the caller unpublishes the job (also
+      // under the lock), the set of registered workers is final, so waiting
+      // for activeWorkers == 0 cannot race with late joiners.
+      j->activeWorkers.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      runChunks(*j);
+      lk.lock();
+      j->activeWorkers.fetch_sub(1, std::memory_order_relaxed);
+      done.notify_all();
+    }
+  }
+
+  void ensureWorkersLocked() {
+    // targetThreads counts the caller, so spawn targetThreads - 1 workers.
+    while (static_cast<int>(workers.size()) < targetThreads - 1) {
+      workers.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void joinWorkersLocked(std::unique_lock<std::mutex>& lk) {
+    if (workers.empty()) return;
+    shuttingDown = true;
+    wake.notify_all();
+    std::vector<std::thread> doomed;
+    doomed.swap(workers);
+    lk.unlock();
+    for (auto& w : doomed) w.join();
+    lk.lock();
+    shuttingDown = false;
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  impl_->targetThreads =
+      threadsFromEnv(std::getenv("TFJS_NUM_THREADS"), fallback);
+}
+
+ThreadPool& ThreadPool::get() {
+  static ThreadPool* pool = new ThreadPool();  // leaked
+  return *pool;
+}
+
+int ThreadPool::threadsFromEnv(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < 1) return fallback;
+  return static_cast<int>(std::min<long>(v, 1024));
+}
+
+int ThreadPool::numThreads() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->targetThreads;
+}
+
+void ThreadPool::setNumThreads(int n) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->joinWorkersLocked(lk);
+  impl_->targetThreads = std::max(n, 1);
+}
+
+void ThreadPool::parallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t numChunks = (n + grain - 1) / grain;
+
+  // Serial paths: single-threaded config, a single chunk, or a nested call
+  // from inside a worker chunk (runs inline; the partition is the same fixed
+  // one either way, so nesting does not change results).
+  int threads;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    threads = impl_->targetThreads;
+  }
+  if (threads <= 1 || numChunks == 1 || tInParallelRegion) {
+    const bool wasNested = tInParallelRegion;
+    for (std::size_t c = 0; c < numChunks; ++c) {
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      tInParallelRegion = true;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        tInParallelRegion = wasNested;
+        throw;
+      }
+      tInParallelRegion = wasNested;
+    }
+    return;
+  }
+
+  Impl::Job j;
+  j.grain = grain;
+  j.n = n;
+  j.numChunks = numChunks;
+  j.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->ensureWorkersLocked();
+    impl_->job = &j;
+    ++impl_->jobSeq;
+  }
+  impl_->wake.notify_all();
+
+  // The caller works too, then waits for worker stragglers.
+  impl_->runChunks(j);
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->job = nullptr;  // no new workers may register past this point
+    impl_->done.wait(lk, [&] {
+      return j.activeWorkers.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  if (j.firstExc) std::rethrow_exception(j.firstExc);
+}
+
+int ThreadPool::takeLastParallelism() {
+  return impl_->maxParallelismSinceTake.exchange(1);
+}
+
+}  // namespace tfjs::core

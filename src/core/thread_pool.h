@@ -1,0 +1,77 @@
+// ThreadPool: the intra-op worker pool behind the native backend's parallel
+// kernels (the analogue of TensorFlow's intra-op Eigen pool, the first-order
+// CPU optimisation the paper's Node.js backend inherits from the TF C
+// library).
+//
+// Design constraints, in priority order:
+//  * Determinism. parallelFor() splits [0, n) into fixed chunks of `grain`
+//    indices; the partition depends only on (n, grain) — never on the thread
+//    count or on scheduling — and every chunk is executed serially by exactly
+//    one thread. A kernel that writes disjoint outputs per chunk (all of ours
+//    do) therefore produces bit-identical results at any thread count,
+//    including the single-threaded fallback.
+//  * Laziness. Workers are spawned on the first parallelFor that can use
+//    them; a process that never touches the native backend never starts a
+//    thread.
+//  * Debuggability. TFJS_NUM_THREADS=1 (or setNumThreads(1)) gives a pure
+//    serial path: every chunk runs inline on the calling thread, no workers
+//    are ever created, and stack traces stay linear.
+//
+// Nested parallelFor calls (a parallel kernel invoking another parallel
+// helper, e.g. conv2d chunks calling the GEMM core) execute inline on the
+// worker — the pool never blocks a worker on other workers, so it cannot
+// deadlock.
+//
+// Exceptions thrown by chunk bodies are captured; the first one is rethrown
+// on the calling thread after all in-flight chunks drain, and remaining
+// unstarted chunks are abandoned.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tfjs::core {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (leaked singleton, like the Engine, so worker
+  /// threads never outlive static tensors they might touch).
+  static ThreadPool& get();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Target parallelism (callers + workers), >= 1. Initialised from
+  /// TFJS_NUM_THREADS, falling back to hardware_concurrency().
+  int numThreads() const;
+
+  /// Reconfigures the pool; joins existing workers, clamps n to >= 1.
+  /// Workers for the new size are re-spawned lazily.
+  void setNumThreads(int n);
+
+  /// Runs fn(begin, end) over every chunk of the fixed partition of [0, n)
+  /// into ceil(n / grain) chunks of `grain` indices (last chunk ragged).
+  /// Blocks until all chunks complete. The calling thread participates, so
+  /// parallelism is min(numThreads, numChunks). grain == 0 is treated as 1.
+  void parallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Highest parallelism (distinct threads that executed at least one chunk)
+  /// observed by any parallelFor since the last takeLastParallelism() call;
+  /// 1 if none ran. Feeds ProfileInfo::KernelRecord::threads.
+  int takeLastParallelism();
+
+  /// Parses a TFJS_NUM_THREADS-style value: returns the parsed positive
+  /// count, or `fallback` when value is null, empty, non-numeric, or < 1.
+  /// Exposed for tests.
+  static int threadsFromEnv(const char* value, int fallback);
+
+ private:
+  ThreadPool();
+  ~ThreadPool() = delete;  // leaked singleton
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace tfjs::core

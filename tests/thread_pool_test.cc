@@ -1,0 +1,176 @@
+// ThreadPool unit tests: fixed-partition coverage, exception propagation,
+// nested-call inlining, the single-threaded fallback, env parsing, and the
+// profiler's parallelism hook.
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "ops/ops.h"
+
+using tfjs::core::ThreadPool;
+
+namespace {
+
+/// Restores the pool's thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ThreadPool::get().numThreads()) {}
+  ~ThreadCountGuard() { ThreadPool::get().setNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  ThreadPool::get().setNumThreads(4);
+  // Odd n that does not divide the grain: last chunk is ragged.
+  const std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::get().parallelFor(n, 64, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(e, n);
+    ASSERT_LT(b, e);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesAreFixedByGrain) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 3}) {
+    ThreadPool::get().setNumThreads(threads);
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    std::mutex mu;
+    ThreadPool::get().parallelFor(103, 10, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks.insert({b, e});
+    });
+    // Partition depends only on (n, grain), never on the thread count.
+    std::set<std::pair<std::size_t, std::size_t>> expected;
+    for (std::size_t b = 0; b < 103; b += 10) {
+      expected.insert({b, std::min<std::size_t>(b + 10, 103)});
+    }
+    EXPECT_EQ(chunks, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    ThreadPool::get().setNumThreads(threads);
+    EXPECT_THROW(
+        ThreadPool::get().parallelFor(100, 10,
+                                      [&](std::size_t b, std::size_t) {
+                                        if (b == 50) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                      }),
+        std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> ran{0};
+    ThreadPool::get().parallelFor(
+        8, 1, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  ThreadPool::get().setNumThreads(4);
+  std::atomic<int> innerTotal{0};
+  std::atomic<int> inlineViolations{0};
+  ThreadPool::get().parallelFor(8, 1, [&](std::size_t, std::size_t) {
+    const auto outerThread = std::this_thread::get_id();
+    ThreadPool::get().parallelFor(16, 4, [&](std::size_t b, std::size_t e) {
+      innerTotal.fetch_add(static_cast<int>(e - b));
+      if (std::this_thread::get_id() != outerThread) {
+        inlineViolations.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(innerTotal.load(), 8 * 16);
+  EXPECT_EQ(inlineViolations.load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadedModeRunsOnCaller) {
+  ThreadCountGuard guard;
+  ThreadPool::get().setNumThreads(1);
+  ThreadPool::get().takeLastParallelism();  // clear earlier tests' watermark
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> offThread{0};
+  ThreadPool::get().parallelFor(1000, 7, [&](std::size_t, std::size_t) {
+    if (std::this_thread::get_id() != caller) offThread.fetch_add(1);
+  });
+  EXPECT_EQ(offThread.load(), 0);
+  EXPECT_EQ(ThreadPool::get().takeLastParallelism(), 1);
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsing) {
+  EXPECT_EQ(ThreadPool::threadsFromEnv(nullptr, 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("", 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("4", 8), 4);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("1", 8), 1);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("0", 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("-2", 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("abc", 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("4x", 8), 8);
+  EXPECT_EQ(ThreadPool::threadsFromEnv("99999", 8), 1024);
+}
+
+TEST(ThreadPool, ParallelismIsBoundedAndTaken) {
+  ThreadCountGuard guard;
+  ThreadPool::get().setNumThreads(4);
+  ThreadPool::get().takeLastParallelism();  // reset
+  ThreadPool::get().parallelFor(64, 1, [](std::size_t, std::size_t) {});
+  const int p = ThreadPool::get().takeLastParallelism();
+  EXPECT_GE(p, 1);
+  EXPECT_LE(p, 4);
+  // take() resets the watermark.
+  EXPECT_EQ(ThreadPool::get().takeLastParallelism(), 1);
+}
+
+TEST(ThreadPool, EngineConfigForwardsToPool) {
+  ThreadCountGuard guard;
+  tfjs::setNumThreads(3);
+  EXPECT_EQ(tfjs::getNumThreads(), 3);
+  EXPECT_EQ(ThreadPool::get().numThreads(), 3);
+  tfjs::setNumThreads(0);  // clamps to 1
+  EXPECT_EQ(tfjs::getNumThreads(), 1);
+}
+
+TEST(ThreadPool, ProfileReportsKernelThreadCounts) {
+  ThreadCountGuard guard;
+  tfjs::setNumThreads(4);
+  tfjs::setBackend("native");
+  namespace o = tfjs::ops;
+  tfjs::Tensor a = o::randomNormal(tfjs::Shape{512, 512}, 0, 1, 1);
+  tfjs::Tensor b = o::randomNormal(tfjs::Shape{512, 512}, 0, 1, 2);
+  tfjs::ProfileInfo info = tfjs::profile([&] {
+    tfjs::tidyVoid([&] {
+      tfjs::Tensor c = o::matMul(a, b);
+      c.dataSync();
+    });
+  });
+  ASSERT_FALSE(info.kernels.empty());
+  bool sawMatMul = false;
+  for (const auto& k : info.kernels) {
+    EXPECT_GE(k.threads, 1);
+    EXPECT_LE(k.threads, 4);
+    if (k.name == "matMul") sawMatMul = true;
+  }
+  EXPECT_TRUE(sawMatMul);
+  a.dispose();
+  b.dispose();
+}
+
+}  // namespace

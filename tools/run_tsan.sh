@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds the threading-sensitive tests under ThreadSanitizer and runs them.
+# Uses a separate build tree (build-tsan/) so the regular build is untouched.
+#
+# Usage: tools/run_tsan.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
+cmake --build build-tsan -j --target thread_pool_test native_parity_test
+cd build-tsan
+ctest --output-on-failure -R 'thread_pool_test|native_parity_test'

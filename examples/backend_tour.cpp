@@ -30,8 +30,7 @@ int main() {
       c.dataSync();
       c.dispose();
     });
-    std::printf("  %-7s wall %8.2f ms   kernel %8.3f ms%s\n", name, t.wallMs,
-                t.kernelMs,
+    std::printf("  %-7s %s%s\n", name, t.toString().c_str(),
                 std::string(name) == "webgl" ? "  (modeled device time)" : "");
     a.dispose();
   }
@@ -46,12 +45,7 @@ int main() {
       s.dataSync();
     });
   });
-  std::printf("  newTensors=%zu newBytes=%zu peakBytes=%zu\n",
-              prof.newTensors, prof.newBytes, prof.peakBytes);
-  for (const auto& k : prof.kernels) {
-    std::printf("  kernel %-12s out=%s (%zu bytes)\n", k.name.c_str(),
-                k.outputShape.toString().c_str(), k.outputBytes);
-  }
+  std::printf("%s", prof.toString().c_str());
   x.dispose();
 
   std::printf("\n== debug mode: NaN tracing ==\n");

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "core/util.h"
 
 namespace tfjs::backends {
@@ -99,26 +101,47 @@ float applyUnary(UnaryOp op, float x, float alpha, float beta) {
 
 // ------------------------------------------------------------------ timer
 
-RefBackend::KernelTimer::KernelTimer(double& acc)
-    : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+RefBackend::KernelTimer::KernelTimer(double& acc, const char* name)
+    : acc_(acc), name_(name), start_(std::chrono::steady_clock::now()) {
+  if (name_ != nullptr && trace::active()) traceStartUs_ = trace::nowUs();
+}
 
 RefBackend::KernelTimer::~KernelTimer() {
   acc_ += std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - start_)
               .count();
+  if (traceStartUs_ >= 0) {
+    trace::Event e;
+    e.type = trace::Event::Type::kSpan;
+    e.category = "kernel";
+    e.name = name_;
+    e.tsUs = traceStartUs_;
+    e.durUs = trace::nowUs() - traceStartUs_;
+    e.tid = trace::currentThreadId();
+    trace::Recorder::get().record(std::move(e));
+  }
 }
 
 // ---------------------------------------------------------------- storage
 
 DataId RefBackend::write(std::span<const float> values, const Shape&) {
+  static metrics::Counter& bytesUploaded =
+      metrics::Registry::get().counter("backend.bytes_uploaded");
+  bytesUploaded.inc(values.size() * sizeof(float));
   return store(std::vector<float>(values.begin(), values.end()));
 }
 
-std::vector<float> RefBackend::read(DataId id) { return buf(id); }
+std::vector<float> RefBackend::read(DataId id) {
+  static metrics::Counter& bytesDownloaded =
+      metrics::Registry::get().counter("backend.bytes_downloaded");
+  const auto& v = buf(id);
+  bytesDownloaded.inc(v.size() * sizeof(float));
+  return v;
+}
 
 std::future<std::vector<float>> RefBackend::readAsync(DataId id) {
   std::promise<std::vector<float>> p;
-  p.set_value(buf(id));
+  p.set_value(read(id));
   return p.get_future();
 }
 
@@ -131,13 +154,19 @@ void RefBackend::disposeData(DataId id) {
 
 const std::vector<float>& RefBackend::buf(DataId id) const {
   auto it = buffers_.find(id);
-  TFJS_CHECK_MSG(it != buffers_.end(), "Unknown DataId " << id);
+  if (it == buffers_.end()) {
+    // A storage lookup miss is a backend failure, not a caller error: the
+    // ops layer validated the request, the device layer cannot serve it.
+    throw BackendError("ref backend: unknown DataId " + std::to_string(id));
+  }
   return it->second;
 }
 
 std::vector<float>& RefBackend::mutableBuf(DataId id) {
   auto it = buffers_.find(id);
-  TFJS_CHECK_MSG(it != buffers_.end(), "Unknown DataId " << id);
+  if (it == buffers_.end()) {
+    throw BackendError("ref backend: unknown DataId " + std::to_string(id));
+  }
   return it->second;
 }
 

@@ -31,6 +31,9 @@ class RefBackend : public Backend {
   std::vector<float> read(DataId id) override;
   std::future<std::vector<float>> readAsync(DataId id) override;
   void disposeData(DataId id) override;
+  /// Kernels run synchronously on the calling thread, so there is never
+  /// queued work to wait for (the Backend::flush contract holds trivially).
+  void flush() override {}
   double kernelTimeMs() const override { return kernelMs_; }
   std::size_t memoryBytes() const override { return bytes_; }
 
@@ -101,14 +104,18 @@ class RefBackend : public Backend {
   std::vector<float>& mutableBuf(DataId id);
   DataId store(std::vector<float> v);
 
-  /// Accumulates kernel wall time; derived backends reuse it.
+  /// Accumulates kernel wall time; derived backends reuse it. When given a
+  /// name it also emits a "kernel" trace span (if tracing is active), so
+  /// backend-level execution shows up nested under the op-level span.
   class KernelTimer {
    public:
-    explicit KernelTimer(double& acc);
+    explicit KernelTimer(double& acc, const char* name = nullptr);
     ~KernelTimer();
 
    private:
     double& acc_;
+    const char* name_;
+    double traceStartUs_ = -1;
     std::chrono::steady_clock::time_point start_;
   };
 

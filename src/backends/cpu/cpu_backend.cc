@@ -64,7 +64,7 @@ const std::vector<Instr>& macProgram() {
 
 DataId PlainCpuBackend::binary(BinaryOp op, const TensorSpec& a,
                                const TensorSpec& b, const Shape& outShape) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.binary");
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
   const auto prog = binaryProgram(op);
@@ -87,7 +87,7 @@ DataId PlainCpuBackend::binary(BinaryOp op, const TensorSpec& a,
 
 DataId PlainCpuBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
                               float beta) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.unary");
   const auto& xv = buf(x.id);
   const auto prog = unaryProgram(op, alpha, beta);
   std::vector<float> out(xv.size());
@@ -99,7 +99,7 @@ DataId PlainCpuBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
 
 DataId PlainCpuBackend::matMul(const TensorSpec& a, const TensorSpec& b,
                                bool transposeA, bool transposeB) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.matMul");
   const int bA = a.shape[0], bB = b.shape[0];
   const int m = transposeA ? a.shape[2] : a.shape[1];
   const int k = transposeA ? a.shape[1] : a.shape[2];
@@ -132,7 +132,7 @@ DataId PlainCpuBackend::matMul(const TensorSpec& a, const TensorSpec& b,
 
 DataId PlainCpuBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
                                const Conv2DInfo& ci) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.conv2d");
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const auto& prog = macProgram();
@@ -179,7 +179,7 @@ DataId PlainCpuBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
 DataId PlainCpuBackend::depthwiseConv2d(const TensorSpec& x,
                                         const TensorSpec& filter,
                                         const Conv2DInfo& ci) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.depthwiseConv2d");
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const auto& prog = macProgram();
@@ -228,7 +228,7 @@ DataId PlainCpuBackend::depthwiseConv2d(const TensorSpec& x,
 
 DataId PlainCpuBackend::reduce(ReduceOp op, const TensorSpec& x,
                                std::size_t outer, std::size_t inner) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "cpu.reduce");
   const auto& xv = buf(x.id);
   // Sum-like reductions pay per-element interpreted adds; min/max/any/all
   // reuse the reference path (they are not hot in the paper's workloads).

@@ -90,7 +90,7 @@ void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
 
 DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
                              const TensorSpec& b, const Shape& outShape) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.binary");
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
   std::vector<float> out(outShape.size());
@@ -133,7 +133,7 @@ DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
 
 DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
                             float beta) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.unary");
   const auto& xv = buf(x.id);
   std::vector<float> out(xv.size());
   const float* __restrict in = xv.data();
@@ -174,7 +174,7 @@ DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
 
 DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
                              bool transposeA, bool transposeB) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.matMul");
   const int bA = a.shape[0], bB = b.shape[0];
   const int m = transposeA ? a.shape[2] : a.shape[1];
   const int k = transposeA ? a.shape[1] : a.shape[2];
@@ -220,7 +220,7 @@ DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
 
 DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
                              const Conv2DInfo& ci) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.conv2d");
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const std::size_t outSpatial =
@@ -289,7 +289,7 @@ DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
 DataId NativeBackend::depthwiseConv2d(const TensorSpec& x,
                                       const TensorSpec& filter,
                                       const Conv2DInfo& ci) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.depthwiseConv2d");
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const int mult = ci.channelMult;
@@ -348,7 +348,7 @@ DataId NativeBackend::depthwiseConv2d(const TensorSpec& x,
 
 DataId NativeBackend::pool2d(PoolMode mode, const TensorSpec& x,
                              const Pool2DInfo& pi) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.pool2d");
   constexpr float kInf = std::numeric_limits<float>::infinity();
   const auto& xv = buf(x.id);
   std::vector<float> out(static_cast<std::size_t>(pi.batch) * pi.outH *
@@ -400,7 +400,7 @@ DataId NativeBackend::pool2d(PoolMode mode, const TensorSpec& x,
 
 DataId NativeBackend::reduce(ReduceOp op, const TensorSpec& x,
                              std::size_t outer, std::size_t inner) {
-  KernelTimer t(kernelMs_);
+  KernelTimer t(kernelMs_, "native.reduce");
   if (op != ReduceOp::kSum && op != ReduceOp::kMean) {
     return RefBackend::reduce(op, x, outer, inner);
   }

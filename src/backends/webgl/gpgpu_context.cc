@@ -4,6 +4,8 @@
 
 #include "core/error.h"
 #include "core/half.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 
 namespace tfjs::backends::webgl {
 
@@ -22,9 +24,15 @@ GPGPUContext::~GPGPUContext() {
 }
 
 void GPGPUContext::post(std::function<void()> cmd) {
+  static metrics::Counter& commands =
+      metrics::Registry::get().counter("webgl.commands");
+  static metrics::Gauge& queueDepth =
+      metrics::Registry::get().gauge("webgl.queue_depth");
+  commands.inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(cmd));
+    queueDepth.set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_all();
 }
@@ -41,6 +49,9 @@ void GPGPUContext::workerLoop() {
       }
       cmd = std::move(queue_.front());
       queue_.pop_front();
+      metrics::Registry::get()
+          .gauge("webgl.queue_depth")
+          .set(static_cast<std::int64_t>(queue_.size()));
     }
     try {
       cmd();
@@ -60,6 +71,10 @@ std::exception_ptr GPGPUContext::takeError() {
 void GPGPUContext::enqueueUpload(std::shared_ptr<GlTexture> tex,
                                  std::vector<float> values) {
   post([this, tex = std::move(tex), values = std::move(values)]() mutable {
+    static metrics::Counter& bytesUploaded =
+        metrics::Registry::get().counter("backend.bytes_uploaded");
+    bytesUploaded.inc(values.size() * 4);
+    trace::Span span("gpu", "upload");
     textures_->pin(tex);
     auto& data = tex->data();
     TFJS_CHECK(data.size() >= values.size());
@@ -78,6 +93,7 @@ void GPGPUContext::enqueueUpload(std::shared_ptr<GlTexture> tex,
 
 void GPGPUContext::enqueueProgram(ShaderRun run) {
   post([this, run = std::move(run)]() mutable {
+    trace::Span span("gpu", run.name.empty() ? "program" : run.name);
     for (auto& in : run.inputs) textures_->pin(in.tex);
     textures_->pin(run.output);
     const std::uint64_t fetches = ShaderExecutor::execute(run);
@@ -96,6 +112,10 @@ std::future<void> GPGPUContext::insertFence() {
   auto p = std::make_shared<std::promise<void>>();
   auto f = p->get_future();
   post([this, p = std::move(p)] {
+    static metrics::Counter& fences =
+        metrics::Registry::get().counter("webgl.fences");
+    fences.inc();
+    trace::instant("gpu", "fence");
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.fences;
@@ -116,6 +136,10 @@ std::future<std::vector<float>> GPGPUContext::readbackAsync(
       p->set_exception(err);
       return;
     }
+    static metrics::Counter& bytesDownloaded =
+        metrics::Registry::get().counter("backend.bytes_downloaded");
+    bytesDownloaded.inc(n * 4);
+    trace::Span span("gpu", "readback");
     textures_->pin(tex);
     const auto& data = tex->data();
     TFJS_CHECK(data.size() >= n);

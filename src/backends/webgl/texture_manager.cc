@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
+
 namespace tfjs::backends::webgl {
 
 std::shared_ptr<GlTexture> TextureManager::acquire(PhysShape phys,
@@ -14,9 +17,13 @@ std::shared_ptr<GlTexture> TextureManager::acquire(PhysShape phys,
       tex = std::move(it->second.back());
       it->second.pop_back();
       ++stats_.texturesRecycled;
+      static metrics::Counter& recyclerHits =
+          metrics::Registry::get().counter("webgl.recycler_hits");
+      recyclerHits.inc();
       if (tex->pagedOut()) {
         tex->pageIn();
         ++stats_.pageIns;
+        metrics::Registry::get().counter("webgl.page_ins").inc();
         stats_.gpuBytes += tex->gpuBytes();
       }
     }
@@ -24,6 +31,9 @@ std::shared_ptr<GlTexture> TextureManager::acquire(PhysShape phys,
   if (!tex) {
     tex = std::make_shared<GlTexture>(phys, config);
     ++stats_.texturesCreated;
+    static metrics::Counter& recyclerMisses =
+        metrics::Registry::get().counter("webgl.recycler_misses");
+    recyclerMisses.inc();
     stats_.gpuBytes += tex->gpuBytes();
     stats_.peakGpuBytes = std::max(stats_.peakGpuBytes, stats_.gpuBytes);
   }
@@ -61,6 +71,8 @@ void TextureManager::pin(const std::shared_ptr<GlTexture>& tex) {
   if (tex->pagedOut()) {
     tex->pageIn();
     ++stats_.pageIns;
+    metrics::Registry::get().counter("webgl.page_ins").inc();
+    trace::instant("gpu", "page_in");
     stats_.gpuBytes += tex->gpuBytes();
     stats_.peakGpuBytes = std::max(stats_.peakGpuBytes, stats_.gpuBytes);
   }
@@ -94,6 +106,8 @@ void TextureManager::maybePageOutLocked() {
     if (tex->pinCount > 0) continue;  // in use by the executing command
     tex->pageOut();
     ++stats_.pageOuts;
+    metrics::Registry::get().counter("webgl.page_outs").inc();
+    trace::instant("gpu", "page_out");
     stats_.gpuBytes -= tex->gpuBytes();
   }
 }

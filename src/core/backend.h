@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <future>
+#include <ostream>
 #include <span>
 #include <string>
 #include <utility>
@@ -67,7 +69,18 @@ enum class PoolMode { kMax, kAvg };
 struct TimingInfo {
   double wallMs = 0;
   double kernelMs = 0;
+
+  std::string toString() const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "wall %.3f ms, kernel %.3f ms", wallMs,
+                  kernelMs);
+    return buf;
+  }
 };
+
+inline std::ostream& operator<<(std::ostream& os, const TimingInfo& t) {
+  return os << t.toString();
+}
 
 class Backend {
  public:
@@ -85,8 +98,13 @@ class Backend {
   /// all work enqueued before this call.
   virtual std::future<std::vector<float>> readAsync(DataId id) = 0;
   virtual void disposeData(DataId id) = 0;
-  /// Blocks until all enqueued device work has completed.
-  virtual void flush() {}
+  /// Blocks until all enqueued device work has completed. Contract: after
+  /// flush() returns, read() must observe every kernel enqueued before the
+  /// call, and kernelTimeMs() must include their cost. Pure virtual on
+  /// purpose — a queueing backend that forgets to implement it would
+  /// silently return stale data from read(); synchronous backends implement
+  /// it as an empty body (see RefBackend).
+  virtual void flush() = 0;
   /// Total accumulated kernel time (ms); device-specific semantics.
   virtual double kernelTimeMs() const = 0;
   /// Bytes currently held by the backend's storage.

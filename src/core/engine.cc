@@ -3,16 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <string_view>
 #include <unordered_set>
 
+#include "core/metrics.h"
 #include "core/thread_pool.h"
+#include "core/trace.h"
 
 namespace tfjs {
 
 Engine& Engine::get() {
   // Leaked singleton: backends (and their worker threads) live for the whole
-  // process so tensors in static storage never dangle.
-  static Engine* engine = new Engine();
+  // process so tensors in static storage never dangle. Engine creation is
+  // the natural process-init point, so TFJS_TRACE / TFJS_TRACE_CAPACITY are
+  // honoured from here.
+  static Engine* engine = [] {
+    trace::initFromEnv();
+    return new Engine();
+  }();
   return *engine;
 }
 
@@ -252,12 +261,29 @@ void Engine::tidyVoid(const std::function<void()>& f) {
 
 // --------------------------------------------- debugging and profiling
 
-void Engine::onKernelDispatched(const std::string& opName,
-                                const Tensor& output) {
-  if (profiling_ && activeProfile_ != nullptr) {
-    activeProfile_->kernels.push_back(ProfileInfo::KernelRecord{
-        opName, output.shape(), output.size() * dtypeBytes(output.dtype()),
-        core::ThreadPool::get().takeLastParallelism()});
+void Engine::notifyKernel(const std::string& opName, const Tensor& output,
+                          double startUs) {
+  static metrics::Counter& kernelsDispatched =
+      metrics::Registry::get().counter("engine.kernels_dispatched");
+  kernelsDispatched.inc();
+  // Consume the thread-pool parallelism watermark per kernel whether or not
+  // anyone is listening, so the first traced kernel never reports a stale
+  // high-water mark from earlier untraced work.
+  const int threads = core::ThreadPool::get().takeLastParallelism();
+  if (trace::active()) {
+    trace::Event e;
+    e.type = trace::Event::Type::kSpan;
+    e.category = "op";
+    e.name = opName;
+    const double now = trace::nowUs();
+    e.tsUs = startUs >= 0 ? startUs : now;
+    e.durUs = startUs >= 0 ? now - startUs : 0;
+    e.tid = trace::currentThreadId();
+    e.shape = output.shape();
+    e.bytes = output.size() * dtypeBytes(output.dtype());
+    e.threads = threads;
+    e.backend = activeBackend_;
+    trace::Recorder::get().record(std::move(e));
   }
   if (debug_) {
     // Debug mode (section 3.8): download every kernel output and throw at
@@ -280,13 +306,13 @@ TimingInfo Engine::time(const std::function<void()>& f) {
   Backend& b = backend();
   b.flush();
   const double kernelMsBefore = b.kernelTimeMs();
-  const auto start = std::chrono::steady_clock::now();
+  // The Scope both provides the wall clock and lands a "time" span in the
+  // trace stream, so timed regions are visible in TFJS_TRACE exports.
+  instrumentation::Scope scope("time");
   f();
   b.flush();
-  const auto end = std::chrono::steady_clock::now();
   TimingInfo t;
-  t.wallMs =
-      std::chrono::duration<double, std::milli>(end - start).count();
+  t.wallMs = scope.elapsedMs();
   t.kernelMs = b.kernelTimeMs() - kernelMsBefore;
   return t;
 }
@@ -297,17 +323,29 @@ ProfileInfo Engine::profile(const std::function<void()>& f) {
   const std::size_t bytesBefore = memory_.numBytes;
   peakBytes_ = memory_.numBytes;
 
-  profiling_ = true;
-  activeProfile_ = &info;
-  try {
+  {
+    // The Scope subscribes to the trace stream; kernel records are the "op"
+    // events notifyKernel emitted while f ran. RAII unsubscribes even when
+    // f throws (the former activeProfile_ pointer dance).
+    instrumentation::Scope scope("profile");
     f();
-  } catch (...) {
-    profiling_ = false;
-    activeProfile_ = nullptr;
-    throw;
+    info.wallMs = scope.elapsedMs();
+    for (const trace::Event& e : scope.events()) {
+      if (e.type != trace::Event::Type::kSpan ||
+          std::string_view(e.category) != "op") {
+        continue;
+      }
+      ProfileInfo::KernelRecord r;
+      r.name = e.name;
+      r.outputShape = e.shape;
+      r.outputBytes = static_cast<std::size_t>(e.bytes);
+      r.threads = e.threads > 0 ? e.threads : 1;
+      r.startMs = (e.tsUs - scope.beginUs()) / 1000.0;
+      r.wallMs = e.durUs / 1000.0;
+      r.backend = e.backend;
+      info.kernels.push_back(std::move(r));
+    }
   }
-  profiling_ = false;
-  activeProfile_ = nullptr;
 
   info.newTensors = memory_.numTensors > tensorsBefore
                         ? memory_.numTensors - tensorsBefore
@@ -316,6 +354,29 @@ ProfileInfo Engine::profile(const std::function<void()>& f) {
       memory_.numBytes > bytesBefore ? memory_.numBytes - bytesBefore : 0;
   info.peakBytes = peakBytes_;
   return info;
+}
+
+std::string ProfileInfo::toString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "profile: %.3f ms wall, %zu new tensors, %zu new bytes, "
+                "%zu peak bytes, %zu kernels\n",
+                wallMs, newTensors, newBytes, peakBytes, kernels.size());
+  out += buf;
+  for (const auto& k : kernels) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %-14s %8zu B  x%d  @%8.3f ms  %7.3f ms  %s\n",
+                  k.name.c_str(), k.outputShape.toString().c_str(),
+                  k.outputBytes, k.threads, k.startMs, k.wallMs,
+                  k.backend.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const ProfileInfo& p) {
+  return os << p.toString();
 }
 
 void Engine::setNumThreads(int n) { core::ThreadPool::get().setNumThreads(n); }

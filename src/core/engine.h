@@ -28,11 +28,15 @@ struct MemoryInfo {
   std::size_t numBytes = 0;
 };
 
-/// Result of profile(f) (paper section 3.8).
+/// Result of profile(f) (paper section 3.8). Since the instrumentation
+/// redesign this is a view over the trace stream: profile(f) runs f under an
+/// instrumentation::Scope and projects the "op" span events it captured.
 struct ProfileInfo {
   std::size_t newTensors = 0;
   std::size_t newBytes = 0;
   std::size_t peakBytes = 0;
+  /// Wall time of the profiled function, milliseconds.
+  double wallMs = 0;
   /// One record per kernel dispatched inside f, in order.
   struct KernelRecord {
     std::string name;
@@ -42,9 +46,20 @@ struct ProfileInfo {
     /// pool (1 for serial kernels and for device backends, which do not use
     /// the CPU pool).
     int threads = 1;
+    /// Span timing relative to the profile start, milliseconds. wallMs is
+    /// host-side dispatch time (device backends may still be executing).
+    double startMs = 0;
+    double wallMs = 0;
+    /// Backend that served the dispatch.
+    std::string backend;
   };
   std::vector<KernelRecord> kernels;
+
+  /// Multi-line human-readable report (memory summary + kernel table).
+  std::string toString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const ProfileInfo& p);
 
 /// Computes input gradients given the output gradient. Created by the ops
 /// layer as a closure over the op's saved inputs.
@@ -126,10 +141,17 @@ class Engine {
   bool debugMode() const { return debug_; }
   void setDebugMode(bool on) { debug_ = on; }
 
-  /// Called by the ops layer after each kernel dispatch; feeds the profiler
-  /// and, in debug mode, runs the NaN check.
-  void onKernelDispatched(const std::string& opName, const Tensor& output);
+  /// Called by the ops layer (via ops::internal::KernelScope) after each
+  /// kernel dispatch. Emits an "op" trace event carrying kernel metadata
+  /// when tracing is active — `startUs` is the trace timestamp taken before
+  /// the backend call (pass a negative value for an untimed notification) —
+  /// and, in debug mode, runs the NaN check. The profiler consumes these
+  /// events through an instrumentation::Scope; there is no engine-side
+  /// profile state anymore.
+  void notifyKernel(const std::string& opName, const Tensor& output,
+                    double startUs = -1);
 
+  /// Both are thin views over the trace stream (instrumentation::Scope).
   TimingInfo time(const std::function<void()>& f);
   ProfileInfo profile(const std::function<void()>& f);
 
@@ -167,9 +189,6 @@ class Engine {
 
   TapeRecorder* tape_ = nullptr;
   bool debug_ = false;
-
-  bool profiling_ = false;
-  ProfileInfo* activeProfile_ = nullptr;
 
   std::vector<std::pair<std::string, Variable>> variables_;
 

@@ -23,6 +23,23 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// An op rejected the logical geometry of its inputs (rank/shape/axis
+/// mismatch). Subclass of InvalidArgumentError so existing catch sites keep
+/// working, while callers that care can distinguish shape problems from
+/// other bad arguments — and from backend failures (BackendError).
+class ShapeError : public InvalidArgumentError {
+ public:
+  explicit ShapeError(const std::string& what) : InvalidArgumentError(what) {}
+};
+
+/// A backend failed to honour a storage or kernel request (unknown DataId,
+/// device queue error, ...). Distinct from InvalidArgumentError: the ops
+/// layer validated the request, the device layer could not serve it.
+class BackendError : public Error {
+ public:
+  explicit BackendError(const std::string& what) : Error(what) {}
+};
+
 /// A tensor (or its backing data) was used after dispose().
 class DisposedError : public Error {
  public:
@@ -82,6 +99,17 @@ namespace internal {
       os_ << msg;                                  \
       throw ::tfjs::InvalidArgumentError(os_.str()); \
     }                                              \
+  } while (0)
+
+/// Throws ShapeError when cond is false — for rank/shape/axis validation in
+/// the ops layer.
+#define TFJS_SHAPE_CHECK(cond, msg)      \
+  do {                                   \
+    if (!(cond)) {                       \
+      std::ostringstream os_;            \
+      os_ << msg;                        \
+      throw ::tfjs::ShapeError(os_.str()); \
+    }                                    \
   } while (0)
 
 }  // namespace tfjs

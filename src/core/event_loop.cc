@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "core/metrics.h"
+#include "core/trace.h"
+
 namespace tfjs::async {
 
 using Clock = std::chrono::steady_clock;
@@ -24,6 +27,14 @@ void EventLoop::onFrame(std::function<void(int)> cb) {
 }
 
 FrameStats EventLoop::run(double durationMs) {
+  static metrics::Counter& framesCounter =
+      metrics::Registry::get().counter("eventloop.frames");
+  static metrics::Counter& framesDroppedCounter =
+      metrics::Registry::get().counter("eventloop.frames_dropped");
+  static metrics::Counter& tasksCounter =
+      metrics::Registry::get().counter("eventloop.tasks");
+  static metrics::Histogram& latenessHist =
+      metrics::Registry::get().histogram("eventloop.frame_lateness_ms");
   FrameStats stats;
   const auto start = Clock::now();
   double nextFrameAt = 0;
@@ -39,14 +50,20 @@ FrameStats EventLoop::run(double durationMs) {
       const double lateness = now - nextFrameAt;
       ++stats.framesScheduled;
       stats.totalLatenessMs += lateness;
+      framesCounter.inc();
+      latenessHist.observe(lateness);
       if (lateness <= periodMs_ * 0.5) {
         ++stats.framesOnTime;
       } else {
         ++stats.framesDropped;
+        framesDroppedCounter.inc();
       }
       stats.maxStallMs = std::max(stats.maxStallMs, now - lastFrameFired);
       lastFrameFired = now;
-      if (frameCallback_) frameCallback_(frameIndex);
+      if (frameCallback_) {
+        trace::Span span("loop", "frame");
+        frameCallback_(frameIndex);
+      }
       ++frameIndex;
       // Catch up: frames that should have fired while we were blocked are
       // counted as dropped rather than replayed (browsers coalesce rAF).
@@ -55,7 +72,9 @@ FrameStats EventLoop::run(double durationMs) {
         if (nextFrameAt <= now) {
           ++stats.framesScheduled;
           ++stats.framesDropped;
+          framesDroppedCounter.inc();
           stats.totalLatenessMs += now - nextFrameAt;
+          trace::instant("loop", "frame_dropped");
         }
       }
       continue;
@@ -64,6 +83,8 @@ FrameStats EventLoop::run(double durationMs) {
     if (!tasks_.empty()) {
       auto task = std::move(tasks_.front());
       tasks_.pop_front();
+      tasksCounter.inc();
+      trace::Span span("loop", "task");
       task();  // may block the loop — that is the point of Figure 2
       continue;
     }

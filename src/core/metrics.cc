@@ -1,0 +1,144 @@
+#include "core/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace tfjs::metrics {
+
+// -------------------------------------------------------------- Histogram
+
+double Histogram::bucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  // 0.001 * 2^i: 0.001, 0.002, 0.004, ... ≈ 4194 (ms-scale latencies).
+  return 0.001 * static_cast<double>(std::uint64_t{1} << i);
+}
+
+void Histogram::observe(double v) {
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && v > bucketUpperBound(bucket)) ++bucket;
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free sum: CAS on the bit pattern.
+  std::uint64_t oldBits = sumBits_.load(std::memory_order_relaxed);
+  while (!sumBits_.compare_exchange_weak(
+      oldBits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(oldBits) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sumBits_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Registry
+
+Registry& Registry::get() {
+  // Leaked singleton: cached instrument references in backend/thread-pool
+  // code must stay valid through process teardown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+void appendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::toJsonString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const auto s = h->snapshot();
+    out += "\"" + name + "\":{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":";
+    appendDouble(out, s.sum);
+    out += ",\"mean\":";
+    appendDouble(out, s.mean());
+    out += ",\"buckets\":[";
+    bool firstBucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const auto n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // sparse encoding: only occupied buckets
+      if (!firstBucket) out += ",";
+      firstBucket = false;
+      out += "{\"le\":";
+      const double le = Histogram::bucketUpperBound(i);
+      if (le == std::numeric_limits<double>::infinity()) {
+        out += "\"inf\"";
+      } else {
+        appendDouble(out, le);
+      }
+      out += ",\"count\":" + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace tfjs::metrics

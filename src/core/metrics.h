@@ -1,0 +1,119 @@
+// Metrics: a process-wide registry of named counters, gauges and
+// histograms, built for always-on use (every instrument is a couple of
+// relaxed atomics; no locks on the hot path).
+//
+// Naming convention is dotted lowercase, subsystem first:
+//   engine.kernels_dispatched     backend.bytes_uploaded
+//   backend.bytes_downloaded      webgl.recycler_hits / recycler_misses
+//   webgl.page_ins / page_outs    webgl.queue_depth (gauge)
+//   webgl.commands / webgl.fences threadpool.parallel_fors / chunks
+//   eventloop.frames / frames_dropped / tasks
+//   eventloop.frame_lateness_ms (histogram)
+//
+// Call sites cache the reference once:
+//   static metrics::Counter& c = metrics::Registry::get().counter("x.y");
+//   c.inc();
+// References stay valid for the process lifetime (leaked singleton,
+// node-stable storage).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tfjs::metrics {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, live bytes); can go up and down.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Distribution of observed values in power-of-two buckets spanning
+/// [0.001, 4194) with an overflow bucket — sized for millisecond latencies.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 24;
+
+  /// Upper bound of bucket i (inclusive); the last bucket is unbounded.
+  static double bucketUpperBound(int i);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+    double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  /// Stored as bits for a lock-free CAS add.
+  std::atomic<std::uint64_t> sumBits_{0};
+};
+
+/// Process-wide instrument registry. Lookup takes a mutex (call sites cache
+/// the returned reference); updates on the cached instruments are lock-free.
+class Registry {
+ public:
+  static Registry& get();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  /// lexicographic order (std::map iteration).
+  std::string toJsonString() const;
+
+  /// Zeroes every registered instrument (references stay valid). Test hook.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // unique_ptr nodes so references survive map rehash/rebalance.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tfjs::metrics

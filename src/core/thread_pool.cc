@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics.h"
+#include "core/trace.h"
+
 namespace tfjs::core {
 
 namespace {
@@ -31,6 +34,9 @@ struct ThreadPool::Impl {
     std::atomic<int> participants{0};
     std::atomic<int> activeWorkers{0};  // workers (not caller) inside runChunks
     std::atomic<bool> cancelled{false};
+    /// Snapshot of trace::active() at submit time: chunk spans are emitted
+    /// only when someone was listening when the job started.
+    bool traced = false;
     std::mutex excMu;
     std::exception_ptr firstExc;
   };
@@ -68,6 +74,7 @@ struct ThreadPool::Impl {
       const std::size_t end = std::min(begin + j.grain, j.n);
       tInParallelRegion = true;
       try {
+        trace::Span span("pool", j.traced ? "chunk" : nullptr);
         (*j.fn)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lk(j.excMu);
@@ -157,6 +164,12 @@ void ThreadPool::parallelFor(
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const std::size_t numChunks = (n + grain - 1) / grain;
+  static metrics::Counter& parallelFors =
+      metrics::Registry::get().counter("threadpool.parallel_fors");
+  static metrics::Counter& chunksCounter =
+      metrics::Registry::get().counter("threadpool.chunks");
+  parallelFors.inc();
+  chunksCounter.inc(numChunks);
 
   // Serial paths: single-threaded config, a single chunk, or a nested call
   // from inside a worker chunk (runs inline; the partition is the same fixed
@@ -183,11 +196,13 @@ void ThreadPool::parallelFor(
     return;
   }
 
+  trace::Span jobSpan("pool", "parallelFor");
   Impl::Job j;
   j.grain = grain;
   j.n = n;
   j.numChunks = numChunks;
   j.fn = &fn;
+  j.traced = jobSpan.live();
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->ensureWorkersLocked();

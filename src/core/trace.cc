@@ -1,0 +1,341 @@
+#include "core/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/metrics.h"
+
+namespace tfjs::trace {
+
+namespace internal {
+std::atomic<int> gActiveSources{0};
+}  // namespace internal
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 65536;
+
+std::chrono::steady_clock::time_point traceOrigin() {
+  // Pinned at first use; Recorder's constructor touches it so the origin
+  // predates every recorded event.
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+/// TFJS_TRACE output path captured by initFromEnv for the atexit exporter
+/// (atexit takes a capture-less function).
+std::string& tracePath() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - traceOrigin())
+      .count();
+}
+
+int currentThreadId() {
+  static std::atomic<int> nextId{0};
+  thread_local const int id = nextId.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ------------------------------------------------------------- Recorder
+
+Recorder& Recorder::get() {
+  // Leaked singleton: producers on backend worker threads may emit events
+  // during process teardown.
+  static Recorder* recorder = new Recorder();
+  return *recorder;
+}
+
+Recorder::Recorder() : capacity_(kDefaultCapacity) {
+  ring_.reserve(256);
+  traceOrigin();
+}
+
+void Recorder::setEnabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+  refreshActiveLocked();
+}
+
+bool Recorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void Recorder::setCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::size_t Recorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+void Recorder::record(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto* scope : scopes_) scope->deliver(e);
+  if (!enabled_) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<Event> Recorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+std::uint64_t Recorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Recorder::registerScope(tfjs::instrumentation::Scope* s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.push_back(s);
+  refreshActiveLocked();
+}
+
+void Recorder::unregisterScope(tfjs::instrumentation::Scope* s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(scopes_, s);
+  refreshActiveLocked();
+}
+
+void Recorder::refreshActiveLocked() {
+  internal::gActiveSources.store(
+      (enabled_ ? 1 : 0) + static_cast<int>(scopes_.size()),
+      std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Span
+
+void Span::begin(const char* category, const char* name) {
+  event_.type = Event::Type::kSpan;
+  event_.category = category;
+  event_.name = name;
+  event_.tid = currentThreadId();
+  event_.tsUs = nowUs();
+}
+
+void Span::end() {
+  event_.durUs = nowUs() - event_.tsUs;
+  Recorder::get().record(std::move(event_));
+}
+
+void instant(const char* category, const std::string& name) {
+  if (!active()) return;
+  Event e;
+  e.type = Event::Type::kInstant;
+  e.category = category;
+  e.name = name;
+  e.tsUs = nowUs();
+  e.tid = currentThreadId();
+  Recorder::get().record(std::move(e));
+}
+
+void counter(const char* name, double value) {
+  if (!active()) return;
+  Event e;
+  e.type = Event::Type::kCounter;
+  e.category = "metric";
+  e.name = name;
+  e.tsUs = nowUs();
+  e.tid = currentThreadId();
+  e.value = value;
+  Recorder::get().record(std::move(e));
+}
+
+// --------------------------------------------------------- TraceExporter
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceExporter::toJson(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    appendNumber(out, e.tsUs);
+    out += ",\"cat\":\"";
+    appendEscaped(out, e.category);
+    out += "\",\"name\":\"";
+    appendEscaped(out, e.name);
+    out += "\"";
+    switch (e.type) {
+      case Event::Type::kSpan: {
+        out += ",\"ph\":\"X\",\"dur\":";
+        appendNumber(out, e.durUs);
+        // Kernel metadata rides in args, where chrome://tracing shows it in
+        // the selection pane.
+        std::string args;
+        if (e.shape.rank() > 0 || e.bytes > 0) {
+          args += "\"shape\":\"" + e.shape.toString() + "\",\"bytes\":" +
+                  std::to_string(e.bytes);
+        }
+        if (e.threads > 0) {
+          if (!args.empty()) args += ",";
+          args += "\"threads\":" + std::to_string(e.threads);
+        }
+        if (!e.backend.empty()) {
+          if (!args.empty()) args += ",";
+          args += "\"backend\":\"";
+          appendEscaped(args, e.backend);
+          args += "\"";
+        }
+        if (!args.empty()) out += ",\"args\":{" + args + "}";
+        break;
+      }
+      case Event::Type::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case Event::Type::kCounter: {
+        out += ",\"ph\":\"C\",\"args\":{\"";
+        appendEscaped(out, e.name);
+        out += "\":";
+        appendNumber(out, e.value);
+        out += "}";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  out += std::to_string(Recorder::get().dropped());
+  out += ",\"metrics\":";
+  out += metrics::Registry::get().toJsonString();
+  out += "}}";
+  return out;
+}
+
+bool TraceExporter::writeFile(const std::string& path,
+                              const std::vector<Event>& events) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string json = toJson(events);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+bool TraceExporter::writeFile(const std::string& path) {
+  return writeFile(path, Recorder::get().snapshot());
+}
+
+void initFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* cap = std::getenv("TFJS_TRACE_CAPACITY")) {
+      const long n = std::strtol(cap, nullptr, 10);
+      if (n > 0) Recorder::get().setCapacity(static_cast<std::size_t>(n));
+    }
+    if (const char* path = std::getenv("TFJS_TRACE")) {
+      if (path[0] != '\0') {
+        tracePath() = path;
+        Recorder::get().setEnabled(true);
+        std::atexit([] { TraceExporter::writeFile(tracePath()); });
+      }
+    }
+  });
+}
+
+}  // namespace tfjs::trace
+
+namespace tfjs::instrumentation {
+
+Scope::Scope(std::string name)
+    : name_(std::move(name)), beginUs_(trace::nowUs()) {
+  trace::Recorder::get().registerScope(this);
+}
+
+Scope::~Scope() {
+  trace::Recorder::get().unregisterScope(this);
+  // Record the scope's own lifetime as an "api" span (after unregistering,
+  // so a scope never captures itself).
+  if (trace::active()) {
+    trace::Event e;
+    e.type = trace::Event::Type::kSpan;
+    e.category = "api";
+    e.name = name_;
+    e.tsUs = beginUs_;
+    e.durUs = trace::nowUs() - beginUs_;
+    e.tid = trace::currentThreadId();
+    trace::Recorder::get().record(std::move(e));
+  }
+}
+
+double Scope::elapsedMs() const { return (trace::nowUs() - beginUs_) / 1000.0; }
+
+std::vector<trace::Event> Scope::events() const {
+  // events_ is mutated under the Recorder mutex; take it for the snapshot.
+  std::lock_guard<std::mutex> lock(trace::Recorder::get().mu_);
+  return events_;
+}
+
+}  // namespace tfjs::instrumentation

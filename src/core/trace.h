@@ -1,0 +1,220 @@
+// Tracing: a low-overhead, process-wide stream of timestamped events
+// (spans, instants, counters) with kernel metadata attached.
+//
+// Design (paper section 3.8, extended):
+//  * Producers — the engine's kernel-dispatch hook, backend kernels, the
+//    WebGL-sim command queue, the thread pool and the event loop — emit
+//    Events only when at least one consumer is active. The gate is a single
+//    relaxed atomic load (trace::active()), so a fully-disabled build path
+//    costs one predictable branch per candidate event.
+//  * Consumers are (a) the global ring-buffer Recorder, enabled explicitly
+//    or via the TFJS_TRACE=<file.json> environment variable, and (b) any
+//    live tfjs::instrumentation::Scope, the RAII type that time()/profile()
+//    are built on. Every recorded event is fanned out to all consumers.
+//  * The Recorder keeps a bounded ring (default 65536 events); old events
+//    are overwritten and counted in dropped().
+//  * TraceExporter renders events as chrome://tracing-compatible JSON
+//    (load via chrome://tracing or https://ui.perfetto.dev).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace tfjs {
+
+namespace instrumentation {
+class Scope;
+}  // namespace instrumentation
+
+namespace trace {
+
+/// One trace event. `category` must point to a string literal (it is stored
+/// unowned); `name` is owned. Span events carry a duration; counter events
+/// carry a value; instant events carry neither.
+struct Event {
+  enum class Type { kSpan, kInstant, kCounter };
+  Type type = Type::kSpan;
+  /// Static category string: "op", "kernel", "gpu", "pool", "loop", "io",
+  /// "api", "metric".
+  const char* category = "";
+  std::string name;
+  /// Microseconds since the process trace origin (steady clock).
+  double tsUs = 0;
+  /// Span duration in microseconds (0 for instants/counters).
+  double durUs = 0;
+  /// Dense per-thread id (0 = first thread to emit, usually the main thread).
+  int tid = 0;
+  /// Kernel metadata, populated for "op" events.
+  Shape shape;
+  std::uint64_t bytes = 0;
+  int threads = 0;
+  std::string backend;
+  /// Counter payload.
+  double value = 0;
+};
+
+namespace internal {
+/// Number of active consumers: 1 for the enabled ring buffer plus one per
+/// registered instrumentation::Scope. Maintained under the Recorder mutex;
+/// read lock-free by active().
+extern std::atomic<int> gActiveSources;
+}  // namespace internal
+
+/// True when at least one consumer (ring buffer or Scope) wants events.
+/// This is the producer-side fast gate: a relaxed load and a compare.
+inline bool active() {
+  return internal::gActiveSources.load(std::memory_order_relaxed) > 0;
+}
+
+/// Microseconds since the process trace origin (monotonic).
+double nowUs();
+
+/// Dense thread id for trace events: 0, 1, 2, ... in order of first use.
+int currentThreadId();
+
+/// The process-wide event sink: a bounded ring buffer plus the registry of
+/// live instrumentation Scopes. Leaked singleton, same lifetime idiom as
+/// Engine and ThreadPool.
+class Recorder {
+ public:
+  static Recorder& get();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Turns the ring buffer on/off. Independent of Scope-based consumers.
+  void setEnabled(bool on);
+  bool enabled() const;
+
+  /// Resizes the ring (discards buffered events). Default 65536.
+  void setCapacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Discards buffered events and the dropped counter.
+  void clear();
+
+  /// Fans `e` out to every registered Scope and, if enabled, the ring.
+  /// Producers should gate calls on trace::active().
+  void record(Event e);
+
+  /// Buffered events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+
+ private:
+  friend class tfjs::instrumentation::Scope;
+  Recorder();
+
+  void registerScope(instrumentation::Scope* s);
+  void unregisterScope(instrumentation::Scope* s);
+  /// Recomputes gActiveSources. Caller holds mu_.
+  void refreshActiveLocked();
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::vector<instrumentation::Scope*> scopes_;
+};
+
+/// RAII span: captures liveness and the start timestamp at construction and
+/// records a kSpan event at destruction. When tracing is inactive at
+/// construction the span is inert (no timestamps, no allocation).
+class Span {
+ public:
+  /// A null name yields an inert span (callers can pass a conditional name).
+  Span(const char* category, const char* name)
+      : live_(name != nullptr && active()) {
+    if (live_) begin(category, name);
+  }
+  Span(const char* category, const std::string& name) : live_(active()) {
+    if (live_) begin(category, name.c_str());
+  }
+  ~Span() {
+    if (live_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool live() const { return live_; }
+  /// Metadata hook; null when the span is inert.
+  Event* mutableEvent() { return live_ ? &event_ : nullptr; }
+
+ private:
+  void begin(const char* category, const char* name);
+  void end();
+
+  bool live_;
+  Event event_;
+};
+
+/// Records a zero-duration instant event (gated on active()).
+void instant(const char* category, const std::string& name);
+
+/// Records a counter sample (gated on active()).
+void counter(const char* name, double value);
+
+/// Renders events as chrome://tracing JSON ("traceEvents" array of complete
+/// "X" spans, "i" instants and "C" counters, timestamps in microseconds)
+/// with the current metrics registry snapshot under otherData.metrics.
+class TraceExporter {
+ public:
+  static std::string toJson(const std::vector<Event>& events);
+  /// Writes toJson(events) to `path`. Returns false on I/O failure.
+  static bool writeFile(const std::string& path,
+                        const std::vector<Event>& events);
+  /// Convenience: exports the Recorder's current buffer.
+  static bool writeFile(const std::string& path);
+};
+
+/// Reads TFJS_TRACE (output path; enables the ring and registers an atexit
+/// exporter) and TFJS_TRACE_CAPACITY (ring size). Idempotent; called from
+/// Engine::get() so any program touching the engine honours the variables.
+void initFromEnv();
+
+}  // namespace trace
+
+namespace instrumentation {
+
+/// The single RAII instrumentation primitive: while alive, every trace
+/// event recorded anywhere in the process is also delivered to this Scope.
+/// Engine::time() and Engine::profile() are thin views over one Scope —
+/// this type replaces the engine's former activeProfile_ pointer plumbing.
+/// Destruction records an "api" span covering the scope's lifetime.
+class Scope {
+ public:
+  explicit Scope(std::string name);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Trace-origin timestamp of construction, microseconds.
+  double beginUs() const { return beginUs_; }
+  /// Wall time since construction, milliseconds.
+  double elapsedMs() const;
+  /// Snapshot of the events delivered so far.
+  std::vector<trace::Event> events() const;
+
+ private:
+  friend class trace::Recorder;
+  /// Called by the Recorder with its mutex held.
+  void deliver(const trace::Event& e) { events_.push_back(e); }
+
+  std::string name_;
+  double beginUs_;
+  std::vector<trace::Event> events_;  // guarded by the Recorder mutex
+};
+
+}  // namespace instrumentation
+}  // namespace tfjs

@@ -14,10 +14,11 @@ using internal::record;
 
 TopK topk(const Tensor& x, int k, bool sorted) {
   (void)sorted;  // results are always sorted descending
-  TFJS_ARG_CHECK(x.rank() >= 1, "topk requires rank >= 1");
+  TFJS_SHAPE_CHECK(x.rank() >= 1, "topk requires rank >= 1");
   const int lastDim = x.shape()[x.rank() - 1];
-  TFJS_ARG_CHECK(k >= 1 && k <= lastDim,
-                 "topk: k=" << k << " out of range for last dim " << lastDim);
+  TFJS_SHAPE_CHECK(k >= 1 && k <= lastDim,
+                   "topk: k=" << k << " out of range for last dim " << lastDim);
+  internal::KernelScope kvScope("topkValues");
   internal::TapePause pause;
   const TensorSpec sx = E().prepareInput(x);
   const std::size_t inner = static_cast<std::size_t>(lastDim);
@@ -33,21 +34,23 @@ TopK topk(const Tensor& x, int k, bool sorted) {
       values, Shape{static_cast<int>(outer), k}, DType::f32);
   result.values = valuesFlat.reshape(outShape);
   valuesFlat.dispose();
-  E().onKernelDispatched("topkValues", result.values);
+  kvScope.notify(result.values);
 
+  internal::KernelScope kiScope("topkIndices");
   const DataId indices = E().backend().topkIndices(sx, outer, inner, k);
   Tensor indicesFlat = E().makeTensorFromDataId(
       indices, Shape{static_cast<int>(outer), k}, DType::i32);
   result.indices = indicesFlat.reshape(outShape);
   indicesFlat.dispose();
-  E().onKernelDispatched("topkIndices", result.indices);
+  kiScope.notify(result.indices);
   return result;
 }
 
 Tensor cumsum(const Tensor& x, int axis, bool exclusive, bool reverse) {
   const int norm = axis < 0 ? axis + x.rank() : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm < x.rank(),
-                 "cumsum axis " << axis << " out of range");
+  TFJS_SHAPE_CHECK(norm >= 0 && norm < x.rank(),
+                   "cumsum axis " << axis << " out of range");
+  internal::KernelScope k("cumsum");
   Tensor y;
   {
     internal::TapePause pause;
@@ -87,7 +90,7 @@ Tensor cumsum(const Tensor& x, int axis, bool exclusive, bool reverse) {
     }
     prepared.dispose();
   }
-  E().onKernelDispatched("cumsum", y);
+  k.notify(y);
   record("cumsum", {x}, y, [norm, exclusive, reverse](const Tensor& dy) {
     // Adjoint of a prefix sum is the suffix sum (and vice versa).
     return std::vector<Tensor>{cumsum(dy, norm, exclusive, !reverse)};

@@ -15,11 +15,12 @@ namespace {
 /// promoted input dtype.
 Tensor dispatch(const char* name, BinaryOp op, const Tensor& a,
                 const Tensor& b, DType outDtype) {
+  internal::KernelScope k(name);
   const TensorSpec sa = E().prepareInput(a);
   const TensorSpec sb = E().prepareInput(b);
   const Shape out = util::broadcastShapes(sa.shape, sb.shape);
   const DataId id = E().backend().binary(op, sa, sb, out);
-  return internal::wrapOutput(name, id, out, outDtype);
+  return k.wrap(id, out, outDtype);
 }
 
 Tensor dispatchNum(const char* name, BinaryOp op, const Tensor& a,
@@ -168,14 +169,14 @@ Tensor logicalXor(const Tensor& a, const Tensor& b) {
 }
 
 Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  internal::KernelScope k("where");
   const TensorSpec sc = E().prepareInput(cond);
   const TensorSpec sa = E().prepareInput(a);
   const TensorSpec sb = E().prepareInput(b);
   Shape out = util::broadcastShapes(util::broadcastShapes(sc.shape, sa.shape),
                                     sb.shape);
   const DataId id = E().backend().select(sc, sa, sb, out);
-  Tensor y = internal::wrapOutput("where", id, out,
-                                  promoteTypes(a.dtype(), b.dtype()));
+  Tensor y = k.wrap(id, out, promoteTypes(a.dtype(), b.dtype()));
   record("where", {a, b}, y, [cond, a, b](const Tensor& dy) {
     Tensor zero = zerosLike(dy);
     return std::vector<Tensor>{

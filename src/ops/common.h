@@ -6,20 +6,53 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/trace.h"
 #include "ops/ops.h"
 
 namespace tfjs::ops::internal {
 
 inline Engine& E() { return Engine::get(); }
 
-/// Wraps a kernel-produced buffer in a tracked tensor and notifies the
-/// engine (profiler records / debug-mode NaN check, paper section 3.8).
-inline Tensor wrapOutput(const char* name, DataId id, const Shape& shape,
-                         DType dtype) {
-  Tensor t = E().makeTensorFromDataId(id, shape, dtype);
-  E().onKernelDispatched(name, t);
-  return t;
-}
+/// Per-dispatch instrumentation scope: construct before calling into the
+/// backend, then wrap() the kernel-produced buffer. The scope captures a
+/// start timestamp (only when tracing is active — otherwise it is a single
+/// relaxed atomic load) so Engine::notifyKernel can emit an "op" span
+/// covering input preparation + backend dispatch.
+///
+///   KernelScope k("transpose");
+///   const DataId id = E().backend().transpose(...);
+///   return k.wrap(id, outShape, x.dtype());
+///
+/// Composite ops that build their output from sub-ops use notify(y) instead
+/// of wrap(); the sub-ops' own spans are recorded too, so profile() reports
+/// both the composite and its pieces (matching the upstream profiler).
+class KernelScope {
+ public:
+  explicit KernelScope(const char* name)
+      : name_(name), startUs_(trace::active() ? trace::nowUs() : -1) {}
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+  /// Wraps a kernel-produced buffer in a tracked tensor and notifies the
+  /// engine (trace span, metrics, debug-mode NaN check — section 3.8).
+  Tensor wrap(DataId id, const Shape& shape, DType dtype) {
+    Tensor t = E().makeTensorFromDataId(id, shape, dtype);
+    notify(t);
+    return t;
+  }
+
+  /// Notifies the engine for an already-wrapped output (multi-output and
+  /// composite kernels). Restarts the clock so a second output gets its own
+  /// span instead of double-counting the first.
+  void notify(const Tensor& t) {
+    E().notifyKernel(name_, t, startUs_);
+    if (startUs_ >= 0) startUs_ = trace::nowUs();
+  }
+
+ private:
+  const char* name_;
+  double startUs_;
+};
 
 /// Records a pullback onto the active tape when gradients are being traced
 /// through any of the inputs.

@@ -12,43 +12,43 @@ namespace {
 
 Tensor convBackpropInput(const Tensor& dy, const Tensor& filter,
                          const Conv2DInfo& info) {
+  internal::KernelScope k("conv2dBackpropInput");
   const TensorSpec sdy = E().prepareInput(dy);
   const TensorSpec sf = E().prepareInput(filter);
   const DataId id = E().backend().conv2dBackpropInput(sdy, sf, info);
-  return internal::wrapOutput("conv2dBackpropInput", id,
-                              Shape{info.batch, info.inH, info.inW, info.inC},
-                              DType::f32);
+  return k.wrap(id, Shape{info.batch, info.inH, info.inW, info.inC},
+                DType::f32);
 }
 
 Tensor convBackpropFilter(const Tensor& x, const Tensor& dy,
                           const Conv2DInfo& info) {
+  internal::KernelScope k("conv2dBackpropFilter");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sdy = E().prepareInput(dy);
   const DataId id = E().backend().conv2dBackpropFilter(sx, sdy, info);
-  return internal::wrapOutput(
-      "conv2dBackpropFilter", id,
-      Shape{info.filterH, info.filterW, info.inC, info.outC}, DType::f32);
+  return k.wrap(id, Shape{info.filterH, info.filterW, info.inC, info.outC},
+                DType::f32);
 }
 
 Tensor dwBackpropInput(const Tensor& dy, const Tensor& filter,
                        const Conv2DInfo& info) {
+  internal::KernelScope k("depthwiseConv2dBackpropInput");
   const TensorSpec sdy = E().prepareInput(dy);
   const TensorSpec sf = E().prepareInput(filter);
   const DataId id = E().backend().depthwiseConv2dBackpropInput(sdy, sf, info);
-  return internal::wrapOutput("depthwiseConv2dBackpropInput", id,
-                              Shape{info.batch, info.inH, info.inW, info.inC},
-                              DType::f32);
+  return k.wrap(id, Shape{info.batch, info.inH, info.inW, info.inC},
+                DType::f32);
 }
 
 Tensor dwBackpropFilter(const Tensor& x, const Tensor& dy,
                         const Conv2DInfo& info) {
+  internal::KernelScope k("depthwiseConv2dBackpropFilter");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sdy = E().prepareInput(dy);
   const DataId id = E().backend().depthwiseConv2dBackpropFilter(sx, sdy, info);
-  return internal::wrapOutput(
-      "depthwiseConv2dBackpropFilter", id,
-      Shape{info.filterH, info.filterW, info.inC, info.channelMult},
-      DType::f32);
+  return k.wrap(id,
+                Shape{info.filterH, info.filterW, info.inC, info.channelMult},
+                DType::f32);
 }
 
 }  // namespace
@@ -58,12 +58,13 @@ Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/false);
+  internal::KernelScope k("conv2d");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sf = E().prepareInput(filter);
   const DataId id = E().backend().conv2d(sx, sf, info);
-  Tensor y = internal::wrapOutput(
-      "conv2d", id, Shape{info.batch, info.outH, info.outW, info.outC},
-      DType::f32);
+  Tensor y =
+      k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
+             DType::f32);
   record("conv2d", {x, filter}, y, [x, filter, info](const Tensor& dy) {
     return std::vector<Tensor>{convBackpropInput(dy, filter, info),
                                convBackpropFilter(x, dy, info)};
@@ -77,12 +78,13 @@ Tensor depthwiseConv2d(const Tensor& x, const Tensor& filter, int strideH,
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/true);
+  internal::KernelScope k("depthwiseConv2d");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sf = E().prepareInput(filter);
   const DataId id = E().backend().depthwiseConv2d(sx, sf, info);
-  Tensor y = internal::wrapOutput(
-      "depthwiseConv2d", id,
-      Shape{info.batch, info.outH, info.outW, info.outC}, DType::f32);
+  Tensor y =
+      k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
+             DType::f32);
   record("depthwiseConv2d", {x, filter}, y,
          [x, filter, info](const Tensor& dy) {
            return std::vector<Tensor>{dwBackpropInput(dy, filter, info),
@@ -104,18 +106,20 @@ Tensor maxPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad) {
   const Pool2DInfo info = conv_util::computePool2DInfo(
       x.shape(), filterH, filterW, strideH, strideW, pad);
+  internal::KernelScope k("maxPool");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pool2d(PoolMode::kMax, sx, info);
-  Tensor y = internal::wrapOutput(
-      "maxPool", id, Shape{info.batch, info.outH, info.outW, info.channels},
-      DType::f32);
+  Tensor y =
+      k.wrap(id, Shape{info.batch, info.outH, info.outW, info.channels},
+             DType::f32);
   record("maxPool", {x}, y, [x, info](const Tensor& dy) {
+    internal::KernelScope kg("maxPoolBackprop");
     const TensorSpec sdy = E().prepareInput(dy);
     const TensorSpec sxIn = E().prepareInput(x);
     const DataId gid = E().backend().maxPoolBackprop(sdy, sxIn, info);
-    return std::vector<Tensor>{internal::wrapOutput(
-        "maxPoolBackprop", gid,
-        Shape{info.batch, info.inH, info.inW, info.channels}, DType::f32)};
+    return std::vector<Tensor>{kg.wrap(
+        gid, Shape{info.batch, info.inH, info.inW, info.channels},
+        DType::f32)};
   });
   return y;
 }
@@ -124,17 +128,19 @@ Tensor avgPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad) {
   const Pool2DInfo info = conv_util::computePool2DInfo(
       x.shape(), filterH, filterW, strideH, strideW, pad);
+  internal::KernelScope k("avgPool");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pool2d(PoolMode::kAvg, sx, info);
-  Tensor y = internal::wrapOutput(
-      "avgPool", id, Shape{info.batch, info.outH, info.outW, info.channels},
-      DType::f32);
+  Tensor y =
+      k.wrap(id, Shape{info.batch, info.outH, info.outW, info.channels},
+             DType::f32);
   record("avgPool", {x}, y, [info](const Tensor& dy) {
+    internal::KernelScope kg("avgPoolBackprop");
     const TensorSpec sdy = E().prepareInput(dy);
     const DataId gid = E().backend().avgPoolBackprop(sdy, info);
-    return std::vector<Tensor>{internal::wrapOutput(
-        "avgPoolBackprop", gid,
-        Shape{info.batch, info.inH, info.inW, info.channels}, DType::f32)};
+    return std::vector<Tensor>{kg.wrap(
+        gid, Shape{info.batch, info.inH, info.inW, info.channels},
+        DType::f32)};
   });
   return y;
 }

@@ -42,8 +42,9 @@ Tensor scalar(float value, DType dtype) {
 }
 
 Tensor fill(const Shape& shape, float value, DType dtype) {
+  internal::KernelScope k("fill");
   const DataId id = E().backend().fill(shape.size(), value);
-  return internal::wrapOutput("fill", id, shape, dtype);
+  return k.wrap(id, shape, dtype);
 }
 
 Tensor zeros(const Shape& shape, DType dtype) { return fill(shape, 0, dtype); }

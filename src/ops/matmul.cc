@@ -21,11 +21,12 @@ Tensor to3d(const Tensor& t) {
 
 Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
               bool transposeB) {
-  TFJS_ARG_CHECK(a.rank() == 2 || a.rank() == 3,
-                 "matMul expects rank 2 or 3 for a, got " << a.rank());
-  TFJS_ARG_CHECK(b.rank() == 2 || b.rank() == 3,
-                 "matMul expects rank 2 or 3 for b, got " << b.rank());
+  TFJS_SHAPE_CHECK(a.rank() == 2 || a.rank() == 3,
+                   "matMul expects rank 2 or 3 for a, got " << a.rank());
+  TFJS_SHAPE_CHECK(b.rank() == 2 || b.rank() == 3,
+                   "matMul expects rank 2 or 3 for b, got " << b.rank());
 
+  internal::KernelScope k("matMul");
   Tensor y;
   {
     internal::TapePause pause;
@@ -33,12 +34,12 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
     Tensor b3 = to3d(b);
     const int kA = transposeA ? a3.shape()[1] : a3.shape()[2];
     const int kB = transposeB ? b3.shape()[2] : b3.shape()[1];
-    TFJS_ARG_CHECK(kA == kB, "matMul inner dimensions must agree: "
-                                 << a.shape().toString() << " x "
-                                 << b.shape().toString());
+    TFJS_SHAPE_CHECK(kA == kB, "matMul inner dimensions must agree: "
+                                   << a.shape().toString() << " x "
+                                   << b.shape().toString());
     const int bA = a3.shape()[0], bB = b3.shape()[0];
-    TFJS_ARG_CHECK(bA == bB || bA == 1 || bB == 1,
-                   "matMul batch dims must match or broadcast");
+    TFJS_SHAPE_CHECK(bA == bB || bA == 1 || bB == 1,
+                     "matMul batch dims must match or broadcast");
     const TensorSpec sa = E().prepareInput(a3);
     const TensorSpec sb = E().prepareInput(b3);
     const DataId id = E().backend().matMul(sa, sb, transposeA, transposeB);
@@ -55,7 +56,7 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
     a3.dispose();
     b3.dispose();
   }
-  E().onKernelDispatched("matMul", y);
+  k.notify(y);
 
   record("matMul", {a, b}, y, [a, b, transposeA, transposeB](const Tensor& dy) {
     // Standard transpose-aware adjoints, then reduce over broadcast batch.
@@ -83,9 +84,9 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
 }
 
 Tensor dot(const Tensor& a, const Tensor& b) {
-  TFJS_ARG_CHECK(a.rank() == 1 && b.rank() == 1,
-                 "dot expects two 1-D tensors");
-  TFJS_ARG_CHECK(a.size() == b.size(), "dot length mismatch");
+  TFJS_SHAPE_CHECK(a.rank() == 1 && b.rank() == 1,
+                   "dot expects two 1-D tensors");
+  TFJS_SHAPE_CHECK(a.size() == b.size(), "dot length mismatch");
   Tensor a2 = a.reshape(Shape{1, static_cast<int>(a.size())});
   Tensor b2 = b.reshape(Shape{static_cast<int>(b.size()), 1});
   Tensor y2 = matMul(a2, b2);
@@ -97,8 +98,8 @@ Tensor dot(const Tensor& a, const Tensor& b) {
 }
 
 Tensor outerProduct(const Tensor& a, const Tensor& b) {
-  TFJS_ARG_CHECK(a.rank() == 1 && b.rank() == 1,
-                 "outerProduct expects two 1-D tensors");
+  TFJS_SHAPE_CHECK(a.rank() == 1 && b.rank() == 1,
+                   "outerProduct expects two 1-D tensors");
   Tensor a2 = a.reshape(Shape{static_cast<int>(a.size()), 1});
   Tensor b2 = b.reshape(Shape{1, static_cast<int>(b.size())});
   Tensor y = matMul(a2, b2);

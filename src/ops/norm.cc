@@ -10,8 +10,9 @@ using internal::record;
 
 Tensor softmax(const Tensor& logits, int axis) {
   const int norm = axis < 0 ? axis + logits.rank() : axis;
-  TFJS_ARG_CHECK(norm == logits.rank() - 1,
-                 "softmax currently supports the last axis only");
+  TFJS_SHAPE_CHECK(norm == logits.rank() - 1,
+                   "softmax currently supports the last axis only");
+  internal::KernelScope k("softmax");
   Tensor y;
   {
     internal::TapePause pause;
@@ -26,7 +27,7 @@ Tensor softmax(const Tensor& logits, int axis) {
     e.dispose();
     denom.dispose();
   }
-  E().onKernelDispatched("softmax", y);
+  k.notify(y);
   const int lastAxis = norm;
   record("softmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
     // dx = (dy - sum(dy * y, axis, keep)) * y
@@ -43,8 +44,9 @@ Tensor softmax(const Tensor& logits, int axis) {
 
 Tensor logSoftmax(const Tensor& logits, int axis) {
   const int norm = axis < 0 ? axis + logits.rank() : axis;
-  TFJS_ARG_CHECK(norm == logits.rank() - 1,
-                 "logSoftmax currently supports the last axis only");
+  TFJS_SHAPE_CHECK(norm == logits.rank() - 1,
+                   "logSoftmax currently supports the last axis only");
+  internal::KernelScope k("logSoftmax");
   Tensor y;
   {
     internal::TapePause pause;
@@ -61,7 +63,7 @@ Tensor logSoftmax(const Tensor& logits, int axis) {
     denom.dispose();
     logDenom.dispose();
   }
-  E().onKernelDispatched("logSoftmax", y);
+  k.notify(y);
   const int lastAxis = norm;
   record("logSoftmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
     // dx = dy - softmax(x) * sum(dy, axis, keep)

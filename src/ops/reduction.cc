@@ -78,6 +78,7 @@ ReducePlan plan(const Tensor& x, std::span<const int> axesIn, bool keepDims) {
 
 Tensor dispatchReduce(const char* name, ReduceOp op, const Tensor& x,
                       std::span<const int> axes, bool keepDims, DType dtype) {
+  internal::KernelScope k(name);
   internal::TapePause pause;
   ReducePlan p = plan(x, axes, keepDims);
   const TensorSpec spec = E().prepareInput(p.prepared);
@@ -87,7 +88,7 @@ Tensor dispatchReduce(const char* name, ReduceOp op, const Tensor& x,
   Tensor y = flat.reshape(p.outShape);
   flat.dispose();
   p.prepared.dispose();
-  E().onKernelDispatched(name, y);
+  k.notify(y);
   return y;
 }
 
@@ -200,11 +201,12 @@ Tensor all(const Tensor& x, std::span<const int> axes, bool keepDims) {
 
 namespace {
 Tensor dispatchArg(const char* name, ArgOp op, const Tensor& x, int axis) {
+  internal::KernelScope k(name);
   internal::TapePause pause;
   const int norm = axis < 0 ? axis + x.rank() : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm < x.rank(),
-                 name << ": axis " << axis << " out of range for rank "
-                      << x.rank());
+  TFJS_SHAPE_CHECK(norm >= 0 && norm < x.rank(),
+                   name << ": axis " << axis << " out of range for rank "
+                        << x.rank());
   const std::array<int, 1> axes{norm};
   ReducePlan p = plan(x, axes, /*keepDims=*/false);
   const TensorSpec spec = E().prepareInput(p.prepared);
@@ -214,7 +216,7 @@ Tensor dispatchArg(const char* name, ArgOp op, const Tensor& x, int axis) {
   Tensor y = flat.reshape(p.outShape);
   flat.dispose();
   p.prepared.dispose();
-  E().onKernelDispatched(name, y);
+  k.notify(y);
   return y;
 }
 }  // namespace

@@ -17,7 +17,7 @@ Tensor reshape(const Tensor& x, const Shape& shape) {
   std::size_t known = 1;
   for (int i = 0; i < static_cast<int>(dims.size()); ++i) {
     if (dims[static_cast<std::size_t>(i)] == -1) {
-      TFJS_ARG_CHECK(inferAxis == -1, "reshape allows at most one -1 dim");
+      TFJS_SHAPE_CHECK(inferAxis == -1, "reshape allows at most one -1 dim");
       inferAxis = i;
     } else {
       known *= static_cast<std::size_t>(dims[static_cast<std::size_t>(i)]);
@@ -25,9 +25,9 @@ Tensor reshape(const Tensor& x, const Shape& shape) {
   }
   Shape target = shape;
   if (inferAxis >= 0) {
-    TFJS_ARG_CHECK(known > 0 && x.size() % known == 0,
-                   "reshape cannot infer dim: " << x.size()
-                       << " elements into " << shape.toString());
+    TFJS_SHAPE_CHECK(known > 0 && x.size() % known == 0,
+                     "reshape cannot infer dim: " << x.size()
+                         << " elements into " << shape.toString());
     dims[static_cast<std::size_t>(inferAxis)] =
         static_cast<int>(x.size() / known);
     target = Shape(dims);
@@ -46,17 +46,18 @@ Tensor transpose(const Tensor& x, std::span<const int> permIn) {
     perm.resize(static_cast<std::size_t>(x.rank()));
     std::iota(perm.rbegin(), perm.rend(), 0);
   }
-  TFJS_ARG_CHECK(static_cast<int>(perm.size()) == x.rank(),
-                 "transpose perm length " << perm.size()
-                     << " != rank " << x.rank());
+  TFJS_SHAPE_CHECK(static_cast<int>(perm.size()) == x.rank(),
+                   "transpose perm length " << perm.size()
+                       << " != rank " << x.rank());
   std::vector<int> outDims(perm.size());
   for (std::size_t i = 0; i < perm.size(); ++i) {
     outDims[i] = x.shape()[perm[i]];
   }
   const Shape outShape(outDims);
+  internal::KernelScope k("transpose");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().transpose(sx, perm, outShape);
-  Tensor y = internal::wrapOutput("transpose", id, outShape, x.dtype());
+  Tensor y = k.wrap(id, outShape, x.dtype());
   record("transpose", {x}, y, [x, perm](const Tensor& dy) {
     std::vector<int> inverse(perm.size());
     for (std::size_t i = 0; i < perm.size(); ++i) {
@@ -69,16 +70,16 @@ Tensor transpose(const Tensor& x, std::span<const int> permIn) {
 
 Tensor slice(const Tensor& x, std::span<const int> begin,
              std::span<const int> size) {
-  TFJS_ARG_CHECK(static_cast<int>(begin.size()) == x.rank() &&
-                     static_cast<int>(size.size()) == x.rank(),
-                 "slice begin/size must match rank " << x.rank());
+  TFJS_SHAPE_CHECK(static_cast<int>(begin.size()) == x.rank() &&
+                       static_cast<int>(size.size()) == x.rank(),
+                   "slice begin/size must match rank " << x.rank());
   std::vector<int> outDims(size.begin(), size.end());
   for (int d = 0; d < x.rank(); ++d) {
     if (outDims[static_cast<std::size_t>(d)] == -1) {
       outDims[static_cast<std::size_t>(d)] =
           x.shape()[d] - begin[static_cast<std::size_t>(d)];
     }
-    TFJS_ARG_CHECK(
+    TFJS_SHAPE_CHECK(
         begin[static_cast<std::size_t>(d)] >= 0 &&
             begin[static_cast<std::size_t>(d)] +
                     outDims[static_cast<std::size_t>(d)] <=
@@ -87,9 +88,10 @@ Tensor slice(const Tensor& x, std::span<const int> begin,
                                        << x.shape().toString());
   }
   const Shape outShape(outDims);
+  internal::KernelScope k("slice");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().slice(sx, begin, outShape);
-  Tensor y = internal::wrapOutput("slice", id, outShape, x.dtype());
+  Tensor y = k.wrap(id, outShape, x.dtype());
   const std::vector<int> beginV(begin.begin(), begin.end());
   record("slice", {x}, y, [x, beginV](const Tensor& dy) {
     std::vector<std::pair<int, int>> pads(
@@ -109,25 +111,28 @@ Tensor concat(std::span<const Tensor> xs, int axis) {
   TFJS_ARG_CHECK(!xs.empty(), "concat requires at least one tensor");
   const int rank = xs[0].rank();
   const int norm = axis < 0 ? axis + rank : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm < rank,
-                 "concat axis " << axis << " out of range for rank " << rank);
+  TFJS_SHAPE_CHECK(norm >= 0 && norm < rank,
+                   "concat axis " << axis << " out of range for rank "
+                                  << rank);
+  internal::KernelScope k("concat");
   std::vector<int> outDims = xs[0].shape().dims();
   std::vector<TensorSpec> specs;
   specs.reserve(xs.size());
   specs.push_back(E().prepareInput(xs[0]));
   for (std::size_t i = 1; i < xs.size(); ++i) {
-    TFJS_ARG_CHECK(xs[i].rank() == rank, "concat rank mismatch");
+    TFJS_SHAPE_CHECK(xs[i].rank() == rank, "concat rank mismatch");
     for (int d = 0; d < rank; ++d) {
       if (d == norm) continue;
-      TFJS_ARG_CHECK(xs[i].shape()[d] == outDims[static_cast<std::size_t>(d)],
-                     "concat shape mismatch on axis " << d);
+      TFJS_SHAPE_CHECK(
+          xs[i].shape()[d] == outDims[static_cast<std::size_t>(d)],
+          "concat shape mismatch on axis " << d);
     }
     outDims[static_cast<std::size_t>(norm)] += xs[i].shape()[norm];
     specs.push_back(E().prepareInput(xs[i]));
   }
   const Shape outShape(outDims);
   const DataId id = E().backend().concat(specs, norm, outShape);
-  Tensor y = internal::wrapOutput("concat", id, outShape, xs[0].dtype());
+  Tensor y = k.wrap(id, outShape, xs[0].dtype());
 
   if (TapeRecorder* tape = E().tape()) {
     std::vector<Tensor> ins(xs.begin(), xs.end());
@@ -182,11 +187,11 @@ std::vector<Tensor> unstack(const Tensor& x, int axis) {
 
 std::vector<Tensor> split(const Tensor& x, int numSplits, int axis) {
   const int norm = axis < 0 ? axis + x.rank() : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm < x.rank(), "split axis out of range");
+  TFJS_SHAPE_CHECK(norm >= 0 && norm < x.rank(), "split axis out of range");
   const int dim = x.shape()[norm];
-  TFJS_ARG_CHECK(numSplits > 0 && dim % numSplits == 0,
-                 "split: axis size " << dim << " not divisible by "
-                                     << numSplits);
+  TFJS_SHAPE_CHECK(numSplits > 0 && dim % numSplits == 0,
+                   "split: axis size " << dim << " not divisible by "
+                                       << numSplits);
   const int part = dim / numSplits;
   std::vector<Tensor> out;
   for (int i = 0; i < numSplits; ++i) {
@@ -201,8 +206,8 @@ std::vector<Tensor> split(const Tensor& x, int numSplits, int axis) {
 
 Tensor pad(const Tensor& x, std::span<const std::pair<int, int>> paddings,
            float constantValue) {
-  TFJS_ARG_CHECK(static_cast<int>(paddings.size()) == x.rank(),
-                 "pad expects one (before, after) pair per axis");
+  TFJS_SHAPE_CHECK(static_cast<int>(paddings.size()) == x.rank(),
+                   "pad expects one (before, after) pair per axis");
   std::vector<int> outDims = x.shape().dims();
   for (int d = 0; d < x.rank(); ++d) {
     const auto& [before, after] = paddings[static_cast<std::size_t>(d)];
@@ -210,9 +215,10 @@ Tensor pad(const Tensor& x, std::span<const std::pair<int, int>> paddings,
     outDims[static_cast<std::size_t>(d)] += before + after;
   }
   const Shape outShape(outDims);
+  internal::KernelScope k("pad");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pad(sx, paddings, constantValue, outShape);
-  Tensor y = internal::wrapOutput("pad", id, outShape, x.dtype());
+  Tensor y = k.wrap(id, outShape, x.dtype());
   const std::vector<std::pair<int, int>> padsV(paddings.begin(),
                                                paddings.end());
   record("pad", {x}, y, [x, padsV](const Tensor& dy) {
@@ -228,16 +234,17 @@ Tensor pad(const Tensor& x, std::span<const std::pair<int, int>> paddings,
 
 Tensor gather(const Tensor& x, const Tensor& indices, int axis) {
   const int norm = axis < 0 ? axis + x.rank() : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm < x.rank(), "gather axis out of range");
-  TFJS_ARG_CHECK(indices.rank() == 1, "gather expects 1-D indices");
+  TFJS_SHAPE_CHECK(norm >= 0 && norm < x.rank(), "gather axis out of range");
+  TFJS_SHAPE_CHECK(indices.rank() == 1, "gather expects 1-D indices");
   std::vector<int> outDims = x.shape().dims();
   outDims[static_cast<std::size_t>(norm)] =
       static_cast<int>(indices.size());
   const Shape outShape(outDims);
+  internal::KernelScope k("gather");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec si = E().prepareInput(indices);
   const DataId id = E().backend().gather(sx, si, norm, outShape);
-  Tensor y = internal::wrapOutput("gather", id, outShape, x.dtype());
+  Tensor y = k.wrap(id, outShape, x.dtype());
   if (norm == 0) {
     // Scatter-add adjoint expressed as a one-hot matmul (axis 0 only — the
     // embedding-lookup case): dx = oneHot(indices)^T · dy. The indices are
@@ -261,8 +268,8 @@ Tensor gather(const Tensor& x, const Tensor& indices, int axis) {
 }
 
 Tensor tile(const Tensor& x, std::span<const int> reps) {
-  TFJS_ARG_CHECK(static_cast<int>(reps.size()) == x.rank(),
-                 "tile expects one repetition count per axis");
+  TFJS_SHAPE_CHECK(static_cast<int>(reps.size()) == x.rank(),
+                   "tile expects one repetition count per axis");
   std::vector<int> outDims = x.shape().dims();
   for (int d = 0; d < x.rank(); ++d) {
     TFJS_ARG_CHECK(reps[static_cast<std::size_t>(d)] >= 1,
@@ -270,16 +277,18 @@ Tensor tile(const Tensor& x, std::span<const int> reps) {
     outDims[static_cast<std::size_t>(d)] *= reps[static_cast<std::size_t>(d)];
   }
   const Shape outShape(outDims);
+  internal::KernelScope k("tile");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().tile(sx, reps, outShape);
-  return internal::wrapOutput("tile", id, outShape, x.dtype());
+  return k.wrap(id, outShape, x.dtype());
 }
 
 Tensor reverse(const Tensor& x, std::span<const int> axes) {
   const std::vector<int> norm = util::normalizeAxes(axes, x.rank());
+  internal::KernelScope k("reverse");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().reverse(sx, norm);
-  Tensor y = internal::wrapOutput("reverse", id, x.shape(), x.dtype());
+  Tensor y = k.wrap(id, x.shape(), x.dtype());
   record("reverse", {x}, y, [norm](const Tensor& dy) {
     return std::vector<Tensor>{reverse(dy, norm)};
   });
@@ -288,8 +297,8 @@ Tensor reverse(const Tensor& x, std::span<const int> axes) {
 
 Tensor expandDims(const Tensor& x, int axis) {
   const int norm = axis < 0 ? axis + x.rank() + 1 : axis;
-  TFJS_ARG_CHECK(norm >= 0 && norm <= x.rank(),
-                 "expandDims axis out of range");
+  TFJS_SHAPE_CHECK(norm >= 0 && norm <= x.rank(),
+                   "expandDims axis out of range");
   std::vector<int> dims = x.shape().dims();
   dims.insert(dims.begin() + norm, 1);
   return reshape(x, Shape(dims));
@@ -299,22 +308,24 @@ Tensor squeeze(const Tensor& x) { return reshape(x, x.shape().squeezed()); }
 
 Tensor resizeBilinear(const Tensor& x, int newH, int newW,
                       bool alignCorners) {
-  TFJS_ARG_CHECK(x.rank() == 4, "resizeBilinear expects NHWC input");
+  TFJS_SHAPE_CHECK(x.rank() == 4, "resizeBilinear expects NHWC input");
   TFJS_ARG_CHECK(newH > 0 && newW > 0, "resizeBilinear size must be > 0");
+  internal::KernelScope k("resizeBilinear");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().resizeBilinear(sx, newH, newW, alignCorners);
   const Shape outShape{x.shape()[0], newH, newW, x.shape()[3]};
-  return internal::wrapOutput("resizeBilinear", id, outShape, x.dtype());
+  return k.wrap(id, outShape, x.dtype());
 }
 
 Tensor oneHot(const Tensor& indices, int depth, float onValue,
               float offValue) {
   TFJS_ARG_CHECK(depth > 0, "oneHot depth must be > 0");
+  internal::KernelScope k("oneHot");
   const TensorSpec si = E().prepareInput(indices);
   const DataId id = E().backend().oneHot(si, depth, onValue, offValue);
   std::vector<int> outDims = indices.shape().dims();
   outDims.push_back(depth);
-  return internal::wrapOutput("oneHot", id, Shape(outDims), DType::f32);
+  return k.wrap(id, Shape(outDims), DType::f32);
 }
 
 }  // namespace tfjs::ops

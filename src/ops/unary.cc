@@ -10,9 +10,10 @@ namespace {
 
 Tensor dispatch(const char* name, UnaryOp op, const Tensor& x, float alpha = 0,
                 float beta = 0, DType outDtype = DType::f32) {
+  internal::KernelScope k(name);
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().unary(op, sx, alpha, beta);
-  return internal::wrapOutput(name, id, sx.shape, outDtype);
+  return k.wrap(id, sx.shape, outDtype);
 }
 
 }  // namespace

@@ -1,0 +1,448 @@
+// Tracing + metrics subsystem tests (DESIGN.md "Observability"):
+//  * Span/Recorder basics: ring buffer, capacity, drop counting;
+//  * spans nest: chunk spans land inside their parallelFor span, on pool
+//    worker threads;
+//  * metrics survive a backend switch (process-wide registry);
+//  * TraceExporter output round-trips through the io::Json parser;
+//  * profile()/time() as views over the trace stream, including parity of
+//    the per-kernel record list for a MobileNet pass with tracing on vs off;
+//  * typed error categories (ShapeError, BackendError);
+//  * TimingInfo/ProfileInfo toString / operator<<.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/thread_pool.h"
+#include "core/trace.h"
+#include "io/json.h"
+#include "models/mobilenet.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+/// Enables the ring recorder for one test and restores a clean state after.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setBackend("native");
+    trace::Recorder::get().setCapacity(1 << 16);
+    trace::Recorder::get().clear();
+    trace::Recorder::get().setEnabled(true);
+  }
+  void TearDown() override {
+    trace::Recorder::get().setEnabled(false);
+    trace::Recorder::get().clear();
+  }
+
+  static std::vector<trace::Event> eventsNamed(
+      const std::vector<trace::Event>& events, const std::string& name) {
+    std::vector<trace::Event> out;
+    for (const auto& e : events) {
+      if (e.name == name) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ recorder
+
+TEST_F(TraceTest, GateIsOffWhenNoConsumer) {
+  trace::Recorder::get().setEnabled(false);
+  EXPECT_FALSE(trace::active());
+  trace::Recorder::get().setEnabled(true);
+  EXPECT_TRUE(trace::active());
+}
+
+TEST_F(TraceTest, SpanRecordsDurationAndThreadId) {
+  { trace::Span s("api", "unit-test-span"); }
+  auto spans = eventsNamed(trace::Recorder::get().snapshot(),
+                           "unit-test-span");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].type, trace::Event::Type::kSpan);
+  EXPECT_STREQ(spans[0].category, "api");
+  EXPECT_GE(spans[0].durUs, 0.0);
+  EXPECT_GE(spans[0].tsUs, 0.0);
+}
+
+TEST_F(TraceTest, RingDropsOldestWhenFull) {
+  trace::Recorder::get().setCapacity(8);
+  for (int i = 0; i < 20; ++i) {
+    trace::instant("api", "instant-" + std::to_string(i));
+  }
+  auto events = trace::Recorder::get().snapshot();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(trace::Recorder::get().dropped(), 12u);
+  // Oldest-first order, holding the most recent events.
+  EXPECT_EQ(events.front().name, "instant-12");
+  EXPECT_EQ(events.back().name, "instant-19");
+}
+
+TEST_F(TraceTest, InertWhenDisabled) {
+  trace::Recorder::get().setEnabled(false);
+  {
+    trace::Span s("api", "ghost");
+    EXPECT_FALSE(s.live());
+    EXPECT_EQ(s.mutableEvent(), nullptr);
+  }
+  trace::instant("api", "ghost");
+  trace::Recorder::get().setEnabled(true);
+  EXPECT_TRUE(trace::Recorder::get().snapshot().empty());
+}
+
+// ------------------------------------------------- spans nest / threads
+
+TEST_F(TraceTest, ChunkSpansNestUnderParallelForSpan) {
+  const int prevThreads = core::ThreadPool::get().numThreads();
+  core::ThreadPool::get().setNumThreads(4);
+  core::ThreadPool::get().parallelFor(400, 100, [](std::size_t, std::size_t) {
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+    (void)sink;
+  });
+  core::ThreadPool::get().setNumThreads(prevThreads);
+
+  auto events = trace::Recorder::get().snapshot();
+  auto jobs = eventsNamed(events, "parallelFor");
+  auto chunks = eventsNamed(events, "chunk");
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(chunks.size(), 4u);
+  const trace::Event& job = jobs[0];
+  EXPECT_STREQ(job.category, "pool");
+  std::set<int> tids;
+  for (const auto& c : chunks) {
+    EXPECT_STREQ(c.category, "pool");
+    // Every chunk span lies inside the enclosing parallelFor span.
+    EXPECT_GE(c.tsUs, job.tsUs);
+    EXPECT_LE(c.tsUs + c.durUs, job.tsUs + job.durUs + 1.0 /*rounding*/);
+    tids.insert(c.tid);
+  }
+  // With 4 threads and 4 chunks, at least the caller ran chunks; typically
+  // workers did too. Thread ids must be valid dense ids either way.
+  for (int tid : tids) EXPECT_GE(tid, 0);
+  EXPECT_GE(tids.size(), 1u);
+}
+
+TEST_F(TraceTest, OpSpanWrapsKernelSpan) {
+  Tensor a = o::randomNormal(Shape{64, 64}, 0, 1, 7);
+  Tensor b = o::matMul(a, a);
+  b.dataSync();
+  auto events = trace::Recorder::get().snapshot();
+  auto opSpans = eventsNamed(events, "matMul");
+  auto kernelSpans = eventsNamed(events, "native.matMul");
+  ASSERT_GE(opSpans.size(), 1u);
+  ASSERT_GE(kernelSpans.size(), 1u);
+  const trace::Event& op = opSpans.back();
+  const trace::Event& kernel = kernelSpans.back();
+  EXPECT_STREQ(op.category, "op");
+  EXPECT_STREQ(kernel.category, "kernel");
+  // The backend kernel executed inside the op-level span.
+  EXPECT_GE(kernel.tsUs + 1.0, op.tsUs);
+  EXPECT_LE(kernel.tsUs + kernel.durUs, op.tsUs + op.durUs + 1.0);
+  // Op events carry kernel metadata.
+  EXPECT_EQ(op.shape.toString(), Shape({64, 64}).toString());
+  EXPECT_EQ(op.bytes, 64u * 64u * 4u);
+  EXPECT_EQ(op.backend, "native");
+  EXPECT_GE(op.threads, 1);
+  a.dispose();
+  b.dispose();
+}
+
+// ----------------------------------------------------------- metrics
+
+TEST_F(TraceTest, MetricsSurviveBackendSwitch) {
+  metrics::Counter& dispatched =
+      metrics::Registry::get().counter("engine.kernels_dispatched");
+  const std::uint64_t before = dispatched.value();
+
+  setBackend("cpu");
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{4});
+  Tensor b = o::addScalar(a, 1);
+  const std::uint64_t afterCpu = dispatched.value();
+  EXPECT_GT(afterCpu, before);
+
+  setBackend("native");
+  Tensor c = o::addScalar(b, 1);
+  EXPECT_GT(dispatched.value(), afterCpu);
+
+  a.dispose();
+  b.dispose();
+  c.dispose();
+}
+
+TEST_F(TraceTest, BytesUploadedAndDownloadedCount) {
+  metrics::Counter& up =
+      metrics::Registry::get().counter("backend.bytes_uploaded");
+  metrics::Counter& down =
+      metrics::Registry::get().counter("backend.bytes_downloaded");
+  const std::uint64_t up0 = up.value();
+  const std::uint64_t down0 = down.value();
+  Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{6});
+  EXPECT_GE(up.value(), up0 + 6 * 4);
+  a.dataSync();
+  EXPECT_GE(down.value(), down0 + 6 * 4);
+  a.dispose();
+}
+
+TEST_F(TraceTest, HistogramBucketsAndMean) {
+  metrics::Histogram& h =
+      metrics::Registry::get().histogram("test.trace_hist");
+  h.reset();
+  h.observe(0.0005);  // below first bound
+  h.observe(1.0);
+  h.observe(3.0);
+  metrics::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum, 4.0005, 1e-9);
+  EXPECT_NEAR(s.mean(), 4.0005 / 3, 1e-9);
+  std::size_t total = 0;
+  for (std::uint64_t b : s.buckets) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(TraceTest, RegistryJsonParses) {
+  metrics::Registry::get().counter("test.json_counter").inc(3);
+  metrics::Registry::get().gauge("test.json_gauge").set(-7);
+  metrics::Registry::get().histogram("test.json_hist").observe(0.5);
+  io::Json doc = io::Json::parse(metrics::Registry::get().toJsonString());
+  EXPECT_EQ(doc.at("counters").at("test.json_counter").asDouble(), 3.0);
+  EXPECT_EQ(doc.at("gauges").at("test.json_gauge").asDouble(), -7.0);
+  EXPECT_EQ(doc.at("histograms").at("test.json_hist").at("count").asDouble(),
+            1.0);
+}
+
+// ------------------------------------------------------------- export
+
+TEST_F(TraceTest, ExportRoundTripsThroughJsonParser) {
+  Tensor a = o::randomNormal(Shape{32, 32}, 0, 1, 3);
+  Tensor b = o::relu(o::matMul(a, a));
+  b.dataSync();
+  trace::counter("test.export_counter", 42);
+  trace::instant("api", "export \"quoted\"\nname");  // exercises escaping
+
+  const std::string json =
+      trace::TraceExporter::toJson(trace::Recorder::get().snapshot());
+  io::Json doc = io::Json::parse(json);  // throws on malformed output
+
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const io::JsonArray& events = doc.at("traceEvents").asArray();
+  EXPECT_GE(events.size(), 4u);
+  bool sawMatMul = false, sawCounter = false, sawInstant = false;
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").asString();
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C");
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("tid"));
+    if (e.at("name").asString() == "matMul" && ph == "X") {
+      sawMatMul = true;
+      EXPECT_EQ(e.at("cat").asString(), "op");
+      EXPECT_TRUE(e.has("dur"));
+      EXPECT_EQ(e.at("args").at("shape").asString(), "[32,32]");
+      EXPECT_EQ(e.at("args").at("bytes").asDouble(), 32 * 32 * 4);
+      EXPECT_EQ(e.at("args").at("backend").asString(), "native");
+    }
+    if (e.at("name").asString() == "test.export_counter") {
+      sawCounter = true;
+      EXPECT_EQ(ph, "C");
+      // Chrome's counter convention: args maps the series name to the value.
+      EXPECT_EQ(e.at("args").at("test.export_counter").asDouble(), 42.0);
+    }
+    if (ph == "i" && e.at("name").asString().find("quoted") !=
+                         std::string::npos) {
+      sawInstant = true;
+    }
+  }
+  EXPECT_TRUE(sawMatMul);
+  EXPECT_TRUE(sawCounter);
+  EXPECT_TRUE(sawInstant);
+  // otherData embeds the metrics registry + drop count.
+  EXPECT_TRUE(doc.at("otherData").has("metrics"));
+  EXPECT_TRUE(doc.at("otherData").has("dropped"));
+  a.dispose();
+  b.dispose();
+}
+
+TEST_F(TraceTest, ExportWritesLoadableFile) {
+  Tensor a = o::tensor({1, 2}, Shape{2});
+  Tensor b = o::addScalar(a, 1);
+  b.dataSync();
+  const std::string path = ::testing::TempDir() + "tfjs_trace_test.json";
+  ASSERT_TRUE(trace::TraceExporter::writeFile(path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  io::Json doc = io::Json::parse(buf.str());
+  EXPECT_GE(doc.at("traceEvents").asArray().size(), 1u);
+  a.dispose();
+  b.dispose();
+}
+
+// ----------------------------------------- time / profile as trace views
+
+TEST_F(TraceTest, ScopeObservesEventsWithoutRing) {
+  trace::Recorder::get().setEnabled(false);  // ring off; Scope alone gates
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  std::vector<trace::Event> seen;
+  {
+    instrumentation::Scope scope("unit");
+    EXPECT_TRUE(trace::active());
+    Tensor b = o::addScalar(a, 1);
+    b.dispose();
+    seen = scope.events();
+  }
+  EXPECT_FALSE(trace::active());
+  bool sawAdd = false;
+  for (const auto& e : seen) sawAdd |= (e.name == "add");
+  EXPECT_TRUE(sawAdd);
+  // The ring stayed empty: the Scope was the only consumer.
+  EXPECT_TRUE(trace::Recorder::get().snapshot().empty());
+  a.dispose();
+}
+
+TEST_F(TraceTest, ProfileRecordsStartAndWallTimes) {
+  Tensor a = o::randomNormal(Shape{64, 64}, 0, 1, 9);
+  ProfileInfo info = profile([&] {
+    tidyVoid([&] {
+      Tensor h = o::relu(o::matMul(a, a));
+      h.dataSync();
+    });
+  });
+  ASSERT_GE(info.kernels.size(), 2u);
+  EXPECT_GT(info.wallMs, 0.0);
+  double prevStart = -1;
+  for (const auto& k : info.kernels) {
+    EXPECT_GE(k.startMs, 0.0);
+    EXPECT_GE(k.startMs, prevStart);  // records come out in time order
+    prevStart = k.startMs;
+    EXPECT_GE(k.wallMs, 0.0);
+    EXPECT_LE(k.startMs, info.wallMs + 1.0);
+    EXPECT_EQ(k.backend, "native");
+    EXPECT_GE(k.threads, 1);
+  }
+  a.dispose();
+}
+
+TEST_F(TraceTest, ProfileKernelListMatchesMobileNetPassWithTracingOff) {
+  // profile() must report the same kernel sequence whether or not the ring
+  // recorder is running — it is a view over the same stream the ring sees.
+  models::MobileNetOptions opts;
+  opts.alpha = 0.25f;
+  opts.inputSize = 64;
+  opts.numClasses = 10;
+  auto model = models::buildMobileNetV1(opts);
+  Tensor x = o::randomNormal(Shape{1, opts.inputSize, opts.inputSize, 3},
+                             0, 1, 11);
+
+  auto run = [&] {
+    tidyVoid([&] {
+      Tensor y = model->predict(x);
+      y.dataSync();
+    });
+  };
+  run();  // warm-up: builds the model outside the measured passes
+
+  trace::Recorder::get().setEnabled(false);
+  ProfileInfo off = profile(run);
+  trace::Recorder::get().clear();
+  trace::Recorder::get().setEnabled(true);
+  ProfileInfo on = profile(run);
+
+  ASSERT_GT(off.kernels.size(), 20u);  // a real multi-layer pass
+  ASSERT_EQ(off.kernels.size(), on.kernels.size());
+  for (std::size_t i = 0; i < off.kernels.size(); ++i) {
+    EXPECT_EQ(off.kernels[i].name, on.kernels[i].name) << "at kernel " << i;
+    EXPECT_EQ(off.kernels[i].outputShape.toString(),
+              on.kernels[i].outputShape.toString());
+  }
+
+  // With the ring on, every dispatched kernel produced >= 1 "op" span.
+  auto events = trace::Recorder::get().snapshot();
+  std::size_t opSpans = 0;
+  for (const auto& e : events) {
+    if (e.type == trace::Event::Type::kSpan &&
+        std::string_view(e.category) == "op") {
+      ++opSpans;
+    }
+  }
+  EXPECT_GE(opSpans, on.kernels.size());
+  x.dispose();
+}
+
+TEST_F(TraceTest, TimeMatchesSeedSemantics) {
+  Tensor a = o::randomNormal(Shape{64, 64}, 0, 1, 5);
+  TimingInfo t = time([&] {
+    Tensor b = o::matMul(a, a);
+    b.dataSync();
+    b.dispose();
+  });
+  EXPECT_GT(t.wallMs, 0.0);
+  EXPECT_GT(t.kernelMs, 0.0);
+  EXPECT_GE(t.wallMs + 0.5, t.kernelMs);  // kernel time is within the wall
+  a.dispose();
+}
+
+// ----------------------------------------------------- error categories
+
+TEST_F(TraceTest, ShapeErrorIsAnInvalidArgumentError) {
+  Tensor a = o::tensor({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  Tensor b = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  EXPECT_THROW(o::matMul(a, b), ShapeError);
+  try {
+    o::matMul(a, b);
+    FAIL() << "expected ShapeError";
+  } catch (const InvalidArgumentError& e) {
+    // Callers that only know the seed hierarchy keep working.
+    EXPECT_NE(std::string(e.what()).find("matMul"), std::string::npos);
+  }
+  a.dispose();
+  b.dispose();
+}
+
+TEST_F(TraceTest, BackendErrorOnUnknownDataId) {
+  EXPECT_THROW(Engine::get().backend().read(static_cast<DataId>(999999)),
+               BackendError);
+}
+
+// ----------------------------------------------------------- toString
+
+TEST_F(TraceTest, TimingInfoToString) {
+  TimingInfo t;
+  t.wallMs = 12.5;
+  t.kernelMs = 3.25;
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), s);
+}
+
+TEST_F(TraceTest, ProfileInfoToStringListsKernels) {
+  Tensor a = o::tensor({1, 2, 3, 4}, Shape{2, 2});
+  ProfileInfo info = profile([&] {
+    Tensor b = o::addScalar(a, 1);
+    b.dispose();
+  });
+  const std::string s = info.toString();
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("kernels"), std::string::npos);
+  std::ostringstream os;
+  os << info;
+  EXPECT_EQ(os.str(), s);
+  a.dispose();
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -7,6 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
-cmake --build build-tsan -j --target thread_pool_test native_parity_test
+cmake --build build-tsan -j --target thread_pool_test native_parity_test \
+  trace_test
 cd build-tsan
-ctest --output-on-failure -R 'thread_pool_test|native_parity_test'
+ctest --output-on-failure -R 'thread_pool_test|native_parity_test|trace_test'

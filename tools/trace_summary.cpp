@@ -1,0 +1,135 @@
+// trace_summary: aggregates a chrome://tracing JSON file produced by
+// tfjs::trace::TraceExporter (or any TFJS_TRACE=<file> run) into a per-event
+// table: count, total/mean wall time and share of traced time, grouped by
+// (category, name). Also prints the metrics snapshot embedded under
+// otherData.metrics and the dropped-event count.
+//
+// Usage:  trace_summary <trace.json>
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/io/json.h"
+
+namespace {
+
+struct Agg {
+  std::size_t count = 0;
+  double totalUs = 0;
+  double maxUs = 0;
+};
+
+void printMetricsObject(const tfjs::io::Json& metrics) {
+  if (metrics.has("counters")) {
+    for (const auto& [name, value] : metrics.at("counters").asObject()) {
+      std::printf("  counter    %-28s %12.0f\n", name.c_str(),
+                  value.asDouble());
+    }
+  }
+  if (metrics.has("gauges")) {
+    for (const auto& [name, value] : metrics.at("gauges").asObject()) {
+      std::printf("  gauge      %-28s %12.0f\n", name.c_str(),
+                  value.asDouble());
+    }
+  }
+  if (metrics.has("histograms")) {
+    for (const auto& [name, h] : metrics.at("histograms").asObject()) {
+      std::printf("  histogram  %-28s count=%-8.0f mean=%.4f ms\n",
+                  name.c_str(), h.at("count").asDouble(),
+                  h.has("mean") ? h.at("mean").asDouble() : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream f(argv[1]);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  tfjs::io::Json doc;
+  try {
+    doc = tfjs::io::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s is not valid JSON: %s\n", argv[1],
+                 e.what());
+    return 1;
+  }
+  if (!doc.has("traceEvents")) {
+    std::fprintf(stderr, "error: %s has no traceEvents array\n", argv[1]);
+    return 1;
+  }
+
+  // key = "category/name"; spans aggregate duration, instants/counters count.
+  std::map<std::string, Agg> spans;
+  std::map<std::string, Agg> others;
+  double spanTotalUs = 0;
+  std::size_t numEvents = 0;
+  for (const auto& e : doc.at("traceEvents").asArray()) {
+    if (!e.isObject() || !e.has("ph") || !e.has("name")) continue;
+    ++numEvents;
+    const std::string cat = e.has("cat") ? e.at("cat").asString() : "?";
+    const std::string key = cat + "/" + e.at("name").asString();
+    const std::string& ph = e.at("ph").asString();
+    if (ph == "X") {
+      const double durUs = e.has("dur") ? e.at("dur").asDouble() : 0;
+      Agg& a = spans[key];
+      ++a.count;
+      a.totalUs += durUs;
+      a.maxUs = std::max(a.maxUs, durUs);
+      spanTotalUs += durUs;
+    } else {
+      ++others[key].count;
+    }
+  }
+
+  std::printf("%s: %zu events\n\n", argv[1], numEvents);
+
+  // Spans, heaviest first.
+  std::vector<std::pair<std::string, Agg>> rows(spans.begin(), spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.totalUs > b.second.totalUs;
+  });
+  std::printf("%-36s %8s %12s %10s %10s %7s\n", "span (cat/name)", "count",
+              "total ms", "mean ms", "max ms", "share");
+  for (const auto& [key, a] : rows) {
+    std::printf("%-36s %8zu %12.3f %10.4f %10.4f %6.1f%%\n", key.c_str(),
+                a.count, a.totalUs / 1000.0,
+                a.totalUs / 1000.0 / static_cast<double>(a.count),
+                a.maxUs / 1000.0,
+                spanTotalUs > 0 ? 100.0 * a.totalUs / spanTotalUs : 0.0);
+  }
+
+  if (!others.empty()) {
+    std::printf("\n%-36s %8s\n", "instants / counters", "count");
+    for (const auto& [key, a] : others) {
+      std::printf("%-36s %8zu\n", key.c_str(), a.count);
+    }
+  }
+
+  if (doc.has("otherData")) {
+    const auto& other = doc.at("otherData");
+    if (other.has("dropped") && other.at("dropped").asDouble() > 0) {
+      std::printf("\ndropped events (ring overflow): %.0f\n",
+                  other.at("dropped").asDouble());
+    }
+    if (other.has("metrics")) {
+      std::printf("\nmetrics snapshot:\n");
+      printMetricsObject(other.at("metrics"));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,330 @@
+// Allocation-reuse bench (ISSUE 5 acceptance gate): with the buffer pool,
+// in-place move-consuming ops and fused Dense/Conv epilogues enabled, a
+// steady-state pass must perform >= 50% fewer heap allocations than the
+// naive allocate-per-op idiom with the pool disabled — at bit-identical
+// outputs (the fused epilogue and in-place writes change where results are
+// stored, never what they are).
+//
+// Two workloads on the native backend:
+//  * chain  — a ~50-op elementwise chain on [256,256] (relu/add/mul),
+//    move-consuming in the optimized config so every op overwrites its
+//    input in place;
+//  * model  — a MobileNet-flavoured stack (two 1x1 convs + GAP + two Dense
+//    layers), fused layer path vs the manual matMul->add->activation
+//    composition.
+//
+// Heap allocations are counted at the pool: every backend buffer request
+// goes through BufferPool::acquire, so `misses + bypasses` is exactly the
+// number of operator-new float allocations.
+//
+// Emits BENCH_alloc.json at the repo root.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "backends/register.h"
+#include "core/buffer_pool.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "json_out.h"
+#include "layers/conv_layers.h"
+#include "layers/core_layers.h"
+#include "ops/ops.h"
+
+namespace o = tfjs::ops;
+using tfjs::Tensor;
+using tfjs::core::BufferPool;
+
+namespace {
+
+constexpr int kChainRounds = 16;  // 3 ops per round + head/tail ~ 50 ops
+
+// ------------------------------------------------------------------- chain
+
+/// Optimized idiom: move-consuming ops, every step writes into its input.
+std::vector<float> chainOptimized(const Tensor& x, const Tensor& one,
+                                  const Tensor& c, const Tensor& m) {
+  Tensor y = o::mul(x, one);
+  for (int i = 0; i < kChainRounds; ++i) {
+    y = o::relu(std::move(y));
+    y = o::add(std::move(y), c);
+    y = o::mul(std::move(y), m);
+  }
+  Tensor s = o::sum(y);
+  y.dispose();
+  const std::vector<float> out = s.dataSync();
+  s.dispose();
+  return out;
+}
+
+/// Naive idiom: allocate-per-op, dispose the previous intermediate.
+std::vector<float> chainBaseline(const Tensor& x, const Tensor& one,
+                                 const Tensor& c, const Tensor& m) {
+  Tensor y = o::mul(x, one);
+  const auto step = [&y](Tensor next) {
+    y.dispose();
+    y = next;
+  };
+  for (int i = 0; i < kChainRounds; ++i) {
+    step(o::relu(y));
+    step(o::add(y, c));
+    step(o::mul(y, m));
+  }
+  Tensor s = o::sum(y);
+  y.dispose();
+  const std::vector<float> out = s.dataSync();
+  s.dispose();
+  return out;
+}
+
+// ------------------------------------------------------------------- model
+
+struct ModelStack {
+  tfjs::layers::Conv2D conv1, conv2;
+  tfjs::layers::Dense dense1, dense2;
+
+  static tfjs::layers::Conv2DOptions convOpts(int filters) {
+    tfjs::layers::Conv2DOptions opts;
+    opts.filters = filters;
+    opts.kernelH = opts.kernelW = 1;  // 1x1 = the pointwise MobileNet conv
+    opts.activation = "relu";
+    return opts;
+  }
+  static tfjs::layers::DenseOptions denseOpts(int units,
+                                              const char* activation) {
+    tfjs::layers::DenseOptions opts;
+    opts.units = units;
+    opts.activation = activation;
+    return opts;
+  }
+
+  ModelStack()
+      : conv1(convOpts(64)), conv2(convOpts(64)),
+        dense1(denseOpts(128, "relu")), dense2(denseOpts(10, "sigmoid")) {}
+};
+
+/// Fused layer path: Dense/Conv2D route through fusedMatMul/fusedConv2d.
+std::vector<float> modelFused(const Tensor& x, ModelStack& stack) {
+  Tensor h1 = stack.conv1.apply(x);
+  Tensor h2 = stack.conv2.apply(h1);
+  h1.dispose();
+  Tensor g = o::mean(h2, std::array<int, 2>{1, 2});
+  h2.dispose();
+  Tensor d1 = stack.dense1.apply(g);
+  g.dispose();
+  Tensor d2 = stack.dense2.apply(d1);
+  d1.dispose();
+  Tensor s = o::sum(d2);
+  d2.dispose();
+  const std::vector<float> out = s.dataSync();
+  s.dispose();
+  return out;
+}
+
+/// Manual composition from the same weights — the pre-fusion op sequence
+/// the pattern matcher replaces. Must produce bit-identical values.
+std::vector<float> modelUnfused(const Tensor& x, ModelStack& stack) {
+  const auto convBlock = [](const Tensor& in, const tfjs::layers::Conv2D& l) {
+    const auto& w = l.weights();
+    Tensor y = o::conv2d(in, w[0].value(), 1, 1, tfjs::PadMode::kSame);
+    Tensor yb = o::add(y, w[1].value());
+    y.dispose();
+    Tensor r = o::relu(yb);
+    yb.dispose();
+    return r;
+  };
+  const auto denseBlock = [](const Tensor& in, const tfjs::layers::Dense& l,
+                             bool sigmoid) {
+    const auto& w = l.weights();
+    Tensor y = o::matMul(in, w[0].value());
+    Tensor yb = o::add(y, w[1].value());
+    y.dispose();
+    Tensor a = sigmoid ? o::sigmoid(yb) : o::relu(yb);
+    yb.dispose();
+    return a;
+  };
+  Tensor h1 = convBlock(x, stack.conv1);
+  Tensor h2 = convBlock(h1, stack.conv2);
+  h1.dispose();
+  Tensor g = o::mean(h2, std::array<int, 2>{1, 2});
+  h2.dispose();
+  Tensor d1 = denseBlock(g, stack.dense1, false);
+  g.dispose();
+  Tensor d2 = denseBlock(d1, stack.dense2, true);
+  d1.dispose();
+  Tensor s = o::sum(d2);
+  d2.dispose();
+  const std::vector<float> out = s.dataSync();
+  s.dispose();
+  return out;
+}
+
+// -------------------------------------------------------------- measurement
+
+/// Heap allocations performed by `fn`, as seen at the pool: misses allocate
+/// when the pool is on; every acquire is a bypass allocation when it is off.
+template <typename Fn>
+std::uint64_t allocsDuring(Fn&& fn) {
+  const auto before = BufferPool::get().stats();
+  fn();
+  const auto after = BufferPool::get().stats();
+  return (after.misses - before.misses) + (after.bypasses - before.bypasses);
+}
+
+template <typename Fn>
+double medianPassMs(Fn&& fn, int repeats) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+bool bitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+double reductionPct(std::uint64_t base, std::uint64_t opt) {
+  return base == 0 ? 0.0
+                   : 100.0 * (1.0 - static_cast<double>(opt) /
+                                        static_cast<double>(base));
+}
+
+// ------------------------------------------------- google-benchmark mirrors
+
+void BM_ChainBaseline(benchmark::State& state) {
+  tfjs::setBackend("native");
+  BufferPool::get().setEnabled(false);
+  Tensor x = o::randomNormal(tfjs::Shape{256, 256}, 0, 1, 1);
+  Tensor one = o::scalar(1.f), c = o::scalar(0.001f), m = o::scalar(0.9995f);
+  for (auto _ : state) chainBaseline(x, one, c, m);
+  for (Tensor t : {x, one, c, m}) t.dispose();
+  BufferPool::get().setEnabled(true);
+}
+BENCHMARK(BM_ChainBaseline)->Unit(benchmark::kMicrosecond);
+
+void BM_ChainPooledInPlace(benchmark::State& state) {
+  tfjs::setBackend("native");
+  BufferPool::get().setEnabled(true);
+  Tensor x = o::randomNormal(tfjs::Shape{256, 256}, 0, 1, 1);
+  Tensor one = o::scalar(1.f), c = o::scalar(0.001f), m = o::scalar(0.9995f);
+  for (auto _ : state) chainOptimized(x, one, c, m);
+  for (Tensor t : {x, one, c, m}) t.dispose();
+}
+BENCHMARK(BM_ChainPooledInPlace)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfjs::backends::registerAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+
+  tfjs::setBackend("native");
+  auto& pool = BufferPool::get();
+  constexpr int kRepeats = 9;
+
+  Tensor cx = o::randomNormal(tfjs::Shape{256, 256}, 0, 1, 1);
+  Tensor one = o::scalar(1.f), c = o::scalar(0.001f), m = o::scalar(0.9995f);
+  Tensor mx = o::randomNormal(tfjs::Shape{4, 14, 14, 32}, 0, 1, 2);
+  ModelStack stack;
+  // Build the layers (weight init) before any measurement.
+  modelFused(mx, stack);
+
+  // Baseline: pool off, allocate-per-op idiom, unfused composition.
+  pool.setEnabled(false);
+  chainBaseline(cx, one, c, m);  // warm thread pool / page cache
+  modelUnfused(mx, stack);
+  std::vector<float> chainOutBase, modelOutBase;
+  const std::uint64_t chainAllocsBase =
+      allocsDuring([&] { chainOutBase = chainBaseline(cx, one, c, m); });
+  const std::uint64_t modelAllocsBase =
+      allocsDuring([&] { modelOutBase = modelUnfused(mx, stack); });
+  const double chainMsBase =
+      medianPassMs([&] { chainBaseline(cx, one, c, m); }, kRepeats);
+  const double modelMsBase =
+      medianPassMs([&] { modelUnfused(mx, stack); }, kRepeats);
+
+  // Optimized: pool on, move-consuming chain, fused layer path.
+  pool.setEnabled(true);
+  auto& inplace = tfjs::metrics::Registry::get().counter(
+      "engine.inplace_reuses");
+  for (int i = 0; i < 3; ++i) {  // warm the pool buckets
+    chainOptimized(cx, one, c, m);
+    modelFused(mx, stack);
+  }
+  const auto inplaceBefore = inplace.value();
+  std::vector<float> chainOutOpt, modelOutOpt;
+  const std::uint64_t chainAllocsOpt =
+      allocsDuring([&] { chainOutOpt = chainOptimized(cx, one, c, m); });
+  const std::uint64_t modelAllocsOpt =
+      allocsDuring([&] { modelOutOpt = modelFused(mx, stack); });
+  const std::uint64_t inplaceReuses = inplace.value() - inplaceBefore;
+  const double chainMsOpt =
+      medianPassMs([&] { chainOptimized(cx, one, c, m); }, kRepeats);
+  const double modelMsOpt =
+      medianPassMs([&] { modelFused(mx, stack); }, kRepeats);
+
+  const bool chainIdentical = bitIdentical(chainOutBase, chainOutOpt);
+  const bool modelIdentical = bitIdentical(modelOutBase, modelOutOpt);
+  const double chainReduction = reductionPct(chainAllocsBase, chainAllocsOpt);
+  const double modelReduction = reductionPct(modelAllocsBase, modelAllocsOpt);
+
+  for (Tensor t : {cx, one, c, m, mx}) t.dispose();
+
+  std::printf("\nchain: %llu -> %llu allocs (-%.1f%%), %.3f -> %.3f ms\n"
+              "model: %llu -> %llu allocs (-%.1f%%), %.3f -> %.3f ms\n"
+              "in-place takeovers per optimized pass: %llu\n"
+              "outputs bit-identical: chain=%s model=%s\n",
+              static_cast<unsigned long long>(chainAllocsBase),
+              static_cast<unsigned long long>(chainAllocsOpt), chainReduction,
+              chainMsBase, chainMsOpt,
+              static_cast<unsigned long long>(modelAllocsBase),
+              static_cast<unsigned long long>(modelAllocsOpt), modelReduction,
+              modelMsBase, modelMsOpt,
+              static_cast<unsigned long long>(inplaceReuses),
+              chainIdentical ? "yes" : "NO", modelIdentical ? "yes" : "NO");
+
+  tfjs::bench::Json doc = tfjs::bench::Json::object();
+  doc.set("bench", "alloc_reuse");
+  doc.set("backend", "native");
+  tfjs::bench::Json chain = tfjs::bench::Json::object();
+  chain.set("workload", "~50-op elementwise chain, 256x256");
+  chain.set("allocs_baseline", static_cast<double>(chainAllocsBase));
+  chain.set("allocs_optimized", static_cast<double>(chainAllocsOpt));
+  chain.set("alloc_reduction_pct", chainReduction);
+  chain.set("ms_baseline", chainMsBase);
+  chain.set("ms_optimized", chainMsOpt);
+  chain.set("bit_identical", tfjs::bench::Json::boolean(chainIdentical));
+  doc.set("chain", std::move(chain));
+  tfjs::bench::Json model = tfjs::bench::Json::object();
+  model.set("workload",
+            "2x conv1x1(64)+relu, GAP, dense(128)+relu, dense(10)+sigmoid");
+  model.set("allocs_baseline", static_cast<double>(modelAllocsBase));
+  model.set("allocs_optimized", static_cast<double>(modelAllocsOpt));
+  model.set("alloc_reduction_pct", modelReduction);
+  model.set("ms_baseline", modelMsBase);
+  model.set("ms_optimized", modelMsOpt);
+  model.set("bit_identical", tfjs::bench::Json::boolean(modelIdentical));
+  doc.set("model", std::move(model));
+  doc.set("inplace_reuses_per_pass", static_cast<double>(inplaceReuses));
+  doc.set("samples", kRepeats);
+  doc.writeFile("BENCH_alloc.json");
+
+  const bool pass = chainReduction >= 50.0 && modelReduction >= 50.0 &&
+                    chainIdentical && modelIdentical;
+  std::printf("gate (>=50%% fewer allocs, bit-identical): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

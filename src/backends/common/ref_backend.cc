@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/buffer_pool.h"
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "core/util.h"
@@ -99,6 +100,17 @@ float applyUnary(UnaryOp op, float x, float alpha, float beta) {
   throw InternalError("Unhandled UnaryOp");
 }
 
+float applyFusedActivation(FusedActivation act, float v) {
+  switch (act) {
+    case FusedActivation::kNone: return v;
+    case FusedActivation::kRelu: return applyUnary(UnaryOp::kRelu, v, 0, 0);
+    case FusedActivation::kRelu6: return applyUnary(UnaryOp::kRelu6, v, 0, 0);
+    case FusedActivation::kSigmoid:
+      return applyUnary(UnaryOp::kSigmoid, v, 0, 0);
+  }
+  throw InternalError("Unhandled FusedActivation");
+}
+
 // ------------------------------------------------------------------ timer
 
 RefBackend::KernelTimer::KernelTimer(double& acc, const char* name)
@@ -128,7 +140,9 @@ DataId RefBackend::write(std::span<const float> values, const Shape&) {
   static metrics::Counter& bytesUploaded =
       metrics::Registry::get().counter("backend.bytes_uploaded");
   bytesUploaded.inc(values.size() * sizeof(float));
-  return store(std::vector<float>(values.begin(), values.end()));
+  std::vector<float> v = allocBuffer(values.size());
+  std::copy(values.begin(), values.end(), v.begin());
+  return store(std::move(v));
 }
 
 std::vector<float> RefBackend::read(DataId id) {
@@ -149,6 +163,10 @@ void RefBackend::disposeData(DataId id) {
   auto it = buffers_.find(id);
   if (it == buffers_.end()) return;
   bytes_ -= it->second.size() * sizeof(float);
+  // The storage cycles back through the pool instead of the heap; bytes_
+  // keeps counting live buffers only (pooled bytes are reported separately
+  // by engine.memory()).
+  core::BufferPool::get().release(std::move(it->second));
   buffers_.erase(it);
 }
 
@@ -177,6 +195,18 @@ DataId RefBackend::store(std::vector<float> v) {
   return id;
 }
 
+std::vector<float> RefBackend::allocBuffer(std::size_t n) {
+  return core::BufferPool::get().acquire(n);
+}
+
+std::vector<float> RefBackend::allocZeroed(std::size_t n) {
+  return core::BufferPool::get().acquireFilled(n, 0.f);
+}
+
+std::vector<float> RefBackend::allocFilled(std::size_t n, float value) {
+  return core::BufferPool::get().acquireFilled(n, value);
+}
+
 // ---------------------------------------------------------------- kernels
 
 DataId RefBackend::binary(BinaryOp op, const TensorSpec& a,
@@ -184,7 +214,7 @@ DataId RefBackend::binary(BinaryOp op, const TensorSpec& a,
   KernelTimer t(kernelMs_);
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   if (a.shape == outShape && b.shape == outShape) {
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = applyBinary(op, av[i], bv[i]);
@@ -215,7 +245,7 @@ DataId RefBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
                          float beta) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(xv.size());
+  std::vector<float> out = allocBuffer(xv.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = applyUnary(op, xv[i], alpha, beta);
   }
@@ -228,7 +258,7 @@ DataId RefBackend::select(const TensorSpec& cond, const TensorSpec& a,
   const auto& cv = buf(cond.id);
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
   for (std::size_t i = 0; i < out.size(); ++i) {
     util::unravelIndex(i, outShape, coords);
@@ -251,7 +281,8 @@ DataId RefBackend::matMul(const TensorSpec& a, const TensorSpec& b,
   const int batch = std::max(bA, bB);
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
-  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+  std::vector<float> out =
+      allocZeroed(static_cast<std::size_t>(batch) * m * n);
 
   for (int bi = 0; bi < batch; ++bi) {
     const float* A = av.data() +
@@ -281,9 +312,8 @@ DataId RefBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
-                             ci.outW * ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       ci.outH * ci.outW * ci.outC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -329,9 +359,8 @@ DataId RefBackend::conv2dBackpropInput(const TensorSpec& dy,
   KernelTimer t(kernelMs_);
   const auto& dyv = buf(dy.id);
   const auto& fv = buf(filter.id);
-  std::vector<float> dx(static_cast<std::size_t>(ci.batch) * ci.inH * ci.inW *
-                            ci.inC,
-                        0.f);
+  std::vector<float> dx = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                      ci.inH * ci.inW * ci.inC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -378,9 +407,8 @@ DataId RefBackend::conv2dBackpropFilter(const TensorSpec& x,
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
   const auto& dyv = buf(dy.id);
-  std::vector<float> df(static_cast<std::size_t>(ci.filterH) * ci.filterW *
-                            ci.inC * ci.outC,
-                        0.f);
+  std::vector<float> df = allocZeroed(static_cast<std::size_t>(ci.filterH) *
+                                      ci.filterW * ci.inC * ci.outC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -427,9 +455,8 @@ DataId RefBackend::depthwiseConv2d(const TensorSpec& x,
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const int mult = ci.channelMult;
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
-                             ci.outW * ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       ci.outH * ci.outW * ci.outC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -474,9 +501,8 @@ DataId RefBackend::depthwiseConv2dBackpropInput(const TensorSpec& dy,
   const auto& dyv = buf(dy.id);
   const auto& fv = buf(filter.id);
   const int mult = ci.channelMult;
-  std::vector<float> dx(static_cast<std::size_t>(ci.batch) * ci.inH * ci.inW *
-                            ci.inC,
-                        0.f);
+  std::vector<float> dx = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                      ci.inH * ci.inW * ci.inC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -523,9 +549,8 @@ DataId RefBackend::depthwiseConv2dBackpropFilter(const TensorSpec& x,
   const auto& xv = buf(x.id);
   const auto& dyv = buf(dy.id);
   const int mult = ci.channelMult;
-  std::vector<float> df(static_cast<std::size_t>(ci.filterH) * ci.filterW *
-                            ci.inC * mult,
-                        0.f);
+  std::vector<float> df = allocZeroed(static_cast<std::size_t>(ci.filterH) *
+                                      ci.filterW * ci.inC * mult);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       const int inYOrigin = oy * ci.strideH - ci.padTop;
@@ -567,8 +592,8 @@ DataId RefBackend::pool2d(PoolMode mode, const TensorSpec& x,
                           const Pool2DInfo& pi) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(static_cast<std::size_t>(pi.batch) * pi.outH *
-                         pi.outW * pi.channels);
+  std::vector<float> out = allocBuffer(static_cast<std::size_t>(pi.batch) *
+                                       pi.outH * pi.outW * pi.channels);
   for (int b = 0; b < pi.batch; ++b) {
     for (int oy = 0; oy < pi.outH; ++oy) {
       for (int ox = 0; ox < pi.outW; ++ox) {
@@ -609,9 +634,8 @@ DataId RefBackend::maxPoolBackprop(const TensorSpec& dy, const TensorSpec& x,
   KernelTimer t(kernelMs_);
   const auto& dyv = buf(dy.id);
   const auto& xv = buf(x.id);
-  std::vector<float> dx(static_cast<std::size_t>(pi.batch) * pi.inH * pi.inW *
-                            pi.channels,
-                        0.f);
+  std::vector<float> dx = allocZeroed(static_cast<std::size_t>(pi.batch) *
+                                      pi.inH * pi.inW * pi.channels);
   for (int b = 0; b < pi.batch; ++b) {
     for (int oy = 0; oy < pi.outH; ++oy) {
       for (int ox = 0; ox < pi.outW; ++ox) {
@@ -658,9 +682,8 @@ DataId RefBackend::avgPoolBackprop(const TensorSpec& dy,
                                    const Pool2DInfo& pi) {
   KernelTimer t(kernelMs_);
   const auto& dyv = buf(dy.id);
-  std::vector<float> dx(static_cast<std::size_t>(pi.batch) * pi.inH * pi.inW *
-                            pi.channels,
-                        0.f);
+  std::vector<float> dx = allocZeroed(static_cast<std::size_t>(pi.batch) *
+                                      pi.inH * pi.inW * pi.channels);
   for (int b = 0; b < pi.batch; ++b) {
     for (int oy = 0; oy < pi.outH; ++oy) {
       for (int ox = 0; ox < pi.outW; ++ox) {
@@ -706,7 +729,7 @@ DataId RefBackend::reduce(ReduceOp op, const TensorSpec& x, std::size_t outer,
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
   TFJS_CHECK(xv.size() == outer * inner);
-  std::vector<float> out(outer);
+  std::vector<float> out = allocBuffer(outer);
   for (std::size_t o = 0; o < outer; ++o) {
     const float* row = xv.data() + o * inner;
     float acc;
@@ -765,7 +788,7 @@ DataId RefBackend::arg(ArgOp op, const TensorSpec& x, std::size_t outer,
                        std::size_t inner) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outer);
+  std::vector<float> out = allocBuffer(outer);
   for (std::size_t o = 0; o < outer; ++o) {
     const float* row = xv.data() + o * inner;
     std::size_t best = 0;
@@ -783,7 +806,7 @@ DataId RefBackend::transpose(const TensorSpec& x, std::span<const int> perm,
                              const Shape& outShape) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   const int rank = outShape.rank();
   std::vector<int> outCoords(static_cast<std::size_t>(rank));
   std::vector<int> inCoords(static_cast<std::size_t>(rank));
@@ -802,7 +825,7 @@ DataId RefBackend::slice(const TensorSpec& x, std::span<const int> begin,
                          const Shape& outShape) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   const int rank = outShape.rank();
   std::vector<int> coords(static_cast<std::size_t>(rank));
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -822,7 +845,7 @@ DataId RefBackend::concat(std::span<const TensorSpec> xs, int axis,
   // View each input as [outer, innerI]; outputs interleave the inner blocks.
   std::size_t outer = 1;
   for (int d = 0; d < axis; ++d) outer *= static_cast<std::size_t>(outShape[d]);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   std::vector<std::size_t> inners(xs.size());
   std::size_t innerTotal = 0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -850,7 +873,7 @@ DataId RefBackend::pad(const TensorSpec& x,
                        float constantValue, const Shape& outShape) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outShape.size(), constantValue);
+  std::vector<float> out = allocFilled(outShape.size(), constantValue);
   const int rank = outShape.rank();
   std::vector<int> coords(static_cast<std::size_t>(rank));
   for (std::size_t i = 0; i < xv.size(); ++i) {
@@ -876,7 +899,7 @@ DataId RefBackend::gather(const TensorSpec& x, const TensorSpec& indices,
     inner *= static_cast<std::size_t>(x.shape[d]);
   }
   const std::size_t axisDim = static_cast<std::size_t>(x.shape[axis]);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   for (std::size_t o = 0; o < outer; ++o) {
     for (std::size_t j = 0; j < iv.size(); ++j) {
       const auto idx = static_cast<std::size_t>(iv[j]);
@@ -894,7 +917,7 @@ DataId RefBackend::tile(const TensorSpec& x, std::span<const int> reps,
                         const Shape& outShape) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   const int rank = outShape.rank();
   std::vector<int> coords(static_cast<std::size_t>(rank));
   std::vector<int> src(static_cast<std::size_t>(rank));
@@ -913,7 +936,7 @@ DataId RefBackend::tile(const TensorSpec& x, std::span<const int> reps,
 DataId RefBackend::reverse(const TensorSpec& x, std::span<const int> axes) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(xv.size());
+  std::vector<float> out = allocBuffer(xv.size());
   const int rank = x.shape.rank();
   std::vector<int> coords(static_cast<std::size_t>(rank));
   std::vector<bool> flip(static_cast<std::size_t>(rank), false);
@@ -937,7 +960,8 @@ DataId RefBackend::resizeBilinear(const TensorSpec& x, int newH, int newW,
   const auto& xv = buf(x.id);
   const int batch = x.shape[0], inH = x.shape[1], inW = x.shape[2],
             c = x.shape[3];
-  std::vector<float> out(static_cast<std::size_t>(batch) * newH * newW * c);
+  std::vector<float> out =
+      allocBuffer(static_cast<std::size_t>(batch) * newH * newW * c);
   const float hScale =
       alignCorners && newH > 1
           ? static_cast<float>(inH - 1) / static_cast<float>(newH - 1)
@@ -981,8 +1005,8 @@ DataId RefBackend::oneHot(const TensorSpec& indices, int depth, float onValue,
                           float offValue) {
   KernelTimer t(kernelMs_);
   const auto& iv = buf(indices.id);
-  std::vector<float> out(iv.size() * static_cast<std::size_t>(depth),
-                         offValue);
+  std::vector<float> out =
+      allocFilled(iv.size() * static_cast<std::size_t>(depth), offValue);
   for (std::size_t i = 0; i < iv.size(); ++i) {
     const int idx = static_cast<int>(iv[i]);
     if (idx >= 0 && idx < depth) {
@@ -995,7 +1019,7 @@ DataId RefBackend::oneHot(const TensorSpec& indices, int depth, float onValue,
 
 DataId RefBackend::fill(std::size_t n, float value) {
   KernelTimer t(kernelMs_);
-  return store(std::vector<float>(n, value));
+  return store(allocFilled(n, value));
 }
 
 namespace {
@@ -1020,7 +1044,7 @@ DataId RefBackend::topkValues(const TensorSpec& x, std::size_t outer,
                               std::size_t inner, int k) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outer * static_cast<std::size_t>(k));
+  std::vector<float> out = allocBuffer(outer * static_cast<std::size_t>(k));
   for (std::size_t o = 0; o < outer; ++o) {
     const float* row = xv.data() + o * inner;
     const auto order = topkOrder(row, inner, k);
@@ -1036,7 +1060,7 @@ DataId RefBackend::topkIndices(const TensorSpec& x, std::size_t outer,
                                std::size_t inner, int k) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(outer * static_cast<std::size_t>(k));
+  std::vector<float> out = allocBuffer(outer * static_cast<std::size_t>(k));
   for (std::size_t o = 0; o < outer; ++o) {
     const auto order = topkOrder(xv.data() + o * inner, inner, k);
     for (int i = 0; i < k; ++i) {
@@ -1047,11 +1071,89 @@ DataId RefBackend::topkIndices(const TensorSpec& x, std::size_t outer,
   return store(std::move(out));
 }
 
+DataId RefBackend::unaryInto(UnaryOp op, const TensorSpec& x, float alpha,
+                             float beta, DataId dst) {
+  if (dst != x.id) return unary(op, x, alpha, beta);
+  KernelTimer t(kernelMs_);
+  auto& v = mutableBuf(dst);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = applyUnary(op, v[i], alpha, beta);
+  }
+  return dst;
+}
+
+DataId RefBackend::binaryInto(BinaryOp op, const TensorSpec& a,
+                              const TensorSpec& b, const Shape& outShape,
+                              DataId dst) {
+  // The in-place contract requires dst to alias the full-output operand;
+  // anything else falls back to the allocating kernel.
+  if (dst != a.id || !(a.shape == outShape)) {
+    return binary(op, a, b, outShape);
+  }
+  KernelTimer t(kernelMs_);
+  auto& av = mutableBuf(dst);
+  const auto& bv = buf(b.id);
+  if (b.shape == outShape) {
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      av[i] = applyBinary(op, av[i], bv[i]);
+    }
+  } else if (b.shape.size() == 1) {
+    const float s = bv[0];
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      av[i] = applyBinary(op, av[i], s);
+    }
+  } else {
+    std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      util::unravelIndex(i, outShape, coords);
+      av[i] = applyBinary(
+          op, av[i], bv[util::broadcastIndex(coords, b.shape, outShape)]);
+    }
+  }
+  return dst;
+}
+
+DataId RefBackend::fusedMatMul(const TensorSpec& a, const TensorSpec& b,
+                               bool transposeA, bool transposeB,
+                               const TensorSpec* bias, FusedActivation act) {
+  // Virtual dispatch: a derived backend's own GEMM produces the product, so
+  // the fused result differs from that backend's unfused chain by nothing —
+  // the epilogue below applies the very same scalar formulas the unfused
+  // add/activation kernels would.
+  const DataId c = matMul(a, b, transposeA, transposeB);
+  const int n = transposeB ? b.shape[1] : b.shape[2];
+  KernelTimer t(kernelMs_);
+  auto& out = mutableBuf(c);
+  const float* bv = bias != nullptr ? buf(bias->id).data() : nullptr;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float v = out[i];
+    if (bv != nullptr) v += bv[i % static_cast<std::size_t>(n)];
+    out[i] = applyFusedActivation(act, v);
+  }
+  return c;
+}
+
+DataId RefBackend::fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                               const Conv2DInfo& ci, const TensorSpec* bias,
+                               FusedActivation act) {
+  const DataId c = conv2d(x, filter, ci);
+  KernelTimer t(kernelMs_);
+  auto& out = mutableBuf(c);
+  const float* bv = bias != nullptr ? buf(bias->id).data() : nullptr;
+  const auto outC = static_cast<std::size_t>(ci.outC);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float v = out[i];
+    if (bv != nullptr) v += bv[i % outC];
+    out[i] = applyFusedActivation(act, v);
+  }
+  return c;
+}
+
 DataId RefBackend::cumsum(const TensorSpec& x, std::size_t outer,
                           std::size_t inner, bool exclusive, bool reverse) {
   KernelTimer t(kernelMs_);
   const auto& xv = buf(x.id);
-  std::vector<float> out(xv.size());
+  std::vector<float> out = allocBuffer(xv.size());
   for (std::size_t o = 0; o < outer; ++o) {
     const float* row = xv.data() + o * inner;
     float* dst = out.data() + o * inner;

@@ -42,6 +42,20 @@ class RefBackend : public Backend {
                 const Shape& outShape) override;
   DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
                float beta) override;
+  DataId unaryInto(UnaryOp op, const TensorSpec& x, float alpha, float beta,
+                   DataId dst) override;
+  DataId binaryInto(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                    const Shape& outShape, DataId dst) override;
+  bool supportsFusedKernels() const override { return true; }
+  /// Runs the *virtual* matMul (so a derived backend's own accumulation
+  /// order is used) and applies the bias+activation epilogue in place —
+  /// bit-identical to matMul + add + activation on the same backend.
+  DataId fusedMatMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                     bool transposeB, const TensorSpec* bias,
+                     FusedActivation act) override;
+  DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                     const Conv2DInfo& info, const TensorSpec* bias,
+                     FusedActivation act) override;
   DataId select(const TensorSpec& cond, const TensorSpec& a,
                 const TensorSpec& b, const Shape& outShape) override;
   DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
@@ -104,6 +118,14 @@ class RefBackend : public Backend {
   std::vector<float>& mutableBuf(DataId id);
   DataId store(std::vector<float> v);
 
+  // Pooled allocation (core::BufferPool). allocBuffer's contents are
+  // unspecified on a pool hit — only kernels that overwrite every element
+  // may use it; accumulators and fill-style kernels take the Filled/Zeroed
+  // variants. disposeData() routes freed vectors back into the pool.
+  static std::vector<float> allocBuffer(std::size_t n);
+  static std::vector<float> allocZeroed(std::size_t n);
+  static std::vector<float> allocFilled(std::size_t n, float value);
+
   /// Accumulates kernel wall time; derived backends reuse it. When given a
   /// name it also emits a "kernel" trace span (if tracing is active), so
   /// backend-level execution shows up nested under the op-level span.
@@ -131,5 +153,8 @@ class RefBackend : public Backend {
 /// they cannot drift apart (the WebGL "shader" bodies call these too).
 float applyBinary(BinaryOp op, float a, float b);
 float applyUnary(UnaryOp op, float x, float alpha, float beta);
+/// Fused-epilogue activation, defined as the matching applyUnary formula so
+/// fused and unfused results cannot drift apart bitwise.
+float applyFusedActivation(FusedActivation act, float v);
 
 }  // namespace tfjs::backends

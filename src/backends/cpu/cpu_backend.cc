@@ -68,7 +68,7 @@ DataId PlainCpuBackend::binary(BinaryOp op, const TensorSpec& a,
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
   const auto prog = binaryProgram(op);
-  std::vector<float> out(outShape.size());
+  std::vector<float> out = allocBuffer(outShape.size());
   if (a.shape == outShape && b.shape == outShape) {
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = ScalarVM::run(prog, av[i], bv[i]);
@@ -90,11 +90,48 @@ DataId PlainCpuBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
   KernelTimer t(kernelMs_, "cpu.unary");
   const auto& xv = buf(x.id);
   const auto prog = unaryProgram(op, alpha, beta);
-  std::vector<float> out(xv.size());
+  std::vector<float> out = allocBuffer(xv.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = ScalarVM::run(prog, xv[i], 0);
   }
   return store(std::move(out));
+}
+
+DataId PlainCpuBackend::unaryInto(UnaryOp op, const TensorSpec& x,
+                                  float alpha, float beta, DataId dst) {
+  if (dst != x.id) return unary(op, x, alpha, beta);
+  KernelTimer t(kernelMs_, "cpu.unary");
+  auto& v = mutableBuf(dst);
+  const auto prog = unaryProgram(op, alpha, beta);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = ScalarVM::run(prog, v[i], 0);
+  }
+  return dst;
+}
+
+DataId PlainCpuBackend::binaryInto(BinaryOp op, const TensorSpec& a,
+                                   const TensorSpec& b, const Shape& outShape,
+                                   DataId dst) {
+  if (dst != a.id || !(a.shape == outShape)) {
+    return binary(op, a, b, outShape);
+  }
+  KernelTimer t(kernelMs_, "cpu.binary");
+  auto& av = mutableBuf(dst);
+  const auto& bv = buf(b.id);
+  const auto prog = binaryProgram(op);
+  if (b.shape == outShape) {
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      av[i] = ScalarVM::run(prog, av[i], bv[i]);
+    }
+  } else {
+    std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      util::unravelIndex(i, outShape, coords);
+      av[i] = ScalarVM::run(
+          prog, av[i], bv[util::broadcastIndex(coords, b.shape, outShape)]);
+    }
+  }
+  return dst;
 }
 
 DataId PlainCpuBackend::matMul(const TensorSpec& a, const TensorSpec& b,
@@ -108,7 +145,8 @@ DataId PlainCpuBackend::matMul(const TensorSpec& a, const TensorSpec& b,
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
   const auto& prog = macProgram();
-  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+  std::vector<float> out =
+      allocZeroed(static_cast<std::size_t>(batch) * m * n);
   for (int bi = 0; bi < batch; ++bi) {
     const float* A =
         av.data() + static_cast<std::size_t>(bA == 1 ? 0 : bi) * m * k;
@@ -136,9 +174,8 @@ DataId PlainCpuBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const auto& prog = macProgram();
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
-                             ci.outW * ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       ci.outH * ci.outW * ci.outC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       for (int ox = 0; ox < ci.outW; ++ox) {
@@ -184,9 +221,8 @@ DataId PlainCpuBackend::depthwiseConv2d(const TensorSpec& x,
   const auto& fv = buf(filter.id);
   const auto& prog = macProgram();
   const int mult = ci.channelMult;
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
-                             ci.outW * ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       ci.outH * ci.outW * ci.outC);
   for (int b = 0; b < ci.batch; ++b) {
     for (int oy = 0; oy < ci.outH; ++oy) {
       for (int ox = 0; ox < ci.outW; ++ox) {
@@ -236,7 +272,7 @@ DataId PlainCpuBackend::reduce(ReduceOp op, const TensorSpec& x,
     return RefBackend::reduce(op, x, outer, inner);
   }
   static const std::vector<Instr> prog = binaryProgram(BinaryOp::kAdd);
-  std::vector<float> out(outer);
+  std::vector<float> out = allocBuffer(outer);
   for (std::size_t o = 0; o < outer; ++o) {
     const float* row = xv.data() + o * inner;
     float acc = 0;

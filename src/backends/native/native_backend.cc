@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "core/buffer_pool.h"
 #include "core/engine.h"
 #include "core/thread_pool.h"
 #include "core/util.h"
@@ -38,8 +39,16 @@ std::size_t rowsPerChunk(std::size_t scalarsPerRow, std::size_t target) {
 /// [colBegin, colEnd) of C. For every C element the accumulation over p runs
 /// ascending regardless of how the row/column space is partitioned, so any
 /// tiling of disjoint tiles is bit-identical to the full serial sweep.
+///
+/// When `bias`/`act` request a fused epilogue it runs per column panel right
+/// after the k loop finishes — every C element in the panel is fully
+/// accumulated and still cache-hot. The scalar math is applyBinary(kAdd) /
+/// applyUnary of the matching activation, so the fused result is bitwise the
+/// unfused matMul + add + activation chain.
 void gemmTile(const float* A, const float* B, float* C, int k, int n,
-              int rowBegin, int rowEnd, int colBegin, int colEnd) {
+              int rowBegin, int rowEnd, int colBegin, int colEnd,
+              const float* bias = nullptr,
+              FusedActivation act = FusedActivation::kNone) {
   for (int j0 = colBegin; j0 < colEnd; j0 += kNC) {
     const int jMax = std::min(j0 + kNC, colEnd);
     for (int p0 = 0; p0 < k; p0 += kKC) {
@@ -60,12 +69,23 @@ void gemmTile(const float* A, const float* B, float* C, int k, int n,
         }
       }
     }
+    if (bias != nullptr || act != FusedActivation::kNone) {
+      for (int i = rowBegin; i < rowEnd; ++i) {
+        float* __restrict Crow = C + static_cast<std::size_t>(i) * n;
+        for (int j = j0; j < jMax; ++j) {
+          float v = Crow[j];
+          if (bias != nullptr) v += bias[j];
+          Crow[j] = applyFusedActivation(act, v);
+        }
+      }
+    }
   }
 }
 }  // namespace
 
 void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
-                         int k, int n) {
+                         int k, int n, const float* bias,
+                         FusedActivation act) {
   // Split along whichever axis yields more panels: row panels of kMC for
   // tall/square C, column panels of kNC when C is short and wide (e.g. the
   // [spatial, outC] GEMM of a 1x1 conv on a small image).
@@ -76,70 +96,59 @@ void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
         static_cast<std::size_t>(m), kMC,
         [&](std::size_t begin, std::size_t end) {
           gemmTile(A, B, C, k, n, static_cast<int>(begin),
-                   static_cast<int>(end), 0, n);
+                   static_cast<int>(end), 0, n, bias, act);
         });
   } else {
     ThreadPool::get().parallelFor(
         static_cast<std::size_t>(n), kNC,
         [&](std::size_t begin, std::size_t end) {
           gemmTile(A, B, C, k, n, 0, m, static_cast<int>(begin),
-                   static_cast<int>(end));
+                   static_cast<int>(end), bias, act);
         });
   }
 }
 
-DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
-                             const TensorSpec& b, const Shape& outShape) {
-  KernelTimer t(kernelMs_, "native.binary");
-  const auto& av = buf(a.id);
-  const auto& bv = buf(b.id);
-  std::vector<float> out(outShape.size());
-  const bool same = a.shape == outShape && b.shape == outShape;
-  if (same) {
-    const float* __restrict x = av.data();
-    const float* __restrict y = bv.data();
-    float* __restrict o = out.data();
-    // Chunks write disjoint output ranges and each element depends only on
-    // its own inputs — any partition is trivially bit-identical.
-    ThreadPool::get().parallelFor(
-        out.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
-          // Specialize the four arithmetic ops so the loops autovectorize;
-          // the rest fall through to the shared scalar kernel.
-          switch (op) {
-            case BinaryOp::kAdd:
-              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] + y[i];
-              break;
-            case BinaryOp::kSub:
-              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] - y[i];
-              break;
-            case BinaryOp::kMul:
-              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] * y[i];
-              break;
-            case BinaryOp::kDiv:
-              for (std::size_t i = begin; i < end; ++i) o[i] = x[i] / y[i];
-              break;
-            default:
-              for (std::size_t i = begin; i < end; ++i) {
-                o[i] = applyBinary(op, x[i], y[i]);
-              }
-          }
-        });
-    return store(std::move(out));
-  }
-  // Broadcast path: delegate to the reference implementation's logic by
-  // re-dispatching (it handles scalar fast paths and generic broadcast).
-  return RefBackend::binary(op, a, b, outShape);
+void NativeBackend::gemm(const float* A, const float* B, float* C, int m,
+                         int k, int n) {
+  gemm(A, B, C, m, k, n, nullptr, FusedActivation::kNone);
 }
 
-DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
-                            float beta) {
-  KernelTimer t(kernelMs_, "native.unary");
-  const auto& xv = buf(x.id);
-  std::vector<float> out(xv.size());
-  const float* __restrict in = xv.data();
-  float* __restrict o = out.data();
+namespace {
+// Shared elementwise cores for the allocating and in-place entry points.
+// `o` may alias `x` (same-index reads before writes are safe), so no
+// __restrict here; each chunk writes a disjoint output range and each
+// element depends only on its own inputs — any partition is bit-identical.
+void binaryLoopSame(BinaryOp op, const float* x, const float* y, float* o,
+                    std::size_t size) {
   ThreadPool::get().parallelFor(
-      out.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+      size, kElemGrain, [&](std::size_t begin, std::size_t end) {
+        // Specialize the four arithmetic ops so the loops autovectorize;
+        // the rest fall through to the shared scalar kernel.
+        switch (op) {
+          case BinaryOp::kAdd:
+            for (std::size_t i = begin; i < end; ++i) o[i] = x[i] + y[i];
+            break;
+          case BinaryOp::kSub:
+            for (std::size_t i = begin; i < end; ++i) o[i] = x[i] - y[i];
+            break;
+          case BinaryOp::kMul:
+            for (std::size_t i = begin; i < end; ++i) o[i] = x[i] * y[i];
+            break;
+          case BinaryOp::kDiv:
+            for (std::size_t i = begin; i < end; ++i) o[i] = x[i] / y[i];
+            break;
+          default:
+            for (std::size_t i = begin; i < end; ++i) {
+              o[i] = applyBinary(op, x[i], y[i]);
+            }
+        }
+      });
+}
+
+void unaryLoop(UnaryOp op, const float* in, float* o, std::size_t size,
+               float alpha, float beta) {
+  ThreadPool::get().parallelFor(
+      size, kElemGrain, [&](std::size_t begin, std::size_t end) {
         switch (op) {
           case UnaryOp::kRelu:
             for (std::size_t i = begin; i < end; ++i) {
@@ -169,12 +178,81 @@ DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
             }
         }
       });
+}
+}  // namespace
+
+DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
+                             const TensorSpec& b, const Shape& outShape) {
+  KernelTimer t(kernelMs_, "native.binary");
+  const auto& av = buf(a.id);
+  const auto& bv = buf(b.id);
+  const bool same = a.shape == outShape && b.shape == outShape;
+  if (same) {
+    std::vector<float> out = allocBuffer(outShape.size());
+    binaryLoopSame(op, av.data(), bv.data(), out.data(), out.size());
+    return store(std::move(out));
+  }
+  // Broadcast path: delegate to the reference implementation's logic by
+  // re-dispatching (it handles scalar fast paths and generic broadcast).
+  return RefBackend::binary(op, a, b, outShape);
+}
+
+DataId NativeBackend::binaryInto(BinaryOp op, const TensorSpec& a,
+                                 const TensorSpec& b, const Shape& outShape,
+                                 DataId dst) {
+  if (dst != a.id || !(a.shape == outShape)) {
+    return binary(op, a, b, outShape);
+  }
+  if (!(b.shape == outShape)) {
+    // Scalar / broadcast second operand: the serial reference in-place
+    // kernel, matching this backend's own unfused broadcast path (which
+    // also delegates to the reference implementation).
+    return RefBackend::binaryInto(op, a, b, outShape, dst);
+  }
+  KernelTimer t(kernelMs_, "native.binary");
+  auto& av = mutableBuf(dst);
+  const auto& bv = buf(b.id);
+  binaryLoopSame(op, av.data(), bv.data(), av.data(), av.size());
+  return dst;
+}
+
+DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
+                            float beta) {
+  KernelTimer t(kernelMs_, "native.unary");
+  const auto& xv = buf(x.id);
+  std::vector<float> out = allocBuffer(xv.size());
+  unaryLoop(op, xv.data(), out.data(), out.size(), alpha, beta);
   return store(std::move(out));
+}
+
+DataId NativeBackend::unaryInto(UnaryOp op, const TensorSpec& x, float alpha,
+                                float beta, DataId dst) {
+  if (dst != x.id) return unary(op, x, alpha, beta);
+  KernelTimer t(kernelMs_, "native.unary");
+  auto& v = mutableBuf(dst);
+  unaryLoop(op, v.data(), v.data(), v.size(), alpha, beta);
+  return dst;
 }
 
 DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
                              bool transposeA, bool transposeB) {
   KernelTimer t(kernelMs_, "native.matMul");
+  return matMulImpl(a, b, transposeA, transposeB, nullptr,
+                    FusedActivation::kNone);
+}
+
+DataId NativeBackend::fusedMatMul(const TensorSpec& a, const TensorSpec& b,
+                                  bool transposeA, bool transposeB,
+                                  const TensorSpec* bias,
+                                  FusedActivation act) {
+  KernelTimer t(kernelMs_, "native.fusedMatMul");
+  const float* bv = bias != nullptr ? buf(bias->id).data() : nullptr;
+  return matMulImpl(a, b, transposeA, transposeB, bv, act);
+}
+
+DataId NativeBackend::matMulImpl(const TensorSpec& a, const TensorSpec& b,
+                                 bool transposeA, bool transposeB,
+                                 const float* bias, FusedActivation act) {
   const int bA = a.shape[0], bB = b.shape[0];
   const int m = transposeA ? a.shape[2] : a.shape[1];
   const int k = transposeA ? a.shape[1] : a.shape[2];
@@ -182,7 +260,8 @@ DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
   const int batch = std::max(bA, bB);
   const auto& av = buf(a.id);
   const auto& bv = buf(b.id);
-  std::vector<float> out(static_cast<std::size_t>(batch) * m * n, 0.f);
+  std::vector<float> out =
+      allocZeroed(static_cast<std::size_t>(batch) * m * n);
 
   // Materialize transposed operands once so the GEMM core runs on
   // contiguous row-major panels (what a native BLAS would do when packing).
@@ -213,7 +292,8 @@ DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
       }
       B = bT.data();
     }
-    gemm(A, B, out.data() + static_cast<std::size_t>(bi) * m * n, m, k, n);
+    gemm(A, B, out.data() + static_cast<std::size_t>(bi) * m * n, m, k, n,
+         bias, act);
   }
   return store(std::move(out));
 }
@@ -221,15 +301,29 @@ DataId NativeBackend::matMul(const TensorSpec& a, const TensorSpec& b,
 DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
                              const Conv2DInfo& ci) {
   KernelTimer t(kernelMs_, "native.conv2d");
+  return conv2dImpl(x, filter, ci, nullptr, FusedActivation::kNone);
+}
+
+DataId NativeBackend::fusedConv2d(const TensorSpec& x,
+                                  const TensorSpec& filter,
+                                  const Conv2DInfo& ci, const TensorSpec* bias,
+                                  FusedActivation act) {
+  KernelTimer t(kernelMs_, "native.fusedConv2d");
+  const float* bv = bias != nullptr ? buf(bias->id).data() : nullptr;
+  return conv2dImpl(x, filter, ci, bv, act);
+}
+
+DataId NativeBackend::conv2dImpl(const TensorSpec& x, const TensorSpec& filter,
+                                 const Conv2DInfo& ci, const float* bias,
+                                 FusedActivation act) {
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const std::size_t outSpatial =
       static_cast<std::size_t>(ci.outH) * ci.outW;
   const std::size_t patch =
       static_cast<std::size_t>(ci.filterH) * ci.filterW * ci.inC;
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * outSpatial *
-                             ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       outSpatial * ci.outC);
 
   if (ci.filterH == 1 && ci.filterW == 1 && ci.strideH == 1 &&
       ci.strideW == 1 && ci.padTop == 0 && ci.padLeft == 0) {
@@ -239,7 +333,7 @@ DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
     // row panels parallelise across the pool.
     gemm(xv.data(), fv.data(), out.data(),
          static_cast<int>(static_cast<std::size_t>(ci.batch) * outSpatial),
-         ci.inC, ci.outC);
+         ci.inC, ci.outC, bias, act);
     return store(std::move(out));
   }
 
@@ -252,7 +346,10 @@ DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
       rowsPerChunk(static_cast<std::size_t>(ci.outW) * patch, 1 << 16);
   ThreadPool::get().parallelFor(
       totalRows, grain, [&](std::size_t rBegin, std::size_t rEnd) {
-        std::vector<float> col((rEnd - rBegin) * ci.outW * patch, 0.f);
+        // Per-chunk im2col scratch comes from the pool too (it is by far
+        // the heaviest transient allocation in a conv-heavy model).
+        std::vector<float> col = core::BufferPool::get().acquireFilled(
+            (rEnd - rBegin) * ci.outW * patch, 0.f);
         for (std::size_t r = rBegin; r < rEnd; ++r) {
           const int b = static_cast<int>(r) / ci.outH;
           const int oy = static_cast<int>(r) % ci.outH;
@@ -281,7 +378,8 @@ DataId NativeBackend::conv2d(const TensorSpec& x, const TensorSpec& filter,
         gemm(col.data(), fv.data(),
              out.data() + rBegin * ci.outW * ci.outC,
              static_cast<int>((rEnd - rBegin) * ci.outW),
-             static_cast<int>(patch), ci.outC);
+             static_cast<int>(patch), ci.outC, bias, act);
+        core::BufferPool::get().release(std::move(col));
       });
   return store(std::move(out));
 }
@@ -293,9 +391,8 @@ DataId NativeBackend::depthwiseConv2d(const TensorSpec& x,
   const auto& xv = buf(x.id);
   const auto& fv = buf(filter.id);
   const int mult = ci.channelMult;
-  std::vector<float> out(static_cast<std::size_t>(ci.batch) * ci.outH *
-                             ci.outW * ci.outC,
-                         0.f);
+  std::vector<float> out = allocZeroed(static_cast<std::size_t>(ci.batch) *
+                                       ci.outH * ci.outW * ci.outC);
   // Sliced over batch×outH output rows; channel-inner loops are contiguous
   // in NHWC, so they autovectorize within each chunk.
   const std::size_t totalRows = static_cast<std::size_t>(ci.batch) * ci.outH;
@@ -351,8 +448,8 @@ DataId NativeBackend::pool2d(PoolMode mode, const TensorSpec& x,
   KernelTimer t(kernelMs_, "native.pool2d");
   constexpr float kInf = std::numeric_limits<float>::infinity();
   const auto& xv = buf(x.id);
-  std::vector<float> out(static_cast<std::size_t>(pi.batch) * pi.outH *
-                         pi.outW * pi.channels);
+  std::vector<float> out = allocBuffer(static_cast<std::size_t>(pi.batch) *
+                                       pi.outH * pi.outW * pi.channels);
   // Per-window logic matches RefBackend::pool2d element-for-element; only
   // the batch×outH outer space is sliced across the pool.
   const std::size_t totalRows = static_cast<std::size_t>(pi.batch) * pi.outH;
@@ -405,7 +502,7 @@ DataId NativeBackend::reduce(ReduceOp op, const TensorSpec& x,
     return RefBackend::reduce(op, x, outer, inner);
   }
   const auto& xv = buf(x.id);
-  std::vector<float> out(outer);
+  std::vector<float> out = allocBuffer(outer);
   // Parallel over output rows only; each row's accumulation stays serial
   // (4-way split), so the parallel result is bit-identical to 1 thread.
   ThreadPool::get().parallelFor(

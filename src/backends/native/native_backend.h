@@ -26,10 +26,22 @@ class NativeBackend : public RefBackend {
                 const Shape& outShape) override;
   DataId unary(UnaryOp op, const TensorSpec& x, float alpha,
                float beta) override;
+  DataId unaryInto(UnaryOp op, const TensorSpec& x, float alpha, float beta,
+                   DataId dst) override;
+  DataId binaryInto(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
+                    const Shape& outShape, DataId dst) override;
   DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
                 bool transposeB) override;
+  /// Bias + activation applied inside the GEMM tile loop, per column panel
+  /// after the full k accumulation — bit-identical to matMul + add + act.
+  DataId fusedMatMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                     bool transposeB, const TensorSpec* bias,
+                     FusedActivation act) override;
   DataId conv2d(const TensorSpec& x, const TensorSpec& filter,
                 const Conv2DInfo& info) override;
+  DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                     const Conv2DInfo& info, const TensorSpec* bias,
+                     FusedActivation act) override;
   DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
                          const Conv2DInfo& info) override;
   DataId pool2d(PoolMode mode, const TensorSpec& x,
@@ -41,6 +53,18 @@ class NativeBackend : public RefBackend {
   /// column panels on the shared pool; exposed for tests.
   static void gemm(const float* A, const float* B, float* C, int m, int k,
                    int n);
+  /// GEMM with an optional fused epilogue: after the k loop finishes for a
+  /// column panel, adds bias[j] (when non-null) and applies `act` to each
+  /// element of that panel.
+  static void gemm(const float* A, const float* B, float* C, int m, int k,
+                   int n, const float* bias, FusedActivation act);
+
+ private:
+  DataId matMulImpl(const TensorSpec& a, const TensorSpec& b, bool transposeA,
+                    bool transposeB, const float* bias, FusedActivation act);
+  DataId conv2dImpl(const TensorSpec& x, const TensorSpec& filter,
+                    const Conv2DInfo& info, const float* bias,
+                    FusedActivation act);
 };
 
 /// Registers the "native" backend (priority between webgl-sim and cpu).

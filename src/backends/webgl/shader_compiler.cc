@@ -1,23 +1,76 @@
 #include "backends/webgl/shader_compiler.h"
 
+#include <sstream>
+#include <utility>
+
 #include "core/error.h"
+#include "core/metrics.h"
 
 namespace tfjs::backends::webgl {
 
-Sampler::Sampler(const GlTexture* tex, const Shape& logical, bool squeeze)
-    : tex_(tex) {
+SamplerLayout compileSamplerLayout(const Shape& logical, bool squeeze) {
+  SamplerLayout layout;
   const auto strides = logical.strides();
   for (int d = 0; d < logical.rank(); ++d) {
     if (squeeze && logical[d] == 1) continue;  // squeezed mapping: skip
-    dimStrides_.emplace_back(d, strides[static_cast<std::size_t>(d)]);
+    layout.dimStrides.emplace_back(d, strides[static_cast<std::size_t>(d)]);
   }
   // One multiply + one add per participating dimension.
-  indexOps_ = 2 * static_cast<int>(dimStrides_.size());
+  layout.indexOps = 2 * static_cast<int>(layout.dimStrides.size());
+  return layout;
 }
+
+ProgramCache& ProgramCache::get() {
+  static ProgramCache* cache = new ProgramCache();  // leaked singleton
+  return *cache;
+}
+
+std::shared_ptr<const SamplerLayout> ProgramCache::layout(
+    const std::string& opName, const Shape& logical, bool squeeze,
+    bool packed) {
+  static metrics::Counter& hits =
+      metrics::Registry::get().counter("webgl.shader_cache_hits");
+  static metrics::Counter& misses =
+      metrics::Registry::get().counter("webgl.shader_cache_misses");
+  std::ostringstream key;
+  key << opName << (packed ? "|p" : "|u") << (squeeze ? "|s" : "|n");
+  for (int d = 0; d < logical.rank(); ++d) key << '|' << logical[d];
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key.str());
+  if (it != cache_.end()) {
+    hits.inc();
+    return it->second;
+  }
+  misses.inc();
+  auto compiled =
+      std::make_shared<const SamplerLayout>(compileSamplerLayout(logical,
+                                                                 squeeze));
+  cache_.emplace(key.str(), compiled);
+  return compiled;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+Sampler::Sampler(const GlTexture* tex, const Shape& logical, bool squeeze)
+    : tex_(tex),
+      layout_(std::make_shared<const SamplerLayout>(
+          compileSamplerLayout(logical, squeeze))) {}
+
+Sampler::Sampler(const GlTexture* tex,
+                 std::shared_ptr<const SamplerLayout> layout)
+    : tex_(tex), layout_(std::move(layout)) {}
 
 float Sampler::get(std::span<const int> coords) const {
   std::size_t flat = 0;
-  for (const auto& [axis, stride] : dimStrides_) {
+  for (const auto& [axis, stride] : layout_->dimStrides) {
     flat += static_cast<std::size_t>(coords[static_cast<std::size_t>(axis)]) *
             stride;
   }
@@ -43,7 +96,12 @@ std::uint64_t ShaderExecutor::execute(ShaderRun& run) {
   for (const auto& in : run.inputs) {
     TFJS_CHECK_MSG(!in.tex->pagedOut(),
                    "shader input texture is paged out (touch() missing)");
-    ctx.samplers_.emplace_back(in.tex.get(), in.logicalShape, run.squeeze);
+    // Program-cache lookup: a repeat of (op, shape-class, packed) rebinds
+    // the cached layout instead of recompiling index arithmetic.
+    ctx.samplers_.emplace_back(
+        in.tex.get(),
+        ProgramCache::get().layout(run.name, in.logicalShape, run.squeeze,
+                                   in.tex->config().packed));
   }
   TFJS_CHECK(!run.output->pagedOut());
   ctx.out_ = run.output->data().data();

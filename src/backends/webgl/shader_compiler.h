@@ -20,8 +20,10 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "backends/webgl/device_model.h"
@@ -31,12 +33,51 @@
 
 namespace tfjs::backends::webgl {
 
+/// The compiled, texture-independent part of a Sampler: the strides of the
+/// dimensions that participate in addressing (with squeezing, size-1
+/// dimensions are dropped) and the resulting index-op count. This is the
+/// artifact the program cache shares — the analogue of a compiled+linked
+/// GLSL program, which upstream caches keyed on op + shape signature
+/// because compilation dominates first-call latency.
+struct SamplerLayout {
+  std::vector<std::pair<int, std::size_t>> dimStrides;  // (axis, stride)
+  int indexOps = 0;
+};
+
+/// Compiles the addressing layout for a logical shape; `squeeze` enables
+/// the squeezed-coordinate optimization.
+SamplerLayout compileSamplerLayout(const Shape& logical, bool squeeze);
+
+/// Process-wide cache of compiled sampler layouts keyed on
+/// (op, logical shape, squeeze, packed) — the shape-class signature the
+/// upstream shader cache uses. Thread-safe; hit/miss counts are published
+/// as webgl.shader_cache_hits / webgl.shader_cache_misses.
+class ProgramCache {
+ public:
+  static ProgramCache& get();
+
+  std::shared_ptr<const SamplerLayout> layout(const std::string& opName,
+                                              const Shape& logical,
+                                              bool squeeze, bool packed);
+  void clear();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SamplerLayout>>
+      cache_;
+};
+
 /// A compiled input sampler: logical coordinates → texel fetch.
 class Sampler {
  public:
   Sampler() = default;
-  /// `squeeze` enables the squeezed-coordinate optimization.
+  /// Compiles a fresh layout; `squeeze` enables the squeezed-coordinate
+  /// optimization.
   Sampler(const GlTexture* tex, const Shape& logical, bool squeeze);
+  /// Binds a texture to a pre-compiled (cached) layout — the program-cache
+  /// hit path recompiles nothing.
+  Sampler(const GlTexture* tex, std::shared_ptr<const SamplerLayout> layout);
 
   /// Fetch by full-rank logical coordinates.
   float get(std::span<const int> coords) const;
@@ -45,17 +86,14 @@ class Sampler {
 
   /// Index-arithmetic operations per get() — the quantity the squeezed
   /// mapping reduces; feeds the device cost model.
-  int indexOpsPerFetch() const { return indexOps_; }
+  int indexOpsPerFetch() const { return layout_ ? layout_->indexOps : 0; }
 
   /// Texel fetches issued through this sampler (single worker thread).
   mutable std::uint64_t fetchCount = 0;
 
  private:
   const GlTexture* tex_ = nullptr;
-  /// Strides of the dimensions that participate in addressing. With
-  /// squeezing, size-1 dimensions are dropped (stride list is shorter).
-  std::vector<std::pair<int, std::size_t>> dimStrides_;  // (axis, stride)
-  int indexOps_ = 0;
+  std::shared_ptr<const SamplerLayout> layout_;
 };
 
 /// Execution context handed to a shader's main(); mirrors the generated

@@ -59,6 +59,12 @@ enum class UnaryOp {
   kMulScalar,     ///< alpha = factor
 };
 
+/// Epilogue activation of a fused matMul/conv2d (the subset Layers' Dense /
+/// Conv2D emit and the paper's mobile models use). Semantics are exactly the
+/// matching UnaryOp — fused outputs must stay bit-identical to the unfused
+/// kernel chain.
+enum class FusedActivation { kNone, kRelu, kRelu6, kSigmoid };
+
 enum class ReduceOp { kSum, kMean, kProd, kMax, kMin, kAny, kAll };
 enum class ArgOp { kArgMax, kArgMin };
 enum class PoolMode { kMax, kAvg };
@@ -178,6 +184,51 @@ class Backend {
   /// Prefix sum along the trailing `inner` dimension of [outer, inner].
   virtual DataId cumsum(const TensorSpec& x, std::size_t outer,
                         std::size_t inner, bool exclusive, bool reverse) = 0;
+
+  // ---- optional fast paths (in-place + fused epilogues) ----------------
+  /// Like unary(), but MAY write the result into the existing buffer `dst`
+  /// (the engine passes dst == x.id after proving sole ownership) and
+  /// return dst. The default ignores the hint and dispatches the allocating
+  /// kernel — callers must handle either outcome by comparing the returned
+  /// id against dst.
+  virtual DataId unaryInto(UnaryOp op, const TensorSpec& x, float alpha,
+                           float beta, DataId dst) {
+    (void)dst;
+    return unary(op, x, alpha, beta);
+  }
+  /// In-place binary. `dst` must alias the operand whose shape equals
+  /// outShape (elementwise same-index reads make that aliasing safe; the
+  /// other operand may broadcast). Default: allocating kernel.
+  virtual DataId binaryInto(BinaryOp op, const TensorSpec& a,
+                            const TensorSpec& b, const Shape& outShape,
+                            DataId dst) {
+    (void)dst;
+    return binary(op, a, b, outShape);
+  }
+
+  /// True when the backend implements fusedMatMul/fusedConv2d. The ops
+  /// layer checks this and otherwise composes the unfused kernel chain
+  /// itself (device backends with command queues keep their existing
+  /// dataflow that way).
+  virtual bool supportsFusedKernels() const { return false; }
+  /// matMul with a fused epilogue: optional bias add (`bias` is a length-n
+  /// vector, or nullptr) followed by `act`. CPU backends apply the epilogue
+  /// while the output tile is still cache-hot; results must be bit-identical
+  /// to matMul + broadcast add + activation on the same backend.
+  virtual DataId fusedMatMul(const TensorSpec& a, const TensorSpec& b,
+                             bool transposeA, bool transposeB,
+                             const TensorSpec* bias, FusedActivation act) {
+    (void)a, (void)b, (void)transposeA, (void)transposeB, (void)bias,
+        (void)act;
+    throw BackendError("fusedMatMul not supported by backend " + name());
+  }
+  /// conv2d with the same fused epilogue contract (`bias` length = outC).
+  virtual DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                             const Conv2DInfo& info, const TensorSpec* bias,
+                             FusedActivation act) {
+    (void)x, (void)filter, (void)info, (void)bias, (void)act;
+    throw BackendError("fusedConv2d not supported by backend " + name());
+  }
 
   /// Smallest additive constant guaranteed distinguishable from zero in the
   /// backend's arithmetic. The WebGL-sim backend returns a larger value on

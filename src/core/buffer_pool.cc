@@ -1,0 +1,212 @@
+#include "core/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/metrics.h"
+
+namespace tfjs::core {
+
+namespace {
+
+constexpr std::size_t kDefaultCapBytes = std::size_t{256} << 20;  // 256 MiB
+
+/// Bucket that can serve a request for n elements: ceil(log2(n)).
+int bucketForRequest(std::size_t n) {
+  return n <= 1 ? 0 : std::bit_width(n - 1);
+}
+
+/// Bucket a buffer of this capacity belongs to: floor(log2(capacity)).
+int bucketForCapacity(std::size_t capacity) {
+  return static_cast<int>(std::bit_width(capacity)) - 1;
+}
+
+metrics::Counter& hitsCounter() {
+  static metrics::Counter& c = metrics::Registry::get().counter("pool.hits");
+  return c;
+}
+metrics::Counter& missesCounter() {
+  static metrics::Counter& c = metrics::Registry::get().counter("pool.misses");
+  return c;
+}
+metrics::Counter& returnsCounter() {
+  static metrics::Counter& c = metrics::Registry::get().counter("pool.returns");
+  return c;
+}
+metrics::Counter& evictionsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("pool.evictions");
+  return c;
+}
+metrics::Gauge& bytesGauge() {
+  static metrics::Gauge& g = metrics::Registry::get().gauge("pool.bytes");
+  return g;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::get() {
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    p->initFromEnv();
+    return p;
+  }();
+  return *pool;
+}
+
+BufferPool::BufferPool() : capBytes_(kDefaultCapBytes) {}
+
+void BufferPool::initFromEnv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const char* v = std::getenv("TFJS_BUFFER_POOL")) {
+    enabled_ = !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+                 std::strcmp(v, "off") == 0);
+  } else {
+    enabled_ = true;
+  }
+  if (const char* v = std::getenv("TFJS_BUFFER_POOL_MB")) {
+    const long mb = std::strtol(v, nullptr, 10);
+    if (mb >= 0) capBytes_ = static_cast<std::size_t>(mb) << 20;
+  } else {
+    capBytes_ = kDefaultCapBytes;
+  }
+  evictLocked();
+  publishGaugeLocked();
+}
+
+std::vector<float> BufferPool::acquire(std::size_t n) {
+  if (n == 0) return {};
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!enabled_) {
+    ++stats_.bypasses;
+    lock.unlock();
+    return std::vector<float>(n);
+  }
+  const int b = bucketForRequest(n);
+  if (b < kBuckets && !buckets_[b].empty()) {
+    Entry e = std::move(buckets_[b].back());
+    buckets_[b].pop_back();
+    pooledBytes_ -= e.buf.capacity() * sizeof(float);
+    ++stats_.hits;
+    stats_.pooledBytes = pooledBytes_;
+    publishGaugeLocked();
+    lock.unlock();
+    hitsCounter().inc();
+    // capacity >= 2^b >= n by the bucket invariant: no reallocation.
+    e.buf.resize(n);
+    return std::move(e.buf);
+  }
+  ++stats_.misses;
+  lock.unlock();
+  missesCounter().inc();
+  std::vector<float> v;
+  // Round the capacity up to the bucket's power of two so the buffer comes
+  // back to a bucket that can serve any request mapping there.
+  if (b < kBuckets) v.reserve(std::size_t{1} << b);
+  v.resize(n);
+  return v;
+}
+
+std::vector<float> BufferPool::acquireFilled(std::size_t n, float value) {
+  std::vector<float> v = acquire(n);
+  std::fill(v.begin(), v.end(), value);
+  return v;
+}
+
+void BufferPool::release(std::vector<float> v) {
+  if (v.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;  // v destructs on return: freed
+  const int b = bucketForCapacity(v.capacity());
+  if (b < 0 || b >= kBuckets) return;
+  pooledBytes_ += v.capacity() * sizeof(float);
+  ++stats_.returns;
+  returnsCounter().inc();
+  buckets_[b].push_back(Entry{++clock_, std::move(v)});
+  evictLocked();
+  stats_.pooledBytes = pooledBytes_;
+  publishGaugeLocked();
+}
+
+void BufferPool::evictLocked() {
+  while (pooledBytes_ > capBytes_) {
+    // Oldest entry across all buckets: each deque is stamp-ordered, so only
+    // the fronts need comparing (at most kBuckets of them).
+    int victim = -1;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int b = 0; b < kBuckets; ++b) {
+      if (!buckets_[b].empty() && buckets_[b].front().stamp < oldest) {
+        oldest = buckets_[b].front().stamp;
+        victim = b;
+      }
+    }
+    if (victim < 0) break;
+    pooledBytes_ -= buckets_[victim].front().buf.capacity() * sizeof(float);
+    buckets_[victim].pop_front();
+    ++stats_.evictions;
+    evictionsCounter().inc();
+  }
+  stats_.pooledBytes = pooledBytes_;
+}
+
+void BufferPool::publishGaugeLocked() {
+  bytesGauge().set(static_cast<std::int64_t>(pooledBytes_));
+}
+
+bool BufferPool::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void BufferPool::setEnabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+  if (!on) {
+    for (auto& bucket : buckets_) bucket.clear();
+    pooledBytes_ = 0;
+    stats_.pooledBytes = 0;
+    publishGaugeLocked();
+  }
+}
+
+std::size_t BufferPool::capBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capBytes_;
+}
+
+void BufferPool::setCapBytes(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capBytes_ = cap;
+  evictLocked();
+  publishGaugeLocked();
+}
+
+void BufferPool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& bucket : buckets_) bucket.clear();
+  pooledBytes_ = 0;
+  stats_.pooledBytes = 0;
+  publishGaugeLocked();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t BufferPool::pooledBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pooledBytes_;
+}
+
+void BufferPool::resetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t parked = pooledBytes_;
+  stats_ = Stats{};
+  stats_.pooledBytes = parked;
+}
+
+}  // namespace tfjs::core

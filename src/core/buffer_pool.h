@@ -1,0 +1,96 @@
+// BufferPool: process-wide recycler for the CPU backends' float buffers —
+// the host-memory analogue of the WebGL texture recycler (paper section 3.9).
+//
+// Kernel outputs churn hard in an eager runtime: every op allocates a fresh
+// buffer and dispose frees it a few ops later. The pool intercepts that
+// cycle: disposeData() parks the vector in a power-of-two size bucket and the
+// next allocation of a compatible size pops it back out, so steady-state
+// inference does no heap traffic at all. Buckets are keyed by the vector's
+// *capacity* class; acquire() rounds the requested element count up to the
+// next power of two on a miss, which guarantees any buffer parked in bucket b
+// can serve any request that maps to bucket b.
+//
+// A byte cap (default 256 MiB, `TFJS_BUFFER_POOL_MB`) bounds parked memory;
+// beyond it the least-recently-returned buffers are evicted (freed).
+// `TFJS_BUFFER_POOL=0` disables the pool entirely — every acquire falls
+// through to the heap and every release frees.
+//
+// Thread-safe: the native backend's workers release scratch buffers from the
+// thread pool while the main thread allocates outputs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace tfjs::core {
+
+class BufferPool {
+ public:
+  /// The process-wide pool (leaked singleton, like Engine). Reads the
+  /// TFJS_BUFFER_POOL / TFJS_BUFFER_POOL_MB environment on first use.
+  static BufferPool& get();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with size() == n. On a pool hit the contents below n are
+  /// stale values from the previous owner — callers that do not overwrite
+  /// every element must use acquireFilled().
+  std::vector<float> acquire(std::size_t n);
+  /// acquire() + fill every element with `value` (0 for accumulators).
+  std::vector<float> acquireFilled(std::size_t n, float value);
+  /// Parks `v` in its capacity bucket for reuse (or frees it when the pool
+  /// is disabled), then evicts least-recently-returned buffers while the
+  /// parked total exceeds the byte cap.
+  void release(std::vector<float> v);
+
+  bool enabled() const;
+  void setEnabled(bool on);
+  std::size_t capBytes() const;
+  void setCapBytes(std::size_t cap);
+  /// Frees every parked buffer. Stats keep accumulating.
+  void clear();
+  /// Re-reads TFJS_BUFFER_POOL / TFJS_BUFFER_POOL_MB (test hook; get()
+  /// already ran it once at process start).
+  void initFromEnv();
+
+  struct Stats {
+    std::uint64_t hits = 0;       ///< acquires served from a bucket
+    std::uint64_t misses = 0;     ///< acquires that went to the heap
+    std::uint64_t bypasses = 0;   ///< acquires while the pool was disabled
+    std::uint64_t returns = 0;    ///< buffers parked by release()
+    std::uint64_t evictions = 0;  ///< parked buffers freed by the byte cap
+    std::size_t pooledBytes = 0;  ///< bytes currently parked (free to reuse)
+  };
+  Stats stats() const;
+  /// Bytes currently parked — what engine.memory() reports as pooledBytes.
+  std::size_t pooledBytes() const;
+  void resetStats();
+
+ private:
+  BufferPool();
+
+  struct Entry {
+    std::uint64_t stamp = 0;  ///< monotone return order, for LRU eviction
+    std::vector<float> buf;
+  };
+
+  // 2^47 floats is far beyond any addressable tensor; larger buffers are
+  // simply never pooled.
+  static constexpr int kBuckets = 48;
+
+  void evictLocked();
+  void publishGaugeLocked();
+
+  mutable std::mutex mu_;
+  std::deque<Entry> buckets_[kBuckets];
+  bool enabled_ = true;
+  std::size_t capBytes_;
+  std::size_t pooledBytes_ = 0;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tfjs::core

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "core/buffer_pool.h"
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "core/trace.h"
@@ -167,6 +168,46 @@ void Engine::disposeTensor(const internal::TensorInfo& constInfo) {
     TFJS_CHECK(memory_.numBytes >= c.bytes);
     memory_.numBytes -= c.bytes;
   }
+}
+
+MemoryInfo Engine::memory() const {
+  MemoryInfo m = memory_;
+  m.pooledBytes = core::BufferPool::get().pooledBytes();
+  return m;
+}
+
+bool Engine::canReuseInput(const Tensor& t) {
+  if (!t.defined() || t.isDisposed()) return false;
+  const auto& info = *t.infoPtr();
+  if (info.kept || info.taped) return false;
+  const auto& c = *info.container;
+  if (c.refCount != 1 || c.released) return false;
+  // The tape saves watched tensors for backward — overwriting one would
+  // corrupt the gradient computation.
+  if (tape_ != nullptr &&
+      tape_->watched(std::span<const Tensor>(&t, 1))) {
+    return false;
+  }
+  return true;
+}
+
+Tensor Engine::reuseInputAsOutput(const Tensor& t, const Shape& shape,
+                                  DType dtype) {
+  static metrics::Counter& inplaceReuses =
+      metrics::Registry::get().counter("engine.inplace_reuses");
+  const auto& src = t.infoPtr();
+  TFJS_CHECK(src && !src->disposed && src->container->refCount == 1);
+  TFJS_CHECK(shape.size() * dtypeBytes(dtype) == src->container->bytes);
+  auto info = std::make_shared<internal::TensorInfo>();
+  info->id = nextTensorId();
+  info->shape = shape;
+  info->dtype = dtype;
+  info->container = src->container;
+  ++info->container->refCount;
+  trackTensor(info);
+  disposeTensor(*src);  // refCount 2 -> 1: container and its bytes survive
+  inplaceReuses.inc();
+  return Tensor(info);
 }
 
 TensorSpec Engine::prepareInput(const Tensor& t) {

@@ -26,6 +26,10 @@ struct MemoryInfo {
   std::size_t numTensors = 0;
   std::size_t numDataBuffers = 0;
   std::size_t numBytes = 0;
+  /// Bytes parked in the CPU BufferPool: backed by no live tensor, free for
+  /// the next allocation. Reported separately so numBytes stays an exact
+  /// live-tensor count.
+  std::size_t pooledBytes = 0;
 };
 
 /// Result of profile(f) (paper section 3.8). Since the instrumentation
@@ -114,7 +118,20 @@ class Engine {
 
   void disposeTensor(const internal::TensorInfo& info);
 
-  MemoryInfo memory() const { return memory_; }
+  MemoryInfo memory() const;
+
+  // ---- in-place reuse (buffer-recycling fast path) ---------------------
+  /// True when a kernel may overwrite `t`'s storage: the handle is its
+  /// container's only owner, is not kept (Variables keep their values), and
+  /// no gradient tape will read it during backward. The ops layer only asks
+  /// for tensors it received by rvalue, so no caller alias can observe the
+  /// overwrite.
+  bool canReuseInput(const Tensor& t);
+  /// Re-wraps `t`'s storage as a fresh output tensor (new id and metadata,
+  /// same container) and consumes `t`. Only valid after canReuseInput(t)
+  /// returned true and the kernel has written the result into the buffer;
+  /// shape/dtype must describe the same byte count.
+  Tensor reuseInputAsOutput(const Tensor& t, const Shape& shape, DType dtype);
 
   /// Ensures `t`'s data lives on the active backend, migrating (download +
   /// upload) if it was created on another backend.

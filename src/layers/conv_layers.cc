@@ -46,6 +46,14 @@ void Conv2D::build(const Shape& inputShape) {
 
 Tensor Conv2D::call(const Tensor& x, bool) {
   return Engine::get().tidy([&] {
+    // conv2d -> add -> activation matches the fused kernel's epilogue;
+    // see Dense::call for the fallback/bit-identity contract.
+    if (auto act = o::fusibleActivation(opts_.activation)) {
+      return o::fusedConv2d(x, kernel_.value(),
+                            opts_.useBias ? bias_.value() : Tensor(), *act,
+                            opts_.strideH, opts_.strideW,
+                            padModeFromName(opts_.padding));
+    }
     Tensor y = o::conv2d(x, kernel_.value(), opts_.strideH, opts_.strideW,
                          padModeFromName(opts_.padding));
     if (opts_.useBias) y = o::add(y, bias_.value());

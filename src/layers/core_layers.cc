@@ -33,6 +33,14 @@ void Dense::build(const Shape& inputShape) {
 
 Tensor Dense::call(const Tensor& x, bool) {
   return Engine::get().tidy([&] {
+    // matMul -> add -> activation is the pattern the fused kernel covers;
+    // route through it when the activation is fusible (bit-identical either
+    // way — fusedMatMul falls back to this composition on backends without
+    // fused kernels).
+    if (auto act = o::fusibleActivation(opts_.activation)) {
+      return o::fusedMatMul(x, kernel_.value(),
+                            opts_.useBias ? bias_.value() : Tensor(), *act);
+    }
     Tensor y = o::matMul(x, kernel_.value());
     if (opts_.useBias) y = o::add(y, bias_.value());
     return activation_(y);

@@ -38,6 +38,31 @@ Tensor maskedGrad(const Tensor& dy, const Tensor& mask, const Shape& target) {
   return reduceGradTo(mul(dy, cast(mask, DType::f32)), target);
 }
 
+/// In-place fast path for a move-consumed first operand; see
+/// tryUnaryInPlace in unary.cc. Additionally requires that broadcasting
+/// leaves the first operand's shape unchanged (the output must fit exactly
+/// in its buffer).
+Tensor tryBinaryInPlace(const char* name, BinaryOp op, const Tensor& arg,
+                        const Tensor& b, DType outDtype) {
+  if (!E().canReuseInput(arg)) return {};
+  if (dtypeBytes(outDtype) != dtypeBytes(arg.dtype())) return {};
+  const Shape out = util::broadcastShapes(arg.shape(), b.shape());
+  if (!(arg.shape() == out)) return {};
+  internal::KernelScope k(name);
+  const TensorSpec sa = E().prepareInput(arg);
+  const TensorSpec sb = E().prepareInput(b);
+  const DataId id = E().backend().binaryInto(op, sa, sb, out, sa.id);
+  if (id != sa.id) {
+    Tensor y = E().makeTensorFromDataId(id, out, outDtype);
+    k.notify(y);
+    arg.dispose();
+    return y;
+  }
+  Tensor y = E().reuseInputAsOutput(arg, out, outDtype);
+  k.notify(y);
+  return y;
+}
+
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -133,6 +158,56 @@ Tensor squaredDifference(const Tensor& a, const Tensor& b) {
 
 Tensor atan2(const Tensor& a, const Tensor& b) {
   return dispatch("atan2", BinaryOp::kAtan2, a, b, DType::f32);
+}
+
+// Move-consuming overloads; a watched first operand falls back to the
+// copying overload (canReuseInput refuses it), which records normally.
+
+Tensor add(Tensor&& a, const Tensor& b) {
+  const Tensor arg = std::move(a);
+  if (Tensor y = tryBinaryInPlace("add", BinaryOp::kAdd, arg, b,
+                                  promoteTypes(arg.dtype(), b.dtype()));
+      y.defined()) {
+    return y;
+  }
+  Tensor y = add(arg, b);
+  arg.dispose();
+  return y;
+}
+
+Tensor sub(Tensor&& a, const Tensor& b) {
+  const Tensor arg = std::move(a);
+  if (Tensor y = tryBinaryInPlace("sub", BinaryOp::kSub, arg, b,
+                                  promoteTypes(arg.dtype(), b.dtype()));
+      y.defined()) {
+    return y;
+  }
+  Tensor y = sub(arg, b);
+  arg.dispose();
+  return y;
+}
+
+Tensor mul(Tensor&& a, const Tensor& b) {
+  const Tensor arg = std::move(a);
+  if (Tensor y = tryBinaryInPlace("mul", BinaryOp::kMul, arg, b,
+                                  promoteTypes(arg.dtype(), b.dtype()));
+      y.defined()) {
+    return y;
+  }
+  Tensor y = mul(arg, b);
+  arg.dispose();
+  return y;
+}
+
+Tensor div(Tensor&& a, const Tensor& b) {
+  const Tensor arg = std::move(a);
+  if (Tensor y = tryBinaryInPlace("div", BinaryOp::kDiv, arg, b, DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = div(arg, b);
+  arg.dispose();
+  return y;
 }
 
 Tensor addScalar(const Tensor& a, float s) { return add(a, scalar(s)); }

@@ -1,0 +1,259 @@
+// Fused matMul/conv2d: bias add + activation folded into the producing
+// kernel on backends that support it (supportsFusedKernels()), mirroring
+// tf.fused.matMul / the upstream fused conv path that Layers' Dense and
+// Conv2D emit. Backends without fused kernels get the equivalent
+// composition of public ops; both paths are bit-identical to the unfused
+// chain on the active backend — the epilogue applies exactly the same
+// scalar formulas after the full accumulation (see DESIGN.md "Memory
+// reuse").
+#include "core/metrics.h"
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+using internal::record;
+using internal::reduceGradTo;
+
+namespace {
+
+/// Normalizes a rank-2 tensor to rank-3 with batch 1 (alias, free).
+Tensor to3d(const Tensor& t) {
+  if (t.rank() == 3) return t.clone();
+  return t.reshape(Shape{1, t.shape()[0], t.shape()[1]});
+}
+
+/// Applies the consumed activation when composing from public ops.
+Tensor applyActivationOp(FusedActivation act, Tensor&& y) {
+  switch (act) {
+    case FusedActivation::kNone:
+      return std::move(y);
+    case FusedActivation::kRelu:
+      return relu(std::move(y));
+    case FusedActivation::kRelu6:
+      return relu6(std::move(y));
+    case FusedActivation::kSigmoid:
+      return sigmoid(std::move(y));
+  }
+  throw InternalError("unknown FusedActivation");
+}
+
+/// dL/d(pre-activation) from dy and the fused output y. Every supported
+/// activation's derivative is expressible from its own output, so the
+/// pre-activation values never need to be materialized.
+Tensor activationGrad(FusedActivation act, const Tensor& dy, const Tensor& y) {
+  switch (act) {
+    case FusedActivation::kNone:
+      return dy.clone();
+    case FusedActivation::kRelu:
+      return mul(dy, cast(greater(y, scalar(0)), DType::f32));
+    case FusedActivation::kRelu6:
+      return mul(dy, cast(logicalAnd(greater(y, scalar(0)),
+                                     less(y, scalar(6))),
+                          DType::f32));
+    case FusedActivation::kSigmoid:
+      return mul(dy, mul(y, sub(scalar(1), y)));
+  }
+  throw InternalError("unknown FusedActivation");
+}
+
+/// The four transpose-case matMul adjoints (same as matmul.cc) applied to
+/// the pre-activation gradient dt.
+std::pair<Tensor, Tensor> matMulAdjoints(const Tensor& a, const Tensor& b,
+                                         bool transposeA, bool transposeB,
+                                         const Tensor& dt) {
+  Tensor da3, db3;
+  if (!transposeA && !transposeB) {
+    da3 = matMul(dt, b, false, true);
+    db3 = matMul(a, dt, true, false);
+  } else if (!transposeA && transposeB) {
+    da3 = matMul(dt, b, false, false);
+    db3 = matMul(dt, a, true, false);
+  } else if (transposeA && !transposeB) {
+    da3 = matMul(b, dt, false, true);
+    db3 = matMul(a, dt, false, false);
+  } else {
+    da3 = matMul(b, dt, true, true);
+    db3 = matMul(dt, a, true, true);
+  }
+  Tensor da = reduceGradTo(da3, a.shape());
+  Tensor db = reduceGradTo(db3, b.shape());
+  da3.dispose();
+  db3.dispose();
+  return {da, db};
+}
+
+Tensor convBackpropInput(const Tensor& dy, const Tensor& filter,
+                         const Conv2DInfo& info) {
+  internal::KernelScope k("conv2dBackpropInput");
+  const TensorSpec sdy = E().prepareInput(dy);
+  const TensorSpec sf = E().prepareInput(filter);
+  const DataId id = E().backend().conv2dBackpropInput(sdy, sf, info);
+  return k.wrap(id, Shape{info.batch, info.inH, info.inW, info.inC},
+                DType::f32);
+}
+
+Tensor convBackpropFilter(const Tensor& x, const Tensor& dy,
+                          const Conv2DInfo& info) {
+  internal::KernelScope k("conv2dBackpropFilter");
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sdy = E().prepareInput(dy);
+  const DataId id = E().backend().conv2dBackpropFilter(sx, sdy, info);
+  return k.wrap(id, Shape{info.filterH, info.filterW, info.inC, info.outC},
+                DType::f32);
+}
+
+}  // namespace
+
+std::optional<FusedActivation> fusibleActivation(const std::string& name) {
+  if (name.empty() || name == "linear") return FusedActivation::kNone;
+  if (name == "relu") return FusedActivation::kRelu;
+  if (name == "relu6") return FusedActivation::kRelu6;
+  if (name == "sigmoid") return FusedActivation::kSigmoid;
+  return std::nullopt;
+}
+
+Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   FusedActivation act, bool transposeA, bool transposeB) {
+  TFJS_SHAPE_CHECK(a.rank() == 2 || a.rank() == 3,
+                   "fusedMatMul expects rank 2 or 3 for a, got " << a.rank());
+  TFJS_SHAPE_CHECK(b.rank() == 2 || b.rank() == 3,
+                   "fusedMatMul expects rank 2 or 3 for b, got " << b.rank());
+
+  if (!E().backend().supportsFusedKernels()) {
+    // Compose from public ops; each records its own gradient, and the
+    // move-consuming overloads reclaim the intermediates (on the webgl-sim
+    // backend this keeps every intermediate alive until its consumer has
+    // been queued, which a backend-level dispose could not guarantee).
+    Tensor y = matMul(a, b, transposeA, transposeB);
+    if (bias.defined()) y = add(std::move(y), bias);
+    return applyActivationOp(act, std::move(y));
+  }
+
+  static metrics::Counter& fusions =
+      metrics::Registry::get().counter("fusion.matmul");
+  fusions.inc();
+
+  internal::KernelScope k("fusedMatMul");
+  Tensor y;
+  {
+    internal::TapePause pause;
+    Tensor a3 = to3d(a);
+    Tensor b3 = to3d(b);
+    const int kA = transposeA ? a3.shape()[1] : a3.shape()[2];
+    const int kB = transposeB ? b3.shape()[2] : b3.shape()[1];
+    TFJS_SHAPE_CHECK(kA == kB, "fusedMatMul inner dimensions must agree: "
+                                   << a.shape().toString() << " x "
+                                   << b.shape().toString());
+    const int bA = a3.shape()[0], bB = b3.shape()[0];
+    TFJS_SHAPE_CHECK(bA == bB || bA == 1 || bB == 1,
+                     "fusedMatMul batch dims must match or broadcast");
+    const int m = transposeA ? a3.shape()[2] : a3.shape()[1];
+    const int n = transposeB ? b3.shape()[1] : b3.shape()[2];
+    const TensorSpec sa = E().prepareInput(a3);
+    const TensorSpec sb = E().prepareInput(b3);
+    TensorSpec sbias;
+    const TensorSpec* biasPtr = nullptr;
+    if (bias.defined()) {
+      TFJS_SHAPE_CHECK(bias.rank() == 1 && bias.shape()[0] == n,
+                       "fusedMatMul bias must be rank 1 of length "
+                           << n << ", got " << bias.shape().toString());
+      sbias = E().prepareInput(bias);
+      biasPtr = &sbias;
+    }
+    const DataId id =
+        E().backend().fusedMatMul(sa, sb, transposeA, transposeB, biasPtr, act);
+    const Shape out3{std::max(bA, bB), m, n};
+    Tensor y3 = E().makeTensorFromDataId(id, out3, DType::f32);
+    if (a.rank() == 2 && b.rank() == 2) {
+      y = y3.reshape(Shape{m, n});
+      y3.dispose();
+    } else {
+      y = y3;
+    }
+    a3.dispose();
+    b3.dispose();
+  }
+  k.notify(y);
+
+  auto gradCore = [a, b, transposeA, transposeB, act, y](const Tensor& dy) {
+    Tensor dt = activationGrad(act, dy, y);
+    auto [da, db] = matMulAdjoints(a, b, transposeA, transposeB, dt);
+    return std::make_tuple(dt, da, db);
+  };
+  if (bias.defined()) {
+    record("fusedMatMul", {a, b, bias}, y,
+           [gradCore, bias](const Tensor& dy) {
+             auto [dt, da, db] = gradCore(dy);
+             Tensor dbias = reduceGradTo(dt, bias.shape());
+             dt.dispose();
+             return std::vector<Tensor>{da, db, dbias};
+           });
+  } else {
+    record("fusedMatMul", {a, b}, y, [gradCore](const Tensor& dy) {
+      auto [dt, da, db] = gradCore(dy);
+      dt.dispose();
+      return std::vector<Tensor>{da, db};
+    });
+  }
+  return y;
+}
+
+Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
+                   FusedActivation act, int strideH, int strideW, PadMode pad,
+                   int dilationH, int dilationW) {
+  if (!E().backend().supportsFusedKernels()) {
+    Tensor y = conv2d(x, filter, strideH, strideW, pad, dilationH, dilationW);
+    if (bias.defined()) y = add(std::move(y), bias);
+    return applyActivationOp(act, std::move(y));
+  }
+
+  static metrics::Counter& fusions =
+      metrics::Registry::get().counter("fusion.conv2d");
+  fusions.inc();
+
+  const Conv2DInfo info = conv_util::computeConv2DInfo(
+      x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
+      /*depthwise=*/false);
+  internal::KernelScope k("fusedConv2d");
+  const TensorSpec sx = E().prepareInput(x);
+  const TensorSpec sf = E().prepareInput(filter);
+  TensorSpec sbias;
+  const TensorSpec* biasPtr = nullptr;
+  if (bias.defined()) {
+    TFJS_SHAPE_CHECK(bias.rank() == 1 && bias.shape()[0] == info.outC,
+                     "fusedConv2d bias must be rank 1 of length "
+                         << info.outC << ", got " << bias.shape().toString());
+    sbias = E().prepareInput(bias);
+    biasPtr = &sbias;
+  }
+  const DataId id = E().backend().fusedConv2d(sx, sf, info, biasPtr, act);
+  Tensor y = k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
+                    DType::f32);
+
+  auto gradCore = [x, filter, info, act, y](const Tensor& dy) {
+    Tensor dt = activationGrad(act, dy, y);
+    Tensor dx = convBackpropInput(dt, filter, info);
+    Tensor df = convBackpropFilter(x, dt, info);
+    return std::make_tuple(dt, dx, df);
+  };
+  if (bias.defined()) {
+    record("fusedConv2d", {x, filter, bias}, y,
+           [gradCore, bias](const Tensor& dy) {
+             auto [dt, dx, df] = gradCore(dy);
+             Tensor dbias = reduceGradTo(dt, bias.shape());
+             dt.dispose();
+             return std::vector<Tensor>{dx, df, dbias};
+           });
+  } else {
+    record("fusedConv2d", {x, filter}, y, [gradCore](const Tensor& dy) {
+      auto [dt, dx, df] = gradCore(dy);
+      dt.dispose();
+      return std::vector<Tensor>{dx, df};
+    });
+  }
+  return y;
+}
+
+}  // namespace tfjs::ops

@@ -9,7 +9,9 @@
 // data may still be pending on the GPU command queue (section 3.6).
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -71,6 +73,16 @@ Tensor mulScalar(const Tensor& a, float s);
 Tensor divScalar(const Tensor& a, float s);
 Tensor powScalar(const Tensor& a, float exponent);
 
+/// Move-consuming overloads: `a` is disposed either way, and when the
+/// engine can prove sole ownership (refcount 1, not kept, not on a tape)
+/// and the output shape/dtype-width match, the kernel writes into `a`'s
+/// buffer in place instead of allocating. Results are bit-identical to the
+/// copying overloads.
+Tensor add(Tensor&& a, const Tensor& b);
+Tensor sub(Tensor&& a, const Tensor& b);
+Tensor mul(Tensor&& a, const Tensor& b);
+Tensor div(Tensor&& a, const Tensor& b);
+
 // -------------------------------------------------------------- comparison
 
 Tensor equal(const Tensor& a, const Tensor& b);
@@ -124,6 +136,18 @@ Tensor step(const Tensor& x, float alpha = 0);
 Tensor isNaN(const Tensor& x);
 Tensor isFinite(const Tensor& x);
 
+/// Move-consuming overloads of the hot activations/elementwise ops (see the
+/// binary-op overloads above for the in-place contract).
+Tensor neg(Tensor&& x);
+Tensor exp(Tensor&& x);
+Tensor sqrt(Tensor&& x);
+Tensor square(Tensor&& x);
+Tensor tanh(Tensor&& x);
+Tensor relu(Tensor&& x);
+Tensor relu6(Tensor&& x);
+Tensor sigmoid(Tensor&& x);
+Tensor clipByValue(Tensor&& x, float lo, float hi);
+
 // ------------------------------------------------------------------ matmul
 
 /// Matrix product. Rank-2 inputs multiply directly; rank-3 inputs are
@@ -150,6 +174,29 @@ Tensor maxPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad);
 Tensor avgPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad);
+
+// ------------------------------------------------------------------- fused
+
+/// Maps a Layers-style activation name to a fusible epilogue activation:
+/// "" / "linear" -> kNone, "relu" -> kRelu, "relu6" -> kRelu6,
+/// "sigmoid" -> kSigmoid. nullopt for everything else (caller must fall
+/// back to the unfused composition).
+std::optional<FusedActivation> fusibleActivation(const std::string& name);
+
+/// matMul + optional bias add (rank-1, length n) + activation epilogue in
+/// one kernel on backends that support it (supportsFusedKernels()), else an
+/// unfused composition of the public ops. Both paths are bit-identical to
+/// matMul -> add -> activation on the active backend, including gradients.
+/// Pass a default-constructed Tensor as `bias` to skip the bias add.
+Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   FusedActivation act, bool transposeA = false,
+                   bool transposeB = false);
+
+/// conv2d + optional bias add (rank-1, length outC) + activation epilogue;
+/// same contract as fusedMatMul.
+Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
+                   FusedActivation act, int strideH, int strideW, PadMode pad,
+                   int dilationH = 1, int dilationW = 1);
 
 // -------------------------------------------------------------- reductions
 

@@ -16,6 +16,30 @@ Tensor dispatch(const char* name, UnaryOp op, const Tensor& x, float alpha = 0,
   return k.wrap(id, sx.shape, outDtype);
 }
 
+/// In-place fast path for a move-consumed input: when the engine proves sole
+/// ownership and the element width is unchanged, the kernel overwrites the
+/// input's buffer and the output tensor takes over its storage. Returns an
+/// undefined Tensor when the fast path does not apply (caller falls back to
+/// the allocating op and disposes the consumed input afterwards).
+Tensor tryUnaryInPlace(const char* name, UnaryOp op, const Tensor& arg,
+                       float alpha, float beta, DType outDtype) {
+  if (!E().canReuseInput(arg)) return {};
+  if (dtypeBytes(outDtype) != dtypeBytes(arg.dtype())) return {};
+  internal::KernelScope k(name);
+  const TensorSpec sx = E().prepareInput(arg);
+  const DataId id = E().backend().unaryInto(op, sx, alpha, beta, sx.id);
+  if (id != sx.id) {
+    // Backend declined the in-place write and allocated.
+    Tensor y = E().makeTensorFromDataId(id, sx.shape, outDtype);
+    k.notify(y);
+    arg.dispose();
+    return y;
+  }
+  Tensor y = E().reuseInputAsOutput(arg, sx.shape, outDtype);
+  k.notify(y);
+  return y;
+}
+
 }  // namespace
 
 Tensor neg(const Tensor& x) {
@@ -254,6 +278,118 @@ Tensor isFinite(const Tensor& x) {
 }
 Tensor logicalNot(const Tensor& x) {
   return dispatch("logicalNot", UnaryOp::kLogicalNot, x, 0, 0, DType::b8);
+}
+
+// Move-consuming overloads. No tape recording is needed on the in-place
+// path: canReuseInput() refuses tensors a tape is watching, so a watched
+// input always takes the copying overload below (which records normally).
+
+Tensor neg(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("neg", UnaryOp::kNeg, arg, 0, 0, arg.dtype());
+      y.defined()) {
+    return y;
+  }
+  Tensor y = neg(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor exp(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("exp", UnaryOp::kExp, arg, 0, 0, DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = exp(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor sqrt(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("sqrt", UnaryOp::kSqrt, arg, 0, 0,
+                                 DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = sqrt(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor square(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("square", UnaryOp::kSquare, arg, 0, 0,
+                                 arg.dtype());
+      y.defined()) {
+    return y;
+  }
+  Tensor y = square(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor tanh(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("tanh", UnaryOp::kTanh, arg, 0, 0,
+                                 DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = tanh(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor relu(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("relu", UnaryOp::kRelu, arg, 0, 0,
+                                 DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = relu(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor relu6(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("relu6", UnaryOp::kRelu6, arg, 0, 0,
+                                 DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = relu6(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor sigmoid(Tensor&& x) {
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("sigmoid", UnaryOp::kSigmoid, arg, 0, 0,
+                                 DType::f32);
+      y.defined()) {
+    return y;
+  }
+  Tensor y = sigmoid(arg);
+  arg.dispose();
+  return y;
+}
+
+Tensor clipByValue(Tensor&& x, float lo, float hi) {
+  TFJS_ARG_CHECK(lo <= hi, "clipByValue requires lo <= hi, got " << lo << ", "
+                                                                 << hi);
+  const Tensor arg = std::move(x);
+  if (Tensor y = tryUnaryInPlace("clipByValue", UnaryOp::kClipByValue, arg, lo,
+                                 hi, arg.dtype());
+      y.defined()) {
+    return y;
+  }
+  Tensor y = clipByValue(arg, lo, hi);
+  arg.dispose();
+  return y;
 }
 
 Tensor cast(const Tensor& x, DType dtype) {

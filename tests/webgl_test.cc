@@ -16,6 +16,7 @@
 #include "backends/webgl/tex_util.h"
 #include "backends/webgl/webgl_backend.h"
 #include "core/engine.h"
+#include "core/metrics.h"
 #include "ops/ops.h"
 #include "tests/test_util.h"
 
@@ -106,6 +107,30 @@ TEST_F(WebGLTest, ShaderFetchCountMatchesListing2MatMul) {
   // Listing 2: each of the 4*3 outputs loops over K=8 sampling A and B.
   EXPECT_EQ(after.texelFetches - before.texelFetches, 4u * 3 * 8 * 2);
   for (Tensor t : {a, b, c}) t.dispose();
+}
+
+TEST_F(WebGLTest, ProgramCacheHitsOnRepeatedShapeClass) {
+  auto& backend = activeWebGL();
+  auto& hits = metrics::Registry::get().counter("webgl.shader_cache_hits");
+  auto& misses = metrics::Registry::get().counter("webgl.shader_cache_misses");
+  // A shape class no other test uses, so the first run must compile.
+  const Shape shape{17, 13};
+  Tensor x = o::randomNormal(shape, 0, 1, 5);
+  Tensor y1 = o::relu(x);
+  y1.dataSync();
+  backend.flush();
+  const auto missesAfterFirst = misses.value();
+  const auto hitsAfterFirst = hits.value();
+  EXPECT_GT(missesAfterFirst, 0u);
+  // Same (op, shape-class, packed) signature: served from the program
+  // cache, no recompilation.
+  Tensor y2 = o::relu(x);
+  y2.dataSync();
+  backend.flush();
+  EXPECT_GT(hits.value(), hitsAfterFirst)
+      << "second run of the same shape class must hit the program cache";
+  EXPECT_EQ(misses.value(), missesAfterFirst);
+  for (Tensor t : {x, y1, y2}) t.dispose();
 }
 
 // ------------------------------------------------------------ E7: recycler

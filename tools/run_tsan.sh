@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Builds the threading-sensitive tests under ThreadSanitizer and runs them.
-# Uses a separate build tree (build-tsan/) so the regular build is untouched.
+# Builds the threading-sensitive tests under ThreadSanitizer and runs them,
+# then repeats the memory-sensitive subset under AddressSanitizer (the
+# buffer pool hands raw storage between tensors, in-place ops and backend
+# scratch buffers — exactly where lifetime bugs would hide).
+# Uses separate build trees (build-tsan/, build-asan/) so the regular build
+# is untouched.
 #
 # Usage: tools/run_tsan.sh   (from the repo root)
 set -euo pipefail
@@ -8,6 +12,11 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
 cmake --build build-tsan -j --target thread_pool_test native_parity_test \
-  trace_test
-cd build-tsan
-ctest --output-on-failure -R 'thread_pool_test|native_parity_test|trace_test'
+  trace_test buffer_pool_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'thread_pool_test|native_parity_test|trace_test|buffer_pool_test'
+
+cmake -B build-asan -S . -DTFJS_SANITIZE=address
+cmake --build build-asan -j --target buffer_pool_test fusion_test
+ctest --test-dir build-asan --output-on-failure \
+  -R 'buffer_pool_test|fusion_test'

@@ -160,17 +160,24 @@ std::future<std::vector<float>> RefBackend::readAsync(DataId id) {
 }
 
 void RefBackend::disposeData(DataId id) {
-  auto it = buffers_.find(id);
-  if (it == buffers_.end()) return;
-  bytes_ -= it->second.size() * sizeof(float);
+  std::vector<float> freed;
+  {
+    std::lock_guard<std::mutex> lock(storageMu_);
+    auto it = buffers_.find(id);
+    if (it == buffers_.end()) return;
+    bytes_ -= it->second.size() * sizeof(float);
+    freed = std::move(it->second);
+    buffers_.erase(it);
+  }
   // The storage cycles back through the pool instead of the heap; bytes_
   // keeps counting live buffers only (pooled bytes are reported separately
-  // by engine.memory()).
-  core::BufferPool::get().release(std::move(it->second));
-  buffers_.erase(it);
+  // by engine.memory()). Released outside the storage lock — the pool has
+  // its own mutex.
+  core::BufferPool::get().release(std::move(freed));
 }
 
 const std::vector<float>& RefBackend::buf(DataId id) const {
+  std::lock_guard<std::mutex> lock(storageMu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) {
     // A storage lookup miss is a backend failure, not a caller error: the
@@ -181,6 +188,7 @@ const std::vector<float>& RefBackend::buf(DataId id) const {
 }
 
 std::vector<float>& RefBackend::mutableBuf(DataId id) {
+  std::lock_guard<std::mutex> lock(storageMu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) {
     throw BackendError("ref backend: unknown DataId " + std::to_string(id));
@@ -189,6 +197,7 @@ std::vector<float>& RefBackend::mutableBuf(DataId id) {
 }
 
 DataId RefBackend::store(std::vector<float> v) {
+  std::lock_guard<std::mutex> lock(storageMu_);
   const DataId id = nextId_++;
   bytes_ += v.size() * sizeof(float);
   buffers_.emplace(id, std::move(v));

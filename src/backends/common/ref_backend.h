@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +36,10 @@ class RefBackend : public Backend {
   /// queued work to wait for (the Backend::flush contract holds trivially).
   void flush() override {}
   double kernelTimeMs() const override { return kernelMs_; }
-  std::size_t memoryBytes() const override { return bytes_; }
+  std::size_t memoryBytes() const override {
+    std::lock_guard<std::mutex> lock(storageMu_);
+    return bytes_;
+  }
 
   // ---- kernels
   DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
@@ -111,7 +115,10 @@ class RefBackend : public Backend {
                 bool exclusive, bool reverse) override;
 
   /// Number of live buffers (test hook).
-  std::size_t numBuffers() const { return buffers_.size(); }
+  std::size_t numBuffers() const {
+    std::lock_guard<std::mutex> lock(storageMu_);
+    return buffers_.size();
+  }
 
  protected:
   const std::vector<float>& buf(DataId id) const;
@@ -144,6 +151,12 @@ class RefBackend : public Backend {
   double kernelMs_ = 0;
 
  private:
+  // Guards the storage map and its byte/id accounting: write / read /
+  // disposeData are called from client threads while the scheduler thread
+  // stores kernel outputs. unordered_map references are stable across
+  // rehash, so buf()/mutableBuf() results stay valid outside the lock for
+  // as long as the engine's refcount keeps the id alive.
+  mutable std::mutex storageMu_;
   std::unordered_map<DataId, std::vector<float>> buffers_;
   DataId nextId_ = 1;
   std::size_t bytes_ = 0;

@@ -14,6 +14,9 @@
 
 namespace tfjs {
 
+thread_local std::vector<std::vector<std::shared_ptr<internal::TensorInfo>>>
+    Engine::scopes_;
+
 Engine& Engine::get() {
   // Leaked singleton: backends (and their worker threads) live for the whole
   // process so tensors in static storage never dangle. Engine creation is
@@ -83,7 +86,12 @@ void Engine::removeBackendInstance(const std::string& name) {
 // ------------------------------------------------- creation & tracking
 
 void Engine::trackTensor(const std::shared_ptr<internal::TensorInfo>& info) {
-  ++memory_.numTensors;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    ++memory_.numTensors;
+  }
+  // scopes_ is thread-local: the tensor joins the creating thread's
+  // innermost tidy scope (if any) without synchronization.
   if (!scopes_.empty()) scopes_.back().push_back(info);
 }
 
@@ -107,9 +115,12 @@ Tensor Engine::makeTensorFromDataId(DataId id, const Shape& shape, DType dtype,
   container->bytes = shape.size() * dtypeBytes(dtype);
   container->refCount = 1;
 
-  ++memory_.numDataBuffers;
-  memory_.numBytes += container->bytes;
-  peakBytes_ = std::max(peakBytes_, memory_.numBytes);
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    ++memory_.numDataBuffers;
+    memory_.numBytes += container->bytes;
+    peakBytes_ = std::max(peakBytes_, memory_.numBytes);
+  }
 
   auto info = std::make_shared<internal::TensorInfo>();
   info->id = nextTensorId();
@@ -128,7 +139,10 @@ Tensor Engine::makeAlias(const Tensor& t, const Shape& shape, DType dtype) {
   info->shape = shape;
   info->dtype = dtype;
   info->container = src->container;
-  ++info->container->refCount;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    ++info->container->refCount;
+  }
   trackTensor(info);
   Tensor alias(info);
   // Aliases (clone/reshape/widening cast) are differentiable identities:
@@ -149,29 +163,41 @@ Tensor Engine::makeAlias(const Tensor& t, const Shape& shape, DType dtype) {
 
 void Engine::disposeTensor(const internal::TensorInfo& constInfo) {
   auto& info = const_cast<internal::TensorInfo&>(constInfo);
-  if (info.disposed) return;
-  // A tensor referenced by the active gradient tape must stay alive until
-  // backward has consumed it; the disposal request is deferred — the grad
-  // API clears the flag and its scope collects the tensor afterwards.
-  if (info.taped && tape_ != nullptr) return;
-  info.disposed = true;
-  TFJS_CHECK(memory_.numTensors > 0);
-  --memory_.numTensors;
-
+  bool releaseData = false;
   auto& c = *info.container;
-  TFJS_CHECK(c.refCount > 0);
-  if (--c.refCount == 0 && !c.released) {
-    c.released = true;
-    c.backend->disposeData(c.dataId);
-    TFJS_CHECK(memory_.numDataBuffers > 0);
-    --memory_.numDataBuffers;
-    TFJS_CHECK(memory_.numBytes >= c.bytes);
-    memory_.numBytes -= c.bytes;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    if (info.disposed) return;
+    // A tensor referenced by the active gradient tape must stay alive until
+    // backward has consumed it; the disposal request is deferred — the grad
+    // API clears the flag and its scope collects the tensor afterwards.
+    if (info.taped && tape_ != nullptr) return;
+    info.disposed = true;
+    TFJS_CHECK(memory_.numTensors > 0);
+    --memory_.numTensors;
+
+    TFJS_CHECK(c.refCount > 0);
+    if (--c.refCount == 0 && !c.released) {
+      c.released = true;
+      releaseData = true;
+      TFJS_CHECK(memory_.numDataBuffers > 0);
+      --memory_.numDataBuffers;
+      TFJS_CHECK(memory_.numBytes >= c.bytes);
+      memory_.numBytes -= c.bytes;
+    }
   }
+  // The backend call happens outside the accounting lock: disposeData takes
+  // the backend storage mutex and may cascade into the buffer pool, and
+  // exactly one thread can reach here per container (released flips once).
+  if (releaseData) c.backend->disposeData(c.dataId);
 }
 
 MemoryInfo Engine::memory() const {
-  MemoryInfo m = memory_;
+  MemoryInfo m;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    m = memory_;
+  }
   m.pooledBytes = core::BufferPool::get().pooledBytes();
   return m;
 }
@@ -181,7 +207,10 @@ bool Engine::canReuseInput(const Tensor& t) {
   const auto& info = *t.infoPtr();
   if (info.kept || info.taped) return false;
   const auto& c = *info.container;
-  if (c.refCount != 1 || c.released) return false;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    if (c.refCount != 1 || c.released) return false;
+  }
   // The tape saves watched tensors for backward — overwriting one would
   // corrupt the gradient computation.
   if (tape_ != nullptr &&
@@ -203,7 +232,10 @@ Tensor Engine::reuseInputAsOutput(const Tensor& t, const Shape& shape,
   info->shape = shape;
   info->dtype = dtype;
   info->container = src->container;
-  ++info->container->refCount;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    ++info->container->refCount;
+  }
   trackTensor(info);
   disposeTensor(*src);  // refCount 2 -> 1: container and its bytes survive
   inplaceReuses.inc();
@@ -360,9 +392,13 @@ TimingInfo Engine::time(const std::function<void()>& f) {
 
 ProfileInfo Engine::profile(const std::function<void()>& f) {
   ProfileInfo info;
-  const std::size_t tensorsBefore = memory_.numTensors;
-  const std::size_t bytesBefore = memory_.numBytes;
-  peakBytes_ = memory_.numBytes;
+  std::size_t tensorsBefore, bytesBefore;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    tensorsBefore = memory_.numTensors;
+    bytesBefore = memory_.numBytes;
+    peakBytes_ = memory_.numBytes;
+  }
 
   {
     // The Scope subscribes to the trace stream; kernel records are the "op"
@@ -388,12 +424,15 @@ ProfileInfo Engine::profile(const std::function<void()>& f) {
     }
   }
 
-  info.newTensors = memory_.numTensors > tensorsBefore
-                        ? memory_.numTensors - tensorsBefore
-                        : 0;
-  info.newBytes =
-      memory_.numBytes > bytesBefore ? memory_.numBytes - bytesBefore : 0;
-  info.peakBytes = peakBytes_;
+  {
+    std::lock_guard<std::mutex> lock(memMu_);
+    info.newTensors = memory_.numTensors > tensorsBefore
+                          ? memory_.numTensors - tensorsBefore
+                          : 0;
+    info.newBytes =
+        memory_.numBytes > bytesBefore ? memory_.numBytes - bytesBefore : 0;
+    info.peakBytes = peakBytes_;
+  }
   return info;
 }
 

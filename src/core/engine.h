@@ -6,10 +6,21 @@
 //  * tidy() scopes that dispose intermediate tensors (section 3.7);
 //  * the gradient-tape hook used by the eager autodiff engine (section 3.5);
 //  * debug mode (per-kernel NaN checks) and the profiler (section 3.8).
+//
+// Thread-safety contract (the serving layer relies on this):
+//  * tensor creation, aliasing and disposal are safe from any thread —
+//    memory accounting and container refcounts are guarded by one mutex,
+//    and tidy() scope stacks are thread-local, so concurrent sessions can
+//    create/dispose tensors without corrupting memory() or the pool;
+//  * op dispatch (prepareInput, backend kernels, the tape) is NOT
+//    synchronized: all kernel execution for a given backend must stay on
+//    one thread (the serving scheduler confines it to its own thread).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -184,7 +195,9 @@ class Engine {
   void registerVariable(const std::string& name, const Variable& v);
   std::vector<Variable> trainableVariables() const;
 
-  std::int64_t nextTensorId() { return nextTensorId_++; }
+  std::int64_t nextTensorId() {
+    return nextTensorId_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   Engine() = default;
@@ -199,17 +212,25 @@ class Engine {
   std::unordered_map<std::string, RegisteredBackend> backends_;
   std::string activeBackend_;
 
+  /// Guards memory_, peakBytes_ and every DataContainer's refCount /
+  /// released flag — the state concurrent creates/disposes touch.
+  mutable std::mutex memMu_;
   MemoryInfo memory_;
   std::size_t peakBytes_ = 0;
 
-  std::vector<std::vector<std::shared_ptr<internal::TensorInfo>>> scopes_;
+  /// tidy() scope stacks are per-thread: each thread's scopes collect only
+  /// the tensors that thread created, so a scheduler thread can run tidy
+  /// while client threads create/dispose tensors of their own.
+  static thread_local std::vector<
+      std::vector<std::shared_ptr<internal::TensorInfo>>>
+      scopes_;
 
   TapeRecorder* tape_ = nullptr;
   bool debug_ = false;
 
   std::vector<std::pair<std::string, Variable>> variables_;
 
-  std::int64_t nextTensorId_ = 1;
+  std::atomic<std::int64_t> nextTensorId_{1};
 };
 
 /// Convenience free functions mirroring the tf.* namespace.

@@ -19,11 +19,22 @@ double msSince(Clock::time_point start) {
 EventLoop::EventLoop(double fps) : periodMs_(1000.0 / fps) {}
 
 void EventLoop::postTask(std::function<void()> task) {
-  tasks_.push_back(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  // Wake the loop if it is in its idle sleep; a post from the loop thread
+  // itself finds the queue before sleeping, so the notify is just cheap.
+  taskCv_.notify_one();
 }
 
 void EventLoop::onFrame(std::function<void(int)> cb) {
   frameCallback_ = std::move(cb);
+}
+
+std::size_t EventLoop::pendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
 }
 
 FrameStats EventLoop::run(double durationMs) {
@@ -38,7 +49,11 @@ FrameStats EventLoop::run(double durationMs) {
   FrameStats stats;
   const auto start = Clock::now();
   double nextFrameAt = 0;
-  double lastFrameFired = 0;
+  // Sentinel until the first frame fires: maxStallMs measures gaps between
+  // *consecutive* fired frames, so the interval from loop start to the first
+  // frame (which includes thread-scheduling delay before the loop even
+  // spins) must not count as a stall.
+  double lastFrameFired = -1;
   int frameIndex = 0;
 
   while (msSince(start) < durationMs) {
@@ -58,7 +73,9 @@ FrameStats EventLoop::run(double durationMs) {
         ++stats.framesDropped;
         framesDroppedCounter.inc();
       }
-      stats.maxStallMs = std::max(stats.maxStallMs, now - lastFrameFired);
+      if (lastFrameFired >= 0) {
+        stats.maxStallMs = std::max(stats.maxStallMs, now - lastFrameFired);
+      }
       lastFrameFired = now;
       if (frameCallback_) {
         trace::Span span("loop", "frame");
@@ -80,20 +97,27 @@ FrameStats EventLoop::run(double durationMs) {
       continue;
     }
 
+    std::unique_lock<std::mutex> lock(mu_);
     if (!tasks_.empty()) {
       auto task = std::move(tasks_.front());
       tasks_.pop_front();
+      lock.unlock();
       tasksCounter.inc();
       trace::Span span("loop", "task");
       task();  // may block the loop — that is the point of Figure 2
       continue;
     }
 
-    // Idle: sleep until the next frame is due.
-    const double sleepMs = nextFrameAt - msSince(start);
+    // Idle: sleep until the next frame is due or a cross-thread post lands.
+    // The condition variable replaces the old fixed 2 ms sleep chunks, so a
+    // post from another thread is picked up immediately instead of after up
+    // to 2 ms of quantized sleeping.
+    const double sleepMs =
+        std::min(nextFrameAt, durationMs) - msSince(start);
     if (sleepMs > 0.05) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(std::min(sleepMs, 2.0)));
+      taskCv_.wait_for(lock,
+                       std::chrono::duration<double, std::milli>(sleepMs),
+                       [this] { return !tasks_.empty(); });
     }
   }
   return stats;

@@ -8,11 +8,18 @@
 // loop keep painting while the simulated GPU works (Figure 3). FrameStats
 // quantifies the difference: on-time frames, dropped frames, and the longest
 // main-thread stall.
+//
+// postTask is thread-safe: worker threads (the serving scheduler, device
+// readback completions) post results back to the loop the way browser APIs
+// resolve promises onto the JS main thread. A post from another thread wakes
+// an idle loop immediately instead of waiting out the idle-sleep quantum.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <functional>
+#include <mutex>
 
 namespace tfjs::async {
 
@@ -20,7 +27,7 @@ struct FrameStats {
   int framesScheduled = 0;
   int framesOnTime = 0;
   int framesDropped = 0;   ///< frames that fired >50% of a period late
-  double maxStallMs = 0;   ///< longest gap between consecutive frames
+  double maxStallMs = 0;   ///< longest gap between consecutive fired frames
   double totalLatenessMs = 0;
 };
 
@@ -28,10 +35,12 @@ class EventLoop {
  public:
   explicit EventLoop(double fps = 60.0);
 
-  /// Posts a task to run on the loop thread as soon as possible.
+  /// Posts a task to run on the loop thread as soon as possible. Safe to
+  /// call from any thread; wakes the loop if it is sleeping idle.
   void postTask(std::function<void()> task);
 
   /// Registers the per-frame callback (the "requestAnimationFrame" handler).
+  /// Not thread-safe: register before run(), from the loop's owner.
   void onFrame(std::function<void(int frameIndex)> cb);
 
   /// Runs the loop on the calling thread for `durationMs` of wall time,
@@ -40,8 +49,13 @@ class EventLoop {
 
   double framePeriodMs() const { return periodMs_; }
 
+  /// Tasks posted but not yet run (thread-safe snapshot).
+  std::size_t pendingTasks() const;
+
  private:
   double periodMs_;
+  mutable std::mutex mu_;            ///< guards tasks_ (multi-producer)
+  std::condition_variable taskCv_;   ///< wakes an idle run() on cross-thread post
   std::deque<std::function<void()>> tasks_;
   std::function<void(int)> frameCallback_;
 };

@@ -1,0 +1,118 @@
+// RequestQueue: the bounded MPSC queue between client sessions and the
+// serving scheduler (the "many independent clients, one shared engine"
+// architecture of the TensorFlow whitepaper, applied to this runtime).
+//
+// Many producer threads (sessions) push; one consumer (the scheduler
+// thread) pops. Capacity is the backpressure mechanism: push() blocks the
+// client until space frees (bounding queueing delay by Little's law),
+// tryPush() rejects instead for callers that prefer load shedding. close()
+// wakes everyone; pops keep draining what was accepted before the close so
+// in-flight requests are never dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace tfjs::serving {
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) when
+  /// the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    notFull_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed (load shedding).
+  bool tryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Waits up to `timeout` for an item. nullopt on timeout, or when the
+  /// queue is closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    notEmpty_.wait_for(lock, timeout,
+                       [this] { return closed_ || !items_.empty(); });
+    return popLocked(lock);
+  }
+
+  /// Waits until `deadline` for an item (same contract as popFor).
+  std::optional<T> popUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    notEmpty_.wait_until(lock, deadline,
+                         [this] { return closed_ || !items_.empty(); });
+    return popLocked(lock);
+  }
+
+  /// Immediate pop; nullopt when empty.
+  std::optional<T> tryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return popLocked(lock);
+  }
+
+  /// Stops accepting pushes and wakes all waiters. Items already queued
+  /// remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> popLocked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    notFull_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tfjs::serving

@@ -258,5 +258,81 @@ TEST_F(BufferPoolTest, BroadcastGrowthRefusesBinaryInPlace) {
   b.dispose();
 }
 
+// --------------------------------------------- concurrent-session accounting
+
+TEST_F(BufferPoolTest, ConcurrentDisposeAllocKeepsAccountingConsistent) {
+  // Serving runs dispose/alloc from several threads at once (client threads
+  // dispose their tensors while the scheduler allocates). Accounting —
+  // engine.memory(), the pool counters, and the pooled-bytes gauge — must
+  // not drift. Exercised under TSan by tools/run_tsan.sh.
+  setBackend("native");
+  Engine& engine = Engine::get();
+  auto& pool = BufferPool::get();
+  const auto before = engine.memory();
+
+  constexpr int kThreads = 4, kIters = 150;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      std::vector<float> host(64, static_cast<float>(t));
+      for (int i = 0; i < kIters; ++i) {
+        Tensor a = engine.makeTensorFromHost(host, Shape{64});
+        Tensor alias = a.clone();  // refcount traffic on the same container
+        ASSERT_EQ(a.dataSync()[0], static_cast<float>(t));
+        a.dispose();      // alias keeps the storage alive...
+        alias.dispose();  // ...and this release parks it in the pool
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Everything created was disposed: live tensor/byte counts return to the
+  // baseline exactly — no drift from racing decrements.
+  const auto after = engine.memory();
+  EXPECT_EQ(after.numTensors, before.numTensors);
+  EXPECT_EQ(after.numDataBuffers, before.numDataBuffers);
+  EXPECT_EQ(after.numBytes, before.numBytes);
+  // The pool's own view and the engine's view of parked storage agree.
+  EXPECT_EQ(after.pooledBytes, pool.pooledBytes());
+  const auto s = pool.stats();
+  EXPECT_EQ(s.returns, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(pool.pooledBytes(), pool.capBytes());
+}
+
+TEST_F(BufferPoolTest, CrossThreadAliasDisposeReleasesOnce) {
+  // M containers, each with aliases spread across threads: exactly one
+  // disposer per container observes refcount zero and releases the storage.
+  setBackend("native");
+  Engine& engine = Engine::get();
+  const auto before = engine.memory();
+
+  constexpr int kTensors = 32, kAliases = 4;
+  std::vector<std::vector<Tensor>> aliases(kAliases);
+  for (int i = 0; i < kTensors; ++i) {
+    std::vector<float> host(16, static_cast<float>(i));
+    Tensor t = engine.makeTensorFromHost(host, Shape{16});
+    for (int a = 1; a < kAliases; ++a) {
+      aliases[static_cast<std::size_t>(a)].push_back(t.clone());
+    }
+    aliases[0].push_back(t);
+  }
+  ASSERT_EQ(engine.memory().numDataBuffers,
+            before.numDataBuffers + kTensors);
+
+  std::vector<std::thread> threads;
+  for (int a = 0; a < kAliases; ++a) {
+    threads.emplace_back([&aliases, a] {
+      for (Tensor& t : aliases[static_cast<std::size_t>(a)]) t.dispose();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto after = engine.memory();
+  EXPECT_EQ(after.numTensors, before.numTensors);
+  EXPECT_EQ(after.numDataBuffers, before.numDataBuffers);
+  EXPECT_EQ(after.numBytes, before.numBytes);
+}
+
 }  // namespace
 }  // namespace tfjs

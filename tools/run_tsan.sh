@@ -3,6 +3,8 @@
 # then repeats the memory-sensitive subset under AddressSanitizer (the
 # buffer pool hands raw storage between tensors, in-place ops and backend
 # scratch buffers — exactly where lifetime bugs would hide).
+# async_test covers the multi-producer EventLoop::postTask path and
+# serving_test the whole client-threads/scheduler-thread serving stack.
 # Uses separate build trees (build-tsan/, build-asan/) so the regular build
 # is untouched.
 #
@@ -12,11 +14,11 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
 cmake --build build-tsan -j --target thread_pool_test native_parity_test \
-  trace_test buffer_pool_test
+  trace_test buffer_pool_test async_test serving_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|native_parity_test|trace_test|buffer_pool_test'
+  -R 'thread_pool_test|native_parity_test|trace_test|buffer_pool_test|async_test|serving_test'
 
 cmake -B build-asan -S . -DTFJS_SANITIZE=address
-cmake --build build-asan -j --target buffer_pool_test fusion_test
+cmake --build build-asan -j --target buffer_pool_test fusion_test serving_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'buffer_pool_test|fusion_test'
+  -R 'buffer_pool_test|fusion_test|serving_test'

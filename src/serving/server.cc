@@ -96,7 +96,10 @@ std::shared_ptr<Session> InferenceServer::createSession(std::string name) {
 
 void InferenceServer::stop() {
   queue_.close();
-  if (scheduler_.joinable()) scheduler_.join();
+  // Two concurrent callers (an explicit stop() racing the destructor) must
+  // not both join: call_once lets exactly one caller join while late
+  // callers block until the drain completes.
+  std::call_once(joinOnce_, [this] { scheduler_.join(); });
 }
 
 InferenceServer::Stats InferenceServer::stats() const {
@@ -104,6 +107,7 @@ InferenceServer::Stats InferenceServer::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.paddedRows = paddedRows_.load(std::memory_order_relaxed);
   s.maxBatchSize = maxBatchSize_.load(std::memory_order_relaxed);
   const std::uint64_t served = served_.load(std::memory_order_relaxed);
@@ -147,7 +151,24 @@ std::future<InferenceResult> InferenceServer::submit(
 void InferenceServer::schedulerMain() {
   // All tensor work is confined to this thread; the backend choice is the
   // engine-global active backend (the serving process serves one device).
-  setBackend(opts_.backend);
+  // Any exception escaping a std::thread is std::terminate for the whole
+  // process, so a bad backend name must not leak out of here: fail every
+  // request with the error until the server is stopped instead.
+  try {
+    setBackend(opts_.backend);
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    while (true) {
+      auto r = queue_.popFor(std::chrono::milliseconds(20));
+      if (!r) {
+        if (queue_.closed() && queue_.size() == 0) return;
+        continue;
+      }
+      std::vector<internal::Request> one;
+      one.push_back(std::move(*r));
+      failGroup(one, err);
+    }
+  }
 
   const auto sameShape = [](const internal::Request& a, const Shape& s) {
     return a.exampleShape == s;
@@ -242,48 +263,64 @@ void InferenceServer::runBatch(std::vector<internal::Request>& group) {
 
   Engine& engine = Engine::get();
   // One tensor per request, concatenated along the batch axis — the batch
-  // concat / output slice pair is the serving hot path.
+  // concat / output slice pair is the serving hot path. Everything that can
+  // throw (a request shape the model rejects, a kernel failure) stays
+  // inside the try: an exception escaping the scheduler's std::thread would
+  // std::terminate the whole server, so a failed pass must reject only this
+  // group's promises and leave the scheduler serving other tenants.
   std::vector<Tensor> inputs;
-  inputs.reserve(static_cast<std::size_t>(batch) + (padRows > 0 ? 1 : 0));
-  for (auto& req : group) {
-    inputs.push_back(
-        engine.makeTensorFromHost(req.input, batchShape(example, 1)));
-  }
-  if (padRows > 0) {
-    inputs.push_back(o::zeros(batchShape(example, padRows)));
-    paddedRows_.fetch_add(static_cast<std::uint64_t>(padRows),
-                          std::memory_order_relaxed);
-    paddedCounter.inc(static_cast<std::uint64_t>(padRows));
-  }
-  Tensor batched = inputs.size() == 1 ? inputs.front() : o::concat(inputs, 0);
-
-  Tensor out = model_->predict(batched);
-
-  std::vector<int> sliceSize = out.shape().dims();
-  sliceSize[0] = 1;
-  const Shape exampleOut{std::vector<int>(sliceSize)};
-  for (int i = 0; i < batch; ++i) {
-    std::vector<int> begin(static_cast<std::size_t>(out.rank()), 0);
-    begin[0] = i;
-    InferenceResult res;
-    if (batch + padRows == 1) {
-      // Single-request pass: the output is already this request's result;
-      // skipping the slice keeps the unbatched path allocation-minimal.
-      res.values = out.dataSync();
-    } else {
-      Tensor s = o::slice(out, begin, sliceSize);
-      res.values = s.dataSync();
-      s.dispose();
+  Tensor batched;
+  Tensor out;
+  try {
+    inputs.reserve(static_cast<std::size_t>(batch) + (padRows > 0 ? 1 : 0));
+    for (auto& req : group) {
+      inputs.push_back(
+          engine.makeTensorFromHost(req.input, batchShape(example, 1)));
     }
-    res.shape = exampleOut;
-    res.batchSize = batch;
-    res.batchPadding = padRows;
-    res.queueMs = msBetween(group[static_cast<std::size_t>(i)].submitted,
-                            formed);
-    res.totalMs = msBetween(group[static_cast<std::size_t>(i)].submitted,
-                            Clock::now());
-    queueHist.observe(res.queueMs);
-    fulfill(group[static_cast<std::size_t>(i)], std::move(res));
+    if (padRows > 0) {
+      inputs.push_back(o::zeros(batchShape(example, padRows)));
+      paddedRows_.fetch_add(static_cast<std::uint64_t>(padRows),
+                            std::memory_order_relaxed);
+      paddedCounter.inc(static_cast<std::uint64_t>(padRows));
+    }
+    batched = inputs.size() == 1 ? inputs.front() : o::concat(inputs, 0);
+
+    out = model_->predict(batched);
+
+    std::vector<int> sliceSize = out.shape().dims();
+    sliceSize[0] = 1;
+    const Shape exampleOut{std::vector<int>(sliceSize)};
+    for (int i = 0; i < batch; ++i) {
+      std::vector<int> begin(static_cast<std::size_t>(out.rank()), 0);
+      begin[0] = i;
+      InferenceResult res;
+      if (batch + padRows == 1) {
+        // Single-request pass: the output is already this request's result;
+        // skipping the slice keeps the unbatched path allocation-minimal.
+        res.values = out.dataSync();
+      } else {
+        Tensor s = o::slice(out, begin, sliceSize);
+        res.values = s.dataSync();
+        s.dispose();
+      }
+      res.shape = exampleOut;
+      res.batchSize = batch;
+      res.batchPadding = padRows;
+      res.queueMs = msBetween(group[static_cast<std::size_t>(i)].submitted,
+                              formed);
+      res.totalMs = msBetween(group[static_cast<std::size_t>(i)].submitted,
+                              Clock::now());
+      queueHist.observe(res.queueMs);
+      fulfill(group[static_cast<std::size_t>(i)], std::move(res));
+    }
+  } catch (...) {
+    if (out.defined()) out.dispose();
+    if (inputs.size() > 1 && batched.defined()) batched.dispose();
+    for (Tensor& t : inputs) {
+      if (t.defined()) t.dispose();
+    }
+    failGroup(group, std::current_exception());
+    return;
   }
 
   out.dispose();
@@ -320,6 +357,25 @@ void InferenceServer::fulfill(internal::Request& req, InferenceResult result) {
         [promise, shared] { promise->set_value(std::move(*shared)); });
   } else {
     req.promise->set_value(std::move(result));
+  }
+  // A null promise marks the request settled, so a failure later in the
+  // same batch (failGroup) knows not to touch it again.
+  req.promise.reset();
+}
+
+void InferenceServer::failGroup(std::vector<internal::Request>& group,
+                                const std::exception_ptr& err) {
+  static metrics::Counter& failedCounter =
+      metrics::Registry::get().counter("serving.failed");
+  for (auto& req : group) {
+    if (!req.promise) continue;  // settled before the failure
+    req.promise->set_exception(err);
+    req.promise.reset();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    failedCounter.inc();
+    // Failed requests are settled, not in flight: count them served so
+    // Stats::inFlightAtSnapshot stays accurate.
+    served_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -17,7 +17,11 @@
 //  * completions are fulfilled on the scheduler thread, or routed through
 //    an async::EventLoop (ServerOptions::responseLoop) the way browser
 //    promise resolutions land on the JS main thread — which is exactly the
-//    cross-thread postTask path that demanded the thread-safe EventLoop.
+//    cross-thread postTask path that demanded the thread-safe EventLoop;
+//  * a failed forward pass (e.g. the model rejects a request's shape)
+//    rejects only that batch's promises — the exception is delivered
+//    through each affected future, always on the scheduler thread, and the
+//    scheduler keeps serving other tenants.
 //
 // Batching policy: requests are bucketed by example shape (no cross-shape
 // padding — a [32,32,3] image never pays for a [224,224,3] neighbour). The
@@ -33,6 +37,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +95,14 @@ class InferenceServer;
 /// A client handle. Sessions are cheap, thread-safe, and share the server's
 /// single copy of the model weights; each session may be driven from its
 /// own thread.
+///
+/// Lifetime: a Session holds a non-owning pointer to its InferenceServer.
+/// Drop every session (or at least stop calling infer/tryInfer through it)
+/// and quiesce all client threads before destroying the server — a session
+/// that outlives its server dangles, and a client still blocked inside
+/// infer() while the server is destroyed races its queue teardown. Calling
+/// InferenceServer::stop() first unblocks queued pushes (infer then throws,
+/// tryInfer returns nullopt), which makes the quiesce straightforward.
 class Session {
  public:
   /// Submits one example (shape given WITHOUT the batch dimension) and
@@ -137,7 +150,9 @@ class InferenceServer {
   std::shared_ptr<Session> createSession(std::string name = "");
 
   /// Stops accepting new requests, serves everything already queued, and
-  /// joins the scheduler thread. Idempotent.
+  /// joins the scheduler thread. Idempotent and safe for concurrent
+  /// callers (e.g. an explicit stop() racing the destructor on another
+  /// thread): exactly one caller joins, the rest block until it finishes.
   void stop();
 
   bool stopped() const { return queue_.closed(); }
@@ -152,14 +167,15 @@ class InferenceServer {
     std::uint64_t requests = 0;  ///< accepted into the queue
     std::uint64_t rejected = 0;  ///< shed by tryInfer on a full queue
     std::uint64_t batches = 0;   ///< forward passes executed
+    std::uint64_t failed = 0;    ///< promises rejected by a failed batch
     std::uint64_t paddedRows = 0;
     int maxBatchSize = 0;
     double meanBatchSize() const {
-      return batches ? static_cast<double>(requests - inFlightAtSnapshot) /
-                           static_cast<double>(batches)
+      const std::uint64_t ok = requests - inFlightAtSnapshot - failed;
+      return batches ? static_cast<double>(ok) / static_cast<double>(batches)
                      : 0;
     }
-    std::uint64_t inFlightAtSnapshot = 0;  ///< accepted but not yet served
+    std::uint64_t inFlightAtSnapshot = 0;  ///< accepted but not yet settled
   };
   Stats stats() const;
 
@@ -173,6 +189,9 @@ class InferenceServer {
   void schedulerMain();
   void runBatch(std::vector<internal::Request>& group);
   void fulfill(internal::Request& req, InferenceResult result);
+  /// Rejects every not-yet-fulfilled promise in the group with `err`.
+  void failGroup(std::vector<internal::Request>& group,
+                 const std::exception_ptr& err);
 
   ServerOptions opts_;
   std::unique_ptr<layers::Sequential> model_;
@@ -181,11 +200,13 @@ class InferenceServer {
   /// batch being formed (scheduler-thread only).
   std::vector<internal::Request> pending_;
   std::thread scheduler_;
+  std::once_flag joinOnce_;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> paddedRows_{0};
   std::atomic<int> maxBatchSize_{0};
   std::atomic<int> nextSessionId_{1};

@@ -453,5 +453,73 @@ TEST(ServingTest, MetricsAndStatsPopulated) {
   EXPECT_GT(latHist.count, 0u);
 }
 
+TEST(ServingTest, ModelRejectedShapeFailsOnlyThatRequest) {
+  ServerOptions opts;
+  opts.backend = "native";
+  opts.maxBatch = 4;
+  opts.batchDelayMs = 1;
+  InferenceServer server(makeMlp(), opts);
+  auto session = server.createSession();
+
+  // First request builds the MLP for feature width 4.
+  EXPECT_EQ(session->inferSync(randomInput(4, 70), Shape{4}).values.size(),
+            3u);
+
+  // A 5-wide example passes the length==shape.size() submit check but is
+  // rejected by the built model inside predict. Pre-fix, that exception
+  // escaped the scheduler's std::thread and std::terminate'd the whole
+  // server; now it must surface through this request's future only.
+  auto bad = session->infer(randomInput(5, 71), Shape{5});
+  EXPECT_THROW(bad.get(), Error);
+
+  // The scheduler survived: other tenants keep being served.
+  auto other = server.createSession("bob");
+  EXPECT_EQ(other->inferSync(randomInput(4, 72), Shape{4}).values.size(),
+            3u);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.inFlightAtSnapshot, 0u);
+}
+
+TEST(ServingTest, BadBackendFailsRequestsWithoutTerminating) {
+  ServerOptions opts;
+  opts.backend = "no-such-backend";
+  opts.maxBatch = 2;
+  InferenceServer server(makeMlp(), opts);
+  auto session = server.createSession();
+  auto fut = session->infer(randomInput(4, 80), Shape{4});
+  EXPECT_THROW(fut.get(), Error);
+  server.stop();
+  EXPECT_EQ(server.stats().failed, 1u);
+  setBackend("native");
+}
+
+TEST(ServingTest, ConcurrentStopCallsAreSafe) {
+  ServerOptions opts;
+  opts.backend = "native";
+  opts.maxBatch = 4;
+  opts.batchDelayMs = 1;
+  auto server = std::make_unique<InferenceServer>(makeMlp(), opts);
+  auto session = server->createSession();
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(session->infer(randomInput(4, 85), Shape{4}));
+  }
+
+  // Several explicit stop() calls race each other and then the destructor;
+  // exactly one may join the scheduler thread (double-join is UB).
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&server] { server->stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  for (auto& f : futures) f.get();  // stop() drained everything accepted
+  session.reset();                  // sessions must not outlive the server
+  server.reset();                   // destructor's stop() is the late caller
+}
+
 }  // namespace
 }  // namespace tfjs

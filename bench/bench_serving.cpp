@@ -331,6 +331,10 @@ int main(int argc, char** argv) {
   tfjs::bench::Json doc = tfjs::bench::Json::object();
   doc.set("bench", "serving");
   doc.set("backend", "native");
+  tfjs::bench::Json machine = tfjs::bench::Json::object();
+  machine.set("hardware_concurrency",
+              static_cast<int>(std::thread::hardware_concurrency()));
+  doc.set("machine", std::move(machine));
   tfjs::bench::Json tower = tfjs::bench::Json::object();
   tower.set("workload", "MLP tower 32x32 wide/deep, 10 classes");
   tower.set("saturation", saturationJson(towerUnbatched, towerBatched,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "backends/common/quant_math.h"
 #include "core/buffer_pool.h"
 #include "core/metrics.h"
 #include "core/trace.h"
@@ -109,6 +111,19 @@ float applyFusedActivation(FusedActivation act, float v) {
       return applyUnary(UnaryOp::kSigmoid, v, 0, 0);
   }
   throw InternalError("Unhandled FusedActivation");
+}
+
+bool broadcastsAsSuffix(const Shape& s, const Shape& out) {
+  // Right-align s with out; the trailing non-1 dims of s must match out
+  // exactly, and everything to their left in s must be 1.
+  int i = s.rank() - 1, j = out.rank() - 1;
+  for (; i >= 0 && s[i] != 1; --i, --j) {
+    if (j < 0 || s[i] != out[j]) return false;
+  }
+  for (; i >= 0; --i) {
+    if (s[i] != 1) return false;
+  }
+  return true;
 }
 
 // ------------------------------------------------------------------ timer
@@ -237,6 +252,20 @@ DataId RefBackend::binary(BinaryOp op, const TensorSpec& a,
     const float s = av[0];
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = applyBinary(op, s, bv[i]);
+    }
+  } else if (a.shape == outShape && broadcastsAsSuffix(b.shape, outShape)) {
+    const std::size_t span = bv.size();
+    for (std::size_t base = 0; base < out.size(); base += span) {
+      for (std::size_t i = 0; i < span; ++i) {
+        out[base + i] = applyBinary(op, av[base + i], bv[i]);
+      }
+    }
+  } else if (b.shape == outShape && broadcastsAsSuffix(a.shape, outShape)) {
+    const std::size_t span = av.size();
+    for (std::size_t base = 0; base < out.size(); base += span) {
+      for (std::size_t i = 0; i < span; ++i) {
+        out[base + i] = applyBinary(op, av[i], bv[base + i]);
+      }
     }
   } else {
     std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
@@ -1111,6 +1140,13 @@ DataId RefBackend::binaryInto(BinaryOp op, const TensorSpec& a,
     for (std::size_t i = 0; i < av.size(); ++i) {
       av[i] = applyBinary(op, av[i], s);
     }
+  } else if (broadcastsAsSuffix(b.shape, outShape)) {
+    const std::size_t span = bv.size();
+    for (std::size_t base = 0; base < av.size(); base += span) {
+      for (std::size_t i = 0; i < span; ++i) {
+        av[base + i] = applyBinary(op, av[base + i], bv[i]);
+      }
+    }
   } else {
     std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
     for (std::size_t i = 0; i < av.size(); ++i) {
@@ -1156,6 +1192,209 @@ DataId RefBackend::fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
     out[i] = applyFusedActivation(act, v);
   }
   return c;
+}
+
+// ------------------------------------------------- quantized kernels (int8)
+
+bool RefBackend::quantFastPathOk(const QuantParams& wq, int k) {
+  return wq.symmetric() && k <= qmath::kMaxAccumK;
+}
+
+DataId RefBackend::quantizedMatMulFallback(const TensorSpec& a,
+                                           const TensorSpec& b,
+                                           const QuantParams& wq,
+                                           const TensorSpec* bias,
+                                           FusedActivation act,
+                                           const OutQuant* outQ) {
+  const int k = b.shape[1], n = b.shape[2];
+  std::vector<float> wf;
+  {
+    KernelTimer t(kernelMs_);
+    const auto& bv = buf(b.id);
+    wf = allocBuffer(bv.size());
+    for (std::size_t i = 0; i < bv.size(); ++i) {
+      const std::size_t j = i % static_cast<std::size_t>(n);
+      wf[i] = (bv[i] - static_cast<float>(wq.zeroPointFor(j))) *
+              wq.scaleFor(j);
+    }
+  }
+  const DataId tmp = store(std::move(wf));
+  const TensorSpec bf{tmp, Shape{1, k, n}, DType::f32};
+  const DataId y = fusedMatMul(a, bf, false, false, bias, act);
+  disposeData(tmp);
+  if (outQ != nullptr) {
+    KernelTimer t(kernelMs_);
+    auto& yv = mutableBuf(y);
+    for (float& v : yv) v = qmath::requantToInt8(v, *outQ);
+  }
+  return y;
+}
+
+DataId RefBackend::quantizedConv2dFallback(const TensorSpec& x,
+                                           const TensorSpec& filter,
+                                           const Conv2DInfo& ci,
+                                           const QuantParams& wq,
+                                           const TensorSpec* bias,
+                                           FusedActivation act,
+                                           const OutQuant* outQ) {
+  const int n = ci.outC;
+  std::vector<float> wf;
+  {
+    KernelTimer t(kernelMs_);
+    const auto& fv = buf(filter.id);
+    wf = allocBuffer(fv.size());
+    for (std::size_t i = 0; i < fv.size(); ++i) {
+      const std::size_t j = i % static_cast<std::size_t>(n);
+      wf[i] = (fv[i] - static_cast<float>(wq.zeroPointFor(j))) *
+              wq.scaleFor(j);
+    }
+  }
+  const DataId tmp = store(std::move(wf));
+  const TensorSpec ff{tmp, filter.shape, DType::f32};
+  const DataId y = fusedConv2d(x, ff, ci, bias, act);
+  disposeData(tmp);
+  if (outQ != nullptr) {
+    KernelTimer t(kernelMs_);
+    auto& yv = mutableBuf(y);
+    for (float& v : yv) v = qmath::requantToInt8(v, *outQ);
+  }
+  return y;
+}
+
+DataId RefBackend::quantizedMatMul(const TensorSpec& a, const TensorSpec& b,
+                                   const QuantParams& wq,
+                                   const TensorSpec* bias, FusedActivation act,
+                                   const OutQuant* outQ) {
+  wq.validate();
+  const int batch = a.shape[0];
+  const int m = a.shape[1], k = a.shape[2];
+  const int n = b.shape[2];
+  TFJS_ARG_CHECK(b.shape[0] == 1 && b.shape[1] == k,
+                 "quantizedMatMul expects weights [1, k, n] matching a's k");
+  TFJS_ARG_CHECK(!wq.perChannel() ||
+                     wq.channels() == static_cast<std::size_t>(n),
+                 "quantizedMatMul weight scales must have one entry per "
+                 "output channel");
+  {
+    KernelTimer t(kernelMs_);
+    const auto& av = buf(a.id);
+    if (!qmath::allFinite(av.data(), av.size()) || !quantFastPathOk(wq, k)) {
+      // Fall through to the f32 path outside the timer scope.
+    } else {
+      const auto& bv = buf(b.id);
+      std::vector<std::int8_t> w8(static_cast<std::size_t>(k) * n);
+      qmath::weightsToInt8(bv.data(), w8.size(), w8.data());
+      std::vector<std::int32_t> cs(static_cast<std::size_t>(n));
+      qmath::colSums(w8.data(), k, n, cs.data());
+      const float* biasv = bias != nullptr ? buf(bias->id).data() : nullptr;
+      std::vector<float> out =
+          allocBuffer(static_cast<std::size_t>(batch) * m * n);
+      std::vector<std::uint8_t> qrow(static_cast<std::size_t>(k));
+      for (int bi = 0; bi < batch; ++bi) {
+        for (int i = 0; i < m; ++i) {
+          const float* Arow =
+              av.data() + (static_cast<std::size_t>(bi) * m + i) * k;
+          const qmath::RowQuant rq = qmath::chooseRowQuant(Arow, k);
+          qmath::quantizeRow(Arow, k, rq, qrow.data());
+          float* Crow =
+              out.data() + (static_cast<std::size_t>(bi) * m + i) * n;
+          for (int j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (int p = 0; p < k; ++p) {
+              acc += static_cast<std::int32_t>(qrow[p]) *
+                     static_cast<std::int32_t>(
+                         w8[static_cast<std::size_t>(p) * n + j]);
+            }
+            Crow[j] = qmath::quantEpilogue(acc, rq, cs[j], wq.scaleFor(j),
+                                           biasv, j, act, outQ);
+          }
+        }
+      }
+      return store(std::move(out));
+    }
+  }
+  return quantizedMatMulFallback(a, b, wq, bias, act, outQ);
+}
+
+DataId RefBackend::quantizedConv2d(const TensorSpec& x,
+                                   const TensorSpec& filter,
+                                   const Conv2DInfo& ci, const QuantParams& wq,
+                                   const TensorSpec* bias, FusedActivation act,
+                                   const OutQuant* outQ) {
+  wq.validate();
+  const int patch = ci.filterH * ci.filterW * ci.inC;
+  const int n = ci.outC;
+  TFJS_ARG_CHECK(!wq.perChannel() ||
+                     wq.channels() == static_cast<std::size_t>(n),
+                 "quantizedConv2d weight scales must have one entry per "
+                 "output channel");
+  {
+    KernelTimer t(kernelMs_);
+    const auto& xv = buf(x.id);
+    if (!qmath::allFinite(xv.data(), xv.size()) ||
+        !quantFastPathOk(wq, patch)) {
+      // Fall through to the f32 path outside the timer scope.
+    } else {
+      const auto& fv = buf(filter.id);
+      std::vector<std::int8_t> w8(static_cast<std::size_t>(patch) * n);
+      qmath::weightsToInt8(fv.data(), w8.size(), w8.data());
+      std::vector<std::int32_t> cs(static_cast<std::size_t>(n));
+      qmath::colSums(w8.data(), patch, n, cs.data());
+      const float* biasv = bias != nullptr ? buf(bias->id).data() : nullptr;
+      std::vector<float> out = allocBuffer(
+          static_cast<std::size_t>(ci.batch) * ci.outH * ci.outW * n);
+      // Each output pixel materializes its full im2col patch row (zeros for
+      // out-of-bounds taps) and quantizes it as one GEMM row — exactly what
+      // the native backend's chunked im2col does, so results match bitwise.
+      std::vector<float> prow(static_cast<std::size_t>(patch));
+      std::vector<std::uint8_t> qrow(static_cast<std::size_t>(patch));
+      for (int b = 0; b < ci.batch; ++b) {
+        for (int oy = 0; oy < ci.outH; ++oy) {
+          for (int ox = 0; ox < ci.outW; ++ox) {
+            std::fill(prow.begin(), prow.end(), 0.f);
+            for (int fy = 0; fy < ci.filterH; ++fy) {
+              const int iy = oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+              if (iy < 0 || iy >= ci.inH) continue;
+              for (int fx = 0; fx < ci.filterW; ++fx) {
+                const int ix =
+                    ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+                if (ix < 0 || ix >= ci.inW) continue;
+                std::memcpy(
+                    prow.data() +
+                        (static_cast<std::size_t>(fy) * ci.filterW + fx) *
+                            ci.inC,
+                    xv.data() + ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                     ci.inW +
+                                 ix) *
+                                    ci.inC,
+                    static_cast<std::size_t>(ci.inC) * sizeof(float));
+              }
+            }
+            const qmath::RowQuant rq =
+                qmath::chooseRowQuant(prow.data(), prow.size());
+            qmath::quantizeRow(prow.data(), prow.size(), rq, qrow.data());
+            float* oRow =
+                out.data() + ((static_cast<std::size_t>(b) * ci.outH + oy) *
+                                  ci.outW +
+                              ox) *
+                                 n;
+            for (int oc = 0; oc < n; ++oc) {
+              std::int32_t acc = 0;
+              for (int p = 0; p < patch; ++p) {
+                acc += static_cast<std::int32_t>(qrow[p]) *
+                       static_cast<std::int32_t>(
+                           w8[static_cast<std::size_t>(p) * n + oc]);
+              }
+              oRow[oc] = qmath::quantEpilogue(acc, rq, cs[oc], wq.scaleFor(oc),
+                                              biasv, oc, act, outQ);
+            }
+          }
+        }
+      }
+      return store(std::move(out));
+    }
+  }
+  return quantizedConv2dFallback(x, filter, ci, wq, bias, act, outQ);
 }
 
 DataId RefBackend::cumsum(const TensorSpec& x, std::size_t outer,

@@ -60,6 +60,20 @@ class RefBackend : public Backend {
   DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
                      const Conv2DInfo& info, const TensorSpec* bias,
                      FusedActivation act) override;
+  bool supportsQuantizedKernels() const override { return true; }
+  /// Scalar int8 oracle: u8 dynamic per-row activation codes x s8 weight
+  /// codes, exact i32 accumulation, shared scalar epilogue
+  /// (backends/common/quant_math.h). Derived backends' SIMD kernels must
+  /// match it bitwise. Falls back to the dequantized f32 fused path (via the
+  /// virtual fusedMatMul/fusedConv2d) when k could overflow i32, the
+  /// activations are non-finite, or the weights are not symmetric.
+  DataId quantizedMatMul(const TensorSpec& a, const TensorSpec& b,
+                         const QuantParams& wq, const TensorSpec* bias,
+                         FusedActivation act, const OutQuant* outQ) override;
+  DataId quantizedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                         const Conv2DInfo& info, const QuantParams& wq,
+                         const TensorSpec* bias, FusedActivation act,
+                         const OutQuant* outQ) override;
   DataId select(const TensorSpec& cond, const TensorSpec& a,
                 const TensorSpec& b, const Shape& outShape) override;
   DataId matMul(const TensorSpec& a, const TensorSpec& b, bool transposeA,
@@ -125,6 +139,22 @@ class RefBackend : public Backend {
   std::vector<float>& mutableBuf(DataId id);
   DataId store(std::vector<float> v);
 
+  // Shared f32 fallback of the quantized kernels: dequantizes the weight
+  // codes, dispatches the backend's own (virtual) fused kernel, and
+  // requantizes the result in place when outQ is set. Also the reason a
+  // quantized kernel's fallback stays bit-identical across backends that
+  // share an f32 GEMM accumulation order.
+  DataId quantizedMatMulFallback(const TensorSpec& a, const TensorSpec& b,
+                                 const QuantParams& wq, const TensorSpec* bias,
+                                 FusedActivation act, const OutQuant* outQ);
+  DataId quantizedConv2dFallback(const TensorSpec& x, const TensorSpec& filter,
+                                 const Conv2DInfo& info, const QuantParams& wq,
+                                 const TensorSpec* bias, FusedActivation act,
+                                 const OutQuant* outQ);
+  /// True when the quantized fast path applies: symmetric weights and an
+  /// inner dimension short enough for exact i32 accumulation.
+  static bool quantFastPathOk(const QuantParams& wq, int k);
+
   // Pooled allocation (core::BufferPool). allocBuffer's contents are
   // unspecified on a pool hit — only kernels that overwrite every element
   // may use it; accumulators and fill-style kernels take the Filled/Zeroed
@@ -169,5 +199,12 @@ float applyUnary(UnaryOp op, float x, float alpha, float beta);
 /// Fused-epilogue activation, defined as the matching applyUnary formula so
 /// fused and unfused results cannot drift apart bitwise.
 float applyFusedActivation(FusedActivation act, float v);
+
+/// True when broadcasting `s` against `out` replicates s's elements as a
+/// contiguous trailing block (e.g. a [C] bias against an NHWC tensor):
+/// s, with leading 1s stripped, equals the trailing dims of out. Lets
+/// binary kernels replace per-element coordinate decoding with a dense
+/// row loop — same scalar op per element, so values are unchanged.
+bool broadcastsAsSuffix(const Shape& s, const Shape& out);
 
 }  // namespace tfjs::backends

@@ -145,6 +145,58 @@ void binaryLoopSame(BinaryOp op, const float* x, const float* y, float* o,
       });
 }
 
+// Second operand broadcasts as a contiguous suffix (the per-channel bias
+// against an NHWC tensor is the hot case): one parallel sweep over the
+// leading rows with a dense, autovectorizable inner loop. Applies the same
+// scalar op per element as the reference broadcast path, so values are
+// bit-identical — only the per-element coordinate decoding is gone. `o` may
+// alias `x` for the in-place entry point.
+void binaryLoopSuffix(BinaryOp op, const float* x, const float* y, float* o,
+                      std::size_t rows, std::size_t span) {
+  ThreadPool::get().parallelFor(
+      rows, std::max<std::size_t>(1, kElemGrain / std::max<std::size_t>(span, 1)),
+      [&](std::size_t rb, std::size_t re) {
+        switch (op) {
+          case BinaryOp::kAdd:
+            for (std::size_t r = rb; r < re; ++r) {
+              const float* xr = x + r * span;
+              float* orow = o + r * span;
+              for (std::size_t i = 0; i < span; ++i) orow[i] = xr[i] + y[i];
+            }
+            break;
+          case BinaryOp::kSub:
+            for (std::size_t r = rb; r < re; ++r) {
+              const float* xr = x + r * span;
+              float* orow = o + r * span;
+              for (std::size_t i = 0; i < span; ++i) orow[i] = xr[i] - y[i];
+            }
+            break;
+          case BinaryOp::kMul:
+            for (std::size_t r = rb; r < re; ++r) {
+              const float* xr = x + r * span;
+              float* orow = o + r * span;
+              for (std::size_t i = 0; i < span; ++i) orow[i] = xr[i] * y[i];
+            }
+            break;
+          case BinaryOp::kDiv:
+            for (std::size_t r = rb; r < re; ++r) {
+              const float* xr = x + r * span;
+              float* orow = o + r * span;
+              for (std::size_t i = 0; i < span; ++i) orow[i] = xr[i] / y[i];
+            }
+            break;
+          default:
+            for (std::size_t r = rb; r < re; ++r) {
+              const float* xr = x + r * span;
+              float* orow = o + r * span;
+              for (std::size_t i = 0; i < span; ++i) {
+                orow[i] = applyBinary(op, xr[i], y[i]);
+              }
+            }
+        }
+      });
+}
+
 void unaryLoop(UnaryOp op, const float* in, float* o, std::size_t size,
                float alpha, float beta) {
   ThreadPool::get().parallelFor(
@@ -192,7 +244,14 @@ DataId NativeBackend::binary(BinaryOp op, const TensorSpec& a,
     binaryLoopSame(op, av.data(), bv.data(), out.data(), out.size());
     return store(std::move(out));
   }
-  // Broadcast path: delegate to the reference implementation's logic by
+  if (a.shape == outShape && bv.size() > 1 &&
+      broadcastsAsSuffix(b.shape, outShape)) {
+    std::vector<float> out = allocBuffer(outShape.size());
+    binaryLoopSuffix(op, av.data(), bv.data(), out.data(),
+                     out.size() / bv.size(), bv.size());
+    return store(std::move(out));
+  }
+  // Remaining broadcast shapes: delegate to the reference implementation by
   // re-dispatching (it handles scalar fast paths and generic broadcast).
   return RefBackend::binary(op, a, b, outShape);
 }
@@ -204,9 +263,17 @@ DataId NativeBackend::binaryInto(BinaryOp op, const TensorSpec& a,
     return binary(op, a, b, outShape);
   }
   if (!(b.shape == outShape)) {
-    // Scalar / broadcast second operand: the serial reference in-place
-    // kernel, matching this backend's own unfused broadcast path (which
-    // also delegates to the reference implementation).
+    const auto& bcast = buf(b.id);
+    if (bcast.size() > 1 && broadcastsAsSuffix(b.shape, outShape)) {
+      KernelTimer t(kernelMs_, "native.binary");
+      auto& av = mutableBuf(dst);
+      binaryLoopSuffix(op, av.data(), bcast.data(), av.data(),
+                       av.size() / bcast.size(), bcast.size());
+      return dst;
+    }
+    // Scalar / remaining broadcast second operands: the serial reference
+    // in-place kernel, matching this backend's own unfused broadcast path
+    // (which also delegates to the reference implementation).
     return RefBackend::binaryInto(op, a, b, outShape, dst);
   }
   KernelTimer t(kernelMs_, "native.binary");

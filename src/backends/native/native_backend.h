@@ -14,13 +14,36 @@
 // see DESIGN.md "Threading model".
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
 #include "backends/common/ref_backend.h"
 
 namespace tfjs::backends::native {
 
+/// Int8 weight matrix packed for the SIMD microkernel (native_quant.cc):
+/// raw row-major codes plus the ISA-specific panel layout, padded so the
+/// inner loop needs no tail handling. Built once per weight tensor and
+/// cached on the backend — this is the "int8 at rest" representation shared
+/// by every serving session that references the same weight DataId.
+struct PackedQuantWeights {
+  int k = 0, n = 0;        ///< logical dims ([k, n], channels on n)
+  int kPad = 0, nPad = 0;  ///< padded dims (panel multiples)
+  std::vector<std::int8_t> panels;    ///< AVX-512 VNNI quad-k panel layout
+  std::vector<std::int16_t> panels16; ///< AVX2 pre-widened pair-k layout
+  std::vector<std::int8_t> w8;        ///< row-major codes (scalar fallback)
+  std::vector<std::int32_t> colSums;  ///< per-column code sums (zp correction)
+};
+
 class NativeBackend : public RefBackend {
  public:
   std::string name() const override { return "native"; }
+
+  /// Drops the packed-weight cache entry (if any) along with the buffer.
+  void disposeData(DataId id) override;
 
   DataId binary(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
                 const Shape& outShape) override;
@@ -42,6 +65,17 @@ class NativeBackend : public RefBackend {
   DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
                      const Conv2DInfo& info, const TensorSpec* bias,
                      FusedActivation act) override;
+  /// SIMD int8 GEMM (AVX-512 VNNI / AVX2 / scalar, chosen at compile time).
+  /// All three variants accumulate the same exact i32 values and share the
+  /// scalar epilogue with the reference oracle, so results are bit-identical
+  /// to RefBackend::quantizedMatMul at any thread count.
+  DataId quantizedMatMul(const TensorSpec& a, const TensorSpec& b,
+                         const QuantParams& wq, const TensorSpec* bias,
+                         FusedActivation act, const OutQuant* outQ) override;
+  DataId quantizedConv2d(const TensorSpec& x, const TensorSpec& filter,
+                         const Conv2DInfo& info, const QuantParams& wq,
+                         const TensorSpec* bias, FusedActivation act,
+                         const OutQuant* outQ) override;
   DataId depthwiseConv2d(const TensorSpec& x, const TensorSpec& filter,
                          const Conv2DInfo& info) override;
   DataId pool2d(PoolMode mode, const TensorSpec& x,
@@ -65,6 +99,19 @@ class NativeBackend : public RefBackend {
   DataId conv2dImpl(const TensorSpec& x, const TensorSpec& filter,
                     const Conv2DInfo& info, const float* bias,
                     FusedActivation act);
+
+  /// Returns the cached panel packing of the [k, n] weight codes stored
+  /// under `id`, building it on first use. Weight tensors are Variables the
+  /// engine never mutates in place, so an entry stays valid until the
+  /// DataId is disposed.
+  std::shared_ptr<const PackedQuantWeights> packedWeights(DataId id, int k,
+                                                          int n);
+
+  /// Guards qcache_: kernels run on the scheduler thread but disposeData is
+  /// called from client threads (and serving sessions share one backend).
+  std::mutex qmu_;
+  std::unordered_map<DataId, std::shared_ptr<const PackedQuantWeights>>
+      qcache_;
 };
 
 /// Registers the "native" backend (priority between webgl-sim and cpu).

@@ -1,0 +1,527 @@
+// Int8 quantized GEMM / conv kernels for the native backend.
+//
+// The hot loop is a u8(activations) x s8(weights) dot product with i32
+// accumulators, blocked kRowBlock GEMM rows at a time so each packed weight
+// panel is loaded once per row block instead of once per row. Three
+// compile-time variants:
+//   * AVX-512 VNNI: weights packed as [nPad/16][kPad/4] panels of 16 columns
+//     x 4 consecutive k values; one _mm512_dpbusd_epi32 does 64 MACs.
+//   * AVX2: weights pre-widened to i16 and packed as [nPad/8][kPad/2] panels
+//     of 8 columns x 2 k values; _mm256_madd_epi16 does 16 MACs. (maddubs is
+//     avoided: its i16 intermediate saturates at 255*127*2 > 32767.)
+//   * scalar: plain loop over row-major codes.
+// Every variant accumulates the same exact integers per row (padding
+// contributes 0 * w = 0, and blocking never reorders a row's own chain).
+//
+// The float stages around the dot product — the row min/max scan, the row
+// quantizer and the dequantize/bias/activation/requantize epilogue — are
+// vectorized here too (AVX-512F), but each vector lane performs exactly the
+// IEEE operation sequence of the scalar helpers in
+// backends/common/quant_math.h: mul / min / max / cvtps-to-i32 round to
+// nearest-even, and the i32 zero-point correction uses 32-bit wraparound
+// arithmetic whose result provably fits (see kMaxAccumK). This TU is built
+// with -ffp-contract=off (see CMakeLists.txt) so -march=native cannot fuse
+// the epilogue's mul+add into an FMA the reference backend doesn't perform.
+// Results are therefore bit-identical to RefBackend's scalar oracle at any
+// SIMD width and any thread count.
+#include <algorithm>
+#include <cstring>
+
+#include "backends/common/quant_math.h"
+#include "backends/native/native_backend.h"
+#include "core/buffer_pool.h"
+#include "core/thread_pool.h"
+#include "core/util.h"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace tfjs::backends::native {
+
+namespace {
+using core::ThreadPool;
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+constexpr int kPanelN = 16;  // columns per VNNI register
+constexpr int kPanelK = 4;   // k values per dpbusd quad
+#elif defined(__AVX2__)
+constexpr int kPanelN = 8;  // columns per madd_epi16 register
+constexpr int kPanelK = 2;  // k values per i16 pair
+#else
+constexpr int kPanelN = 1;
+constexpr int kPanelK = 1;
+#endif
+
+/// GEMM rows quantized and multiplied together per weight-panel pass. The
+/// packed weights stream from cache once per block instead of once per row;
+/// each row still owns an independent accumulator chain, so the results are
+/// bitwise identical to row-at-a-time execution.
+constexpr int kRowBlock = 4;
+
+int roundUp(int v, int to) { return (v + to - 1) / to * to; }
+
+/// qmath::allFinite, SIMD: finite iff the exponent bits are not all ones.
+/// A pure predicate, so any evaluation strategy gives the same answer.
+bool allFiniteFast(const float* x, std::size_t n) {
+#if defined(__AVX512F__)
+  const __m512i expMask = _mm512_set1_epi32(0x7f800000);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i bits =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(x + i));
+    if (_mm512_cmpeq_epi32_mask(_mm512_and_si512(bits, expMask), expMask)) {
+      return false;
+    }
+  }
+  return qmath::allFinite(x + i, n - i);
+#else
+  return qmath::allFinite(x, n);
+#endif
+}
+
+/// qmath::chooseRowQuant with a SIMD min/max scan. Both seeds are 0 like the
+/// scalar scan, and min/max are exact at any association, so the reduced
+/// range — and hence the derived RowQuant — is identical.
+qmath::RowQuant chooseRowQuantFast(const float* row, int k) {
+#if defined(__AVX512F__)
+  __m512 lov = _mm512_setzero_ps();
+  __m512 hiv = _mm512_setzero_ps();
+  int i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m512 v = _mm512_loadu_ps(row + i);
+    lov = _mm512_min_ps(lov, v);
+    hiv = _mm512_max_ps(hiv, v);
+  }
+  float lo = _mm512_reduce_min_ps(lov);
+  float hi = _mm512_reduce_max_ps(hiv);
+  for (; i < k; ++i) {
+    lo = std::min(lo, row[i]);
+    hi = std::max(hi, row[i]);
+  }
+  return qmath::chooseFromMinMax(lo, hi);
+#else
+  return qmath::chooseRowQuant(row, static_cast<std::size_t>(k));
+#endif
+}
+
+/// qmath::quantizeRow, SIMD: per lane the exact scalar sequence
+/// mul(invScale) -> clamp in float -> cvtps (round to nearest even) -> +zp.
+/// The clamp guarantees codes land in [0, 255], so the epi32->epi8
+/// truncating narrow equals the scalar u8 cast.
+void quantizeRowFast(const float* row, int k, const qmath::RowQuant& rq,
+                     std::uint8_t* q) {
+#if defined(__AVX512F__)
+  const __m512 inv = _mm512_set1_ps(rq.invScale);
+  const __m512 lov = _mm512_set1_ps(static_cast<float>(-rq.zp));
+  const __m512 hiv = _mm512_set1_ps(static_cast<float>(255 - rq.zp));
+  const __m512i zpv = _mm512_set1_epi32(rq.zp);
+  int i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m512 t = _mm512_min_ps(
+        _mm512_max_ps(_mm512_mul_ps(_mm512_loadu_ps(row + i), inv), lov),
+        hiv);
+    const __m512i c = _mm512_add_epi32(_mm512_cvtps_epi32(t), zpv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                     _mm512_cvtepi32_epi8(c));
+  }
+  for (; i < k; ++i) q[i] = qmath::quantizeActivation(row[i], rq);
+#else
+  qmath::quantizeRow(row, static_cast<std::size_t>(k), rq, q);
+#endif
+}
+
+/// qmath::quantEpilogue over one output row, SIMD. Lane-exact against the
+/// scalar helper:
+///   * centered = acc - zp*colSum in 32-bit wraparound arithmetic — the
+///     true value fits i32 (kMaxAccumK guard), so the wrap is harmless and
+///     cvtepi32_ps equals the scalar i64->float conversion;
+///   * the float chain mirrors dequantAcc's association exactly:
+///     float(centered) * (rq.scale * wScale[j]), then + bias, activation
+///     via min/max in applyUnary's operand order, then the requantize
+///     mul/clamp/round. No FMA (this TU: -ffp-contract=off).
+/// kSigmoid is transcendental, so that row falls back to the scalar loop.
+void epilogueRowFast(const std::int32_t* acc, int n,
+                     const qmath::RowQuant& rq, const std::int32_t* colSums,
+                     const float* wScale, const float* bias,
+                     FusedActivation act, const OutQuant* outQ, float* Crow) {
+#if defined(__AVX512F__)
+  if (act != FusedActivation::kSigmoid) {
+    const __m512i zpv = _mm512_set1_epi32(rq.zp);
+    const __m512 sv = _mm512_set1_ps(rq.scale);
+    const __m512 zero = _mm512_setzero_ps();
+    const __m512 six = _mm512_set1_ps(6.f);
+    __m512 oinv = zero, olo = zero, ohi = zero;
+    __m512i ozp = _mm512_setzero_si512();
+    if (outQ != nullptr) {
+      oinv = _mm512_set1_ps(1.f / outQ->scale);
+      olo = _mm512_set1_ps(static_cast<float>(kInt8Min - outQ->zeroPoint));
+      ohi = _mm512_set1_ps(static_cast<float>(kInt8Max - outQ->zeroPoint));
+      ozp = _mm512_set1_epi32(outQ->zeroPoint);
+    }
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const __m512i accv =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(acc + j));
+      const __m512i csv =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(colSums + j));
+      const __m512i centered =
+          _mm512_sub_epi32(accv, _mm512_mullo_epi32(zpv, csv));
+      __m512 v = _mm512_mul_ps(_mm512_cvtepi32_ps(centered),
+                               _mm512_mul_ps(sv, _mm512_loadu_ps(wScale + j)));
+      if (bias != nullptr) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + j));
+      if (act == FusedActivation::kRelu) {
+        v = _mm512_max_ps(v, zero);  // x > 0 ? x : 0
+      } else if (act == FusedActivation::kRelu6) {
+        v = _mm512_min_ps(six, _mm512_max_ps(zero, v));  // min(max(x,0),6)
+      }
+      if (outQ != nullptr) {
+        const __m512 t = _mm512_min_ps(
+            _mm512_max_ps(_mm512_mul_ps(v, oinv), olo), ohi);
+        v = _mm512_cvtepi32_ps(_mm512_add_epi32(_mm512_cvtps_epi32(t), ozp));
+      }
+      _mm512_storeu_ps(Crow + j, v);
+    }
+    for (; j < n; ++j) {
+      Crow[j] = qmath::quantEpilogue(acc[j], rq, colSums[j], wScale[j], bias,
+                                     j, act, outQ);
+    }
+    return;
+  }
+#endif
+  for (int j = 0; j < n; ++j) {
+    Crow[j] = qmath::quantEpilogue(acc[j], rq, colSums[j], wScale[j], bias, j,
+                                   act, outQ);
+  }
+}
+
+/// Integer dot products of R quantized activation rows (kPad u8 codes each,
+/// zero-padded past k, qStride bytes apart) against every weight column;
+/// writes R x n i32 sums, aStride apart. Each weight panel is loaded once
+/// and reused across the R rows.
+template <int R>
+void dotRows(const PackedQuantWeights& pw, const std::uint8_t* qrows,
+             std::size_t qStride, std::int32_t* acc, std::size_t aStride) {
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+  const int kQuads = pw.kPad / kPanelK;
+  for (int j0 = 0; j0 < pw.nPad; j0 += kPanelN) {
+    const std::int8_t* panel =
+        pw.panels.data() +
+        (static_cast<std::size_t>(j0 / kPanelN) * kQuads) * 64;
+    __m512i sum[R];
+    for (int t = 0; t < R; ++t) sum[t] = _mm512_setzero_si512();
+    for (int q = 0; q < kQuads; ++q) {
+      const __m512i wv = _mm512_loadu_si512(panel + q * 64);
+      for (int t = 0; t < R; ++t) {
+        // Broadcast 4 consecutive activation bytes to every lane; each
+        // lane's 4 weight bytes are that lane's column at the same 4 k
+        // positions.
+        std::int32_t aq;
+        std::memcpy(&aq, qrows + t * qStride + q * kPanelK, sizeof(aq));
+        sum[t] = _mm512_dpbusd_epi32(sum[t], _mm512_set1_epi32(aq), wv);
+      }
+    }
+    const int jMax = std::min(j0 + kPanelN, pw.n);
+    for (int t = 0; t < R; ++t) {
+      alignas(64) std::int32_t lane[16];
+      _mm512_store_si512(lane, sum[t]);
+      for (int j = j0; j < jMax; ++j) acc[t * aStride + j] = lane[j - j0];
+    }
+  }
+#elif defined(__AVX2__)
+  const int kPairs = pw.kPad / kPanelK;
+  for (int j0 = 0; j0 < pw.nPad; j0 += kPanelN) {
+    const std::int16_t* panel =
+        pw.panels16.data() +
+        (static_cast<std::size_t>(j0 / kPanelN) * kPairs) * 16;
+    __m256i sum[R];
+    for (int t = 0; t < R; ++t) sum[t] = _mm256_setzero_si256();
+    for (int q = 0; q < kPairs; ++q) {
+      const __m256i wv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(panel + q * 16));
+      for (int t = 0; t < R; ++t) {
+        const std::uint8_t* qr = qrows + t * qStride + q * kPanelK;
+        // i16 lanes [a0, a1] x8; madd pairs them with [w(p), w(p+1)] per
+        // column. 255 * 127 * 2 fits i32, so the pairwise sum is exact.
+        const std::int32_t a0 = qr[0];
+        const std::int32_t a1 = qr[1];
+        const __m256i av = _mm256_set1_epi32(a0 | (a1 << 16));
+        sum[t] = _mm256_add_epi32(sum[t], _mm256_madd_epi16(av, wv));
+      }
+    }
+    const int jMax = std::min(j0 + kPanelN, pw.n);
+    for (int t = 0; t < R; ++t) {
+      alignas(32) std::int32_t lane[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lane), sum[t]);
+      for (int j = j0; j < jMax; ++j) acc[t * aStride + j] = lane[j - j0];
+    }
+  }
+#else
+  for (int t = 0; t < R; ++t) {
+    const std::uint8_t* qrow = qrows + t * qStride;
+    std::int32_t* arow = acc + t * aStride;
+    for (int j = 0; j < pw.n; ++j) arow[j] = 0;
+    for (int p = 0; p < pw.k; ++p) {
+      const std::int32_t a = qrow[p];
+      const std::int8_t* wrow =
+          pw.w8.data() + static_cast<std::size_t>(p) * pw.n;
+      for (int j = 0; j < pw.n; ++j) arow[j] += a * wrow[j];
+    }
+  }
+#endif
+}
+
+/// Serial core over a row range: quantize each f32 row of A, run the integer
+/// dot products (kRowBlock rows per weight-panel pass), and apply the shared
+/// epilogue. Rows are independent, so any partition of the row space
+/// (threads, batching, blocking) is bit-identical.
+void quantRows(const PackedQuantWeights& pw, const QuantParams& wq,
+               const float* A, std::size_t rowBegin, std::size_t rowEnd,
+               const float* bias, FusedActivation act, const OutQuant* outQ,
+               float* out) {
+  const int k = pw.k, n = pw.n;
+  std::vector<float> wScale(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) wScale[j] = wq.scaleFor(j);
+  std::vector<std::uint8_t> qrows(
+      static_cast<std::size_t>(kRowBlock) * pw.kPad, 0);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(kRowBlock) * n);
+  qmath::RowQuant rqs[kRowBlock];
+  const auto prep = [&](std::size_t row, int t) {
+    const float* Arow = A + row * static_cast<std::size_t>(k);
+    rqs[t] = chooseRowQuantFast(Arow, k);
+    quantizeRowFast(Arow, k, rqs[t],
+                    qrows.data() + static_cast<std::size_t>(t) * pw.kPad);
+    // pad bytes past k stay 0
+  };
+  std::size_t r = rowBegin;
+  for (; r + kRowBlock <= rowEnd; r += kRowBlock) {
+    for (int t = 0; t < kRowBlock; ++t) prep(r + t, t);
+    dotRows<kRowBlock>(pw, qrows.data(), pw.kPad, acc.data(),
+                       static_cast<std::size_t>(n));
+    for (int t = 0; t < kRowBlock; ++t) {
+      epilogueRowFast(acc.data() + static_cast<std::size_t>(t) * n, n, rqs[t],
+                      pw.colSums.data(), wScale.data(), bias, act, outQ,
+                      out + (r + t) * static_cast<std::size_t>(n));
+    }
+  }
+  for (; r < rowEnd; ++r) {
+    prep(r, 0);
+    dotRows<1>(pw, qrows.data(), pw.kPad, acc.data(),
+               static_cast<std::size_t>(n));
+    epilogueRowFast(acc.data(), n, rqs[0], pw.colSums.data(), wScale.data(),
+                    bias, act, outQ, out + r * static_cast<std::size_t>(n));
+  }
+}
+
+/// Row grain targeting ~256K MACs per chunk — same fixed-partition scheme as
+/// the f32 kernels (independent of thread count).
+std::size_t quantGrain(int k, int n) {
+  const std::size_t work = std::max<std::size_t>(
+      1, static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  return std::max<std::size_t>(1, (std::size_t{1} << 18) / work);
+}
+}  // namespace
+
+std::shared_ptr<const PackedQuantWeights> NativeBackend::packedWeights(
+    DataId id, int k, int n) {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    auto it = qcache_.find(id);
+    if (it != qcache_.end() && it->second->k == k && it->second->n == n) {
+      return it->second;
+    }
+  }
+  const auto& wv = buf(id);
+  auto pw = std::make_shared<PackedQuantWeights>();
+  pw->k = k;
+  pw->n = n;
+  pw->kPad = roundUp(std::max(k, 1), kPanelK);
+  pw->nPad = roundUp(std::max(n, 1), kPanelN);
+  pw->w8.resize(static_cast<std::size_t>(k) * n);
+  qmath::weightsToInt8(wv.data(), pw->w8.size(), pw->w8.data());
+  pw->colSums.resize(static_cast<std::size_t>(n));
+  qmath::colSums(pw->w8.data(), k, n, pw->colSums.data());
+  auto code = [&](int p, int j) -> std::int8_t {
+    return (p < k && j < n) ? pw->w8[static_cast<std::size_t>(p) * n + j] : 0;
+  };
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+  pw->panels.assign(static_cast<std::size_t>(pw->nPad / kPanelN) *
+                        (pw->kPad / kPanelK) * 64,
+                    0);
+  for (int j0 = 0; j0 < pw->nPad; j0 += kPanelN) {
+    for (int p0 = 0; p0 < pw->kPad; p0 += kPanelK) {
+      std::int8_t* dst =
+          pw->panels.data() +
+          (static_cast<std::size_t>(j0 / kPanelN) * (pw->kPad / kPanelK) +
+           p0 / kPanelK) *
+              64;
+      for (int c = 0; c < kPanelN; ++c) {
+        for (int q = 0; q < kPanelK; ++q) {
+          dst[c * kPanelK + q] = code(p0 + q, j0 + c);
+        }
+      }
+    }
+  }
+#elif defined(__AVX2__)
+  pw->panels16.assign(static_cast<std::size_t>(pw->nPad / kPanelN) *
+                          (pw->kPad / kPanelK) * 16,
+                      0);
+  for (int j0 = 0; j0 < pw->nPad; j0 += kPanelN) {
+    for (int p0 = 0; p0 < pw->kPad; p0 += kPanelK) {
+      std::int16_t* dst =
+          pw->panels16.data() +
+          (static_cast<std::size_t>(j0 / kPanelN) * (pw->kPad / kPanelK) +
+           p0 / kPanelK) *
+              16;
+      for (int c = 0; c < kPanelN; ++c) {
+        for (int q = 0; q < kPanelK; ++q) {
+          dst[c * kPanelK + q] = code(p0 + q, j0 + c);
+        }
+      }
+    }
+  }
+#endif
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    qcache_[id] = pw;
+  }
+  return pw;
+}
+
+void NativeBackend::disposeData(DataId id) {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    qcache_.erase(id);
+  }
+  RefBackend::disposeData(id);
+}
+
+DataId NativeBackend::quantizedMatMul(const TensorSpec& a, const TensorSpec& b,
+                                      const QuantParams& wq,
+                                      const TensorSpec* bias,
+                                      FusedActivation act,
+                                      const OutQuant* outQ) {
+  wq.validate();
+  const int batch = a.shape[0];
+  const int m = a.shape[1], k = a.shape[2];
+  const int n = b.shape[2];
+  TFJS_ARG_CHECK(b.shape[0] == 1 && b.shape[1] == k,
+                 "quantizedMatMul expects weights [1, k, n] matching a's k");
+  TFJS_ARG_CHECK(!wq.perChannel() ||
+                     wq.channels() == static_cast<std::size_t>(n),
+                 "quantizedMatMul weight scales must have one entry per "
+                 "output channel");
+  {
+    KernelTimer t(kernelMs_, "native.quantizedMatMul");
+    const auto& av = buf(a.id);
+    if (allFiniteFast(av.data(), av.size()) && quantFastPathOk(wq, k)) {
+      auto pw = packedWeights(b.id, k, n);
+      const float* biasv = bias != nullptr ? buf(bias->id).data() : nullptr;
+      std::vector<float> out =
+          allocBuffer(static_cast<std::size_t>(batch) * m * n);
+      const std::size_t rows = static_cast<std::size_t>(batch) * m;
+      ThreadPool::get().parallelFor(
+          rows, quantGrain(k, n), [&](std::size_t begin, std::size_t end) {
+            quantRows(*pw, wq, av.data(), begin, end, biasv, act, outQ,
+                      out.data());
+          });
+      return store(std::move(out));
+    }
+  }
+  return quantizedMatMulFallback(a, b, wq, bias, act, outQ);
+}
+
+DataId NativeBackend::quantizedConv2d(const TensorSpec& x,
+                                      const TensorSpec& filter,
+                                      const Conv2DInfo& ci,
+                                      const QuantParams& wq,
+                                      const TensorSpec* bias,
+                                      FusedActivation act,
+                                      const OutQuant* outQ) {
+  wq.validate();
+  const int patch = ci.filterH * ci.filterW * ci.inC;
+  const int n = ci.outC;
+  TFJS_ARG_CHECK(!wq.perChannel() ||
+                     wq.channels() == static_cast<std::size_t>(n),
+                 "quantizedConv2d weight scales must have one entry per "
+                 "output channel");
+  {
+    KernelTimer t(kernelMs_, "native.quantizedConv2d");
+    const auto& xv = buf(x.id);
+    if (allFiniteFast(xv.data(), xv.size()) && quantFastPathOk(wq, patch)) {
+      auto pw = packedWeights(filter.id, patch, n);
+      const float* biasv = bias != nullptr ? buf(bias->id).data() : nullptr;
+      const std::size_t outSpatial =
+          static_cast<std::size_t>(ci.outH) * ci.outW;
+      std::vector<float> out = allocBuffer(
+          static_cast<std::size_t>(ci.batch) * outSpatial * n);
+
+      if (ci.filterH == 1 && ci.filterW == 1 && ci.strideH == 1 &&
+          ci.strideW == 1 && ci.padTop == 0 && ci.padLeft == 0) {
+        // 1x1 convolution: every output pixel's "patch row" is just its
+        // input pixel, contiguous across the whole batch — one quantized
+        // GEMM over [batch*spatial, inC] (the MobileNet-dominant case).
+        const std::size_t rows =
+            static_cast<std::size_t>(ci.batch) * outSpatial;
+        ThreadPool::get().parallelFor(
+            rows, quantGrain(patch, n),
+            [&](std::size_t begin, std::size_t end) {
+              quantRows(*pw, wq, xv.data(), begin, end, biasv, act, outQ,
+                        out.data());
+            });
+        return store(std::move(out));
+      }
+
+      // General path: chunked im2col (zero-filled, same as the f32 conv),
+      // then the quantized GEMM core on the chunk's patch rows. The patch
+      // rows equal the oracle's per-pixel materialization exactly, so the
+      // dynamic row quantization — and hence the output — matches bitwise.
+      const std::size_t totalRows =
+          static_cast<std::size_t>(ci.batch) * ci.outH;
+      const std::size_t grain = std::max<std::size_t>(
+          1, quantGrain(patch, n) / std::max(ci.outW, 1));
+      ThreadPool::get().parallelFor(
+          totalRows, grain, [&](std::size_t rBegin, std::size_t rEnd) {
+            std::vector<float> col = core::BufferPool::get().acquireFilled(
+                (rEnd - rBegin) * ci.outW * patch, 0.f);
+            for (std::size_t r = rBegin; r < rEnd; ++r) {
+              const int b = static_cast<int>(r) / ci.outH;
+              const int oy = static_cast<int>(r) % ci.outH;
+              float* colRow =
+                  col.data() + (r - rBegin) * ci.outW * patch;
+              for (int ox = 0; ox < ci.outW; ++ox) {
+                float* dst = colRow + static_cast<std::size_t>(ox) * patch;
+                for (int fy = 0; fy < ci.filterH; ++fy) {
+                  const int iy =
+                      oy * ci.strideH - ci.padTop + fy * ci.dilationH;
+                  if (iy < 0 || iy >= ci.inH) continue;
+                  for (int fx = 0; fx < ci.filterW; ++fx) {
+                    const int ix =
+                        ox * ci.strideW - ci.padLeft + fx * ci.dilationW;
+                    if (ix < 0 || ix >= ci.inW) continue;
+                    std::memcpy(
+                        dst + (static_cast<std::size_t>(fy) * ci.filterW +
+                               fx) *
+                                  ci.inC,
+                        xv.data() +
+                            ((static_cast<std::size_t>(b) * ci.inH + iy) *
+                                 ci.inW +
+                             ix) *
+                                ci.inC,
+                        static_cast<std::size_t>(ci.inC) * sizeof(float));
+                  }
+                }
+              }
+            }
+            quantRows(*pw, wq, col.data(), 0, (rEnd - rBegin) * ci.outW,
+                      biasv, act, outQ,
+                      out.data() + rBegin * ci.outW * n);
+            core::BufferPool::get().release(std::move(col));
+          });
+      return store(std::move(out));
+    }
+  }
+  return quantizedConv2dFallback(x, filter, ci, wq, bias, act, outQ);
+}
+
+}  // namespace tfjs::backends::native

@@ -18,6 +18,8 @@ enum class DType {
   f32,  ///< 32-bit float (default)
   i32,  ///< 32-bit integer semantics (stored as float)
   b8,   ///< boolean semantics: elements are 0.0 or 1.0
+  i8,   ///< quantized int8 semantics: elements are integers in [-127, 127]
+        ///< (stored as float; see core/quant.h for the affine parameters)
 };
 
 inline const char* dtypeName(DType d) {
@@ -25,28 +27,33 @@ inline const char* dtypeName(DType d) {
     case DType::f32: return "float32";
     case DType::i32: return "int32";
     case DType::b8: return "bool";
+    case DType::i8: return "int8";
   }
   return "unknown";
 }
 
 /// Bytes per element as reported by memory accounting. All dtypes occupy a
-/// float internally (see file comment); bool advertises 1 byte to match the
-/// upstream library's `memory()` accounting.
+/// float internally (see file comment); bool and int8 advertise 1 byte to
+/// match the upstream library's `memory()` accounting (and, for int8, the
+/// one-byte-per-element transport format of io/weights.cc).
 inline std::size_t dtypeBytes(DType d) {
-  return d == DType::b8 ? 1 : 4;
+  return d == DType::b8 || d == DType::i8 ? 1 : 4;
 }
 
 inline DType dtypeFromName(const std::string& s) {
   if (s == "float32") return DType::f32;
   if (s == "int32") return DType::i32;
   if (s == "bool") return DType::b8;
+  if (s == "int8") return DType::i8;
   throw InvalidArgumentError("Unknown dtype name: " + s);
 }
 
-/// Type-promotion rule for binary ops: float wins over int wins over bool.
+/// Type-promotion rule for binary ops: float wins over int wins over bool;
+/// int8 sits between bool and int32 (it is an 8-bit integer).
 inline DType promoteTypes(DType a, DType b) {
   if (a == DType::f32 || b == DType::f32) return DType::f32;
   if (a == DType::i32 || b == DType::i32) return DType::i32;
+  if (a == DType::i8 || b == DType::i8) return DType::i8;
   return DType::b8;
 }
 

@@ -138,6 +138,17 @@ Tensor Engine::makeAlias(const Tensor& t, const Shape& shape, DType dtype) {
   info->id = nextTensorId();
   info->shape = shape;
   info->dtype = dtype;
+  // Quantization metadata follows int8 aliases (clone, reshape) as long as
+  // the channel axis survives: per-tensor params always do; per-channel
+  // params require the trailing dimension (the quantized axis of weight
+  // tensors) to be unchanged — e.g. the ops layer's [k,n] -> [1,k,n]
+  // normalization.
+  if (dtype == DType::i8 && src->quant != nullptr) {
+    const bool lastDimKept =
+        shape.rank() > 0 && src->shape.rank() > 0 &&
+        shape[shape.rank() - 1] == src->shape[src->shape.rank() - 1];
+    if (!src->quant->perChannel() || lastDimKept) info->quant = src->quant;
+  }
   info->container = src->container;
   {
     std::lock_guard<std::mutex> lock(memMu_);

@@ -57,7 +57,9 @@ Tensor Tensor::cast(DType target) const {
   auto& engine = Engine::get();
   const bool widening =
       (i.dtype == DType::b8) ||
-      (i.dtype == DType::i32 && target == DType::f32);
+      (i.dtype == DType::i32 && target == DType::f32) ||
+      (i.dtype == DType::i8 &&
+       (target == DType::i32 || target == DType::f32));
   if (widening) {
     return engine.makeAlias(*this, i.shape, target);
   }
@@ -143,7 +145,10 @@ void Variable::assign(const Tensor& next) const {
                  "Variable::assign shape mismatch: variable is "
                      << cur.shape().toString() << ", new value is "
                      << next.shape().toString());
-  TFJS_ARG_CHECK(next.dtype() == cur.dtype(),
+  const bool quantSwap =
+      (next.dtype() == DType::i8 && cur.dtype() == DType::f32) ||
+      (next.dtype() == DType::f32 && cur.dtype() == DType::i8);
+  TFJS_ARG_CHECK(next.dtype() == cur.dtype() || quantSwap,
                  "Variable::assign dtype mismatch");
   next.keep();
   cur.dispose();

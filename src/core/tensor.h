@@ -17,6 +17,7 @@
 
 #include "core/backend.h"
 #include "core/dtype.h"
+#include "core/quant.h"
 #include "core/shape.h"
 
 namespace tfjs {
@@ -40,6 +41,9 @@ struct TensorInfo {
   std::int64_t id = 0;
   Shape shape;
   DType dtype = DType::f32;
+  /// Dequantization parameters of an int8 tensor (null otherwise). Shared
+  /// by aliases; immutable once attached.
+  QuantParamsPtr quant;
   std::shared_ptr<DataContainer> container;
   bool disposed = false;
   bool kept = false;   ///< survives tidy() scope teardown
@@ -66,6 +70,12 @@ class Tensor {
   DataId dataId() const;
 
   bool isDisposed() const { return !info_ || info_->disposed; }
+
+  /// Dequantization parameters of an int8 tensor; null for other dtypes
+  /// (or for an int8 tensor that was never given parameters).
+  const QuantParamsPtr& quantParams() const { return info().quant; }
+  /// Attaches quantization metadata (ops::quantize* and the io loaders).
+  void setQuantParams(QuantParamsPtr q) const { info().quant = std::move(q); }
 
   /// Blocking download of the tensor's values (paper: tensor.dataSync()).
   std::vector<float> dataSync() const;
@@ -122,7 +132,9 @@ class Variable {
   DType dtype() const { return value().dtype(); }
 
   /// Replaces the variable's value; the previous value is disposed and
-  /// `next` is kept. Shape and dtype must match.
+  /// `next` is kept. Shapes must match; dtypes must match too, except that
+  /// swapping between f32 and i8 is allowed (weight quantization replaces a
+  /// float kernel with its int8 codes and vice versa).
   void assign(const Tensor& next) const;
   /// Disposes the current value and detaches the variable.
   void dispose() const;

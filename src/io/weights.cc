@@ -14,6 +14,7 @@ const char* quantizationName(Quantization q) {
     case Quantization::kNone: return "none";
     case Quantization::kUint8: return "uint8";
     case Quantization::kUint16: return "uint16";
+    case Quantization::kInt8: return "int8";
   }
   return "none";
 }
@@ -22,6 +23,7 @@ Quantization quantizationFromName(const std::string& s) {
   if (s == "none") return Quantization::kNone;
   if (s == "uint8") return Quantization::kUint8;
   if (s == "uint16") return Quantization::kUint16;
+  if (s == "int8") return Quantization::kInt8;
   throw InvalidArgumentError("Unknown quantization: " + s);
 }
 
@@ -32,7 +34,22 @@ Json WeightSpec::toJson() const {
   for (int d : shape.dims()) dims.emplace_back(d);
   j["shape"] = Json(std::move(dims));
   j["dtype"] = dtypeName(dtype);
-  if (quantization != Quantization::kNone) {
+  if (quantization == Quantization::kInt8) {
+    Json q;
+    q["dtype"] = quantizationName(quantization);
+    q["axis"] = quantAxis;
+    JsonArray scales;
+    for (float s : quantScales) scales.emplace_back(static_cast<double>(s));
+    q["scales"] = Json(std::move(scales));
+    bool symmetric = true;
+    for (std::int32_t z : quantZeroPoints) symmetric = symmetric && z == 0;
+    if (!symmetric) {
+      JsonArray zps;
+      for (std::int32_t z : quantZeroPoints) zps.emplace_back(z);
+      q["zero_points"] = Json(std::move(zps));
+    }
+    j["quantization"] = q;
+  } else if (quantization != Quantization::kNone) {
     Json q;
     q["dtype"] = quantizationName(quantization);
     q["min"] = static_cast<double>(quantMin);
@@ -52,8 +69,22 @@ WeightSpec WeightSpec::fromJson(const Json& j) {
   if (j.has("quantization")) {
     const Json& q = j.at("quantization");
     s.quantization = quantizationFromName(q.at("dtype").asString());
-    s.quantMin = static_cast<float>(q.at("min").asDouble());
-    s.quantScale = static_cast<float>(q.at("scale").asDouble());
+    if (s.quantization == Quantization::kInt8) {
+      s.quantAxis = q.at("axis").asInt();
+      for (const auto& v : q.at("scales").asArray()) {
+        s.quantScales.push_back(static_cast<float>(v.asDouble()));
+      }
+      if (q.has("zero_points")) {
+        for (const auto& v : q.at("zero_points").asArray()) {
+          s.quantZeroPoints.push_back(v.asInt());
+        }
+      } else {
+        s.quantZeroPoints.assign(s.quantScales.size(), 0);
+      }
+    } else {
+      s.quantMin = static_cast<float>(q.at("min").asDouble());
+      s.quantScale = static_cast<float>(q.at("scale").asDouble());
+    }
   }
   return s;
 }
@@ -117,6 +148,29 @@ class ShardReader {
   std::size_t offset_ = 0;
 };
 
+/// True for weights the int8 mode quantizes: f32 layer kernels of rank >= 2
+/// that are not depthwise filters (the execution path keeps depthwise f32 —
+/// its per-channel dot products are too short to amortize quantization).
+bool int8Eligible(const std::string& name, const Tensor& t) {
+  if (t.dtype() != DType::f32 || t.shape().rank() < 2) return false;
+  if (name.size() < 7 || name.rfind("/kernel") != name.size() - 7) {
+    return false;
+  }
+  return name.find("dw") == std::string::npos &&
+         name.find("depthwise") == std::string::npos;
+}
+
+/// Casts integer-valued float codes (how int8 tensors store their elements,
+/// see core/dtype.h) to the 1-byte transport representation.
+std::vector<std::uint8_t> codesToBytes(const std::vector<float>& values) {
+  std::vector<std::uint8_t> bytes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(
+        static_cast<std::int8_t>(std::lround(values[i])));
+  }
+  return bytes;
+}
+
 }  // namespace
 
 WeightsManifest encodeWeights(
@@ -131,11 +185,59 @@ WeightsManifest encodeWeights(
     spec.name = name;
     spec.shape = tensor.shape();
     spec.dtype = tensor.dtype();
-    // Only f32 payloads are quantized; integer/bool weights stay exact.
-    const Quantization q =
-        tensor.dtype() == DType::f32 ? quantization : Quantization::kNone;
-    spec.quantization = q;
     const std::vector<float> values = tensor.dataSync();
+
+    // A tensor that is already int8 with parameters serializes its codes and
+    // parameters verbatim, under any requested mode.
+    if (tensor.dtype() == DType::i8 && tensor.quantParams() != nullptr) {
+      const QuantParams& qp = *tensor.quantParams();
+      spec.quantization = Quantization::kInt8;
+      spec.quantScales = qp.scale;
+      spec.quantZeroPoints = qp.zeroPoint;
+      spec.quantAxis = qp.axis;
+      const auto bytes = codesToBytes(values);
+      writer.append(bytes.data(), bytes.size());
+      manifest.specs.push_back(std::move(spec));
+      continue;
+    }
+
+    // int8 request: quantize eligible kernels per output channel (last
+    // axis), symmetric — the same scheme ops::quantizePerChannel uses, so
+    // the decoded tensor runs the quantized kernels directly.
+    if (quantization == Quantization::kInt8 && int8Eligible(name, tensor)) {
+      const int channels = spec.shape[spec.shape.rank() - 1];
+      const std::size_t nc = static_cast<std::size_t>(channels);
+      spec.dtype = DType::i8;
+      spec.quantization = Quantization::kInt8;
+      spec.quantAxis = spec.shape.rank() - 1;
+      spec.quantScales.assign(nc, 0.f);
+      spec.quantZeroPoints.assign(nc, 0);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        float& s = spec.quantScales[i % nc];
+        s = std::max(s, std::fabs(values[i]));
+      }
+      // Dead channels (maxAbs 0) keep scale 0 with all-zero codes; kernels
+      // multiply by the scale, never divide.
+      for (float& s : spec.quantScales) s /= static_cast<float>(kInt8Max);
+      std::vector<std::uint8_t> codes(values.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const float s = spec.quantScales[i % nc];
+        const long q8 = s == 0.f ? 0 : std::lround(values[i] / s);
+        codes[i] = static_cast<std::uint8_t>(static_cast<std::int8_t>(
+            std::clamp<long>(q8, kInt8Min, kInt8Max)));
+      }
+      writer.append(codes.data(), codes.size());
+      manifest.specs.push_back(std::move(spec));
+      continue;
+    }
+
+    // Only f32 payloads are quantized; integer/bool weights stay exact —
+    // and the int8 mode stores its non-eligible tensors raw.
+    const Quantization q =
+        tensor.dtype() == DType::f32 && quantization != Quantization::kInt8
+            ? quantization
+            : Quantization::kNone;
+    spec.quantization = q;
 
     if (q == Quantization::kNone) {
       writer.append(reinterpret_cast<const std::uint8_t*>(values.data()),
@@ -204,9 +306,26 @@ std::vector<std::pair<std::string, Tensor>> decodeWeights(
         }
         break;
       }
+      case Quantization::kInt8: {
+        std::vector<std::uint8_t> q(n);
+        reader.read(q.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          values[i] = static_cast<float>(static_cast<std::int8_t>(q[i]));
+        }
+        break;
+      }
     }
-    out.emplace_back(spec.name, Engine::get().makeTensorFromHost(
-                                    values, spec.shape, spec.dtype));
+    Tensor t =
+        Engine::get().makeTensorFromHost(values, spec.shape, spec.dtype);
+    if (spec.quantization == Quantization::kInt8) {
+      auto qp = std::make_shared<QuantParams>();
+      qp->scale = spec.quantScales;
+      qp->zeroPoint = spec.quantZeroPoints;
+      qp->axis = spec.quantAxis;
+      qp->validate();
+      t.setQuantParams(std::move(qp));
+    }
+    out.emplace_back(spec.name, std::move(t));
   }
   return out;
 }

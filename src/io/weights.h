@@ -1,6 +1,12 @@
 // Weight serialization (paper section 5.1): weights are packed into binary
 // shards of at most 4 MB ("optimizing for browser auto-caching") and can be
 // linearly quantized to uint8/uint16, "reducing the model size by 4X".
+//
+// The int8 mode goes further than the paper's transport-only quantization:
+// weights are stored as per-channel symmetric int8 codes (core/quant.h) and
+// decode to int8 tensors *with their parameters attached*, so a loaded model
+// keeps its weights int8 at rest and runs the quantized kernels directly —
+// no dequantization on load.
 #pragma once
 
 #include <cstdint>
@@ -15,20 +21,27 @@ namespace tfjs::io {
 
 inline constexpr std::size_t kDefaultShardBytes = 4 * 1024 * 1024;
 
-enum class Quantization { kNone, kUint8, kUint16 };
+enum class Quantization { kNone, kUint8, kUint16, kInt8 };
 
 const char* quantizationName(Quantization q);
 Quantization quantizationFromName(const std::string& s);
 
 /// Metadata for one serialized weight, mirroring the tfjs weights-manifest
-/// entry ({name, shape, dtype, quantization: {min, scale, dtype}}).
+/// entry ({name, shape, dtype, quantization: {min, scale, dtype}}). The
+/// int8 mode extends the entry with per-channel affine parameters
+/// ({dtype: "int8", axis, scales, zero_points?}).
 struct WeightSpec {
   std::string name;
   Shape shape;
   DType dtype = DType::f32;
   Quantization quantization = Quantization::kNone;
-  float quantMin = 0;    ///< dequantized value of level 0
-  float quantScale = 1;  ///< dequantized step per level
+  float quantMin = 0;    ///< uint8/uint16: dequantized value of level 0
+  float quantScale = 1;  ///< uint8/uint16: dequantized step per level
+  /// int8: one scale per channel along `quantAxis` (one entry when
+  /// per-tensor); zero points omitted from JSON when all zero (symmetric).
+  std::vector<float> quantScales;
+  std::vector<std::int32_t> quantZeroPoints;
+  int quantAxis = -1;
 
   Json toJson() const;
   static WeightSpec fromJson(const Json& j);
@@ -48,13 +61,20 @@ struct WeightsManifest {
 };
 
 /// Serializes named tensors in order, quantizing if requested.
+///
+/// kInt8 applies per-channel symmetric quantization (last axis) to f32
+/// "/kernel" weights of rank >= 2 whose layer is not depthwise (name free of
+/// "dw"/"depthwise" — depthwise stays f32, matching the execution path);
+/// other f32 tensors are stored raw. Tensors that are already int8 with
+/// attached parameters serialize their codes and parameters verbatim.
 WeightsManifest encodeWeights(
     std::span<const std::pair<std::string, Tensor>> weights,
     Quantization quantization = Quantization::kNone,
     std::size_t maxShardBytes = kDefaultShardBytes);
 
-/// Reconstructs tensors (on the active backend) from a manifest. Quantized
-/// weights are dequantized to f32.
+/// Reconstructs tensors (on the active backend) from a manifest. uint8 and
+/// uint16 weights are dequantized to f32; int8 weights decode to int8
+/// tensors with their QuantParams attached (int8 at rest).
 std::vector<std::pair<std::string, Tensor>> decodeWeights(
     const WeightsManifest& manifest);
 

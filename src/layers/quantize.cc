@@ -1,0 +1,32 @@
+#include "layers/quantize.h"
+
+#include <string>
+
+#include "core/util.h"
+#include "ops/ops.h"
+
+namespace tfjs::layers {
+
+namespace o = tfjs::ops;
+
+int quantizeWeightsInt8(Sequential& model) {
+  int count = 0;
+  for (const LayerPtr& layer : model.layers()) {
+    const std::string cls = layer->className();
+    if (cls != "Dense" && cls != "Conv2D") continue;
+    TFJS_ARG_CHECK(layer->built(),
+                   "quantizeWeightsInt8 requires a built model (layer "
+                       << layer->name() << " has no weights yet)");
+    for (const Variable& w : layer->weights()) {
+      const std::string& name = w.name();
+      if (!name.ends_with("/kernel")) continue;
+      if (w.dtype() != DType::f32 || w.value().rank() < 2) continue;
+      Tensor q = o::quantizePerChannel(w.value());
+      w.assign(q);  // assign() keeps q; the variable now owns it
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tfjs::layers

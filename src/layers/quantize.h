@@ -1,0 +1,18 @@
+// Post-training weight quantization of a built Layers model (DESIGN.md
+// "Quantized execution").
+#pragma once
+
+#include "layers/sequential.h"
+
+namespace tfjs::layers {
+
+/// Replaces the kernel weight of every Dense and Conv2D layer in a *built*
+/// model with its symmetric per-channel int8 codes
+/// (ops::quantizePerChannel); matMul/conv2d route those weights through the
+/// backend's quantized kernels from then on. Biases, batch-norm parameters
+/// and DepthwiseConv2D kernels stay f32 (a depthwise filter's arithmetic
+/// intensity is too low for the codec to pay off). Returns the number of
+/// kernels quantized.
+int quantizeWeightsInt8(Sequential& model);
+
+}  // namespace tfjs::layers

@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "layers/conv_layers.h"
 #include "layers/core_layers.h"
+#include "layers/quantize.h"
 #include "ops/ops.h"
 
 namespace tfjs::models {
@@ -138,6 +139,7 @@ std::size_t mobileNetV1Flops(const MobileNetOptions& opts) {
 MobileNetClassifier::MobileNetClassifier(MobileNetOptions opts)
     : opts_(std::move(opts)), model_(buildMobileNetV1(opts_)) {
   model_->build(Shape{1, opts_.inputSize, opts_.inputSize, 3});
+  if (opts_.quantizeInt8) layers::quantizeWeightsInt8(*model_);
 }
 
 Tensor MobileNetClassifier::infer(const data::Image& img) {

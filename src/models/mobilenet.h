@@ -25,6 +25,10 @@ struct MobileNetOptions {
   /// true adds BatchNormalization after every conv (trainable graph);
   /// false emits the converter-style folded graph (conv + bias only).
   bool withBatchNorm = false;
+  /// true quantizes every pointwise/dense kernel to per-channel int8 after
+  /// the model is built (layers::quantizeWeightsInt8) — the classifier does
+  /// it in its constructor; buildMobileNetV1 callers must build first.
+  bool quantizeInt8 = false;
   std::uint64_t seed = 42;
 };
 

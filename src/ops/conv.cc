@@ -55,6 +55,11 @@ Tensor dwBackpropFilter(const Tensor& x, const Tensor& dy,
 
 Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
               PadMode pad, int dilationH, int dilationW) {
+  // Int8 filters route to the quantized kernel (inference-only).
+  if (filter.dtype() == DType::i8 && filter.quantParams() != nullptr) {
+    return quantizedConv2d(x, filter, Tensor{}, FusedActivation::kNone,
+                           strideH, strideW, pad, dilationH, dilationW);
+  }
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/false);
@@ -75,6 +80,15 @@ Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
 Tensor depthwiseConv2d(const Tensor& x, const Tensor& filter, int strideH,
                        int strideW, PadMode pad, int dilationH,
                        int dilationW) {
+  // Depthwise filters are not quantized (their per-channel reuse is too low
+  // to pay for the codec); an int8 filter is dequantized up front.
+  if (filter.dtype() == DType::i8 && filter.quantParams() != nullptr) {
+    Tensor ff = dequantize(filter);
+    Tensor y = depthwiseConv2d(x, ff, strideH, strideW, pad, dilationH,
+                               dilationW);
+    ff.dispose();
+    return y;
+  }
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/true);

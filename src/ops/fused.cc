@@ -121,6 +121,16 @@ Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
   TFJS_SHAPE_CHECK(b.rank() == 2 || b.rank() == 3,
                    "fusedMatMul expects rank 2 or 3 for b, got " << b.rank());
 
+  // Int8 weights route to the quantized kernel (inference-only; the
+  // transposed cases fall back to dequantized f32 weights).
+  if (b.dtype() == DType::i8 && b.quantParams() != nullptr) {
+    if (!transposeA && !transposeB) return quantizedMatMul(a, b, bias, act);
+    Tensor bf = dequantize(b);
+    Tensor y = fusedMatMul(a, bf, bias, act, transposeA, transposeB);
+    bf.dispose();
+    return y;
+  }
+
   if (!E().backend().supportsFusedKernels()) {
     // Compose from public ops; each records its own gradient, and the
     // move-consuming overloads reclaim the intermediates (on the webgl-sim
@@ -203,6 +213,11 @@ Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
 Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
                    FusedActivation act, int strideH, int strideW, PadMode pad,
                    int dilationH, int dilationW) {
+  if (filter.dtype() == DType::i8 && filter.quantParams() != nullptr) {
+    return quantizedConv2d(x, filter, bias, act, strideH, strideW, pad,
+                           dilationH, dilationW);
+  }
+
   if (!E().backend().supportsFusedKernels()) {
     Tensor y = conv2d(x, filter, strideH, strideW, pad, dilationH, dilationW);
     if (bias.defined()) y = add(std::move(y), bias);

@@ -26,6 +26,18 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
   TFJS_SHAPE_CHECK(b.rank() == 2 || b.rank() == 3,
                    "matMul expects rank 2 or 3 for b, got " << b.rank());
 
+  // Int8 weights route to the quantized kernel (inference-only; the
+  // transposed cases fall back to dequantized f32 weights).
+  if (b.dtype() == DType::i8 && b.quantParams() != nullptr) {
+    if (!transposeA && !transposeB) {
+      return quantizedMatMul(a, b, Tensor{}, FusedActivation::kNone);
+    }
+    Tensor bf = dequantize(b);
+    Tensor y = matMul(a, bf, transposeA, transposeB);
+    bf.dispose();
+    return y;
+  }
+
   internal::KernelScope k("matMul");
   Tensor y;
   {

@@ -198,6 +198,41 @@ Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
                    FusedActivation act, int strideH, int strideW, PadMode pad,
                    int dilationH = 1, int dilationW = 1);
 
+// ------------------------------------------------------------ quantization
+
+/// Symmetric per-channel int8 quantization of a weight tensor along its last
+/// axis (matMul weights [k, n]: channel = n; conv HWIO filters: channel = O):
+/// q = clamp(round(w / scale[c]), -127, 127), scale[c] = maxAbs(c) / 127.
+/// An all-zero channel gets scale 0 and all-zero codes (see core/quant.h).
+/// Returns an i8 tensor with the parameters attached.
+Tensor quantizePerChannel(const Tensor& w);
+
+/// Per-tensor affine quantization to int8:
+/// q = clamp(round(x / scale) + zeroPoint, -127, 127).
+Tensor quantize(const Tensor& x, float scale, std::int32_t zeroPoint = 0);
+
+/// f32 values from an int8 tensor and its attached parameters:
+/// real = (code - zeroPoint[c]) * scale[c].
+Tensor dequantize(const Tensor& q);
+
+/// matMul of an f32 activation against int8 weights with a fused bias +
+/// activation epilogue. Activations are quantized dynamically per GEMM row
+/// inside the kernel (u8 codes, i32 accumulators); output is f32, or int8
+/// codes requantized with `outQ` when non-null. Backends without quantized
+/// kernels (and kernels hitting a fallback condition — see core/backend.h)
+/// compute the dequantized f32 fused path instead. Inference-only: no
+/// gradient is recorded. fusedMatMul / matMul route here automatically when
+/// their weight argument is an int8 tensor.
+Tensor quantizedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
+                       FusedActivation act = FusedActivation::kNone,
+                       const OutQuant* outQ = nullptr);
+
+/// conv2d against an int8 HWIO filter; same contract as quantizedMatMul.
+Tensor quantizedConv2d(const Tensor& x, const Tensor& filter,
+                       const Tensor& bias, FusedActivation act, int strideH,
+                       int strideW, PadMode pad, int dilationH = 1,
+                       int dilationW = 1, const OutQuant* outQ = nullptr);
+
 // -------------------------------------------------------------- reductions
 
 Tensor sum(const Tensor& x, std::span<const int> axes = {},

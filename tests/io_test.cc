@@ -110,6 +110,47 @@ TEST_F(IoTest, QuantizationUint16HalvesWithTighterError) {
   w.dispose();
 }
 
+TEST_F(IoTest, QuantizationInt8KeepsWeightsQuantizedAtRest) {
+  // Eligible kernels (rank >= 2, "/kernel", not depthwise) serialize as
+  // per-channel int8 codes and decode back as i8 tensors with parameters
+  // attached — no dequantize on load. Everything else stays f32.
+  Tensor w = o::randomUniform(Shape{9, 6}, -3, 3, 11);
+  Tensor bias = o::randomUniform(Shape{6}, -1, 1, 12);
+  std::vector<std::pair<std::string, Tensor>> named = {
+      {"dense/kernel", w}, {"dense/bias", bias}};
+  io::WeightsManifest m = io::encodeWeights(named, io::Quantization::kInt8);
+  EXPECT_EQ(m.totalBytes(), 9u * 6 + 6 * 4);  // 1 byte/code, bias raw f32
+
+  auto decoded = io::decodeWeights(m);
+  ASSERT_EQ(decoded.size(), 2u);
+  Tensor& qw = decoded[0].second;
+  EXPECT_EQ(qw.dtype(), DType::i8);
+  ASSERT_NE(qw.quantParams(), nullptr);
+  ASSERT_EQ(qw.quantParams()->scale.size(), 6u);
+
+  // Dequantized values stay within half a per-channel quantization step.
+  const auto orig = w.dataSync();
+  const auto codes = qw.dataSync();
+  const auto& qp = *qw.quantParams();
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    const float s = qp.scale[i % 6];
+    EXPECT_NEAR(codes[i] * s, orig[i], s / 2 + 1e-6f);
+  }
+  EXPECT_EQ(decoded[1].second.dtype(), DType::f32);
+  test::expectClose(decoded[1].second, bias, 0);
+
+  // A second encode of the already-int8 tensor round-trips codes verbatim.
+  std::vector<std::pair<std::string, Tensor>> renamed = {
+      {"dense/kernel", qw}};
+  auto again = io::decodeWeights(io::encodeWeights(renamed));
+  test::expectClose(again[0].second, qw, 0);
+  EXPECT_EQ(again[0].second.dtype(), DType::i8);
+  for (auto& [n, t] : again) t.dispose();
+  for (auto& [n, t] : decoded) t.dispose();
+  w.dispose();
+  bias.dispose();
+}
+
 TEST_F(IoTest, QuantizationConstantTensor) {
   Tensor w = o::fill(Shape{16}, 3.25f);
   std::vector<std::pair<std::string, Tensor>> named = {{"w", w}};

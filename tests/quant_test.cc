@@ -1,0 +1,272 @@
+// Int8 quantized inference tests (DESIGN.md "Quantized execution").
+//
+// The contract under test: the scalar reference oracle (cpu backend) and the
+// SIMD native kernels produce *bitwise identical* results — both quantize
+// activations per GEMM row with the same math, accumulate in i32 (exact, in
+// any order), and share the scalar epilogue — so parity is EXPECT_EQ on
+// floats, not EXPECT_NEAR. Edge cases: code saturation at +/-127, dead
+// channels (scale 0), odd K not divisible by the SIMD panel width, the i32
+// accumulator overflow guard on huge K, and the NaN-activation fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "backends/common/quant_math.h"
+#include "core/engine.h"
+#include "ops/ops.h"
+#include "tests/test_util.h"
+
+namespace tfjs {
+namespace {
+
+namespace o = ops;
+
+/// Deterministic values in [-1, 1] (LCG; independent of libc rand).
+std::vector<float> randomData(std::size_t n, std::uint32_t seed) {
+  std::vector<float> v(n);
+  std::uint32_t s = seed * 2654435761u + 1u;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 1664525u + 1013904223u;
+    v[i] = static_cast<float>(s >> 8) / static_cast<float>(1u << 24) * 2.f -
+           1.f;
+  }
+  return v;
+}
+
+/// Bitwise equality (distinguishes NaN payloads and -0 from +0 equality
+/// classes the way the determinism guarantee means it).
+void expectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0,
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+class QuantTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setBackend("native"); }
+};
+
+// ------------------------------------------------------------ quantize ops
+
+TEST_F(QuantTest, QuantizePerChannelRoundTrip) {
+  tidyVoid([] {
+    const auto wv = randomData(7 * 5, 11);
+    Tensor w = o::tensor(wv, Shape{7, 5});
+    Tensor q = o::quantizePerChannel(w);
+    EXPECT_EQ(q.dtype(), DType::i8);
+    ASSERT_NE(q.quantParams(), nullptr);
+    const QuantParams& qp = *q.quantParams();
+    EXPECT_EQ(qp.axis, 1);
+    ASSERT_EQ(qp.channels(), 5u);
+    EXPECT_TRUE(qp.symmetric());
+
+    const auto codes = q.dataSync();
+    for (float c : codes) {
+      EXPECT_GE(c, -127.f);
+      EXPECT_LE(c, 127.f);
+      EXPECT_EQ(c, std::nearbyint(c)) << "codes must be integer-valued";
+    }
+    // Round-trip error is at most half a step per channel.
+    const auto back = o::dequantize(q).dataSync();
+    for (std::size_t i = 0; i < wv.size(); ++i) {
+      EXPECT_NEAR(back[i], wv[i], qp.scale[i % 5] * 0.5f + 1e-7f);
+    }
+  });
+}
+
+TEST_F(QuantTest, ZeroPointSaturationAt127) {
+  tidyVoid([] {
+    // With zero point 50, codes 150 / -150 must clamp to the symmetric
+    // +/-127 range, never wrap.
+    Tensor x = o::tensor({100.f, -200.f, 0.4f, -0.4f}, Shape{4});
+    Tensor q = o::quantize(x, /*scale=*/1.f, /*zeroPoint=*/50);
+    test::expectValues(q, {127.f, -127.f, 50.f, 50.f}, 0.f);
+    // Dequantization sees the saturated codes.
+    test::expectValues(o::dequantize(q), {77.f, -177.f, 0.f, 0.f}, 0.f);
+  });
+}
+
+TEST_F(QuantTest, DeadChannelScaleZeroProducesExactZeros) {
+  tidyVoid([] {
+    // Column 0 is identically zero: its scale must be 0 (not a division
+    // hazard) and every output in that column exactly 0.
+    Tensor w = o::tensor({0.f, 1.f, 0.f, -2.f, 0.f, 0.5f}, Shape{3, 2});
+    Tensor q = o::quantizePerChannel(w);
+    EXPECT_EQ(q.quantParams()->scale[0], 0.f);
+    EXPECT_GT(q.quantParams()->scale[1], 0.f);
+
+    Tensor a = o::tensor(randomData(4 * 3, 3), Shape{4, 3});
+    const auto y = o::quantizedMatMul(a, q, Tensor{}).dataSync();
+    for (std::size_t i = 0; i < y.size(); i += 2) {
+      EXPECT_EQ(y[i], 0.f) << "dead channel must dequantize to exactly 0";
+    }
+  });
+}
+
+// ------------------------------------------------------- ref<->native parity
+
+/// Runs f32-out and requantized-i8-out quantizedMatMul on the active
+/// backend; returns {f32 values, i8 codes}.
+std::pair<std::vector<float>, std::vector<float>> matMulOn(
+    const char* backend, int m, int k, int n, FusedActivation act) {
+  setBackend(backend);
+  std::pair<std::vector<float>, std::vector<float>> out;
+  tidyVoid([&] {
+    Tensor a = o::tensor(randomData(static_cast<std::size_t>(m) * k, 5),
+                         Shape{m, k});
+    Tensor w = o::tensor(randomData(static_cast<std::size_t>(k) * n, 7),
+                         Shape{k, n});
+    Tensor bias = o::tensor(randomData(static_cast<std::size_t>(n), 9),
+                            Shape{n});
+    Tensor q = o::quantizePerChannel(w);
+    out.first = o::quantizedMatMul(a, q, bias, act).dataSync();
+    const OutQuant oq{0.05f, 3};
+    Tensor y8 = o::quantizedMatMul(a, q, bias, act, &oq);
+    EXPECT_EQ(y8.dtype(), DType::i8);
+    out.second = y8.dataSync();
+  });
+  return out;
+}
+
+TEST_F(QuantTest, RefNativeMatMulParityOddK) {
+  // K values straddle the SIMD panel widths (VNNI packs K in 4s, AVX2 in
+  // 2s, column panels 16/8 wide): 1, primes, and one just past a multiple.
+  for (int k : {1, 13, 17, 67}) {
+    const auto ref = matMulOn("cpu", 3, k, 21, FusedActivation::kRelu);
+    const auto nat = matMulOn("native", 3, k, 21, FusedActivation::kRelu);
+    expectBitwiseEqual(ref.first, nat.first);
+    expectBitwiseEqual(ref.second, nat.second);
+  }
+}
+
+TEST_F(QuantTest, RefNativeMatMulParityWiderThanPanels) {
+  const auto ref = matMulOn("cpu", 5, 40, 50, FusedActivation::kNone);
+  const auto nat = matMulOn("native", 5, 40, 50, FusedActivation::kNone);
+  expectBitwiseEqual(ref.first, nat.first);
+  expectBitwiseEqual(ref.second, nat.second);
+}
+
+/// Conv analogue of matMulOn: NHWC input against a quantized HWIO filter.
+std::pair<std::vector<float>, std::vector<float>> convOn(
+    const char* backend, int size, int inC, int outC, int kernel, int stride,
+    PadMode pad) {
+  setBackend(backend);
+  std::pair<std::vector<float>, std::vector<float>> out;
+  tidyVoid([&] {
+    const std::size_t xN = static_cast<std::size_t>(size) * size * inC;
+    const std::size_t fN =
+        static_cast<std::size_t>(kernel) * kernel * inC * outC;
+    Tensor x = o::tensor(randomData(xN, 21), Shape{1, size, size, inC});
+    Tensor f = o::tensor(randomData(fN, 23),
+                         Shape{kernel, kernel, inC, outC});
+    Tensor bias = o::tensor(randomData(static_cast<std::size_t>(outC), 25),
+                            Shape{outC});
+    Tensor q = o::quantizePerChannel(f);
+    out.first = o::quantizedConv2d(x, q, bias, FusedActivation::kRelu6,
+                                   stride, stride, pad)
+                    .dataSync();
+    const OutQuant oq{0.04f, -5};
+    Tensor y8 = o::quantizedConv2d(x, q, bias, FusedActivation::kRelu6,
+                                   stride, stride, pad, 1, 1, &oq);
+    EXPECT_EQ(y8.dtype(), DType::i8);
+    out.second = y8.dataSync();
+  });
+  return out;
+}
+
+TEST_F(QuantTest, RefNativeConvParity3x3Strided) {
+  // 3x3 stride-2 SAME: zero padding must map exactly onto the row zero
+  // point; 9x9 spatial does not divide the parallel chunking evenly.
+  const auto ref = convOn("cpu", 9, 6, 8, 3, 2, PadMode::kSame);
+  const auto nat = convOn("native", 9, 6, 8, 3, 2, PadMode::kSame);
+  expectBitwiseEqual(ref.first, nat.first);
+  expectBitwiseEqual(ref.second, nat.second);
+}
+
+TEST_F(QuantTest, RefNativeConvParity1x1) {
+  // 1x1 stride-1 exercises the native backend's im2col-free fast path.
+  const auto ref = convOn("cpu", 7, 5, 19, 1, 1, PadMode::kValid);
+  const auto nat = convOn("native", 7, 5, 19, 1, 1, PadMode::kValid);
+  expectBitwiseEqual(ref.first, nat.first);
+  expectBitwiseEqual(ref.second, nat.second);
+}
+
+// ------------------------------------------------------------ approximation
+
+TEST_F(QuantTest, QuantizedMatMulTracksF32) {
+  tidyVoid([] {
+    const int m = 4, k = 64, n = 12;
+    Tensor a = o::tensor(randomData(static_cast<std::size_t>(m) * k, 31),
+                         Shape{m, k});
+    Tensor w = o::tensor(randomData(static_cast<std::size_t>(k) * n, 33),
+                         Shape{k, n});
+    Tensor q = o::quantizePerChannel(w);
+    Tensor yq = o::quantizedMatMul(a, q, Tensor{});
+    Tensor yf = o::matMul(a, w);
+    // Error budget: one half-step of activation plus weight quantization
+    // noise per accumulated term; random errors mostly cancel, the bound
+    // does not assume they do.
+    test::expectClose(yq, yf, 0.01f * static_cast<float>(k));
+  });
+}
+
+// ------------------------------------------------------------ fallback paths
+
+TEST_F(QuantTest, OverflowGuardHugeKMatchesDequantizedPath) {
+  tidyVoid([] {
+    // k beyond kMaxAccumK (255*127 worst-case products no longer fit i32)
+    // must take the dequantized f32 fallback — bitwise equal to computing
+    // it explicitly.
+    const int k = backends::qmath::kMaxAccumK + 1;
+    Tensor a = o::tensor(randomData(static_cast<std::size_t>(k), 41),
+                         Shape{1, k});
+    Tensor w = o::tensor(randomData(static_cast<std::size_t>(k) * 3, 43),
+                         Shape{k, 3});
+    Tensor q = o::quantizePerChannel(w);
+    Tensor bias = o::tensor({0.1f, -0.2f, 0.3f}, Shape{3});
+    const auto viaQuant =
+        o::quantizedMatMul(a, q, bias, FusedActivation::kRelu).dataSync();
+    Tensor wDeq = o::dequantize(q);
+    const auto viaF32 =
+        o::fusedMatMul(a, wDeq, bias, FusedActivation::kRelu).dataSync();
+    expectBitwiseEqual(viaQuant, viaF32);
+  });
+}
+
+TEST_F(QuantTest, NaNActivationFallsBackToF32) {
+  tidyVoid([] {
+    auto av = randomData(2 * 8, 51);
+    av[5] = std::nanf("");
+    Tensor a = o::tensor(av, Shape{2, 8});
+    Tensor w = o::tensor(randomData(8 * 4, 53), Shape{8, 4});
+    Tensor q = o::quantizePerChannel(w);
+    const auto viaQuant = o::quantizedMatMul(a, q, Tensor{}).dataSync();
+    Tensor wDeq = o::dequantize(q);
+    const auto viaF32 = o::matMul(a, wDeq).dataSync();
+    expectBitwiseEqual(viaQuant, viaF32);
+    // Row 0 contains the NaN: it must propagate, not quantize to garbage.
+    EXPECT_TRUE(std::isnan(viaQuant[0]));
+    // Row 1 is clean and still correct.
+    EXPECT_FALSE(std::isnan(viaQuant[4]));
+  });
+}
+
+// --------------------------------------------------------------- routing
+
+TEST_F(QuantTest, MatMulRoutesInt8Weights) {
+  tidyVoid([] {
+    Tensor a = o::tensor(randomData(3 * 16, 61), Shape{3, 16});
+    Tensor w = o::tensor(randomData(16 * 5, 63), Shape{16, 5});
+    Tensor q = o::quantizePerChannel(w);
+    // matMul with an int8 weight routes through quantizedMatMul.
+    const auto routed = o::matMul(a, q).dataSync();
+    const auto direct = o::quantizedMatMul(a, q, Tensor{}).dataSync();
+    expectBitwiseEqual(routed, direct);
+  });
+}
+
+}  // namespace
+}  // namespace tfjs

@@ -15,6 +15,7 @@
 #include "core/metrics.h"
 #include "layers/conv_layers.h"
 #include "layers/core_layers.h"
+#include "layers/quantize.h"
 #include "layers/sequential.h"
 #include "models/mobilenet.h"
 #include "ops/ops.h"
@@ -272,6 +273,73 @@ TEST(ServingTest, TwoSessionsShareWeightsBitIdenticalToSequential) {
               directPredict(server.model(),
                             inputsB[static_cast<std::size_t>(i)], example))
         << "session B request " << i;
+  }
+}
+
+TEST(ServingTest, TwoSessionsBatchSharedQuantizedMobileNet) {
+  // Mirror of the f32 two-session parity test on an int8-quantized model:
+  // both sessions batch against ONE shared set of int8 weights (and the
+  // native backend's packed-panel cache), and because activations are
+  // quantized per GEMM row, batching cannot change any request's result —
+  // outputs must equal the unbatched quantized pass bit for bit.
+  models::MobileNetOptions mopts;
+  mopts.alpha = 0.25f;
+  mopts.inputSize = 32;
+  mopts.numClasses = 10;
+
+  setBackend("native");
+  auto model = models::buildMobileNetV1(mopts);
+  model->build(Shape{1, mopts.inputSize, mopts.inputSize, 3});
+  const int quantized = layers::quantizeWeightsInt8(*model);
+  EXPECT_GT(quantized, 0) << "MobileNet must have quantizable kernels";
+
+  ServerOptions opts;
+  opts.backend = "native";
+  opts.maxBatch = 4;
+  opts.batchDelayMs = 20;
+  InferenceServer server(std::move(model), opts);
+
+  const Shape example{32, 32, 3};
+  constexpr int kPerSession = 3;
+  std::vector<std::vector<float>> inputsA, inputsB;
+  for (int i = 0; i < kPerSession; ++i) {
+    inputsA.push_back(randomInput(example.size(),
+                                  500 + static_cast<std::uint32_t>(i)));
+    inputsB.push_back(randomInput(example.size(),
+                                  600 + static_cast<std::uint32_t>(i)));
+  }
+
+  std::vector<InferenceResult> resultsA(kPerSession), resultsB(kPerSession);
+  auto client = [&](const char* name,
+                    const std::vector<std::vector<float>>& inputs,
+                    std::vector<InferenceResult>& results) {
+    auto session = server.createSession(name);
+    std::vector<std::future<InferenceResult>> futures;
+    for (const auto& in : inputs) {
+      futures.push_back(session->infer(in, example));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      results[i] = futures[i].get();
+    }
+  };
+  std::thread threadA(client, "alice", std::cref(inputsA),
+                      std::ref(resultsA));
+  std::thread threadB(client, "bob", std::cref(inputsB), std::ref(resultsB));
+  threadA.join();
+  threadB.join();
+  server.stop();
+
+  // Ground truth: the same quantized model, driven sequentially unbatched.
+  setBackend("native");
+  for (int i = 0; i < kPerSession; ++i) {
+    EXPECT_EQ(resultsA[static_cast<std::size_t>(i)].values,
+              directPredict(server.model(),
+                            inputsA[static_cast<std::size_t>(i)], example))
+        << "quantized session A request " << i;
+    EXPECT_EQ(resultsB[static_cast<std::size_t>(i)].values,
+              directPredict(server.model(),
+                            inputsB[static_cast<std::size_t>(i)], example))
+        << "quantized session B request " << i;
   }
 }
 

@@ -2,11 +2,15 @@
 # Builds the threading-sensitive tests under ThreadSanitizer and runs them,
 # then repeats the memory-sensitive subset under AddressSanitizer (the
 # buffer pool hands raw storage between tensors, in-place ops and backend
-# scratch buffers — exactly where lifetime bugs would hide).
-# async_test covers the multi-producer EventLoop::postTask path and
-# serving_test the whole client-threads/scheduler-thread serving stack.
-# Uses separate build trees (build-tsan/, build-asan/) so the regular build
-# is untouched.
+# scratch buffers — exactly where lifetime bugs would hide), and finally the
+# int8 kernels under UndefinedBehaviorSanitizer (narrowing conversions,
+# shifts and overflow in the quantization math).
+# async_test covers the multi-producer EventLoop::postTask path,
+# serving_test the whole client-threads/scheduler-thread serving stack, and
+# quant_test the quantized kernels whose packed-weight cache is shared
+# across serving sessions (a fresh race surface).
+# Uses separate build trees (build-tsan/, build-asan/, build-ubsan/) so the
+# regular build is untouched.
 #
 # Usage: tools/run_tsan.sh   (from the repo root)
 set -euo pipefail
@@ -14,11 +18,18 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
 cmake --build build-tsan -j --target thread_pool_test native_parity_test \
-  trace_test buffer_pool_test async_test serving_test
+  quant_test trace_test buffer_pool_test async_test serving_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|native_parity_test|trace_test|buffer_pool_test|async_test|serving_test'
+  -R 'thread_pool_test|native_parity_test|quant_test|trace_test|buffer_pool_test|async_test|serving_test'
 
 cmake -B build-asan -S . -DTFJS_SANITIZE=address
-cmake --build build-asan -j --target buffer_pool_test fusion_test serving_test
+cmake --build build-asan -j --target buffer_pool_test fusion_test \
+  quant_test serving_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'buffer_pool_test|fusion_test|serving_test'
+  -R 'buffer_pool_test|fusion_test|quant_test|serving_test'
+
+cmake -B build-ubsan -S . -DTFJS_SANITIZE=undefined
+cmake --build build-ubsan -j --target quant_test native_parity_test \
+  serving_test
+ctest --test-dir build-ubsan --output-on-failure \
+  -R 'quant_test|native_parity_test|serving_test'

@@ -45,8 +45,24 @@ metrics::Gauge& bytesGauge() {
   static metrics::Gauge& g = metrics::Registry::get().gauge("pool.bytes");
   return g;
 }
+metrics::Counter& arenaHitsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("pool.arena_hits");
+  return c;
+}
+metrics::Counter& arenaMissesCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("pool.arena_misses");
+  return c;
+}
+metrics::Gauge& arenaBytesGauge() {
+  static metrics::Gauge& g = metrics::Registry::get().gauge("pool.arena_bytes");
+  return g;
+}
 
 }  // namespace
+
+thread_local BufferPool::ArenaId BufferPool::boundArena_ = 0;
 
 BufferPool& BufferPool::get() {
   static BufferPool* pool = [] {
@@ -80,6 +96,31 @@ void BufferPool::initFromEnv() {
 std::vector<float> BufferPool::acquire(std::size_t n) {
   if (n == 0) return {};
   std::unique_lock<std::mutex> lock(mu_);
+  if (boundArena_ != 0) {
+    std::vector<float> v;
+    if (arenaAcquireLocked(boundArena_, n, &v)) {
+      lock.unlock();
+      arenaHitsCounter().inc();
+      // Slot capacity >= 2^bucket >= n by the bucket invariant.
+      v.resize(n);
+      return v;
+    }
+    if (auto it = arenas_.find(boundArena_); it != arenas_.end()) {
+      // Arena miss: heap-allocate and promise the buffer to the arena so
+      // its release adopts it — the arena self-sizes to the graph's
+      // working set by the second run.
+      ++it->second.stats.misses;
+      const int b = bucketForRequest(n);
+      std::vector<float> fresh;
+      if (b < kBuckets) fresh.reserve(std::size_t{1} << b);
+      fresh.resize(n);
+      loans_[fresh.data()] = Loan{boundArena_, /*fresh=*/true};
+      lock.unlock();
+      arenaMissesCounter().inc();
+      return fresh;
+    }
+    // Stale binding (arena destroyed): fall through to the shared pool.
+  }
   if (!enabled_) {
     ++stats_.bypasses;
     lock.unlock();
@@ -119,6 +160,10 @@ std::vector<float> BufferPool::acquireFilled(std::size_t n, float value) {
 void BufferPool::release(std::vector<float> v) {
   if (v.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  // Arena loans return home first — even when the shared pool is disabled
+  // and even from a thread with no arena bound (outputs that escaped a run
+  // come back whenever they are finally disposed).
+  if (arenaReleaseLocked(v)) return;
   if (!enabled_) return;  // v destructs on return: freed
   const int b = bucketForCapacity(v.capacity());
   if (b < 0 || b >= kBuckets) return;
@@ -207,6 +252,91 @@ void BufferPool::resetStats() {
   const std::size_t parked = pooledBytes_;
   stats_ = Stats{};
   stats_.pooledBytes = parked;
+}
+
+// ---- graph arenas --------------------------------------------------------
+
+BufferPool::ArenaId BufferPool::createArena() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ArenaId id = nextArenaId_++;
+  arenas_[id];
+  return id;
+}
+
+void BufferPool::destroyArena(ArenaId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = arenas_.find(id);
+  if (it == arenas_.end()) return;
+  arenaBytes_ -= it->second.stats.bytes;
+  arenas_.erase(it);
+  for (auto lit = loans_.begin(); lit != loans_.end();) {
+    lit = lit->second.id == id ? loans_.erase(lit) : std::next(lit);
+  }
+  arenaBytesGauge().set(static_cast<std::int64_t>(arenaBytes_));
+}
+
+void BufferPool::arenaReserve(ArenaId id, std::size_t elems, int count) {
+  if (elems == 0 || count <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = arenas_.find(id);
+  if (it == arenas_.end()) return;
+  const int b = bucketForRequest(elems);
+  if (b >= kBuckets) return;
+  Arena& a = it->second;
+  for (int i = 0; i < count; ++i) {
+    std::vector<float> slot;
+    slot.reserve(std::size_t{1} << b);
+    a.stats.bytes += slot.capacity() * sizeof(float);
+    arenaBytes_ += slot.capacity() * sizeof(float);
+    a.free[b].push_back(std::move(slot));
+  }
+  arenaBytesGauge().set(static_cast<std::int64_t>(arenaBytes_));
+}
+
+void BufferPool::bindArena(ArenaId id) { boundArena_ = id; }
+
+void BufferPool::unbindArena() { boundArena_ = 0; }
+
+BufferPool::ArenaStats BufferPool::arenaStats(ArenaId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = arenas_.find(id);
+  return it == arenas_.end() ? ArenaStats{} : it->second.stats;
+}
+
+bool BufferPool::arenaAcquireLocked(ArenaId id, std::size_t n,
+                                    std::vector<float>* out) {
+  auto it = arenas_.find(id);
+  if (it == arenas_.end()) return false;
+  const int b = bucketForRequest(n);
+  if (b >= kBuckets) return false;
+  Arena& a = it->second;
+  if (a.free[b].empty()) return false;
+  *out = std::move(a.free[b].back());
+  a.free[b].pop_back();
+  ++a.stats.hits;
+  loans_[out->data()] = Loan{id, /*fresh=*/false};
+  return true;
+}
+
+bool BufferPool::arenaReleaseLocked(std::vector<float>& v) {
+  if (loans_.empty()) return false;
+  auto it = loans_.find(v.data());
+  if (it == loans_.end()) return false;
+  const Loan loan = it->second;
+  loans_.erase(it);
+  auto ait = arenas_.find(loan.id);
+  if (ait == arenas_.end()) return false;  // destroyed: park in shared pool
+  const int b = bucketForCapacity(v.capacity());
+  if (b < 0 || b >= kBuckets) return true;  // never pooled: just free
+  Arena& a = ait->second;
+  if (loan.fresh) {
+    ++a.stats.adopted;
+    a.stats.bytes += v.capacity() * sizeof(float);
+    arenaBytes_ += v.capacity() * sizeof(float);
+    arenaBytesGauge().set(static_cast<std::int64_t>(arenaBytes_));
+  }
+  a.free[b].push_back(std::move(v));
+  return true;
 }
 
 }  // namespace tfjs::core

@@ -17,11 +17,22 @@
 //
 // Thread-safe: the native backend's workers release scratch buffers from the
 // thread pool while the main thread allocates outputs.
+// Graph arenas (DESIGN.md "Graph capture & optimization"): the graph
+// executor owns one arena per (graph, backend) and binds it to the thread
+// for the duration of a run. While bound, acquire() serves from the arena's
+// dedicated slots before touching the shared buckets, and every miss is
+// adopted: the fresh buffer joins the arena when released, so by the second
+// run the arena holds the graph's full working set and steady-state runs do
+// zero shared-bucket traffic and zero heap traffic. The static memory plan
+// seeds the slots up front (arenaReserve) so even the first planned run
+// mostly hits.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace tfjs::core {
@@ -69,6 +80,30 @@ class BufferPool {
   std::size_t pooledBytes() const;
   void resetStats();
 
+  // ---- graph arenas ----------------------------------------------------
+  using ArenaId = int;  ///< 0 = no arena
+
+  /// Creates an empty arena; slots are added by arenaReserve() and by
+  /// adoption of bound-run misses.
+  ArenaId createArena();
+  /// Frees the arena's parked slots and forgets its outstanding loans
+  /// (loaned buffers fall back to the shared buckets when released).
+  void destroyArena(ArenaId id);
+  /// Pre-sizes `count` slots able to serve `elems`-element requests.
+  void arenaReserve(ArenaId id, std::size_t elems, int count);
+  /// Binds/unbinds the arena to the calling thread: while bound, acquire()
+  /// consults the arena first and misses are adopted on release.
+  void bindArena(ArenaId id);
+  void unbindArena();
+
+  struct ArenaStats {
+    std::uint64_t hits = 0;     ///< acquires served from an arena slot
+    std::uint64_t misses = 0;   ///< bound acquires that went to the heap
+    std::uint64_t adopted = 0;  ///< miss buffers absorbed on release
+    std::size_t bytes = 0;      ///< arena capacity (free + loaned out)
+  };
+  ArenaStats arenaStats(ArenaId id) const;
+
  private:
   BufferPool();
 
@@ -84,6 +119,18 @@ class BufferPool {
   void evictLocked();
   void publishGaugeLocked();
 
+  struct Arena {
+    std::deque<std::vector<float>> free[kBuckets];
+    ArenaStats stats;
+  };
+
+  /// Serves a bound-arena request; returns false when the arena has no free
+  /// slot of the right class (caller falls through and the miss is loaned).
+  bool arenaAcquireLocked(ArenaId id, std::size_t n, std::vector<float>* out);
+  /// Returns/adopts `v` into its owning arena; false when `v` is not an
+  /// arena loan (caller parks it in the shared buckets).
+  bool arenaReleaseLocked(std::vector<float>& v);
+
   mutable std::mutex mu_;
   std::deque<Entry> buckets_[kBuckets];
   bool enabled_ = true;
@@ -91,6 +138,19 @@ class BufferPool {
   std::size_t pooledBytes_ = 0;
   std::uint64_t clock_ = 0;
   Stats stats_;
+
+  struct Loan {
+    ArenaId id = 0;
+    bool fresh = false;  ///< miss buffer: adopt (and count) on release
+  };
+
+  std::map<ArenaId, Arena> arenas_;
+  /// Buffers currently loaned out of (hits) or promised to (misses) an
+  /// arena, keyed by their heap pointer — vector moves preserve it.
+  std::unordered_map<const float*, Loan> loans_;
+  ArenaId nextArenaId_ = 1;
+  std::size_t arenaBytes_ = 0;  ///< total capacity across all arenas
+  static thread_local ArenaId boundArena_;
 };
 
 }  // namespace tfjs::core

@@ -17,6 +17,8 @@ namespace tfjs {
 thread_local std::vector<std::vector<std::shared_ptr<internal::TensorInfo>>>
     Engine::scopes_;
 
+thread_local OpObserver* Engine::opObserver_ = nullptr;
+
 Engine& Engine::get() {
   // Leaked singleton: backends (and their worker threads) live for the whole
   // process so tensors in static storage never dangle. Engine creation is
@@ -169,6 +171,9 @@ Tensor Engine::makeAlias(const Tensor& t, const Shape& shape, DType dtype) {
                     });
     }
   }
+  // Graph capture tracks aliases so value numbering follows reshape/clone
+  // chains (the recorder ignores aliases made inside a composite op).
+  if (opObserver_ != nullptr) opObserver_->onAlias(t, alias);
   return alias;
 }
 

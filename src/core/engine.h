@@ -92,6 +92,25 @@ class TapeRecorder {
   virtual bool watched(std::span<const Tensor> inputs) const = 0;
 };
 
+/// Recording hook for graph capture (src/graph). The ops layer reports
+/// every public op dispatch (onOp), the engine reports metadata-only
+/// aliases (onAlias), and KernelScope reports kernels that fired without an
+/// op-level recording (onUnrecordedKernel — the capture layer turns those
+/// into loud errors instead of silently baking wrong constants).
+///
+/// `opId` is an ops::OpId cast to int — the core layer stays below the ops
+/// vocabulary. The observer pointer is thread-local: capture on a serving
+/// scheduler thread never observes ops dispatched by other threads.
+class OpObserver {
+ public:
+  virtual ~OpObserver() = default;
+  virtual void onOp(int opId, std::span<const Tensor> inputs,
+                    const Tensor& output, std::span<const double> attrs,
+                    const Shape* shapeAttr) = 0;
+  virtual void onAlias(const Tensor& src, const Tensor& alias) = 0;
+  virtual void onUnrecordedKernel(const char* name) = 0;
+};
+
 class Engine {
  public:
   /// The process-wide engine. Never destroyed (leaked singleton) so that
@@ -165,6 +184,13 @@ class Engine {
   TapeRecorder* tape() { return tape_; }
   void setTape(TapeRecorder* t) { tape_ = t; }
 
+  // ---- graph-capture hook (src/graph) ----------------------------------
+  /// Installs/clears the current thread's capture observer. The ops layer
+  /// notifies it on every depth-0 public-op dispatch; makeAlias notifies it
+  /// on every alias creation.
+  void setOpObserver(OpObserver* o) { opObserver_ = o; }
+  OpObserver* opObserver() const { return opObserver_; }
+
   // ---- debugging & profiling (section 3.8) -----------------------------
   bool debugMode() const { return debug_; }
   void setDebugMode(bool on) { debug_ = on; }
@@ -226,6 +252,7 @@ class Engine {
       scopes_;
 
   TapeRecorder* tape_ = nullptr;
+  static thread_local OpObserver* opObserver_;
   bool debug_ = false;
 
   std::vector<std::pair<std::string, Variable>> variables_;

@@ -1,0 +1,189 @@
+#include "graph/capture.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/engine.h"
+
+namespace tfjs::graph {
+
+namespace {
+
+/// Exact textual encoding of a double for value-numbering keys: %a hex
+/// floats are bit-faithful, so attrs that differ in the last ulp never
+/// collide.
+void appendNum(std::string& key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  key += buf;
+}
+
+class Recorder final : public OpObserver {
+ public:
+  Recorder(Graph* g, const CaptureOptions& opts) : graph_(g) {
+    allow_.push_back("fill");
+    for (const std::string& k : opts.allowUnrecordedKernels) {
+      allow_.push_back(k);
+    }
+  }
+
+  /// Pre-maps an example input to a kInput placeholder node.
+  void addInput(const Tensor& t) {
+    Node n;
+    n.op = ops::OpId::kInput;
+    n.outShape = t.shape();
+    n.outDtype = t.dtype();
+    const int id = append(std::move(n));
+    graph_->inputs.push_back(id);
+    valueByTensor_[t.id()] = id;
+  }
+
+  /// Value id producing `t`, minting a constant node when the tensor was
+  /// created outside the capture.
+  int valueFor(const Tensor& t) {
+    auto it = valueByTensor_.find(t.id());
+    if (it != valueByTensor_.end()) return it->second;
+
+    // Dedup distinct views of the same storage with equal metadata.
+    std::string ckey = std::to_string(t.dataId());
+    ckey += t.shape().toString();
+    ckey += dtypeName(t.dtype());
+    if (auto cit = constByKey_.find(ckey); cit != constByKey_.end()) {
+      valueByTensor_[t.id()] = cit->second;
+      return cit->second;
+    }
+
+    Node n;
+    n.op = ops::OpId::kConst;
+    n.outShape = t.shape();
+    n.outDtype = t.dtype();
+    {
+      // clone() fires onAlias; the guard keeps the recorder from seeing
+      // its own snapshot.
+      Reentry guard(this);
+      n.constant = t.clone().keep();
+    }
+    const int id = append(std::move(n));
+    valueByTensor_[t.id()] = id;
+    constByKey_[ckey] = id;
+    return id;
+  }
+
+  void onOp(int opId, std::span<const Tensor> inputs, const Tensor& output,
+            std::span<const double> attrs, const Shape* shapeAttr) override {
+    if (reentry_ > 0) return;
+    Node n;
+    n.op = static_cast<ops::OpId>(opId);
+    for (const Tensor& in : inputs) n.inputs.push_back(valueFor(in));
+    n.attrs.assign(attrs.begin(), attrs.end());
+    if (shapeAttr != nullptr) n.shapeAttr = *shapeAttr;
+    n.outShape = output.shape();
+    n.outDtype = output.dtype();
+    valueByTensor_[output.id()] = intern(std::move(n));
+  }
+
+  void onAlias(const Tensor& src, const Tensor& alias) override {
+    if (reentry_ > 0) return;
+    auto it = valueByTensor_.find(src.id());
+    // An alias of an outside tensor is itself outside: it becomes a
+    // constant if a recorded op ever consumes it.
+    if (it == valueByTensor_.end()) return;
+    Node n;
+    n.op = ops::OpId::kAlias;
+    n.inputs.push_back(it->second);
+    n.shapeAttr = alias.shape();
+    n.outShape = alias.shape();
+    n.outDtype = alias.dtype();
+    valueByTensor_[alias.id()] = intern(std::move(n));
+  }
+
+  void onUnrecordedKernel(const char* name) override {
+    if (reentry_ > 0) return;
+    for (const std::string& ok : allow_) {
+      if (ok == name) return;
+    }
+    std::ostringstream os;
+    os << "capture: kernel \"" << name
+       << "\" fired without an op-level recording; replaying the graph "
+          "would silently bake its output into a constant. Compute it "
+          "before capture() or allowlist it via "
+          "CaptureOptions.allowUnrecordedKernels.";
+    throw CaptureError(os.str());
+  }
+
+ private:
+  struct Reentry {
+    explicit Reentry(Recorder* r) : r_(r) { ++r_->reentry_; }
+    ~Reentry() { --r_->reentry_; }
+    Recorder* r_;
+  };
+
+  int append(Node n) {
+    graph_->nodes.push_back(std::move(n));
+    return static_cast<int>(graph_->nodes.size()) - 1;
+  }
+
+  /// Value numbering: identical (op, inputs, attrs, view) re-uses the
+  /// existing node. All recorded ops are pure, so CSE is always sound.
+  int intern(Node n) {
+    std::string key = std::to_string(static_cast<int>(n.op));
+    key += '(';
+    for (int in : n.inputs) {
+      key += std::to_string(in);
+      key += ',';
+    }
+    key += ')';
+    for (double a : n.attrs) appendNum(key, a);
+    key += n.shapeAttr.toString();
+    key += dtypeName(n.outDtype);
+    auto [it, inserted] = nodeByKey_.try_emplace(key, 0);
+    if (inserted) it->second = append(std::move(n));
+    return it->second;
+  }
+
+  Graph* graph_;
+  std::vector<std::string> allow_;
+  std::unordered_map<std::int64_t, int> valueByTensor_;
+  std::unordered_map<std::string, int> constByKey_;
+  std::unordered_map<std::string, int> nodeByKey_;
+  int reentry_ = 0;
+
+  friend struct Reentry;
+};
+
+}  // namespace
+
+Graph capture(
+    const std::function<std::vector<Tensor>(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& exampleInputs, const CaptureOptions& opts) {
+  Graph g;
+  Recorder rec(&g, opts);
+  for (const Tensor& t : exampleInputs) rec.addInput(t);
+
+  Engine& e = Engine::get();
+  OpObserver* prev = e.opObserver();
+  e.startScope();
+  e.setOpObserver(&rec);
+  std::vector<Tensor> traceOutputs;
+  try {
+    traceOutputs = fn(exampleInputs);
+    for (const Tensor& out : traceOutputs) {
+      g.outputs.push_back(rec.valueFor(out));
+    }
+  } catch (...) {
+    e.setOpObserver(prev);
+    e.endScope({});
+    g.disposeConstants();
+    throw;
+  }
+  e.setOpObserver(prev);
+  // Intermediates and the trace outputs die with the scope; the constant
+  // snapshots are kept.
+  e.endScope({});
+  return g;
+}
+
+}  // namespace tfjs::graph

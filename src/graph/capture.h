@@ -1,0 +1,51 @@
+// Graph capture (DESIGN.md "Graph capture & optimization"): runs an eager
+// function once while recording every engine dispatch into the Graph IR.
+//
+// The recorder hooks the engine's OpObserver: instrumented ops report
+// themselves after dispatch (op id + inputs + output + attrs), composites
+// record as their elementary steps, fused ops as single fused nodes, and
+// reshape/clone/widening-cast as alias nodes. Any tensor consumed by a
+// recorded op that was created outside the capture — weights, pre-computed
+// masks, random tensors — is snapshotted into a constant node (int8 weights
+// keep their quantization parameters; the snapshot is an alias, so no data
+// is copied and later disposal of the original is safe).
+//
+// Capture fails LOUDLY: a kernel that fires without an op-level recording
+// (gather, topk, ...) would silently bake a data-dependent value into the
+// graph, so the recorder throws CaptureError instead unless the kernel is
+// explicitly allowlisted.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/ir.h"
+
+namespace tfjs::graph {
+
+/// A kernel fired during capture that the recorder cannot represent.
+class CaptureError : public std::runtime_error {
+ public:
+  explicit CaptureError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct CaptureOptions {
+  /// Kernel names allowed to fire unrecorded during capture; their outputs
+  /// enter the graph as constants when consumed. "fill" (zeros/ones/fill/
+  /// zerosLike/onesLike) is always allowed — creation ops are
+  /// input-independent, so snapshotting them is exact.
+  std::vector<std::string> allowUnrecordedKernels;
+};
+
+/// Runs `fn` once eagerly on `exampleInputs` under the recorder and returns
+/// the captured IR. Intermediates (and the trace run's outputs) are
+/// disposed; the returned graph retains its constant snapshots — release
+/// them with Graph::disposeConstants() (CapturedGraph does this on
+/// dispose()).
+Graph capture(
+    const std::function<std::vector<Tensor>(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& exampleInputs, const CaptureOptions& opts = {});
+
+}  // namespace tfjs::graph

@@ -1,0 +1,545 @@
+#include "graph/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/conv_util.h"
+#include "core/engine.h"
+#include "core/error.h"
+#include "core/metrics.h"
+#include "core/trace.h"
+#include "ops/common.h"
+#include "ops/ops.h"
+
+namespace tfjs::graph {
+
+namespace {
+
+metrics::Counter& runsCounter() {
+  static metrics::Counter& c = metrics::Registry::get().counter("graph.runs");
+  return c;
+}
+metrics::Counter& constDecodesCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.const_decodes");
+  return c;
+}
+
+int iattr(const Node& n, std::size_t i) {
+  return static_cast<int>(n.attrs[i]);
+}
+
+std::vector<int> intAttrs(const Node& n, std::size_t from, std::size_t count) {
+  std::vector<int> v;
+  v.reserve(count);
+  for (std::size_t i = from; i < from + count; ++i) v.push_back(iattr(n, i));
+  return v;
+}
+
+/// Resolves a view shape against the input's element count (imported
+/// Reshape nodes may carry a -1 wildcard dimension).
+Shape resolveView(const Shape& target, std::size_t elems) {
+  int wildcard = -1;
+  std::size_t known = 1;
+  for (int i = 0; i < target.rank(); ++i) {
+    if (target[i] < 0) {
+      wildcard = i;
+    } else {
+      known *= static_cast<std::size_t>(target[i]);
+    }
+  }
+  if (wildcard < 0) return target;
+  std::vector<int> dims = target.dims();
+  dims[static_cast<std::size_t>(wildcard)] =
+      known == 0 ? 0 : static_cast<int>(elems / known);
+  return Shape(std::move(dims));
+}
+
+Tensor replayUnary(const Node& n, const Tensor& x) {
+  const float alpha = static_cast<float>(n.attrs[1]);
+  const float beta = static_cast<float>(n.attrs[2]);
+  switch (static_cast<UnaryOp>(iattr(n, 0))) {
+    case UnaryOp::kNeg: return ops::neg(x);
+    case UnaryOp::kAbs: return ops::abs(x);
+    case UnaryOp::kExp: return ops::exp(x);
+    case UnaryOp::kExpm1: return ops::expm1(x);
+    case UnaryOp::kLog: return ops::log(x);
+    case UnaryOp::kLog1p: return ops::log1p(x);
+    case UnaryOp::kSqrt: return ops::sqrt(x);
+    case UnaryOp::kRsqrt: return ops::rsqrt(x);
+    case UnaryOp::kSquare: return ops::square(x);
+    case UnaryOp::kReciprocal: return ops::reciprocal(x);
+    case UnaryOp::kFloor: return ops::floor(x);
+    case UnaryOp::kCeil: return ops::ceil(x);
+    case UnaryOp::kRound: return ops::round(x);
+    case UnaryOp::kSign: return ops::sign(x);
+    case UnaryOp::kSin: return ops::sin(x);
+    case UnaryOp::kCos: return ops::cos(x);
+    case UnaryOp::kTan: return ops::tan(x);
+    case UnaryOp::kAsin: return ops::asin(x);
+    case UnaryOp::kAcos: return ops::acos(x);
+    case UnaryOp::kAtan: return ops::atan(x);
+    case UnaryOp::kSinh: return ops::sinh(x);
+    case UnaryOp::kCosh: return ops::cosh(x);
+    case UnaryOp::kTanh: return ops::tanh(x);
+    case UnaryOp::kRelu: return ops::relu(x);
+    case UnaryOp::kRelu6: return ops::relu6(x);
+    case UnaryOp::kSigmoid: return ops::sigmoid(x);
+    case UnaryOp::kSoftplus: return ops::softplus(x);
+    case UnaryOp::kElu: return ops::elu(x);
+    case UnaryOp::kSelu: return ops::selu(x);
+    case UnaryOp::kErf: return ops::erf(x);
+    case UnaryOp::kLogicalNot: return ops::logicalNot(x);
+    case UnaryOp::kIsNan: return ops::isNaN(x);
+    case UnaryOp::kIsFinite: return ops::isFinite(x);
+    case UnaryOp::kLeakyRelu: return ops::leakyRelu(x, alpha);
+    case UnaryOp::kClipByValue: return ops::clipByValue(x, alpha, beta);
+    case UnaryOp::kStep: return ops::step(x, alpha);
+    case UnaryOp::kPowScalar: return ops::powScalar(x, alpha);
+    case UnaryOp::kAddScalar: return ops::addScalar(x, alpha);
+    case UnaryOp::kMulScalar: return ops::mulScalar(x, alpha);
+    default:
+      throw UnimplementedError("graph: unary op code " +
+                               std::to_string(iattr(n, 0)) +
+                               " has no replayable public op");
+  }
+}
+
+Tensor replayBinary(const Node& n, const Tensor& a, const Tensor& b) {
+  switch (static_cast<BinaryOp>(iattr(n, 0))) {
+    case BinaryOp::kAdd: return ops::add(a, b);
+    case BinaryOp::kSub: return ops::sub(a, b);
+    case BinaryOp::kMul: return ops::mul(a, b);
+    case BinaryOp::kDiv: return ops::div(a, b);
+    case BinaryOp::kFloorDiv: return ops::floorDiv(a, b);
+    case BinaryOp::kMod: return ops::mod(a, b);
+    case BinaryOp::kPow: return ops::pow(a, b);
+    case BinaryOp::kMaximum: return ops::maximum(a, b);
+    case BinaryOp::kMinimum: return ops::minimum(a, b);
+    case BinaryOp::kSquaredDiff: return ops::squaredDifference(a, b);
+    case BinaryOp::kAtan2: return ops::atan2(a, b);
+    case BinaryOp::kEqual: return ops::equal(a, b);
+    case BinaryOp::kNotEqual: return ops::notEqual(a, b);
+    case BinaryOp::kGreater: return ops::greater(a, b);
+    case BinaryOp::kGreaterEqual: return ops::greaterEqual(a, b);
+    case BinaryOp::kLess: return ops::less(a, b);
+    case BinaryOp::kLessEqual: return ops::lessEqual(a, b);
+    case BinaryOp::kLogicalAnd: return ops::logicalAnd(a, b);
+    case BinaryOp::kLogicalOr: return ops::logicalOr(a, b);
+    case BinaryOp::kLogicalXor: return ops::logicalXor(a, b);
+  }
+  throw UnimplementedError("graph: binary op code " +
+                           std::to_string(iattr(n, 0)) +
+                           " has no replayable public op");
+}
+
+Tensor replayReduce(const Node& n, const Tensor& x) {
+  const bool keepDims = n.attrs[1] != 0;
+  const std::vector<int> axes = intAttrs(n, 3, n.attrs.size() - 3);
+  switch (static_cast<ReduceOp>(iattr(n, 0))) {
+    case ReduceOp::kSum: return ops::sum(x, axes, keepDims);
+    case ReduceOp::kMean: return ops::mean(x, axes, keepDims);
+    case ReduceOp::kProd: return ops::prod(x, axes, keepDims);
+    case ReduceOp::kMax: return ops::max(x, axes, keepDims);
+    case ReduceOp::kMin: return ops::min(x, axes, keepDims);
+    case ReduceOp::kAny: return ops::any(x, axes, keepDims);
+    case ReduceOp::kAll: return ops::all(x, axes, keepDims);
+  }
+  throw UnimplementedError("graph: reduce op code " +
+                           std::to_string(iattr(n, 0)));
+}
+
+/// Move-consuming replay for ops with an in-place public overload. The
+/// planner proved the first input dies at this node, so the handle can be
+/// consumed — the engine then overwrites sole-owner storage in place
+/// (bit-identical: same kernel, different destination buffer). Returns an
+/// undefined Tensor when the op has no move overload.
+Tensor replayMoveFirst(const Node& n, Tensor&& a,
+                       const std::vector<Tensor>& ins) {
+  using ops::OpId;
+  if (n.op == OpId::kUnary) {
+    const float alpha = static_cast<float>(n.attrs[1]);
+    const float beta = static_cast<float>(n.attrs[2]);
+    switch (static_cast<UnaryOp>(iattr(n, 0))) {
+      case UnaryOp::kNeg: return ops::neg(std::move(a));
+      case UnaryOp::kExp: return ops::exp(std::move(a));
+      case UnaryOp::kSqrt: return ops::sqrt(std::move(a));
+      case UnaryOp::kSquare: return ops::square(std::move(a));
+      case UnaryOp::kTanh: return ops::tanh(std::move(a));
+      case UnaryOp::kRelu: return ops::relu(std::move(a));
+      case UnaryOp::kRelu6: return ops::relu6(std::move(a));
+      case UnaryOp::kSigmoid: return ops::sigmoid(std::move(a));
+      case UnaryOp::kClipByValue:
+        return ops::clipByValue(std::move(a), alpha, beta);
+      default: break;
+    }
+  } else if (n.op == OpId::kBinary) {
+    switch (static_cast<BinaryOp>(iattr(n, 0))) {
+      case BinaryOp::kAdd: return ops::add(std::move(a), ins[1]);
+      case BinaryOp::kSub: return ops::sub(std::move(a), ins[1]);
+      case BinaryOp::kMul: return ops::mul(std::move(a), ins[1]);
+      case BinaryOp::kDiv: return ops::div(std::move(a), ins[1]);
+      default: break;
+    }
+  }
+  return Tensor();
+}
+
+}  // namespace
+
+CapturedGraph::CapturedGraph(Graph g, const PassOptions& opts)
+    : original_(std::move(g)), opts_(opts) {
+  optimized_ = optimize(original_, opts_);
+  plan_ = planMemory(optimized_);
+  freeAt_.assign(optimized_.nodes.size(), {});
+  for (std::size_t i = 0; i < optimized_.nodes.size(); ++i) {
+    const int last = plan_.lastUse[i];
+    if (last >= 0 && last != MemoryPlan::kLiveToEnd) {
+      freeAt_[static_cast<std::size_t>(last)].push_back(static_cast<int>(i));
+    }
+    if (optimized_.nodes[i].foldedConst) {
+      foldedIds_.push_back(static_cast<int>(i));
+    }
+  }
+  feedIndex_.assign(optimized_.nodes.size(), -1);
+  for (std::size_t k = 0; k < optimized_.inputs.size(); ++k) {
+    feedIndex_[static_cast<std::size_t>(optimized_.inputs[k])] =
+        static_cast<int>(k);
+  }
+}
+
+Tensor CapturedGraph::replayNode(const Node& n, const std::vector<Tensor>& ins) {
+  using ops::OpId;
+  switch (n.op) {
+    case OpId::kAlias: {
+      // View kind (attrs[0], default 0): 0 = reshape to shapeAttr + cast to
+      // outDtype (capture, shapes/dtypes concrete), 1 = squeeze,
+      // 2 = identity, 3 = reshape to shapeAttr with -1 inference (io
+      // import; kinds 1-3 preserve the input's dtype, which import time
+      // cannot know).
+      const int kind = n.attrs.empty() ? 0 : iattr(n, 0);
+      const Shape view = kind == 1   ? ins[0].shape().squeezed()
+                         : kind == 2 ? ins[0].shape()
+                                     : resolveView(n.shapeAttr, ins[0].size());
+      Tensor v = ins[0].reshape(view);
+      if (kind == 0 && v.dtype() != n.outDtype) {
+        // Recorded aliases only widen (b8 -> i32 -> f32): metadata-only.
+        Tensor c = v.cast(n.outDtype);
+        v.dispose();
+        return c;
+      }
+      return v;
+    }
+    case OpId::kUnary:
+      return replayUnary(n, ins[0]);
+    case OpId::kBinary:
+      return replayBinary(n, ins[0], ins[1]);
+    case OpId::kSelect:
+      return ops::where(ins[0], ins[1], ins[2]);
+    case OpId::kMatMul:
+      return ops::matMul(ins[0], ins[1], n.attrs[0] != 0, n.attrs[1] != 0);
+    case OpId::kFusedMatMul: {
+      const bool hasBias = n.attrs[3] != 0;
+      return ops::fusedMatMul(ins[0], ins[1], hasBias ? ins[2] : Tensor(),
+                              static_cast<FusedActivation>(iattr(n, 0)),
+                              n.attrs[1] != 0, n.attrs[2] != 0);
+    }
+    case OpId::kQuantMatMul: {
+      const bool hasBias = n.attrs[1] != 0;
+      OutQuant outQ{static_cast<float>(n.attrs[3]), iattr(n, 4)};
+      return ops::quantizedMatMul(ins[0], ins[1],
+                                  hasBias ? ins[2] : Tensor(),
+                                  static_cast<FusedActivation>(iattr(n, 0)),
+                                  n.attrs[2] != 0 ? &outQ : nullptr);
+    }
+    case OpId::kConv2d:
+      return ops::conv2d(ins[0], ins[1], iattr(n, 0), iattr(n, 1),
+                         static_cast<PadMode>(iattr(n, 2)), iattr(n, 3),
+                         iattr(n, 4));
+    case OpId::kFusedConv2d: {
+      const bool hasBias = n.attrs[1] != 0;
+      return ops::fusedConv2d(ins[0], ins[1], hasBias ? ins[2] : Tensor(),
+                              static_cast<FusedActivation>(iattr(n, 0)),
+                              iattr(n, 2), iattr(n, 3),
+                              static_cast<PadMode>(iattr(n, 4)), iattr(n, 5),
+                              iattr(n, 6));
+    }
+    case OpId::kQuantConv2d: {
+      const bool hasBias = n.attrs[1] != 0;
+      OutQuant outQ{static_cast<float>(n.attrs[3]), iattr(n, 4)};
+      return ops::quantizedConv2d(ins[0], ins[1],
+                                  hasBias ? ins[2] : Tensor(),
+                                  static_cast<FusedActivation>(iattr(n, 0)),
+                                  iattr(n, 5), iattr(n, 6),
+                                  static_cast<PadMode>(iattr(n, 7)),
+                                  iattr(n, 8), iattr(n, 9),
+                                  n.attrs[2] != 0 ? &outQ : nullptr);
+    }
+    case OpId::kDepthwiseConv2d:
+      return ops::depthwiseConv2d(ins[0], ins[1], iattr(n, 0), iattr(n, 1),
+                                  static_cast<PadMode>(iattr(n, 2)),
+                                  iattr(n, 3), iattr(n, 4));
+    case OpId::kPool: {
+      const PoolMode mode = static_cast<PoolMode>(iattr(n, 0));
+      if (mode == PoolMode::kMax) {
+        return ops::maxPool(ins[0], iattr(n, 1), iattr(n, 2), iattr(n, 3),
+                            iattr(n, 4), static_cast<PadMode>(iattr(n, 5)));
+      }
+      return ops::avgPool(ins[0], iattr(n, 1), iattr(n, 2), iattr(n, 3),
+                          iattr(n, 4), static_cast<PadMode>(iattr(n, 5)));
+    }
+    case OpId::kReduce:
+      return replayReduce(n, ins[0]);
+    case OpId::kArg:
+      return static_cast<ArgOp>(iattr(n, 0)) == ArgOp::kArgMax
+                 ? ops::argMax(ins[0], iattr(n, 1))
+                 : ops::argMin(ins[0], iattr(n, 1));
+    case OpId::kSoftmax:
+      return ops::softmax(ins[0], iattr(n, 0));
+    case OpId::kLogSoftmax:
+      return ops::logSoftmax(ins[0], iattr(n, 0));
+    case OpId::kTranspose:
+      return ops::transpose(ins[0], intAttrs(n, 0, n.attrs.size()));
+    case OpId::kConcat:
+      return ops::concat(std::span<const Tensor>(ins), iattr(n, 0));
+    case OpId::kSlice: {
+      const std::size_t rank = n.attrs.size() / 2;
+      return ops::slice(ins[0], intAttrs(n, 0, rank), intAttrs(n, rank, rank));
+    }
+    case OpId::kPad: {
+      std::vector<std::pair<int, int>> paddings;
+      for (std::size_t i = 1; i + 1 < n.attrs.size(); i += 2) {
+        paddings.emplace_back(iattr(n, i), iattr(n, i + 1));
+      }
+      return ops::pad(ins[0], paddings, static_cast<float>(n.attrs[0]));
+    }
+    case OpId::kCast:
+      return ops::cast(ins[0], static_cast<DType>(iattr(n, 0)));
+    case OpId::kQuantize:
+      return ops::quantize(ins[0], static_cast<float>(n.attrs[0]),
+                           iattr(n, 1));
+    case OpId::kDequantize:
+      return ops::dequantize(ins[0]);
+    default:
+      throw UnimplementedError(std::string("graph: op \"") +
+                               ops::opIdName(n.op) + "\" is not replayable");
+  }
+}
+
+Tensor CapturedGraph::evalOriginal(int id, std::map<int, Tensor>& memo) {
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
+  const Node& n = original_.nodes[static_cast<std::size_t>(id)];
+  if (n.op == ops::OpId::kInput) {
+    throw InternalError("graph: folded constant depends on a graph input");
+  }
+  Tensor v;
+  if (n.op == ops::OpId::kConst) {
+    v = n.constant;
+  } else {
+    std::vector<Tensor> ins;
+    ins.reserve(n.inputs.size());
+    for (int in : n.inputs) ins.push_back(evalOriginal(in, memo));
+    v = replayNode(n, ins);
+  }
+  memo.emplace(id, v);
+  return v;
+}
+
+Tensor CapturedGraph::materializeFold(int optimizedId, BackendState& bs) {
+  trace::Span span("graph", "materializeFold");
+  Engine& e = Engine::get();
+  OpObserver* prev = e.opObserver();
+  e.setOpObserver(nullptr);
+  e.startScope();
+  Tensor out;
+  try {
+    ops::internal::TapePause pause;
+    std::map<int, Tensor> memo;
+    out = evalOriginal(
+        optimized_.nodes[static_cast<std::size_t>(optimizedId)].foldedFrom,
+        memo);
+    // The fold target may itself be a plain constant view in the memo; the
+    // cache needs its own handle so graph disposal stays single-owner.
+    out = out.clone();
+  } catch (...) {
+    e.endScope({});
+    e.setOpObserver(prev);
+    throw;
+  }
+  e.endScope(std::span<const Tensor>(&out, 1));
+  e.setOpObserver(prev);
+  out.keep();
+  bs.foldCache[optimizedId] = out;
+  constDecodesCounter().inc();
+  return out;
+}
+
+std::vector<Tensor> CapturedGraph::run(const std::vector<Tensor>& feeds) {
+  trace::Span span("graph", "run");
+  Engine& e = Engine::get();
+  if (feeds.size() != optimized_.inputs.size()) {
+    throw InvalidArgumentError(
+        "graph: expected " + std::to_string(optimized_.inputs.size()) +
+        " feeds, got " + std::to_string(feeds.size()));
+  }
+  for (std::size_t k = 0; strictFeedDtypes_ && k < feeds.size(); ++k) {
+    const Node& in =
+        optimized_.nodes[static_cast<std::size_t>(optimized_.inputs[k])];
+    if (feeds[k].dtype() != in.outDtype) {
+      throw InvalidArgumentError(
+          std::string("graph: feed ") + std::to_string(k) + " is " +
+          dtypeName(feeds[k].dtype()) + ", captured as " +
+          dtypeName(in.outDtype));
+    }
+  }
+
+  BackendState& bs = backends_[e.backendName()];
+  // Folded constants materialize outside the run scope and outside the
+  // arena: they live with the graph, not the run.
+  if (bs.foldCache.size() != foldedIds_.size()) {
+    for (int id : foldedIds_) {
+      if (bs.foldCache.find(id) == bs.foldCache.end()) {
+        materializeFold(id, bs);
+      }
+    }
+  }
+
+  core::BufferPool::ArenaId arena = 0;
+  if (opts_.plan) {
+    std::string sig = e.backendName();
+    for (const Tensor& f : feeds) sig += f.shape().toString();
+    if (sig == lastSig_) {
+      arena = lastArena_;  // steady-state: same backend + shapes as last run
+    } else if (auto it = arenas_.find(sig); it != arenas_.end()) {
+      arena = it->second;
+    } else {
+      arena = core::BufferPool::get().createArena();
+      bool exampleShapes = true;
+      for (std::size_t k = 0; k < feeds.size(); ++k) {
+        const Node& in =
+            optimized_.nodes[static_cast<std::size_t>(optimized_.inputs[k])];
+        if (!(feeds[k].shape() == in.outShape)) {
+          exampleShapes = false;
+          break;
+        }
+      }
+      // The static plan only describes the capture-example shapes; other
+      // signatures start empty and self-size by adoption.
+      if (exampleShapes) {
+        for (const auto& [elems, count] : plan_.reservations) {
+          core::BufferPool::get().arenaReserve(arena, elems, count);
+        }
+      }
+      arenas_[sig] = arena;
+    }
+    lastSig_ = std::move(sig);
+    lastArena_ = arena;
+  }
+
+  OpObserver* prevObs = e.opObserver();
+  e.setOpObserver(nullptr);
+  e.startScope();
+  std::vector<Tensor> outs;
+  if (arena != 0) core::BufferPool::get().bindArena(arena);
+  try {
+    ops::internal::TapePause pause;
+    std::vector<Tensor> vals(optimized_.nodes.size());
+    std::vector<Tensor> ins;  // reused across nodes: one warm-run heap alloc
+    for (std::size_t i = 0; i < optimized_.nodes.size(); ++i) {
+      const Node& n = optimized_.nodes[i];
+      switch (n.op) {
+        case ops::OpId::kInput:
+          vals[i] = feeds[static_cast<std::size_t>(feedIndex_[i])];
+          break;
+        case ops::OpId::kConst:
+          vals[i] = n.foldedConst ? bs.foldCache[static_cast<int>(i)]
+                                  : n.constant;
+          break;
+        default: {
+          ins.clear();
+          for (int in : n.inputs) {
+            ins.push_back(vals[static_cast<std::size_t>(in)]);
+          }
+          // Liveness-driven in-place: when the planner says input 0 dies
+          // here (sole use, intermediate — never a feed, constant, or
+          // alias whose storage outlives its handle count), hand its
+          // handle to a move-consuming overload so the kernel can
+          // overwrite the buffer instead of cycling it through the arena.
+          // Eager can't do this: its intermediates stay live to scope end.
+          Tensor moved;
+          if ((n.op == ops::OpId::kUnary || n.op == ops::OpId::kBinary) &&
+              !n.inputs.empty()) {
+            const int in0 = n.inputs[0];
+            const Node& src =
+                optimized_.nodes[static_cast<std::size_t>(in0)];
+            const bool dies =
+                plan_.lastUse[static_cast<std::size_t>(in0)] ==
+                    static_cast<int>(i) &&
+                std::count(n.inputs.begin(), n.inputs.end(), in0) == 1 &&
+                src.op != ops::OpId::kInput && src.op != ops::OpId::kConst;
+            if (dies) {
+              moved = replayMoveFirst(
+                  n, std::move(vals[static_cast<std::size_t>(in0)]), ins);
+              if (moved.defined()) {
+                vals[static_cast<std::size_t>(in0)] = Tensor();
+              }
+            }
+          }
+          vals[i] = moved.defined() ? moved : replayNode(n, ins);
+        }
+      }
+      // Planned eager disposal: a value goes back to the arena right after
+      // its last consumer instead of at scope teardown.
+      for (int dead : freeAt_[i]) {
+        const ops::OpId op = optimized_.nodes[static_cast<std::size_t>(dead)].op;
+        if (op == ops::OpId::kInput || op == ops::OpId::kConst) continue;
+        Tensor& t = vals[static_cast<std::size_t>(dead)];
+        if (t.defined() && !t.isDisposed()) t.dispose();
+        t = Tensor();
+      }
+    }
+    std::vector<int> seen;  // outputs are few: linear scan beats a set
+    for (int o : optimized_.outputs) {
+      const ops::OpId op = optimized_.nodes[static_cast<std::size_t>(o)].op;
+      const bool repeat =
+          std::find(seen.begin(), seen.end(), o) != seen.end();
+      if (!repeat) seen.push_back(o);
+      // Feeds, constants, and repeated outputs get fresh handles so the
+      // caller can dispose every returned tensor exactly once.
+      if (op == ops::OpId::kInput || op == ops::OpId::kConst || repeat) {
+        outs.push_back(vals[static_cast<std::size_t>(o)].clone());
+      } else {
+        outs.push_back(vals[static_cast<std::size_t>(o)]);
+      }
+    }
+  } catch (...) {
+    if (arena != 0) core::BufferPool::get().unbindArena();
+    e.endScope({});
+    e.setOpObserver(prevObs);
+    throw;
+  }
+  if (arena != 0) core::BufferPool::get().unbindArena();
+  e.endScope(outs);
+  e.setOpObserver(prevObs);
+  runsCounter().inc();
+  return outs;
+}
+
+void CapturedGraph::dispose() {
+  for (auto& [name, bs] : backends_) {
+    for (auto& [id, t] : bs.foldCache) {
+      if (t.defined() && !t.isDisposed()) t.dispose();
+    }
+  }
+  backends_.clear();
+  for (auto& [sig, arena] : arenas_) {
+    core::BufferPool::get().destroyArena(arena);
+  }
+  arenas_.clear();
+  lastSig_.clear();
+  lastArena_ = 0;
+  original_.disposeConstants();
+  optimized_.disposeConstants();
+}
+
+}  // namespace tfjs::graph

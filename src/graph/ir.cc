@@ -1,0 +1,71 @@
+#include "graph/ir.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tfjs::graph {
+
+std::vector<int> Graph::useCounts() const {
+  std::vector<int> uses(nodes.size(), 0);
+  for (const Node& n : nodes) {
+    for (int in : n.inputs) ++uses[static_cast<std::size_t>(in)];
+  }
+  for (int out : outputs) ++uses[static_cast<std::size_t>(out)];
+  return uses;
+}
+
+namespace {
+
+/// %g formatting keeps integral attrs short ("2", not "2.000000") so the
+/// golden strings stay readable.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Graph::toString() const {
+  std::ostringstream os;
+  os << "graph(" << inputs.size() << " inputs, " << nodes.size()
+     << " nodes, " << outputs.size() << " outputs)\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    os << "%" << i << " = " << ops::opIdName(n.op);
+    if (n.foldedConst) os << "(folded)";
+    if (!n.inputs.empty()) {
+      os << "(";
+      for (std::size_t j = 0; j < n.inputs.size(); ++j) {
+        os << (j ? ", " : "") << "%" << n.inputs[j];
+      }
+      os << ")";
+    }
+    if (!n.attrs.empty()) {
+      os << " {";
+      for (std::size_t j = 0; j < n.attrs.size(); ++j) {
+        os << (j ? "," : "") << num(n.attrs[j]);
+      }
+      os << "}";
+    }
+    if (n.op == ops::OpId::kAlias) os << " view" << n.shapeAttr.toString();
+    os << " -> " << dtypeName(n.outDtype) << n.outShape.toString();
+    if (!n.name.empty()) os << "  # " << n.name;
+    os << "\n";
+  }
+  os << "outputs:";
+  for (int out : outputs) os << " %" << out;
+  os << "\n";
+  return os.str();
+}
+
+void Graph::disposeConstants() {
+  for (Node& n : nodes) {
+    if (n.constant.defined() && !n.constant.isDisposed()) {
+      n.constant.dispose();
+    }
+    n.constant = Tensor();
+  }
+}
+
+}  // namespace tfjs::graph

@@ -1,0 +1,58 @@
+// Graph IR (DESIGN.md "Graph capture & optimization").
+//
+// A Graph is a topologically-ordered list of value-numbered nodes: node id
+// == index into `nodes`, and every input reference points at a smaller id.
+// The same IR backs both sources of graphs:
+//   * capture(fn)            — records eager dispatches (graph/capture.h);
+//   * io::GraphExecutor      — imports converter GraphDefs (a thin
+//                              translation into this IR).
+// Ops are identified by ops::OpId (stable codes; elementwise families carry
+// the backend enum code in attrs), so the IR never re-invents kernel
+// identity. Constants (captured closure tensors, imported weights) live in
+// the nodes themselves as kept tensors — the graph's constant table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ops/op_id.h"
+
+namespace tfjs::graph {
+
+struct Node {
+  ops::OpId op = ops::OpId::kConst;
+  std::vector<int> inputs;    ///< producer value ids (always < this id)
+  std::vector<double> attrs;  ///< op-specific scalars (see ops/op_id.h)
+  Shape shapeAttr;            ///< kAlias: view target (may hold -1 when
+                              ///< imported; resolved at run time)
+  Shape outShape;             ///< example/observed output shape
+  DType outDtype = DType::f32;
+  Tensor constant;            ///< kConst payload (kept by the owner)
+  bool foldedConst = false;   ///< kConst minted by the folding pass; its
+                              ///< value materializes lazily per backend
+                              ///< from the pre-fold graph
+  int foldedFrom = -1;        ///< node id in the pre-optimization graph
+                              ///< whose (all-constant) evaluation produces
+                              ///< this folded constant
+  std::string name;           ///< imported node name ("" when captured)
+};
+
+struct Graph {
+  std::vector<Node> nodes;  ///< topological order, id == index
+  std::vector<int> inputs;  ///< kInput ids in feed order
+  std::vector<int> outputs; ///< values returned by run(), in order
+
+  /// Per-node consumer count (input references + graph outputs).
+  std::vector<int> useCounts() const;
+
+  /// Stable human-readable dump, used by the pass golden tests:
+  ///   %2 = matMul(%0, %1) {0,0} -> f32[2,4]
+  std::string toString() const;
+
+  /// Releases every node's constant snapshot (capture keeps them alive past
+  /// tidy scopes). The graph is unusable for execution afterwards.
+  void disposeConstants();
+};
+
+}  // namespace tfjs::graph

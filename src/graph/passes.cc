@@ -1,0 +1,330 @@
+#include "graph/passes.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/backend.h"
+#include "core/metrics.h"
+#include "core/trace.h"
+
+namespace tfjs::graph {
+
+namespace {
+
+metrics::Counter& foldedCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.folded_nodes");
+  return c;
+}
+metrics::Counter& fusedCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.fused_nodes");
+  return c;
+}
+metrics::Counter& dceCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.dce_removed");
+  return c;
+}
+
+bool isConstLike(const Node& n) { return n.op == ops::OpId::kConst; }
+
+}  // namespace
+
+PassOptions PassOptions::fromEnv() {
+  const char* v = std::getenv("TFJS_GRAPH_OPT");
+  if (v == nullptr || std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0) {
+    return all();
+  }
+  if (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0) return none();
+  PassOptions o = none();
+  std::string s(v);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::string tok = s.substr(pos, comma - pos);
+    if (tok == "fold") o.fold = true;
+    if (tok == "fuse") o.fuse = true;
+    if (tok == "dce") o.dce = true;
+    if (tok == "plan") o.plan = true;
+    pos = comma + 1;
+  }
+  return o;
+}
+
+Graph foldConstants(const Graph& g) {
+  trace::Span span("graph", "fold");
+  Graph out = g;
+  std::vector<char> constLike(out.nodes.size(), 0);
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    Node& n = out.nodes[i];
+    if (isConstLike(n)) {
+      constLike[i] = 1;
+      continue;
+    }
+    if (n.op == ops::OpId::kInput || n.inputs.empty()) continue;
+    bool allConst = true;
+    for (int in : n.inputs) {
+      if (!constLike[static_cast<std::size_t>(in)]) {
+        allConst = false;
+        break;
+      }
+    }
+    if (!allConst) continue;
+    Node folded;
+    folded.op = ops::OpId::kConst;
+    folded.foldedConst = true;
+    // Folds of folds still point into the pre-optimization graph: ids are
+    // preserved, and a folded node's original inputs are themselves
+    // const-computable there by induction.
+    folded.foldedFrom = n.foldedFrom >= 0 ? n.foldedFrom : static_cast<int>(i);
+    folded.outShape = n.outShape;
+    folded.outDtype = n.outDtype;
+    folded.name = n.name;
+    n = std::move(folded);
+    constLike[i] = 1;
+    foldedCounter().inc();
+  }
+  return out;
+}
+
+namespace {
+
+/// kUnary attr code -> fused epilogue, or kNone when not fusable.
+FusedActivation fusableActivation(const Node& n) {
+  if (n.op != ops::OpId::kUnary || n.attrs.size() < 3) return FusedActivation::kNone;
+  // Parameterized unaries (alpha/beta) never map to an epilogue.
+  if (n.attrs[1] != 0 || n.attrs[2] != 0) return FusedActivation::kNone;
+  switch (static_cast<UnaryOp>(static_cast<int>(n.attrs[0]))) {
+    case UnaryOp::kRelu: return FusedActivation::kRelu;
+    case UnaryOp::kRelu6: return FusedActivation::kRelu6;
+    case UnaryOp::kSigmoid: return FusedActivation::kSigmoid;
+    default: return FusedActivation::kNone;
+  }
+}
+
+bool isAdd(const Node& n) {
+  return n.op == ops::OpId::kBinary && !n.attrs.empty() &&
+         static_cast<int>(n.attrs[0]) == static_cast<int>(BinaryOp::kAdd) &&
+         n.outDtype == DType::f32;
+}
+
+/// Builds the fused node for base (kMatMul/kConv2d) with an optional bias.
+Node makeFused(const Node& base, int biasId, FusedActivation act) {
+  Node f;
+  f.inputs = base.inputs;
+  const bool hasBias = biasId >= 0;
+  if (hasBias) f.inputs.push_back(biasId);
+  if (base.op == ops::OpId::kMatMul) {
+    f.op = ops::OpId::kFusedMatMul;
+    // kMatMul attrs {tA, tB} -> kFusedMatMul {act, tA, tB, hasBias}.
+    f.attrs = {static_cast<double>(act), base.attrs[0], base.attrs[1],
+               hasBias ? 1.0 : 0.0};
+  } else {
+    f.op = ops::OpId::kFusedConv2d;
+    // kConv2d attrs {sH, sW, pad, dH, dW} -> {act, hasBias, sH, sW, pad,
+    // dH, dW}.
+    f.attrs = {static_cast<double>(act), hasBias ? 1.0 : 0.0, base.attrs[0],
+               base.attrs[1], base.attrs[2], base.attrs[3], base.attrs[4]};
+  }
+  f.outShape = base.outShape;
+  f.outDtype = base.outDtype;
+  return f;
+}
+
+}  // namespace
+
+Graph fuse(const Graph& g) {
+  trace::Span span("graph", "fuse");
+  Graph out = g;
+  const std::vector<int> uses = g.useCounts();
+  std::vector<char> isOutput(out.nodes.size(), 0);
+  for (int o : out.outputs) isOutput[static_cast<std::size_t>(o)] = 1;
+
+  // An intermediate may be consumed only by the node that absorbs it.
+  auto absorbable = [&](int id) {
+    return uses[static_cast<std::size_t>(id)] == 1 &&
+           !isOutput[static_cast<std::size_t>(id)];
+  };
+  auto isBase = [&](const Node& n) {
+    return (n.op == ops::OpId::kMatMul || n.op == ops::OpId::kConv2d) &&
+           n.outDtype == DType::f32;
+  };
+  auto biasMatches = [&](const Node& bias, const Node& result) {
+    return bias.outDtype == DType::f32 && bias.outShape.rank() == 1 &&
+           result.outShape.rank() >= 1 &&
+           bias.outShape[0] == result.outShape[result.outShape.rank() - 1];
+  };
+
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    const Node n = out.nodes[i];  // copy: the slot may be overwritten below
+    if (isAdd(n) && n.inputs.size() == 2) {
+      const int m = n.inputs[0];
+      const Node& base = out.nodes[static_cast<std::size_t>(m)];
+      // add(base, bias) with base first only: the fused kernel computes
+      // base + bias, and add is commutative but we stay conservative.
+      if (isBase(base) && absorbable(m) &&
+          biasMatches(out.nodes[static_cast<std::size_t>(n.inputs[1])], n) &&
+          base.outShape == n.outShape) {
+        out.nodes[i] = makeFused(base, n.inputs[1], FusedActivation::kNone);
+        fusedCounter().inc();
+      }
+      continue;
+    }
+    const FusedActivation act = fusableActivation(n);
+    if (act == FusedActivation::kNone || n.inputs.size() != 1) continue;
+    const int m = n.inputs[0];
+    const Node& prev = out.nodes[static_cast<std::size_t>(m)];
+    if (!absorbable(m)) continue;
+    if (isBase(prev)) {
+      out.nodes[i] = makeFused(prev, /*biasId=*/-1, act);
+      fusedCounter().inc();
+    } else if ((prev.op == ops::OpId::kFusedMatMul &&
+                static_cast<int>(prev.attrs[0]) ==
+                    static_cast<int>(FusedActivation::kNone)) ||
+               (prev.op == ops::OpId::kFusedConv2d &&
+                static_cast<int>(prev.attrs[0]) ==
+                    static_cast<int>(FusedActivation::kNone))) {
+      // act(fused-with-no-act): absorb the epilogue into the fused node.
+      Node f = prev;
+      f.attrs[0] = static_cast<double>(act);
+      f.outShape = n.outShape;
+      f.outDtype = n.outDtype;
+      out.nodes[i] = std::move(f);
+      fusedCounter().inc();
+    }
+  }
+  return out;
+}
+
+Graph dce(const Graph& g) {
+  trace::Span span("graph", "dce");
+  std::vector<char> live(g.nodes.size(), 0);
+  std::vector<int> stack(g.outputs);
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (live[static_cast<std::size_t>(id)]) continue;
+    live[static_cast<std::size_t>(id)] = 1;
+    for (int in : g.nodes[static_cast<std::size_t>(id)].inputs) {
+      stack.push_back(in);
+    }
+  }
+  // Placeholders always survive: feed order is part of the signature.
+  for (int in : g.inputs) live[static_cast<std::size_t>(in)] = 1;
+
+  Graph out;
+  std::vector<int> remap(g.nodes.size(), -1);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!live[i]) {
+      dceCounter().inc();
+      continue;
+    }
+    Node n = g.nodes[i];
+    for (int& in : n.inputs) in = remap[static_cast<std::size_t>(in)];
+    remap[i] = static_cast<int>(out.nodes.size());
+    out.nodes.push_back(std::move(n));
+  }
+  for (int in : g.inputs) {
+    out.inputs.push_back(remap[static_cast<std::size_t>(in)]);
+  }
+  for (int o : g.outputs) {
+    out.outputs.push_back(remap[static_cast<std::size_t>(o)]);
+  }
+  return out;
+}
+
+Graph optimize(const Graph& g, const PassOptions& opts) {
+  Graph out = g;
+  if (opts.fold) out = foldConstants(out);
+  if (opts.fuse) out = fuse(out);
+  if (opts.dce) out = dce(out);
+  return out;
+}
+
+MemoryPlan planMemory(const Graph& g) {
+  trace::Span span("graph", "plan");
+  MemoryPlan plan;
+  plan.lastUse.assign(g.nodes.size(), -1);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    for (int in : g.nodes[i].inputs) {
+      plan.lastUse[static_cast<std::size_t>(in)] =
+          std::max(plan.lastUse[static_cast<std::size_t>(in)],
+                   static_cast<int>(i));
+    }
+  }
+  for (int o : g.outputs) {
+    plan.lastUse[static_cast<std::size_t>(o)] = MemoryPlan::kLiveToEnd;
+  }
+  // Constants materialize once and live with the graph, not the run.
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].op == ops::OpId::kConst ||
+        g.nodes[i].op == ops::OpId::kInput) {
+      plan.lastUse[i] = MemoryPlan::kLiveToEnd;
+    }
+  }
+
+  // Sweep definition order, tracking live buffers per power-of-two class.
+  // kAlias defines no buffer; aliases can outlive their source's handle
+  // because containers are refcounted, so this undercounts rarely and the
+  // arena self-heals by adoption.
+  struct ClassState {
+    int liveNow = 0;
+    int peak = 0;
+    std::size_t maxElems = 0;
+  };
+  std::map<int, ClassState> classes;
+  std::size_t liveBytes = 0;
+  std::vector<std::vector<int>> freeAt(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const int last = plan.lastUse[i];
+    if (last >= 0 && last != MemoryPlan::kLiveToEnd) {
+      freeAt[static_cast<std::size_t>(last)].push_back(static_cast<int>(i));
+    }
+  }
+  auto classOf = [](std::size_t elems) {
+    return elems <= 1 ? 0 : static_cast<int>(std::bit_width(elems - 1));
+  };
+  auto allocates = [](const Node& n) {
+    return n.op != ops::OpId::kConst && n.op != ops::OpId::kInput &&
+           n.op != ops::OpId::kAlias && n.outShape.size() > 0;
+  };
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const Node& n = g.nodes[i];
+    if (allocates(n)) {
+      ClassState& cs = classes[classOf(n.outShape.size())];
+      cs.maxElems = std::max(cs.maxElems, n.outShape.size());
+      cs.peak = std::max(cs.peak, ++cs.liveNow);
+      liveBytes += n.outShape.size() * sizeof(float);
+      plan.peakBytes = std::max(plan.peakBytes, liveBytes);
+    }
+    for (int dead : freeAt[i]) {
+      const Node& d = g.nodes[static_cast<std::size_t>(dead)];
+      if (!allocates(d)) continue;
+      --classes[classOf(d.outShape.size())].liveNow;
+      liveBytes -= d.outShape.size() * sizeof(float);
+    }
+  }
+  for (const auto& [cls, cs] : classes) {
+    if (cs.peak > 0) plan.reservations.emplace_back(cs.maxElems, cs.peak);
+  }
+  return plan;
+}
+
+std::string MemoryPlan::toString() const {
+  std::ostringstream os;
+  os << "plan(peak " << peakBytes << " bytes;";
+  for (const auto& [elems, count] : reservations) {
+    os << " " << count << "x" << elems;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tfjs::graph

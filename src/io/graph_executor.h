@@ -2,17 +2,24 @@
 // the converter "can load and execute pre-trained TensorFlow SavedModels" —
 // the upstream GraphModel, as opposed to the Keras-topology LayersModel).
 //
-// The executor evaluates a pruned GraphDef lazily and memoized: each node's
-// op is dispatched to the Ops API, so converted graphs run on whichever
-// backend is active, with the same async/memory semantics as everything
-// else. The supported op set covers the inference graphs the converter
-// emits for conv-nets (conv/pool/activations/matmul/normalization/reshape).
+// Since the graph-capture work (DESIGN.md "Graph capture & optimization")
+// this is a thin importer: on first execute() for a given output set the
+// reachable GraphDef subgraph is translated into the shared graph IR and
+// handed to graph::CapturedGraph, which runs the optimization passes
+// (constant folding hoists weight decoding out of the per-run path), plans
+// memory, and replays through the Ops API — so converted graphs run on
+// whichever backend is active, with the same semantics as captured ones.
+// Translation stays lazy per output set, preserving the original executor's
+// contract: unknown ops, cycles, and missing weights only fail when an
+// execute() actually reaches them.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "graph/executor.h"
 #include "io/converter.h"
 
 namespace tfjs::io {
@@ -38,13 +45,17 @@ class GraphExecutor {
   const GraphDef& graph() const { return graph_; }
 
  private:
-  Tensor evaluate(const std::string& name,
-                  const std::map<std::string, Tensor>& feeds,
-                  std::map<std::string, Tensor>& memo,
-                  std::vector<std::string>& inProgress);
+  struct Compiled {
+    graph::CapturedGraph exec;
+    std::vector<std::string> placeholders;  ///< feed order of exec's inputs
+  };
+
+  /// Translates (and caches) the subgraph reachable from `outputs`.
+  Compiled& compiledFor(const std::vector<std::string>& outputs);
 
   GraphDef graph_;
   std::map<std::string, const GraphNode*> byName_;
+  std::map<std::string, std::unique_ptr<Compiled>> cache_;
 };
 
 }  // namespace tfjs::io

@@ -15,12 +15,17 @@ namespace {
 /// promoted input dtype.
 Tensor dispatch(const char* name, BinaryOp op, const Tensor& a,
                 const Tensor& b, DType outDtype) {
+  internal::CaptureFrame frame;
   internal::KernelScope k(name);
   const TensorSpec sa = E().prepareInput(a);
   const TensorSpec sb = E().prepareInput(b);
   const Shape out = util::broadcastShapes(sa.shape, sb.shape);
   const DataId id = E().backend().binary(op, sa, sb, out);
-  return k.wrap(id, out, outDtype);
+  Tensor y = k.wrap(id, out, outDtype);
+  internal::observeOp(OpId::kBinary, {a, b}, y,
+                      {static_cast<double>(op),
+                       static_cast<double>(outDtype)});
+  return y;
 }
 
 Tensor dispatchNum(const char* name, BinaryOp op, const Tensor& a,
@@ -44,6 +49,8 @@ Tensor maskedGrad(const Tensor& dy, const Tensor& mask, const Shape& target) {
 /// in its buffer).
 Tensor tryBinaryInPlace(const char* name, BinaryOp op, const Tensor& arg,
                         const Tensor& b, DType outDtype) {
+  // See tryUnaryInPlace: capture takes the allocating, recordable path.
+  if (internal::captureDepth == 0 && E().opObserver() != nullptr) return {};
   if (!E().canReuseInput(arg)) return {};
   if (dtypeBytes(outDtype) != dtypeBytes(arg.dtype())) return {};
   const Shape out = util::broadcastShapes(arg.shape(), b.shape());
@@ -244,6 +251,7 @@ Tensor logicalXor(const Tensor& a, const Tensor& b) {
 }
 
 Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  internal::CaptureFrame frame;
   internal::KernelScope k("where");
   const TensorSpec sc = E().prepareInput(cond);
   const TensorSpec sa = E().prepareInput(a);
@@ -252,6 +260,7 @@ Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
                                     sb.shape);
   const DataId id = E().backend().select(sc, sa, sb, out);
   Tensor y = k.wrap(id, out, promoteTypes(a.dtype(), b.dtype()));
+  internal::observeOp(OpId::kSelect, {cond, a, b}, y);
   record("where", {a, b}, y, [cond, a, b](const Tensor& dy) {
     Tensor zero = zerosLike(dy);
     return std::vector<Tensor>{

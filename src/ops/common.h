@@ -7,11 +7,68 @@
 
 #include "core/engine.h"
 #include "core/trace.h"
+#include "ops/op_id.h"
 #include "ops/ops.h"
 
 namespace tfjs::ops::internal {
 
 inline Engine& E() { return Engine::get(); }
+
+// ---- graph-capture recording (src/graph) ---------------------------------
+//
+// Public ops report themselves to the engine's OpObserver so capture(fn)
+// can rebuild the dispatch sequence as IR. Composite ops (softmax, the
+// fused fallbacks, batchNorm's pieces...) must record as ONE node, not as
+// their internals, so every recording site opens a CaptureFrame: only
+// depth-1 events (the outermost public op on this thread) reach the
+// observer; nested dispatches are suppressed.
+
+/// Depth of public-op nesting on this thread. 0 = user code.
+inline thread_local int captureDepth = 0;
+
+/// RAII nesting marker opened by every observed public op. Placed AFTER an
+/// op's delegation branches (e.g. matMul routing int8 weights to
+/// quantizedMatMul) so the delegate records itself as the node.
+class CaptureFrame {
+ public:
+  CaptureFrame() { ++captureDepth; }
+  ~CaptureFrame() { --captureDepth; }
+  CaptureFrame(const CaptureFrame&) = delete;
+  CaptureFrame& operator=(const CaptureFrame&) = delete;
+};
+
+/// True when the outermost public op should report to a capture observer.
+inline bool observing() {
+  return captureDepth == 1 && E().opObserver() != nullptr;
+}
+
+/// Reports one op-level dispatch to the active observer. Call while holding
+/// this op's CaptureFrame, after the output tensor exists.
+inline void observeOp(OpId id, std::initializer_list<Tensor> inputs,
+                      const Tensor& output,
+                      std::initializer_list<double> attrs = {},
+                      const Shape* shapeAttr = nullptr) {
+  if (!observing()) return;
+  std::vector<Tensor> ins(inputs);
+  std::vector<double> at(attrs);
+  E().opObserver()->onOp(static_cast<int>(id), ins, output, at, shapeAttr);
+}
+
+/// Span overloads for variadic inputs (concat) / computed attrs.
+inline void observeOp(OpId id, std::span<const Tensor> inputs,
+                      const Tensor& output, std::span<const double> attrs,
+                      const Shape* shapeAttr = nullptr) {
+  if (!observing()) return;
+  E().opObserver()->onOp(static_cast<int>(id), inputs, output, attrs,
+                         shapeAttr);
+}
+inline void observeOp(OpId id, std::initializer_list<Tensor> inputs,
+                      const Tensor& output, std::span<const double> attrs,
+                      const Shape* shapeAttr = nullptr) {
+  if (!observing()) return;
+  std::vector<Tensor> ins(inputs);
+  E().opObserver()->onOp(static_cast<int>(id), ins, output, attrs, shapeAttr);
+}
 
 /// Per-dispatch instrumentation scope: construct before calling into the
 /// backend, then wrap() the kernel-produced buffer. The scope captures a
@@ -29,7 +86,16 @@ inline Engine& E() { return Engine::get(); }
 class KernelScope {
  public:
   explicit KernelScope(const char* name)
-      : name_(name), startUs_(trace::active() ? trace::nowUs() : -1) {}
+      : name_(name), startUs_(trace::active() ? trace::nowUs() : -1) {
+    // A kernel firing outside any CaptureFrame while a capture observer is
+    // installed has no op-level recording: the capture layer fails loudly
+    // (uninstrumented op) instead of silently folding the output into a
+    // constant. Creation kernels with no tensor inputs are exempt — a
+    // constant is exactly what they are.
+    if (captureDepth == 0) {
+      if (OpObserver* obs = E().opObserver()) obs->onUnrecordedKernel(name);
+    }
+  }
   KernelScope(const KernelScope&) = delete;
   KernelScope& operator=(const KernelScope&) = delete;
 

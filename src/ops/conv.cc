@@ -63,6 +63,7 @@ Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/false);
+  internal::CaptureFrame frame;
   internal::KernelScope k("conv2d");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sf = E().prepareInput(filter);
@@ -70,6 +71,12 @@ Tensor conv2d(const Tensor& x, const Tensor& filter, int strideH, int strideW,
   Tensor y =
       k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
              DType::f32);
+  internal::observeOp(OpId::kConv2d, {x, filter}, y,
+                      {static_cast<double>(strideH),
+                       static_cast<double>(strideW),
+                       static_cast<double>(pad),
+                       static_cast<double>(dilationH),
+                       static_cast<double>(dilationW)});
   record("conv2d", {x, filter}, y, [x, filter, info](const Tensor& dy) {
     return std::vector<Tensor>{convBackpropInput(dy, filter, info),
                                convBackpropFilter(x, dy, info)};
@@ -92,6 +99,7 @@ Tensor depthwiseConv2d(const Tensor& x, const Tensor& filter, int strideH,
   const Conv2DInfo info = conv_util::computeConv2DInfo(
       x.shape(), filter.shape(), strideH, strideW, pad, dilationH, dilationW,
       /*depthwise=*/true);
+  internal::CaptureFrame frame;
   internal::KernelScope k("depthwiseConv2d");
   const TensorSpec sx = E().prepareInput(x);
   const TensorSpec sf = E().prepareInput(filter);
@@ -99,6 +107,12 @@ Tensor depthwiseConv2d(const Tensor& x, const Tensor& filter, int strideH,
   Tensor y =
       k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
              DType::f32);
+  internal::observeOp(OpId::kDepthwiseConv2d, {x, filter}, y,
+                      {static_cast<double>(strideH),
+                       static_cast<double>(strideW),
+                       static_cast<double>(pad),
+                       static_cast<double>(dilationH),
+                       static_cast<double>(dilationW)});
   record("depthwiseConv2d", {x, filter}, y,
          [x, filter, info](const Tensor& dy) {
            return std::vector<Tensor>{dwBackpropInput(dy, filter, info),
@@ -120,12 +134,20 @@ Tensor maxPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad) {
   const Pool2DInfo info = conv_util::computePool2DInfo(
       x.shape(), filterH, filterW, strideH, strideW, pad);
+  internal::CaptureFrame frame;
   internal::KernelScope k("maxPool");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pool2d(PoolMode::kMax, sx, info);
   Tensor y =
       k.wrap(id, Shape{info.batch, info.outH, info.outW, info.channels},
              DType::f32);
+  internal::observeOp(OpId::kPool, {x}, y,
+                      {static_cast<double>(PoolMode::kMax),
+                       static_cast<double>(filterH),
+                       static_cast<double>(filterW),
+                       static_cast<double>(strideH),
+                       static_cast<double>(strideW),
+                       static_cast<double>(pad)});
   record("maxPool", {x}, y, [x, info](const Tensor& dy) {
     internal::KernelScope kg("maxPoolBackprop");
     const TensorSpec sdy = E().prepareInput(dy);
@@ -142,12 +164,20 @@ Tensor avgPool(const Tensor& x, int filterH, int filterW, int strideH,
                int strideW, PadMode pad) {
   const Pool2DInfo info = conv_util::computePool2DInfo(
       x.shape(), filterH, filterW, strideH, strideW, pad);
+  internal::CaptureFrame frame;
   internal::KernelScope k("avgPool");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pool2d(PoolMode::kAvg, sx, info);
   Tensor y =
       k.wrap(id, Shape{info.batch, info.outH, info.outW, info.channels},
              DType::f32);
+  internal::observeOp(OpId::kPool, {x}, y,
+                      {static_cast<double>(PoolMode::kAvg),
+                       static_cast<double>(filterH),
+                       static_cast<double>(filterW),
+                       static_cast<double>(strideH),
+                       static_cast<double>(strideW),
+                       static_cast<double>(pad)});
   record("avgPool", {x}, y, [info](const Tensor& dy) {
     internal::KernelScope kg("avgPoolBackprop");
     const TensorSpec sdy = E().prepareInput(dy);

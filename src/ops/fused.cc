@@ -131,6 +131,20 @@ Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
     return y;
   }
 
+  // One recorded node for either execution strategy below.
+  internal::CaptureFrame frame;
+  const auto observe = [&](const Tensor& y) {
+    const std::initializer_list<double> attrs{
+        static_cast<double>(act), static_cast<double>(transposeA),
+        static_cast<double>(transposeB),
+        static_cast<double>(bias.defined())};
+    if (bias.defined()) {
+      internal::observeOp(OpId::kFusedMatMul, {a, b, bias}, y, attrs);
+    } else {
+      internal::observeOp(OpId::kFusedMatMul, {a, b}, y, attrs);
+    }
+  };
+
   if (!E().backend().supportsFusedKernels()) {
     // Compose from public ops; each records its own gradient, and the
     // move-consuming overloads reclaim the intermediates (on the webgl-sim
@@ -138,7 +152,9 @@ Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
     // been queued, which a backend-level dispose could not guarantee).
     Tensor y = matMul(a, b, transposeA, transposeB);
     if (bias.defined()) y = add(std::move(y), bias);
-    return applyActivationOp(act, std::move(y));
+    y = applyActivationOp(act, std::move(y));
+    observe(y);
+    return y;
   }
 
   static metrics::Counter& fusions =
@@ -186,6 +202,7 @@ Tensor fusedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
     b3.dispose();
   }
   k.notify(y);
+  observe(y);
 
   auto gradCore = [a, b, transposeA, transposeB, act, y](const Tensor& dy) {
     Tensor dt = activationGrad(act, dy, y);
@@ -218,10 +235,27 @@ Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
                            dilationH, dilationW);
   }
 
+  // One recorded node for either execution strategy below.
+  internal::CaptureFrame frame;
+  const auto observe = [&](const Tensor& y) {
+    const std::initializer_list<double> attrs{
+        static_cast<double>(act), static_cast<double>(bias.defined()),
+        static_cast<double>(strideH), static_cast<double>(strideW),
+        static_cast<double>(pad), static_cast<double>(dilationH),
+        static_cast<double>(dilationW)};
+    if (bias.defined()) {
+      internal::observeOp(OpId::kFusedConv2d, {x, filter, bias}, y, attrs);
+    } else {
+      internal::observeOp(OpId::kFusedConv2d, {x, filter}, y, attrs);
+    }
+  };
+
   if (!E().backend().supportsFusedKernels()) {
     Tensor y = conv2d(x, filter, strideH, strideW, pad, dilationH, dilationW);
     if (bias.defined()) y = add(std::move(y), bias);
-    return applyActivationOp(act, std::move(y));
+    y = applyActivationOp(act, std::move(y));
+    observe(y);
+    return y;
   }
 
   static metrics::Counter& fusions =
@@ -246,6 +280,7 @@ Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
   const DataId id = E().backend().fusedConv2d(sx, sf, info, biasPtr, act);
   Tensor y = k.wrap(id, Shape{info.batch, info.outH, info.outW, info.outC},
                     DType::f32);
+  observe(y);
 
   auto gradCore = [x, filter, info, act, y](const Tensor& dy) {
     Tensor dt = activationGrad(act, dy, y);

@@ -38,6 +38,9 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
     return y;
   }
 
+  // The frame opens after the delegation above so the quantized op records
+  // itself; from here on this op is the recorded node.
+  internal::CaptureFrame frame;
   internal::KernelScope k("matMul");
   Tensor y;
   {
@@ -69,6 +72,9 @@ Tensor matMul(const Tensor& a, const Tensor& b, bool transposeA,
     b3.dispose();
   }
   k.notify(y);
+  internal::observeOp(OpId::kMatMul, {a, b}, y,
+                      {static_cast<double>(transposeA),
+                       static_cast<double>(transposeB)});
 
   record("matMul", {a, b}, y, [a, b, transposeA, transposeB](const Tensor& dy) {
     // Standard transpose-aware adjoints, then reduce over broadcast batch.

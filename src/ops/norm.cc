@@ -12,6 +12,7 @@ Tensor softmax(const Tensor& logits, int axis) {
   const int norm = axis < 0 ? axis + logits.rank() : axis;
   TFJS_SHAPE_CHECK(norm == logits.rank() - 1,
                    "softmax currently supports the last axis only");
+  internal::CaptureFrame frame;
   internal::KernelScope k("softmax");
   Tensor y;
   {
@@ -28,6 +29,8 @@ Tensor softmax(const Tensor& logits, int axis) {
     denom.dispose();
   }
   k.notify(y);
+  internal::observeOp(OpId::kSoftmax, {logits}, y,
+                      {static_cast<double>(norm)});
   const int lastAxis = norm;
   record("softmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
     // dx = (dy - sum(dy * y, axis, keep)) * y
@@ -46,6 +49,7 @@ Tensor logSoftmax(const Tensor& logits, int axis) {
   const int norm = axis < 0 ? axis + logits.rank() : axis;
   TFJS_SHAPE_CHECK(norm == logits.rank() - 1,
                    "logSoftmax currently supports the last axis only");
+  internal::CaptureFrame frame;
   internal::KernelScope k("logSoftmax");
   Tensor y;
   {
@@ -64,6 +68,8 @@ Tensor logSoftmax(const Tensor& logits, int axis) {
     logDenom.dispose();
   }
   k.notify(y);
+  internal::observeOp(OpId::kLogSoftmax, {logits}, y,
+                      {static_cast<double>(norm)});
   const int lastAxis = norm;
   record("logSoftmax", {logits}, y, [y, lastAxis](const Tensor& dy) {
     // dx = dy - softmax(x) * sum(dy, axis, keep)

@@ -70,6 +70,7 @@ Tensor quantize(const Tensor& x, float scale, std::int32_t zeroPoint) {
                  "quantize expects an f32 tensor, got "
                      << dtypeName(x.dtype()));
   TFJS_ARG_CHECK(scale > 0, "quantize scale must be positive, got " << scale);
+  internal::CaptureFrame frame;
   const std::vector<float> data = x.dataSync();
   std::vector<float> codes(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -79,6 +80,9 @@ Tensor quantize(const Tensor& x, float scale, std::int32_t zeroPoint) {
   Tensor q = tensor(codes, x.shape(), DType::i8);
   q.setQuantParams(
       std::make_shared<QuantParams>(QuantParams::perTensor(scale, zeroPoint)));
+  internal::observeOp(OpId::kQuantize, {x}, q,
+                      {static_cast<double>(scale),
+                       static_cast<double>(zeroPoint)});
   return q;
 }
 
@@ -88,6 +92,7 @@ Tensor dequantize(const Tensor& q) {
                  "quantization parameters");
   const QuantParamsPtr qp = q.quantParams();
   qp->validate();
+  internal::CaptureFrame frame;
   internal::KernelScope k("dequantize");
   Tensor y;
   {
@@ -121,6 +126,7 @@ Tensor dequantize(const Tensor& q) {
     qf.dispose();
   }
   k.notify(y);
+  internal::observeOp(OpId::kDequantize, {q}, y);
   return y;
 }
 
@@ -139,6 +145,22 @@ Tensor quantizedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
                    "quantizedMatMul expects rank 2 or 3 for b, got "
                        << b.rank());
 
+  // One recorded node whether the backend has quantized kernels or falls
+  // back to dequantize + fused f32.
+  internal::CaptureFrame frame;
+  const auto observe = [&](const Tensor& y) {
+    const std::initializer_list<double> attrs{
+        static_cast<double>(act), static_cast<double>(bias.defined()),
+        static_cast<double>(outQ != nullptr),
+        outQ != nullptr ? static_cast<double>(outQ->scale) : 0.0,
+        outQ != nullptr ? static_cast<double>(outQ->zeroPoint) : 0.0};
+    if (bias.defined()) {
+      internal::observeOp(OpId::kQuantMatMul, {a, b, bias}, y, attrs);
+    } else {
+      internal::observeOp(OpId::kQuantMatMul, {a, b}, y, attrs);
+    }
+  };
+
   if (!E().backend().supportsQuantizedKernels()) {
     // Device backends keep their f32 dataflow: dequantize the weights once
     // and run the fused path, requantizing at the edge if requested.
@@ -148,8 +170,10 @@ Tensor quantizedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
     if (outQ != nullptr) {
       Tensor qy = quantize(y, outQ->scale, outQ->zeroPoint);
       y.dispose();
+      observe(qy);
       return qy;
     }
+    observe(y);
     return y;
   }
 
@@ -196,6 +220,7 @@ Tensor quantizedMatMul(const Tensor& a, const Tensor& b, const Tensor& bias,
     b3.dispose();
   }
   k.notify(y);
+  observe(y);
   return y;
 }
 
@@ -211,6 +236,23 @@ Tensor quantizedConv2d(const Tensor& x, const Tensor& filter,
                  "quantizedConv2d expects an int8 filter with attached "
                  "quantization parameters");
 
+  internal::CaptureFrame frame;
+  const auto observe = [&](const Tensor& y) {
+    const std::initializer_list<double> attrs{
+        static_cast<double>(act), static_cast<double>(bias.defined()),
+        static_cast<double>(outQ != nullptr),
+        outQ != nullptr ? static_cast<double>(outQ->scale) : 0.0,
+        outQ != nullptr ? static_cast<double>(outQ->zeroPoint) : 0.0,
+        static_cast<double>(strideH), static_cast<double>(strideW),
+        static_cast<double>(pad), static_cast<double>(dilationH),
+        static_cast<double>(dilationW)};
+    if (bias.defined()) {
+      internal::observeOp(OpId::kQuantConv2d, {x, filter, bias}, y, attrs);
+    } else {
+      internal::observeOp(OpId::kQuantConv2d, {x, filter}, y, attrs);
+    }
+  };
+
   if (!E().backend().supportsQuantizedKernels()) {
     Tensor ff = dequantize(filter);
     Tensor y = fusedConv2d(x, ff, bias, act, strideH, strideW, pad, dilationH,
@@ -219,8 +261,10 @@ Tensor quantizedConv2d(const Tensor& x, const Tensor& filter,
     if (outQ != nullptr) {
       Tensor qy = quantize(y, outQ->scale, outQ->zeroPoint);
       y.dispose();
+      observe(qy);
       return qy;
     }
+    observe(y);
     return y;
   }
 
@@ -254,6 +298,7 @@ Tensor quantizedConv2d(const Tensor& x, const Tensor& filter,
     }
   }
   k.notify(y);
+  observe(y);
   return y;
 }
 

@@ -78,6 +78,7 @@ ReducePlan plan(const Tensor& x, std::span<const int> axesIn, bool keepDims) {
 
 Tensor dispatchReduce(const char* name, ReduceOp op, const Tensor& x,
                       std::span<const int> axes, bool keepDims, DType dtype) {
+  internal::CaptureFrame frame;
   internal::KernelScope k(name);
   internal::TapePause pause;
   ReducePlan p = plan(x, axes, keepDims);
@@ -89,6 +90,14 @@ Tensor dispatchReduce(const char* name, ReduceOp op, const Tensor& x,
   flat.dispose();
   p.prepared.dispose();
   k.notify(y);
+  if (internal::observing()) {
+    // Record the resolved axes (empty input = all axes) so replay is exact.
+    std::vector<double> attrs{static_cast<double>(op),
+                              static_cast<double>(keepDims),
+                              static_cast<double>(dtype)};
+    for (int a : p.axes) attrs.push_back(static_cast<double>(a));
+    internal::observeOp(OpId::kReduce, {x}, y, attrs);
+  }
   return y;
 }
 
@@ -201,6 +210,7 @@ Tensor all(const Tensor& x, std::span<const int> axes, bool keepDims) {
 
 namespace {
 Tensor dispatchArg(const char* name, ArgOp op, const Tensor& x, int axis) {
+  internal::CaptureFrame frame;
   internal::KernelScope k(name);
   internal::TapePause pause;
   const int norm = axis < 0 ? axis + x.rank() : axis;
@@ -217,6 +227,8 @@ Tensor dispatchArg(const char* name, ArgOp op, const Tensor& x, int axis) {
   flat.dispose();
   p.prepared.dispose();
   k.notify(y);
+  internal::observeOp(OpId::kArg, {x}, y,
+                      {static_cast<double>(op), static_cast<double>(norm)});
   return y;
 }
 }  // namespace

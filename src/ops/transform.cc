@@ -54,10 +54,16 @@ Tensor transpose(const Tensor& x, std::span<const int> permIn) {
     outDims[i] = x.shape()[perm[i]];
   }
   const Shape outShape(outDims);
+  internal::CaptureFrame frame;
   internal::KernelScope k("transpose");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().transpose(sx, perm, outShape);
   Tensor y = k.wrap(id, outShape, x.dtype());
+  if (internal::observing()) {
+    std::vector<double> attrs;
+    for (int p : perm) attrs.push_back(static_cast<double>(p));
+    internal::observeOp(OpId::kTranspose, {x}, y, attrs);
+  }
   record("transpose", {x}, y, [x, perm](const Tensor& dy) {
     std::vector<int> inverse(perm.size());
     for (std::size_t i = 0; i < perm.size(); ++i) {
@@ -88,10 +94,20 @@ Tensor slice(const Tensor& x, std::span<const int> begin,
                                        << x.shape().toString());
   }
   const Shape outShape(outDims);
+  internal::CaptureFrame frame;
   internal::KernelScope k("slice");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().slice(sx, begin, outShape);
   Tensor y = k.wrap(id, outShape, x.dtype());
+  if (internal::observing()) {
+    // Record begin + the resolved sizes (a -1 size means "to the end").
+    std::vector<double> attrs;
+    for (int b : begin) attrs.push_back(static_cast<double>(b));
+    for (int d = 0; d < x.rank(); ++d) {
+      attrs.push_back(static_cast<double>(outDims[static_cast<std::size_t>(d)]));
+    }
+    internal::observeOp(OpId::kSlice, {x}, y, attrs);
+  }
   const std::vector<int> beginV(begin.begin(), begin.end());
   record("slice", {x}, y, [x, beginV](const Tensor& dy) {
     std::vector<std::pair<int, int>> pads(
@@ -114,6 +130,7 @@ Tensor concat(std::span<const Tensor> xs, int axis) {
   TFJS_SHAPE_CHECK(norm >= 0 && norm < rank,
                    "concat axis " << axis << " out of range for rank "
                                   << rank);
+  internal::CaptureFrame frame;
   internal::KernelScope k("concat");
   std::vector<int> outDims = xs[0].shape().dims();
   std::vector<TensorSpec> specs;
@@ -133,6 +150,10 @@ Tensor concat(std::span<const Tensor> xs, int axis) {
   const Shape outShape(outDims);
   const DataId id = E().backend().concat(specs, norm, outShape);
   Tensor y = k.wrap(id, outShape, xs[0].dtype());
+  {
+    const double axisAttr[] = {static_cast<double>(norm)};
+    internal::observeOp(OpId::kConcat, xs, y, axisAttr);
+  }
 
   if (TapeRecorder* tape = E().tape()) {
     std::vector<Tensor> ins(xs.begin(), xs.end());
@@ -215,10 +236,19 @@ Tensor pad(const Tensor& x, std::span<const std::pair<int, int>> paddings,
     outDims[static_cast<std::size_t>(d)] += before + after;
   }
   const Shape outShape(outDims);
+  internal::CaptureFrame frame;
   internal::KernelScope k("pad");
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().pad(sx, paddings, constantValue, outShape);
   Tensor y = k.wrap(id, outShape, x.dtype());
+  if (internal::observing()) {
+    std::vector<double> attrs{static_cast<double>(constantValue)};
+    for (const auto& [before, after] : paddings) {
+      attrs.push_back(static_cast<double>(before));
+      attrs.push_back(static_cast<double>(after));
+    }
+    internal::observeOp(OpId::kPad, {x}, y, attrs);
+  }
   const std::vector<std::pair<int, int>> padsV(paddings.begin(),
                                                paddings.end());
   record("pad", {x}, y, [x, padsV](const Tensor& dy) {

@@ -10,10 +10,15 @@ namespace {
 
 Tensor dispatch(const char* name, UnaryOp op, const Tensor& x, float alpha = 0,
                 float beta = 0, DType outDtype = DType::f32) {
+  internal::CaptureFrame frame;
   internal::KernelScope k(name);
   const TensorSpec sx = E().prepareInput(x);
   const DataId id = E().backend().unary(op, sx, alpha, beta);
-  return k.wrap(id, sx.shape, outDtype);
+  Tensor y = k.wrap(id, sx.shape, outDtype);
+  internal::observeOp(OpId::kUnary, {x}, y,
+                      {static_cast<double>(op), alpha, beta,
+                       static_cast<double>(outDtype)});
+  return y;
 }
 
 /// In-place fast path for a move-consumed input: when the engine proves sole
@@ -23,6 +28,9 @@ Tensor dispatch(const char* name, UnaryOp op, const Tensor& x, float alpha = 0,
 /// the allocating op and disposes the consumed input afterwards).
 Tensor tryUnaryInPlace(const char* name, UnaryOp op, const Tensor& arg,
                        float alpha, float beta, DType outDtype) {
+  // During capture the allocating path records the op; the in-place path
+  // would overwrite an input the recorder may still need to snapshot.
+  if (internal::captureDepth == 0 && E().opObserver() != nullptr) return {};
   if (!E().canReuseInput(arg)) return {};
   if (dtypeBytes(outDtype) != dtypeBytes(arg.dtype())) return {};
   internal::KernelScope k(name);
@@ -394,8 +402,12 @@ Tensor clipByValue(Tensor&& x, float lo, float hi) {
 
 Tensor cast(const Tensor& x, DType dtype) {
   // Widening casts are aliases and record their identity gradient in
-  // Engine::makeAlias; narrowing casts are not differentiable.
-  return x.cast(dtype);
+  // Engine::makeAlias; narrowing casts are not differentiable. Either way
+  // capture records one kCast node (the frame suppresses the alias event).
+  internal::CaptureFrame frame;
+  Tensor y = x.cast(dtype);
+  internal::observeOp(OpId::kCast, {x}, y, {static_cast<double>(dtype)});
+  return y;
 }
 
 }  // namespace tfjs::ops

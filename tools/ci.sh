@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: the tier-1 build + test cycle (ROADMAP.md), then the
+# sanitizer legs (tools/run_tsan.sh: TSan, ASan, UBSan over the
+# threading/memory/int8-sensitive subset plus the graph differential
+# fuzzer). Mirrors what a hosted pipeline would run; each stage fails the
+# script on first error.
+#
+# Usage: tools/ci.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitizer legs =="
+tools/run_tsan.sh
+
+echo "== CI green =="

@@ -8,7 +8,11 @@
 # async_test covers the multi-producer EventLoop::postTask path,
 # serving_test the whole client-threads/scheduler-thread serving stack, and
 # quant_test the quantized kernels whose packed-weight cache is shared
-# across serving sessions (a fresh race surface).
+# across serving sessions (a fresh race surface). graph_fuzz_test runs on
+# every leg: the differential fuzzer's random DAGs reach the capture
+# recorder, every optimization pass, the arena allocator, and the replay
+# path on all three CPU backends — the widest single net over the graph
+# subsystem.
 # Uses separate build trees (build-tsan/, build-asan/, build-ubsan/) so the
 # regular build is untouched.
 #
@@ -18,18 +22,19 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
 cmake --build build-tsan -j --target thread_pool_test native_parity_test \
-  quant_test trace_test buffer_pool_test async_test serving_test
+  quant_test trace_test buffer_pool_test async_test serving_test \
+  graph_fuzz_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|native_parity_test|quant_test|trace_test|buffer_pool_test|async_test|serving_test'
+  -R 'thread_pool_test|native_parity_test|quant_test|trace_test|buffer_pool_test|async_test|serving_test|graph_fuzz_test'
 
 cmake -B build-asan -S . -DTFJS_SANITIZE=address
 cmake --build build-asan -j --target buffer_pool_test fusion_test \
-  quant_test serving_test
+  quant_test serving_test graph_fuzz_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'buffer_pool_test|fusion_test|quant_test|serving_test'
+  -R 'buffer_pool_test|fusion_test|quant_test|serving_test|graph_fuzz_test'
 
 cmake -B build-ubsan -S . -DTFJS_SANITIZE=undefined
 cmake --build build-ubsan -j --target quant_test native_parity_test \
-  serving_test
+  serving_test graph_fuzz_test
 ctest --test-dir build-ubsan --output-on-failure \
-  -R 'quant_test|native_parity_test|serving_test'
+  -R 'quant_test|native_parity_test|serving_test|graph_fuzz_test'

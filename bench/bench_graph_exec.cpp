@@ -1,24 +1,28 @@
-// Graph-capture bench (ISSUE 9 acceptance gate): a captured + optimized +
-// memory-planned MobileNet forward pass must beat the eager Layers path by
-// >= 1.1x and perform >= 90% fewer per-op pool allocations — at
-// bit-identical outputs (the executor replays through the public ops layer,
-// so every kernel is the one eager would have dispatched).
+// Graph-capture bench (ISSUE 9 + ISSUE 10 acceptance gates), three parts:
 //
-// Workload: MobileNetV1 alpha=0.125 at 32x32 with BatchNorm, batch 1, on the
-// native backend. Small on purpose: single-image inference is where
-// per-op dispatch, scope bookkeeping, and allocator traffic dominate —
-// exactly what capture amortizes. The captured path wins from
-//  * one-time pass work (BN/const folding, bias+activation fusion, DCE)
-//    done at construction instead of every predict();
-//  * the static memory plan: warm runs serve every intermediate from a
-//    pre-sized arena, so the shared pool and the heap see zero traffic;
-//  * eager disposal from liveness (peak memory tracks the plan, not the
-//    scope), which also lets elementwise steps whose input dies at that
-//    node run in place via the move-consuming op overloads.
+//  1. MobileNet: a captured + optimized + memory-planned forward pass must
+//     beat the eager Layers path by >= 1.2x with >= 90% fewer per-op pool
+//     allocations — at bit-identical outputs (the executor replays through
+//     the public ops layer, so every kernel is the one eager would have
+//     dispatched). Workload: MobileNetV1 alpha=0.125 at 32x32 with
+//     BatchNorm, batch 1, native backend — single-image inference is where
+//     dispatch, scope bookkeeping, and allocator traffic dominate.
+//
+//  2. Elementwise chain: a 12-op chain captured WITH cross-op fusion must
+//     beat the same graph captured WITHOUT it (all other passes on) by
+//     >= 1.5x, bit-identical. The fused region loads each input element
+//     once, runs the whole chain in registers, and stores once — versus 12
+//     loop dispatches with a load+store each.
+//
+//  3. Shape polymorphism: plans are keyed by symbolic shape-class, so a
+//     warm sweep over batch sizes {1, 4, 7, 16} must perform ZERO plan
+//     re-instantiations (graph.plan_compiles stays flat).
 //
 // Per-op pool allocations are counted at the BufferPool: shared-pool
 // acquires (hits + misses + bypasses) plus arena misses. Arena *hits* are
 // planned reuse of graph-owned storage, not allocations.
+//
+// `--smoke` runs the same gates at reduced timing repeats (for CI legs).
 //
 // Emits BENCH_graph.json at the repo root.
 #include <benchmark/benchmark.h>
@@ -144,6 +148,64 @@ struct Harness {
   }
 };
 
+/// 12-op elementwise chain over [16, 4096] with suffix-broadcast leaves:
+/// mixed unary/binary/scalar links, every one region-eligible, so the fuser
+/// collapses the whole body into one kFusedRegion.
+struct ChainHarness {
+  Tensor x, bias, scale, bias2;
+  tfjs::graph::CapturedGraph fused, unfused;
+
+  std::vector<Tensor> body(const std::vector<Tensor>& ins) {
+    Tensor t = o::add(ins[0], bias);           // 1  (suffix broadcast)
+    t = o::relu(t);                            // 2
+    t = o::mulScalar(t, 1.25f);                // 3
+    t = o::addScalar(t, -0.5f);                // 4
+    t = o::square(t);                          // 5
+    t = o::neg(t);                             // 6
+    t = o::relu6(t);                           // 7
+    t = o::mul(t, scale);                      // 8  (suffix broadcast)
+    t = o::sub(t, bias2);                      // 9
+    t = o::clipByValue(t, -4.0f, 4.0f);        // 10
+    t = o::leakyRelu(t, 0.1f);                 // 11
+    t = o::addScalar(t, 0.25f);                // 12
+    return {t};
+  }
+
+  ChainHarness() {
+    x = o::randomNormal(tfjs::Shape{16, 4096}, 0, 1, 21);
+    bias = o::randomNormal(tfjs::Shape{4096}, 0, 1, 22);
+    scale = o::randomNormal(tfjs::Shape{4096}, 0, 0.5f, 23);
+    bias2 = o::randomNormal(tfjs::Shape{4096}, 0, 1, 24);
+    auto fn = [this](const std::vector<Tensor>& ins) { return body(ins); };
+    fused = tfjs::graph::CapturedGraph(tfjs::graph::capture(fn, {x}),
+                                       tfjs::graph::PassOptions::all());
+    tfjs::graph::PassOptions noRegions = tfjs::graph::PassOptions::all();
+    noRegions.fuseElementwise = false;  // everything else stays on
+    unfused = tfjs::graph::CapturedGraph(tfjs::graph::capture(fn, {x}),
+                                         noRegions);
+  }
+
+  std::vector<float> run(tfjs::graph::CapturedGraph& g, const Tensor& feed) {
+    std::vector<Tensor> ys = g.run({feed});
+    std::vector<float> out = ys[0].dataSync();
+    for (Tensor& y : ys) y.dispose();
+    return out;
+  }
+
+  std::vector<float> runEager() {
+    std::vector<Tensor> ys = tfjs::tidyAll([&] { return body({x}); });
+    std::vector<float> out = ys[0].dataSync();
+    for (Tensor& y : ys) y.dispose();
+    return out;
+  }
+
+  void dispose() {
+    fused.dispose();
+    unfused.dispose();
+    for (Tensor* t : {&x, &bias, &scale, &bias2}) t->dispose();
+  }
+};
+
 Harness* g_harness = nullptr;
 
 // ------------------------------------------------- google-benchmark mirrors
@@ -163,8 +225,19 @@ BENCHMARK(BM_MobileNetCaptured)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   tfjs::backends::registerAll();
   tfjs::setBackend("native");
-  constexpr int kRepeats = 50;
-  constexpr int kInner = 10;
+
+  // --smoke: same gates, fewer timing repeats (CI sanitizer legs).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  const int kRepeats = smoke ? 8 : 50;
+  const int kInner = smoke ? 3 : 10;
 
   Harness harness;
   g_harness = &harness;
@@ -199,12 +272,59 @@ int main(int argc, char** argv) {
       "\nmobilenet (alpha 0.125, 32x32, BN): eager %.3f ms -> captured %.3f ms"
       " (%.2fx)\n"
       "pool allocs per run: %llu -> %llu (-%.1f%%)\n"
-      "graph: %zu nodes captured -> %zu after fold/fuse/dce\n"
+      "graph: %zu nodes captured -> %zu after fold/fuse/regions/dce\n"
       "outputs bit-identical: %s\n",
       msEager, msCaptured, speedup,
       static_cast<unsigned long long>(allocsEager),
       static_cast<unsigned long long>(allocsCaptured), reduction,
       nodesOriginal, nodesOptimized, identical ? "yes" : "NO");
+
+  // ---- part 2: elementwise chain, fused vs unfused-captured ------------
+  ChainHarness chain;
+  std::vector<float> chainEager, chainFused, chainUnfused;
+  for (int i = 0; i < 3; ++i) {
+    chainEager = chain.runEager();
+    chainFused = chain.run(chain.fused, chain.x);
+    chainUnfused = chain.run(chain.unfused, chain.x);
+  }
+  const auto [msChainUnfused, msChainFused] = minPassMsInterleaved(
+      [&] { chain.run(chain.unfused, chain.x); },
+      [&] { chain.run(chain.fused, chain.x); }, kRepeats, kInner);
+  const bool chainIdentical = bitIdentical(chainEager, chainFused) &&
+                              bitIdentical(chainEager, chainUnfused);
+  const double chainSpeedup =
+      msChainFused > 0 ? msChainUnfused / msChainFused : 0.0;
+  std::printf(
+      "\nelementwise chain (12 ops, [16,4096]): unfused-captured %.3f ms ->"
+      " fused %.3f ms (%.2fx)\n"
+      "chain outputs bit-identical (eager == fused == unfused): %s\n",
+      msChainUnfused, msChainFused, chainSpeedup,
+      chainIdentical ? "yes" : "NO");
+
+  // ---- part 3: shape-polymorphic plan reuse ----------------------------
+  // Prime every batch size once (two classes: {1,·} and {n,·}), then a
+  // warm sweep must instantiate nothing new.
+  std::vector<Tensor> polyFeeds;
+  for (int batch : {1, 4, 7, 16}) {
+    polyFeeds.push_back(
+        o::randomNormal(tfjs::Shape{batch, 4096}, 0, 1, 30 + batch));
+  }
+  for (const Tensor& f : polyFeeds) chain.run(chain.fused, f);
+  const std::uint64_t compilesBefore = counterValue("graph.plan_compiles");
+  bool polyIdentical = true;
+  for (const Tensor& f : polyFeeds) {
+    std::vector<float> got = chain.run(chain.fused, f);
+    std::vector<Tensor> ys = tfjs::tidyAll([&] { return chain.body({f}); });
+    polyIdentical = polyIdentical && bitIdentical(got, ys[0].dataSync());
+    for (Tensor& y : ys) y.dispose();
+  }
+  const std::uint64_t planRecompiles =
+      counterValue("graph.plan_compiles") - compilesBefore;
+  std::printf(
+      "shape polymorphism: %llu plan re-instantiations across batch sizes"
+      " {1,4,7,16} (want 0); outputs bit-identical: %s\n",
+      static_cast<unsigned long long>(planRecompiles),
+      polyIdentical ? "yes" : "NO");
 
   tfjs::bench::Json doc = tfjs::bench::Json::object();
   doc.set("bench", "graph_exec");
@@ -222,15 +342,36 @@ int main(int argc, char** argv) {
   doc.set("fused_nodes", static_cast<double>(counterValue("graph.fused_nodes")));
   doc.set("dce_removed", static_cast<double>(counterValue("graph.dce_removed")));
   doc.set("bit_identical", tfjs::bench::Json::boolean(identical));
+  doc.set("ms_chain_unfused", msChainUnfused);
+  doc.set("ms_chain_fused", msChainFused);
+  doc.set("chain_speedup", chainSpeedup);
+  doc.set("chain_bit_identical", tfjs::bench::Json::boolean(chainIdentical));
+  doc.set("fused_regions", static_cast<double>(counterValue("graph.fused_regions")));
+  doc.set("region_ops", static_cast<double>(counterValue("graph.region_ops")));
+  doc.set("plan_compiles", static_cast<double>(counterValue("graph.plan_compiles")));
+  doc.set("plan_recompiles_batch_sweep", static_cast<double>(planRecompiles));
+  doc.set("arena_evictions", static_cast<double>(counterValue("pool.arena_evictions")));
+  doc.set("poly_bit_identical", tfjs::bench::Json::boolean(polyIdentical));
   doc.set("samples", kRepeats);
+  doc.set("smoke", tfjs::bench::Json::boolean(smoke));
   doc.writeFile("BENCH_graph.json");
 
-  const bool pass = speedup >= 1.1 && reduction >= 90.0 && identical;
-  std::printf("gate (>=1.1x, >=90%% fewer pool allocs, bit-identical): %s\n",
-              pass ? "PASS" : "FAIL");
+  const bool mobilenetPass = speedup >= 1.2 && reduction >= 90.0 && identical;
+  const bool chainPass = chainSpeedup >= 1.5 && chainIdentical;
+  const bool polyPass = planRecompiles == 0 && polyIdentical;
+  std::printf(
+      "gate mobilenet (>=1.2x, >=90%% fewer pool allocs, bit-identical):"
+      " %s\n"
+      "gate chain (fused >=1.5x over unfused-captured, bit-identical): %s\n"
+      "gate shape-poly (0 recompiles across {1,4,7,16}, bit-identical):"
+      " %s\n",
+      mobilenetPass ? "PASS" : "FAIL", chainPass ? "PASS" : "FAIL",
+      polyPass ? "PASS" : "FAIL");
 
+  for (Tensor& f : polyFeeds) f.dispose();
+  chain.dispose();
   harness.captured.dispose();
   harness.x.dispose();
   g_harness = nullptr;
-  return pass ? 0 : 1;
+  return mobilenetPass && chainPass && polyPass ? 0 : 1;
 }

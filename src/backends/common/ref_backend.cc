@@ -1158,6 +1158,110 @@ DataId RefBackend::binaryInto(BinaryOp op, const TensorSpec& a,
   return dst;
 }
 
+namespace {
+
+/// How a region input's element maps to the output's flat index. Mirrors
+/// the broadcast paths of RefBackend::binary so fused loads read exactly
+/// the element the standalone kernel would have.
+enum class RegionAccess { kDense, kScalar, kSuffix, kGeneric };
+
+RegionAccess classifyRegionInput(const Shape& s, const Shape& out) {
+  if (s == out) return RegionAccess::kDense;
+  if (s.size() == 1) return RegionAccess::kScalar;
+  if (broadcastsAsSuffix(s, out)) return RegionAccess::kSuffix;
+  return RegionAccess::kGeneric;
+}
+
+}  // namespace
+
+DataId RefBackend::fusedRegion(const RegionProgram& program,
+                               std::span<const TensorSpec> inputs,
+                               const Shape& outShape, DataId dst) {
+  if (program.instrs.empty() ||
+      inputs.size() != static_cast<std::size_t>(program.numInputs)) {
+    throw BackendError("fusedRegion: malformed program");
+  }
+  KernelTimer t(kernelMs_);
+  const std::size_t n = outShape.size();
+
+  struct In {
+    const float* p;
+    std::size_t span;
+    RegionAccess mode;
+    const Shape* shape;
+  };
+  std::vector<In> ins(inputs.size());
+  bool anyGeneric = false;
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    const auto& v = buf(inputs[j].id);
+    ins[j] = {v.data(), v.size(), classifyRegionInput(inputs[j].shape, outShape),
+              &inputs[j].shape};
+    anyGeneric |= ins[j].mode == RegionAccess::kGeneric;
+  }
+
+  // In-place only when dst aliases exactly one input and that input is
+  // dense: a second spec sharing the id (an alias view) or a broadcast
+  // operand would re-read indices the loop already overwrote.
+  bool inPlace = false;
+  if (dst != 0) {
+    int matches = 0;
+    std::size_t di = 0;
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      if (inputs[j].id == dst) {
+        ++matches;
+        di = j;
+      }
+    }
+    inPlace = matches == 1 && ins[di].mode == RegionAccess::kDense;
+  }
+
+  std::vector<float> fresh;
+  float* o;
+  if (inPlace) {
+    o = mutableBuf(dst).data();
+  } else {
+    fresh = allocBuffer(n);
+    o = fresh.data();
+  }
+
+  std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+  std::vector<float> inVals(inputs.size());
+  std::vector<float> vals(program.instrs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (anyGeneric) util::unravelIndex(i, outShape, coords);
+    for (std::size_t j = 0; j < ins.size(); ++j) {
+      const In& in = ins[j];
+      switch (in.mode) {
+        case RegionAccess::kDense: inVals[j] = in.p[i]; break;
+        case RegionAccess::kScalar: inVals[j] = in.p[0]; break;
+        case RegionAccess::kSuffix: inVals[j] = in.p[i % in.span]; break;
+        case RegionAccess::kGeneric:
+          inVals[j] = in.p[util::broadcastIndex(coords, *in.shape, outShape)];
+          break;
+      }
+    }
+    const auto arg = [&](int r) { return r < 0 ? inVals[-1 - r] : vals[r]; };
+    for (std::size_t k = 0; k < program.instrs.size(); ++k) {
+      const RegionInstr& si = program.instrs[k];
+      switch (si.kind) {
+        case RegionInstr::Kind::kUnary:
+          vals[k] = applyUnary(static_cast<UnaryOp>(si.op), arg(si.a),
+                               si.alpha, si.beta);
+          break;
+        case RegionInstr::Kind::kBinary:
+          vals[k] =
+              applyBinary(static_cast<BinaryOp>(si.op), arg(si.a), arg(si.b));
+          break;
+        case RegionInstr::Kind::kSelect:
+          vals[k] = arg(si.a) != 0 ? arg(si.b) : arg(si.c);
+          break;
+      }
+    }
+    o[i] = vals.back();
+  }
+  return inPlace ? dst : store(std::move(fresh));
+}
+
 DataId RefBackend::fusedMatMul(const TensorSpec& a, const TensorSpec& b,
                                bool transposeA, bool transposeB,
                                const TensorSpec* bias, FusedActivation act) {

@@ -51,6 +51,15 @@ class RefBackend : public Backend {
   DataId binaryInto(BinaryOp op, const TensorSpec& a, const TensorSpec& b,
                     const Shape& outShape, DataId dst) override;
   bool supportsFusedKernels() const override { return true; }
+  bool supportsFusedRegions() const override { return true; }
+  /// Single-pass fused elementwise region. Every scalar step goes through
+  /// applyUnary/applyBinary (select: the same `c != 0 ? a : b` as the
+  /// standalone kernel), so the fused value at each output element is
+  /// bit-identical to the op-by-op chain on any backend sharing those
+  /// scalar formulas — which is all of them, by construction.
+  DataId fusedRegion(const RegionProgram& program,
+                     std::span<const TensorSpec> inputs, const Shape& outShape,
+                     DataId dst) override;
   /// Runs the *virtual* matMul (so a derived backend's own accumulation
   /// order is used) and applies the bias+activation epilogue in place —
   /// bit-identical to matMul + add + activation on the same backend.

@@ -283,6 +283,215 @@ DataId NativeBackend::binaryInto(BinaryOp op, const TensorSpec& a,
   return dst;
 }
 
+DataId NativeBackend::fusedRegion(const RegionProgram& program,
+                                  std::span<const TensorSpec> inputs,
+                                  const Shape& outShape, DataId dst) {
+  if (program.instrs.empty() ||
+      inputs.size() != static_cast<std::size_t>(program.numInputs)) {
+    throw BackendError("fusedRegion: malformed program");
+  }
+  KernelTimer t(kernelMs_, "native.fusedRegion");
+  const std::size_t n = outShape.size();
+
+  enum class Access { kDense, kScalar, kSuffix, kGeneric };
+  struct In {
+    const float* p;
+    std::size_t span;
+    Access mode;
+    const Shape* shape;
+  };
+  std::vector<In> ins(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    const auto& v = buf(inputs[j].id);
+    Access mode = Access::kGeneric;
+    if (inputs[j].shape == outShape) {
+      mode = Access::kDense;
+    } else if (v.size() == 1) {
+      mode = Access::kScalar;
+    } else if (broadcastsAsSuffix(inputs[j].shape, outShape)) {
+      mode = Access::kSuffix;
+    }
+    ins[j] = {v.data(), v.size(), mode, &inputs[j].shape};
+  }
+
+  // Same in-place guard as the reference kernel: dst must alias exactly one
+  // input, and that input must be dense (each chunk then only overwrites
+  // indices it has already loaded into its block).
+  bool inPlace = false;
+  if (dst != 0) {
+    int matches = 0;
+    std::size_t di = 0;
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      if (inputs[j].id == dst) {
+        ++matches;
+        di = j;
+      }
+    }
+    inPlace = matches == 1 && ins[di].mode == Access::kDense;
+  }
+
+  std::vector<float> fresh;
+  float* o;
+  if (inPlace) {
+    o = mutableBuf(dst).data();
+  } else {
+    fresh = allocBuffer(n);
+    o = fresh.data();
+  }
+
+  // Strip-mined interpretation: each block resolves every input to a row
+  // pointer (dense and block-aligned suffix inputs alias backing storage
+  // directly — zero copies), then every instruction runs as a dense loop
+  // over the block, non-terminal results landing in L1-resident scratch
+  // rows and the terminal storing straight into the output. Per-element op
+  // order is the program order either way, so blocking (and the fixed
+  // parallel partition) cannot change a single bit.
+  constexpr std::size_t kBlock = 512;
+  const std::size_t numInstrs = program.instrs.size();
+  const std::size_t numIns = ins.size();
+  ThreadPool::get().parallelFor(
+      n, kElemGrain, [&](std::size_t begin, std::size_t end) {
+        // Reused per-thread scratch: one row per input that may need
+        // materializing plus one per non-terminal instruction. resize()
+        // only pays on first growth, not per chunk.
+        static thread_local std::vector<float> scratch;
+        static thread_local std::vector<const float*> rowPtr;
+        if (scratch.size() < (numIns + numInstrs) * kBlock) {
+          scratch.resize((numIns + numInstrs) * kBlock);
+        }
+        if (rowPtr.size() < numIns) rowPtr.resize(numIns);
+        float* inRows = scratch.data();
+        float* valRows = scratch.data() + numIns * kBlock;
+        std::vector<int> coords(static_cast<std::size_t>(outShape.rank()));
+        // A scalar broadcasts the same value into every block: fill once.
+        for (std::size_t j = 0; j < numIns; ++j) {
+          if (ins[j].mode == Access::kScalar) {
+            float* r = inRows + j * kBlock;
+            std::fill(r, r + kBlock, ins[j].p[0]);
+            rowPtr[j] = r;
+          }
+        }
+        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
+          const std::size_t c = std::min(kBlock, end - b0);
+          for (std::size_t j = 0; j < numIns; ++j) {
+            const In& in = ins[j];
+            float* r = inRows + j * kBlock;
+            switch (in.mode) {
+              case Access::kDense:
+                rowPtr[j] = in.p + b0;
+                break;
+              case Access::kScalar:
+                break;  // prefilled above
+              case Access::kSuffix: {
+                const std::size_t off = b0 % in.span;
+                if (off + c <= in.span) {
+                  rowPtr[j] = in.p + off;  // block within one repeat
+                } else {
+                  // Wrap-around fill (a counter, not a per-element modulo —
+                  // spans like a channel count of 8 make div cost dominate).
+                  std::size_t idx = off;
+                  for (std::size_t i = 0; i < c; ++i) {
+                    r[i] = in.p[idx];
+                    if (++idx == in.span) idx = 0;
+                  }
+                  rowPtr[j] = r;
+                }
+                break;
+              }
+              case Access::kGeneric:
+                for (std::size_t i = 0; i < c; ++i) {
+                  util::unravelIndex(b0 + i, outShape, coords);
+                  r[i] = in.p[util::broadcastIndex(coords, *in.shape,
+                                                   outShape)];
+                }
+                rowPtr[j] = r;
+                break;
+            }
+          }
+          const auto row = [&](int r) {
+            return r < 0 ? rowPtr[static_cast<std::size_t>(-1 - r)]
+                         : static_cast<const float*>(
+                               valRows + static_cast<std::size_t>(r) * kBlock);
+          };
+          for (std::size_t k = 0; k < numInstrs; ++k) {
+            const RegionInstr& si = program.instrs[k];
+            const float* A = row(si.a);
+            // The terminal (nothing ever references it) stores straight to
+            // the output; everything else lands in its scratch row.
+            float* R = k + 1 == numInstrs ? o + b0 : valRows + k * kBlock;
+            switch (si.kind) {
+              case RegionInstr::Kind::kUnary: {
+                const auto op = static_cast<UnaryOp>(si.op);
+                // Same specializations (and formulas) as unaryLoop.
+                switch (op) {
+                  case UnaryOp::kRelu:
+                    for (std::size_t i = 0; i < c; ++i) {
+                      R[i] = A[i] > 0 ? A[i] : 0;
+                    }
+                    break;
+                  case UnaryOp::kRelu6:
+                    for (std::size_t i = 0; i < c; ++i) {
+                      R[i] = std::min(std::max(A[i], 0.f), 6.f);
+                    }
+                    break;
+                  case UnaryOp::kNeg:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = -A[i];
+                    break;
+                  case UnaryOp::kSquare:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] * A[i];
+                    break;
+                  case UnaryOp::kAddScalar:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] + si.alpha;
+                    break;
+                  case UnaryOp::kMulScalar:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] * si.alpha;
+                    break;
+                  default:
+                    for (std::size_t i = 0; i < c; ++i) {
+                      R[i] = applyUnary(op, A[i], si.alpha, si.beta);
+                    }
+                }
+                break;
+              }
+              case RegionInstr::Kind::kBinary: {
+                const auto op = static_cast<BinaryOp>(si.op);
+                const float* B = row(si.b);
+                // Same specializations as binaryLoopSame.
+                switch (op) {
+                  case BinaryOp::kAdd:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] + B[i];
+                    break;
+                  case BinaryOp::kSub:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] - B[i];
+                    break;
+                  case BinaryOp::kMul:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] * B[i];
+                    break;
+                  case BinaryOp::kDiv:
+                    for (std::size_t i = 0; i < c; ++i) R[i] = A[i] / B[i];
+                    break;
+                  default:
+                    for (std::size_t i = 0; i < c; ++i) {
+                      R[i] = applyBinary(op, A[i], B[i]);
+                    }
+                }
+                break;
+              }
+              case RegionInstr::Kind::kSelect: {
+                const float* B = row(si.b);
+                const float* C = row(si.c);
+                for (std::size_t i = 0; i < c; ++i) {
+                  R[i] = A[i] != 0 ? B[i] : C[i];
+                }
+                break;
+              }
+            }
+          }
+        }
+      });
+  return inPlace ? dst : store(std::move(fresh));
+}
+
 DataId NativeBackend::unary(UnaryOp op, const TensorSpec& x, float alpha,
                             float beta) {
   KernelTimer t(kernelMs_, "native.unary");

@@ -65,6 +65,15 @@ class NativeBackend : public RefBackend {
   DataId fusedConv2d(const TensorSpec& x, const TensorSpec& filter,
                      const Conv2DInfo& info, const TensorSpec* bias,
                      FusedActivation act) override;
+  /// Strip-mined fused-region interpreter: per block of output elements,
+  /// inputs load once into dense rows, then each instruction runs as a
+  /// dense (autovectorizable) loop over the block, instruction by
+  /// instruction — the per-element op order is unchanged, so values are
+  /// bit-identical to the reference per-element interpreter. Parallelised
+  /// with the fixed kElemGrain partition.
+  DataId fusedRegion(const RegionProgram& program,
+                     std::span<const TensorSpec> inputs, const Shape& outShape,
+                     DataId dst) override;
   /// SIMD int8 GEMM (AVX-512 VNNI / AVX2 / scalar, chosen at compile time).
   /// All three variants accumulate the same exact i32 values and share the
   /// scalar epilogue with the reference oracle, so results are bit-identical

@@ -66,6 +66,34 @@ enum class UnaryOp {
 /// kernel chain.
 enum class FusedActivation { kNone, kRelu, kRelu6, kSigmoid };
 
+/// One scalar step of a fused elementwise region (graph executor fusion).
+/// Operand references `a`/`b`/`c`: values >= 0 name the result of a prior
+/// instruction in the same program; values < 0 name an external input slot
+/// as `-1 - ref` (so slot 0 is -1, slot 1 is -2, ...). Instructions are the
+/// region's ops in their original capture order — backends must apply the
+/// exact same scalar formulas as the standalone unary/binary/select kernels
+/// so fused outputs stay bit-identical to the op-by-op chain.
+struct RegionInstr {
+  enum class Kind { kUnary, kBinary, kSelect };
+  Kind kind = Kind::kUnary;
+  int op = 0;      ///< UnaryOp or BinaryOp code (unused for kSelect)
+  int a = 0;       ///< first operand (cond for kSelect)
+  int b = 0;       ///< second operand (kBinary/kSelect)
+  int c = 0;       ///< third operand (kSelect only)
+  float alpha = 0; ///< unary parameter
+  float beta = 0;  ///< unary parameter
+};
+
+/// A straight-line elementwise program over `numInputs` external tensors.
+/// The last instruction's value is the region's output. Inputs broadcast
+/// independently to the final output shape; interior values are always
+/// evaluated at the final output's coordinates (broadcast composition keeps
+/// that bitwise-equal to the op-by-op chain — see DESIGN.md).
+struct RegionProgram {
+  int numInputs = 0;
+  std::vector<RegionInstr> instrs;
+};
+
 enum class ReduceOp { kSum, kMean, kProd, kMax, kMin, kAny, kAll };
 enum class ArgOp { kArgMax, kArgMin };
 enum class PoolMode { kMax, kAvg };
@@ -229,6 +257,24 @@ class Backend {
                              FusedActivation act) {
     (void)x, (void)filter, (void)info, (void)bias, (void)act;
     throw BackendError("fusedConv2d not supported by backend " + name());
+  }
+
+  /// True when the backend implements fusedRegion(). The ops layer checks
+  /// this and otherwise replays the region op by op through the standalone
+  /// kernels (bit-identical by construction).
+  virtual bool supportsFusedRegions() const { return false; }
+  /// Evaluates a fused elementwise region in a single pass over the output:
+  /// one load per input element, the program's scalar ops in original order,
+  /// one store. `inputs.size() == program.numInputs`; each input broadcasts
+  /// to `outShape`. When `dst` is nonzero it aliases a dense input whose
+  /// buffer the caller proved safe to overwrite — the kernel MAY write there
+  /// and return dst (same contract as unaryInto/binaryInto). Results must be
+  /// bit-identical to dispatching the program's ops one at a time.
+  virtual DataId fusedRegion(const RegionProgram& program,
+                             std::span<const TensorSpec> inputs,
+                             const Shape& outShape, DataId dst) {
+    (void)program, (void)inputs, (void)outShape, (void)dst;
+    throw BackendError("fusedRegion not supported by backend " + name());
   }
 
   // ---- quantized kernels (int8 inference path) -------------------------

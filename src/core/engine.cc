@@ -19,6 +19,9 @@ thread_local std::vector<std::vector<std::shared_ptr<internal::TensorInfo>>>
 
 thread_local OpObserver* Engine::opObserver_ = nullptr;
 
+void Engine::setOpObserver(OpObserver* o) { opObserver_ = o; }
+OpObserver* Engine::opObserver() const { return opObserver_; }
+
 Engine& Engine::get() {
   // Leaked singleton: backends (and their worker threads) live for the whole
   // process so tensors in static storage never dangle. Engine creation is

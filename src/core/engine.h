@@ -187,9 +187,11 @@ class Engine {
   // ---- graph-capture hook (src/graph) ----------------------------------
   /// Installs/clears the current thread's capture observer. The ops layer
   /// notifies it on every depth-0 public-op dispatch; makeAlias notifies it
-  /// on every alias creation.
-  void setOpObserver(OpObserver* o) { opObserver_ = o; }
-  OpObserver* opObserver() const { return opObserver_; }
+  /// on every alias creation. Defined out of line: accessing the
+  /// thread_local through the TLS wrapper from other TUs trips a spurious
+  /// UBSan null-pointer diagnostic under GCC; the defining TU is clean.
+  void setOpObserver(OpObserver* o);
+  OpObserver* opObserver() const;
 
   // ---- debugging & profiling (section 3.8) -----------------------------
   bool debugMode() const { return debug_; }

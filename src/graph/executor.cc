@@ -24,6 +24,16 @@ metrics::Counter& constDecodesCounter() {
       metrics::Registry::get().counter("graph.const_decodes");
   return c;
 }
+metrics::Counter& planCompilesCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.plan_compiles");
+  return c;
+}
+metrics::Counter& arenaEvictionsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("pool.arena_evictions");
+  return c;
+}
 
 int iattr(const Node& n, std::size_t i) {
   return static_cast<int>(n.attrs[i]);
@@ -206,6 +216,14 @@ CapturedGraph::CapturedGraph(Graph g, const PassOptions& opts)
     feedIndex_[static_cast<std::size_t>(optimized_.inputs[k])] =
         static_cast<int>(k);
   }
+  // Decode fused-region programs once; the program is shape-agnostic, so
+  // this is the only "compile" a region ever needs.
+  regionPrograms_.resize(optimized_.nodes.size());
+  for (std::size_t i = 0; i < optimized_.nodes.size(); ++i) {
+    if (optimized_.nodes[i].op == ops::OpId::kFusedRegion) {
+      regionPrograms_[i] = ops::decodeRegionProgram(optimized_.nodes[i].attrs);
+    }
+  }
 }
 
 Tensor CapturedGraph::replayNode(const Node& n, const std::vector<Tensor>& ins) {
@@ -313,6 +331,11 @@ Tensor CapturedGraph::replayNode(const Node& n, const std::vector<Tensor>& ins) 
       }
       return ops::pad(ins[0], paddings, static_cast<float>(n.attrs[0]));
     }
+    case OpId::kFusedRegion:
+      // Rare path (captured replays of an already-optimized graph); the
+      // executor's own run loop uses the pre-decoded program instead.
+      return ops::fusedRegion(ops::decodeRegionProgram(n.attrs),
+                              std::span<const Tensor>(ins), n.outDtype);
     case OpId::kCast:
       return ops::cast(ins[0], static_cast<DType>(iattr(n, 0)));
     case OpId::kQuantize:
@@ -406,14 +429,41 @@ std::vector<Tensor> CapturedGraph::run(const std::vector<Tensor>& feeds) {
 
   core::BufferPool::ArenaId arena = 0;
   if (opts_.plan) {
+    // Symbolic shape-class, not concrete shapes: backend + per-feed
+    // (dtype, rank, which dims are 1). Broadcast semantics depend only on
+    // ranks and the positions of 1-dims, so every concrete shape in a
+    // class replays through identical kernel paths — batch sizes 4, 7, 16
+    // share one arena and zero recompiles; batch 1 is its own class
+    // because a leading 1 changes how the feed broadcasts.
     std::string sig = e.backendName();
-    for (const Tensor& f : feeds) sig += f.shape().toString();
+    for (const Tensor& f : feeds) {
+      sig += '|';
+      sig += dtypeName(f.dtype());
+      sig += ':';
+      const Shape& s = f.shape();
+      for (int d = 0; d < s.rank(); ++d) sig += s[d] == 1 ? '1' : 'n';
+    }
     if (sig == lastSig_) {
-      arena = lastArena_;  // steady-state: same backend + shapes as last run
+      arena = lastArena_;  // steady-state: same backend + class as last run
     } else if (auto it = arenas_.find(sig); it != arenas_.end()) {
-      arena = it->second;
+      arena = it->second.arena;
+      lru_.splice(lru_.begin(), lru_, it->second.lruPos);
     } else {
+      if (arenas_.size() >= kMaxArenas) {
+        // Evict the least-recently-used class; its buffers go back to the
+        // OS, and a future run with that class pays one re-instantiation.
+        const std::string& victim = lru_.back();
+        core::BufferPool::get().destroyArena(arenas_[victim].arena);
+        arenaEvictionsCounter().inc();
+        if (victim == lastSig_) {
+          lastSig_.clear();
+          lastArena_ = 0;
+        }
+        arenas_.erase(victim);
+        lru_.pop_back();
+      }
       arena = core::BufferPool::get().createArena();
+      planCompilesCounter().inc();
       bool exampleShapes = true;
       for (std::size_t k = 0; k < feeds.size(); ++k) {
         const Node& in =
@@ -424,13 +474,14 @@ std::vector<Tensor> CapturedGraph::run(const std::vector<Tensor>& feeds) {
         }
       }
       // The static plan only describes the capture-example shapes; other
-      // signatures start empty and self-size by adoption.
+      // classes start empty and self-size by adoption.
       if (exampleShapes) {
         for (const auto& [elems, count] : plan_.reservations) {
           core::BufferPool::get().arenaReserve(arena, elems, count);
         }
       }
-      arenas_[sig] = arena;
+      lru_.push_front(sig);
+      arenas_[sig] = ArenaEntry{arena, lru_.begin()};
     }
     lastSig_ = std::move(sig);
     lastArena_ = arena;
@@ -467,7 +518,8 @@ std::vector<Tensor> CapturedGraph::run(const std::vector<Tensor>& feeds) {
           // overwrite the buffer instead of cycling it through the arena.
           // Eager can't do this: its intermediates stay live to scope end.
           Tensor moved;
-          if ((n.op == ops::OpId::kUnary || n.op == ops::OpId::kBinary) &&
+          if ((n.op == ops::OpId::kUnary || n.op == ops::OpId::kBinary ||
+               n.op == ops::OpId::kFusedRegion) &&
               !n.inputs.empty()) {
             const int in0 = n.inputs[0];
             const Node& src =
@@ -478,14 +530,30 @@ std::vector<Tensor> CapturedGraph::run(const std::vector<Tensor>& feeds) {
                 std::count(n.inputs.begin(), n.inputs.end(), in0) == 1 &&
                 src.op != ops::OpId::kInput && src.op != ops::OpId::kConst;
             if (dies) {
-              moved = replayMoveFirst(
-                  n, std::move(vals[static_cast<std::size_t>(in0)]), ins);
+              if (n.op == ops::OpId::kFusedRegion) {
+                // The move overload always produces a value (it falls back
+                // to the allocating path itself when reuse is unsafe).
+                moved = ops::fusedRegion(
+                    regionPrograms_[i],
+                    std::move(vals[static_cast<std::size_t>(in0)]),
+                    std::span<const Tensor>(ins).subspan(1), n.outDtype);
+              } else {
+                moved = replayMoveFirst(
+                    n, std::move(vals[static_cast<std::size_t>(in0)]), ins);
+              }
               if (moved.defined()) {
                 vals[static_cast<std::size_t>(in0)] = Tensor();
               }
             }
           }
-          vals[i] = moved.defined() ? moved : replayNode(n, ins);
+          if (!moved.defined()) {
+            moved = n.op == ops::OpId::kFusedRegion
+                        ? ops::fusedRegion(regionPrograms_[i],
+                                           std::span<const Tensor>(ins),
+                                           n.outDtype)
+                        : replayNode(n, ins);
+          }
+          vals[i] = moved;
         }
       }
       // Planned eager disposal: a value goes back to the arena right after
@@ -532,10 +600,11 @@ void CapturedGraph::dispose() {
     }
   }
   backends_.clear();
-  for (auto& [sig, arena] : arenas_) {
-    core::BufferPool::get().destroyArena(arena);
+  for (auto& [sig, entry] : arenas_) {
+    core::BufferPool::get().destroyArena(entry.arena);
   }
   arenas_.clear();
+  lru_.clear();
   lastSig_.clear();
   lastArena_ = 0;
   original_.disposeConstants();

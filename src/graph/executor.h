@@ -12,11 +12,18 @@
 //   * folded constants materialize by evaluating their pre-fold subgraph
 //     with the running backend's own kernels (graph.const_decodes counts
 //     these one-time evaluations — a warm run does zero);
-// Per-(backend, feed-shape) state:
-//   * a BufferPool arena seeded from the static plan and self-sized by
-//     adoption, so warm runs do no shared-pool or heap traffic.
+// Per-(backend, shape-class) state:
+//   * a BufferPool arena seeded from the static plan (when the feeds match
+//     the capture example) and self-sized by adoption, so warm runs do no
+//     shared-pool or heap traffic. Shape-classes are symbolic — backend +
+//     per-feed (dtype, rank, dims==1 bitmask) — so a server receiving many
+//     batch sizes reuses one arena and one set of compiled regions instead
+//     of recompiling per concrete shape (graph.plan_compiles counts class
+//     instantiations). The class map is LRU-capped (kMaxArenas); evictions
+//     destroy the arena and count into pool.arena_evictions.
 #pragma once
 
+#include <list>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +61,13 @@ class CapturedGraph {
   /// GraphDefs don't declare placeholder dtypes, so io turns the check off.
   void setStrictFeedDtypes(bool strict) { strictFeedDtypes_ = strict; }
 
+  /// Cap on live per-(backend, shape-class) arenas. Serving workloads with
+  /// unbounded shape diversity evict least-recently-used classes instead of
+  /// accumulating arenas forever.
+  static constexpr std::size_t kMaxArenas = 8;
+  /// Live per-(backend, shape-class) arena count (test hook).
+  std::size_t numArenas() const { return arenas_.size(); }
+
  private:
   struct BackendState {
     /// optimized node id -> materialized folded constant (kept).
@@ -77,9 +91,20 @@ class CapturedGraph {
   /// Optimized node id -> feed position, -1 for non-inputs.
   std::vector<int> feedIndex_;
   std::map<std::string, BackendState> backends_;
-  std::map<std::string, core::BufferPool::ArenaId> arenas_;
+  /// Shape-class sig -> (arena, position in lru_). lru_ keeps sigs most-
+  /// recently-used first; inserting past kMaxArenas destroys the back.
+  struct ArenaEntry {
+    core::BufferPool::ArenaId arena = 0;
+    std::list<std::string>::iterator lruPos;
+  };
+  std::map<std::string, ArenaEntry> arenas_;
+  std::list<std::string> lru_;
+  /// Pre-decoded RegionProgram per optimized kFusedRegion node (empty
+  /// instrs otherwise): compiled once, reused across every backend and
+  /// feed shape — the program is shape-agnostic by construction.
+  std::vector<RegionProgram> regionPrograms_;
   /// One-entry cache for the steady-state case: repeated runs with the same
-  /// backend and feed shapes skip the arena map lookup.
+  /// backend and feed shape-class skip the arena map lookup.
   std::string lastSig_;
   core::BufferPool::ArenaId lastArena_ = 0;
 };

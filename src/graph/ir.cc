@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "ops/ops.h"
+
 namespace tfjs::graph {
 
 std::vector<int> Graph::useCounts() const {
@@ -24,6 +26,46 @@ std::string num(double v) {
   return buf;
 }
 
+/// Compact program dump for kFusedRegion nodes: one entry per instruction,
+/// kind letter + op code, operands as i<slot> (external) / t<k> (prior
+/// instruction) — the raw attr doubles would be unreadable in goldens.
+std::string regionString(const std::vector<double>& attrs) {
+  const RegionProgram p = ops::decodeRegionProgram(attrs);
+  std::ostringstream os;
+  const auto ref = [](int r) {
+    std::ostringstream o;
+    if (r < 0) {
+      o << "i" << (-1 - r);
+    } else {
+      o << "t" << r;
+    }
+    return o.str();
+  };
+  os << " [";
+  for (std::size_t k = 0; k < p.instrs.size(); ++k) {
+    const RegionInstr& si = p.instrs[k];
+    if (k) os << "; ";
+    switch (si.kind) {
+      case RegionInstr::Kind::kUnary:
+        os << "u" << si.op << "(" << ref(si.a);
+        if (si.alpha != 0 || si.beta != 0) {
+          os << "," << num(si.alpha) << "," << num(si.beta);
+        }
+        os << ")";
+        break;
+      case RegionInstr::Kind::kBinary:
+        os << "b" << si.op << "(" << ref(si.a) << "," << ref(si.b) << ")";
+        break;
+      case RegionInstr::Kind::kSelect:
+        os << "sel(" << ref(si.a) << "," << ref(si.b) << "," << ref(si.c)
+           << ")";
+        break;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
 }  // namespace
 
 std::string Graph::toString() const {
@@ -41,7 +83,9 @@ std::string Graph::toString() const {
       }
       os << ")";
     }
-    if (!n.attrs.empty()) {
+    if (n.op == ops::OpId::kFusedRegion) {
+      os << regionString(n.attrs);
+    } else if (!n.attrs.empty()) {
       os << " {";
       for (std::size_t j = 0; j < n.attrs.size(); ++j) {
         os << (j ? "," : "") << num(n.attrs[j]);

@@ -12,6 +12,7 @@
 #include "core/backend.h"
 #include "core/metrics.h"
 #include "core/trace.h"
+#include "ops/ops.h"
 
 namespace tfjs::graph {
 
@@ -30,6 +31,16 @@ metrics::Counter& fusedCounter() {
 metrics::Counter& dceCounter() {
   static metrics::Counter& c =
       metrics::Registry::get().counter("graph.dce_removed");
+  return c;
+}
+metrics::Counter& fusedRegionsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.fused_regions");
+  return c;
+}
+metrics::Counter& regionOpsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::get().counter("graph.region_ops");
   return c;
 }
 
@@ -53,6 +64,7 @@ PassOptions PassOptions::fromEnv() {
     if (tok == "fuse") o.fuse = true;
     if (tok == "dce") o.dce = true;
     if (tok == "plan") o.plan = true;
+    if (tok == "fuse_elementwise") o.fuseElementwise = true;
     pos = comma + 1;
   }
   return o;
@@ -203,6 +215,144 @@ Graph fuse(const Graph& g) {
   return out;
 }
 
+namespace {
+
+/// Region-eligible ops: pure elementwise, one output element per
+/// coordinate, scalar semantics shared by every backend.
+bool isElementwise(const Node& n) {
+  switch (n.op) {
+    case ops::OpId::kUnary:
+      return n.attrs.size() >= 4;
+    case ops::OpId::kBinary:
+      return n.attrs.size() >= 2;
+    case ops::OpId::kSelect:
+      return n.inputs.size() == 3;
+    default:
+      return false;
+  }
+}
+
+/// Largest region a single node may absorb. Caps compile time and the
+/// per-element scratch of the fused interpreters; 64 covers every chain the
+/// models here produce with slack.
+constexpr std::size_t kMaxRegionOps = 64;
+
+}  // namespace
+
+Graph fuseElementwise(const Graph& g) {
+  trace::Span span("graph", "fuse_elementwise");
+  Graph out = g;
+
+  // Consumer lists (node id -> ids of nodes reading it) plus output flags:
+  // a producer may join a region only when the region covers all of its
+  // consumers and it is not itself a graph output.
+  std::vector<std::vector<int>> consumers(out.nodes.size());
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    for (int in : out.nodes[i].inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<char> isOutput(out.nodes.size(), 0);
+  for (int o : out.outputs) isOutput[static_cast<std::size_t>(o)] = 1;
+  std::vector<char> taken(out.nodes.size(), 0);
+
+  // Reverse order: the deepest terminal claims the longest chain, and every
+  // absorbed interior is marked taken so regions never overlap.
+  for (int i = static_cast<int>(out.nodes.size()) - 1; i >= 0; --i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (taken[ui] || !isElementwise(out.nodes[ui])) continue;
+    const Shape& shape = out.nodes[ui].outShape;
+
+    std::set<int> members{i};
+    // Fixpoint growth: a shared producer (diamond) may fail the
+    // all-consumers check on the first visit and pass once its other
+    // consumer joins, so sweep until no candidate is added.
+    bool grew = true;
+    while (grew && members.size() < kMaxRegionOps) {
+      grew = false;
+      for (int m : std::vector<int>(members.begin(), members.end())) {
+        for (int in : out.nodes[static_cast<std::size_t>(m)].inputs) {
+          const auto uin = static_cast<std::size_t>(in);
+          if (members.count(in) || taken[uin] || isOutput[uin]) continue;
+          const Node& cand = out.nodes[uin];
+          if (!isElementwise(cand) || !(cand.outShape == shape)) continue;
+          bool allInside = true;
+          for (int c : consumers[uin]) {
+            if (!members.count(c)) {
+              allInside = false;
+              break;
+            }
+          }
+          if (!allInside) continue;
+          members.insert(in);
+          grew = true;
+          if (members.size() >= kMaxRegionOps) break;
+        }
+        if (members.size() >= kMaxRegionOps) break;
+      }
+    }
+    if (members.size() < 2) continue;
+
+    // Lower members (ascending id = original per-element order) to a
+    // RegionProgram. External operands dedupe into input slots in
+    // first-use order.
+    RegionProgram program;
+    std::map<int, int> instrIndex;   // node id -> instruction index
+    std::map<int, int> inputSlot;    // node id -> external slot
+    std::vector<int> externals;
+    const auto operand = [&](int id) {
+      if (auto it = instrIndex.find(id); it != instrIndex.end()) {
+        return it->second;
+      }
+      auto [it, fresh] =
+          inputSlot.emplace(id, static_cast<int>(externals.size()));
+      if (fresh) externals.push_back(id);
+      return -1 - it->second;
+    };
+    for (int m : members) {
+      const Node& n = out.nodes[static_cast<std::size_t>(m)];
+      RegionInstr si;
+      switch (n.op) {
+        case ops::OpId::kUnary:
+          si.kind = RegionInstr::Kind::kUnary;
+          si.op = static_cast<int>(n.attrs[0]);
+          si.alpha = static_cast<float>(n.attrs[1]);
+          si.beta = static_cast<float>(n.attrs[2]);
+          si.a = operand(n.inputs[0]);
+          break;
+        case ops::OpId::kBinary:
+          si.kind = RegionInstr::Kind::kBinary;
+          si.op = static_cast<int>(n.attrs[0]);
+          si.a = operand(n.inputs[0]);
+          si.b = operand(n.inputs[1]);
+          break;
+        default:  // kSelect
+          si.kind = RegionInstr::Kind::kSelect;
+          si.a = operand(n.inputs[0]);
+          si.b = operand(n.inputs[1]);
+          si.c = operand(n.inputs[2]);
+          break;
+      }
+      instrIndex[m] = static_cast<int>(program.instrs.size());
+      program.instrs.push_back(si);
+    }
+    program.numInputs = static_cast<int>(externals.size());
+
+    Node region;
+    region.op = ops::OpId::kFusedRegion;
+    region.inputs = externals;
+    region.attrs = ops::encodeRegionProgram(program);
+    region.outShape = out.nodes[ui].outShape;
+    region.outDtype = out.nodes[ui].outDtype;
+    region.name = out.nodes[ui].name;
+    out.nodes[ui] = std::move(region);
+    for (int m : members) taken[static_cast<std::size_t>(m)] = 1;
+    fusedRegionsCounter().inc();
+    regionOpsCounter().inc(members.size());
+  }
+  return out;
+}
+
 Graph dce(const Graph& g) {
   trace::Span span("graph", "dce");
   std::vector<char> live(g.nodes.size(), 0);
@@ -244,6 +394,7 @@ Graph optimize(const Graph& g, const PassOptions& opts) {
   Graph out = g;
   if (opts.fold) out = foldConstants(out);
   if (opts.fuse) out = fuse(out);
+  if (opts.fuseElementwise) out = fuseElementwise(out);
   if (opts.dce) out = dce(out);
   return out;
 }

@@ -1,8 +1,8 @@
 // Optimization passes over the Graph IR (DESIGN.md "Graph capture &
 // optimization"). Each pass is a pure Graph -> Graph function with a trace
 // span ("graph" category) and graph.* metrics; optimize() runs the enabled
-// pipeline fold -> fuse -> dce (memory planning happens per shape signature
-// inside the executor).
+// pipeline fold -> fuse -> fuseElementwise -> dce (memory planning happens
+// per shape-class signature inside the executor).
 //
 // Correctness contract: an optimized graph must replay BIT-IDENTICALLY to
 // the eager chain it was captured from, on every CPU backend. The passes
@@ -29,9 +29,11 @@ struct PassOptions {
   bool fuse = true;
   bool dce = true;
   bool plan = true;
+  /// Cross-op elementwise fusion (env token "fuse_elementwise").
+  bool fuseElementwise = true;
 
   static PassOptions all() { return {}; }
-  static PassOptions none() { return {false, false, false, false}; }
+  static PassOptions none() { return {false, false, false, false, false}; }
   /// Reads TFJS_GRAPH_OPT (see file comment).
   static PassOptions fromEnv();
 };
@@ -50,12 +52,25 @@ Graph foldConstants(const Graph& g);
 /// FusedActivation subset. Node ids are preserved.
 Graph fuse(const Graph& g);
 
+/// Greedily clusters chains/DAGs of elementwise ops (kUnary / kBinary /
+/// kSelect) into kFusedRegion nodes that the executor lowers to a single
+/// loop over the output. A region grows from its terminal node backwards;
+/// a producer joins only when it is elementwise, its output shape equals
+/// the terminal's (so only external leaf inputs broadcast), it is not a
+/// graph output, and every one of its consumers is already in the region
+/// (diamond sharing is fine — the shared value becomes one instruction
+/// referenced twice). The region node keeps the terminal's id, shape, and
+/// dtype; absorbed interiors become dead and are left for dce. Replay is
+/// bit-identical to the op-by-op chain: the backends evaluate the same
+/// scalar formulas per element in the same order (see DESIGN.md).
+Graph fuseElementwise(const Graph& g);
+
 /// Drops nodes no graph output depends on (kInput placeholders always
 /// survive — feed order is part of the graph's signature). Ids are
 /// compacted; `inputs`/`outputs` are remapped.
 Graph dce(const Graph& g);
 
-/// fold -> fuse -> dce, honoring the enabled flags.
+/// fold -> fuse -> fuseElementwise -> dce, honoring the enabled flags.
 Graph optimize(const Graph& g, const PassOptions& opts = PassOptions::all());
 
 /// Static memory plan: per-node liveness plus the arena working set (how

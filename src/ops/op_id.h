@@ -36,6 +36,12 @@
 //   kCast         {out DType code}
 //   kQuantize     {scale, zeroPoint}
 //   kDequantize   {}
+//   kFusedRegion  {numInputs, numInstrs, then per instruction
+//                  {kind, opcode, a, b, c, alpha, beta}} — the encoded
+//                  RegionProgram of a fused elementwise region (see
+//                  graph/passes.h encode/decodeRegionProgram). Operand
+//                  refs a/b/c: < 0 → external input slot (-1 - ref);
+//                  >= 0 → prior instruction index. inputs: variadic
 #pragma once
 
 namespace tfjs::ops {
@@ -66,6 +72,7 @@ enum class OpId : int {
   kCast = 22,
   kQuantize = 23,
   kDequantize = 24,
+  kFusedRegion = 25,  ///< compiled elementwise region (single-pass loop)
 };
 
 /// Stable lowercase name, used by Graph::toString() golden dumps.
@@ -96,6 +103,7 @@ inline const char* opIdName(OpId id) {
     case OpId::kCast: return "cast";
     case OpId::kQuantize: return "quantize";
     case OpId::kDequantize: return "dequantize";
+    case OpId::kFusedRegion: return "fusedRegion";
   }
   return "?";
 }

@@ -198,6 +198,27 @@ Tensor fusedConv2d(const Tensor& x, const Tensor& filter, const Tensor& bias,
                    FusedActivation act, int strideH, int strideW, PadMode pad,
                    int dilationH = 1, int dilationW = 1);
 
+/// Evaluates a fused elementwise region (graph-executor fusion): the
+/// program's unary/binary/select steps applied per output element in their
+/// original order, in a single pass on backends with
+/// supportsFusedRegions(), else as the equivalent op-by-op kernel chain.
+/// Both paths are bit-identical to dispatching the ops one at a time.
+/// The output shape is the broadcast closure of the input shapes under the
+/// program; `outDtype` is the terminal op's recorded result dtype.
+/// Inference-only: no gradient is recorded.
+Tensor fusedRegion(const RegionProgram& program, std::span<const Tensor> inputs,
+                   DType outDtype = DType::f32);
+/// Move-consuming variant: `first` is inputs[0]; when the engine proves
+/// sole ownership (and the backend confirms the aliasing is safe) the fused
+/// loop writes into its buffer instead of allocating.
+Tensor fusedRegion(const RegionProgram& program, Tensor&& first,
+                   std::span<const Tensor> rest, DType outDtype = DType::f32);
+
+/// Node::attrs encoding of a RegionProgram — {numInputs, numInstrs, then
+/// {kind, op, a, b, c, alpha, beta} per instruction} (see ops/op_id.h).
+std::vector<double> encodeRegionProgram(const RegionProgram& program);
+RegionProgram decodeRegionProgram(std::span<const double> attrs);
+
 // ------------------------------------------------------------ quantization
 
 /// Symmetric per-channel int8 quantization of a weight tensor along its last

@@ -1,0 +1,213 @@
+// Fused elementwise regions: the graph executor's fusion pass collapses
+// chains/DAGs of unary/binary/select ops into one kFusedRegion node, and
+// this op evaluates the region — in a single pass over the output on
+// backends with supportsFusedRegions(), or as the equivalent op-by-op
+// kernel chain otherwise. Both paths apply the exact same scalar formulas
+// per element in the original program order, so fused outputs are
+// bit-identical to the unfused chain on the active backend (the
+// bitwise-parity argument is in DESIGN.md "Graph capture & optimization").
+#include "core/util.h"
+#include "ops/common.h"
+
+namespace tfjs::ops {
+
+using internal::E;
+
+namespace {
+
+/// Throws unless refs are well-formed: every operand names an external
+/// input slot or a *prior* instruction.
+void validateRegion(const RegionProgram& p, std::size_t numInputs) {
+  TFJS_ARG_CHECK(!p.instrs.empty(), "fusedRegion: empty program");
+  TFJS_ARG_CHECK(static_cast<std::size_t>(p.numInputs) == numInputs,
+                 "fusedRegion: program expects " << p.numInputs
+                                                 << " inputs, got "
+                                                 << numInputs);
+  const auto ok = [&](int r, std::size_t k) {
+    return r < 0 ? static_cast<std::size_t>(-1 - r) < numInputs
+                 : static_cast<std::size_t>(r) < k;
+  };
+  for (std::size_t k = 0; k < p.instrs.size(); ++k) {
+    const RegionInstr& si = p.instrs[k];
+    bool valid = ok(si.a, k);
+    if (si.kind != RegionInstr::Kind::kUnary) valid = valid && ok(si.b, k);
+    if (si.kind == RegionInstr::Kind::kSelect) valid = valid && ok(si.c, k);
+    TFJS_ARG_CHECK(valid, "fusedRegion: bad operand ref in instruction " << k);
+  }
+}
+
+/// Per-instruction result shapes under broadcasting; the terminal one is
+/// the region's output shape. Computed from the actual feed shapes (not the
+/// capture example's), which is what makes replayed regions
+/// shape-polymorphic: for pure elementwise programs, evaluating every
+/// interior value at the final output's coordinates reproduces the op-by-op
+/// chain bit for bit whatever the broadcast pattern.
+std::vector<Shape> regionShapes(const RegionProgram& p,
+                                std::span<const Tensor> inputs) {
+  std::vector<Shape> shapes(p.instrs.size());
+  const auto shapeOf = [&](int r) -> const Shape& {
+    return r < 0 ? inputs[static_cast<std::size_t>(-1 - r)].shape()
+                 : shapes[static_cast<std::size_t>(r)];
+  };
+  for (std::size_t k = 0; k < p.instrs.size(); ++k) {
+    const RegionInstr& si = p.instrs[k];
+    switch (si.kind) {
+      case RegionInstr::Kind::kUnary:
+        shapes[k] = shapeOf(si.a);
+        break;
+      case RegionInstr::Kind::kBinary:
+        shapes[k] = util::broadcastShapes(shapeOf(si.a), shapeOf(si.b));
+        break;
+      case RegionInstr::Kind::kSelect:
+        shapes[k] = util::broadcastShapes(
+            util::broadcastShapes(shapeOf(si.a), shapeOf(si.b)),
+            shapeOf(si.c));
+        break;
+    }
+  }
+  return shapes;
+}
+
+/// Op-by-op fallback for backends without fused-region kernels: dispatches
+/// each instruction to the standalone unary/binary/select kernel — exactly
+/// the chain the fusion pass replaced, so values cannot differ.
+DataId regionFallback(const RegionProgram& p,
+                      std::span<const TensorSpec> inputs,
+                      std::span<const Shape> shapes) {
+  Backend& b = E().backend();
+  std::vector<TensorSpec> interm(p.instrs.size());
+  const auto spec = [&](int r) -> const TensorSpec& {
+    return r < 0 ? inputs[static_cast<std::size_t>(-1 - r)]
+                 : interm[static_cast<std::size_t>(r)];
+  };
+  for (std::size_t k = 0; k < p.instrs.size(); ++k) {
+    const RegionInstr& si = p.instrs[k];
+    DataId id = 0;
+    switch (si.kind) {
+      case RegionInstr::Kind::kUnary:
+        id = b.unary(static_cast<UnaryOp>(si.op), spec(si.a), si.alpha,
+                     si.beta);
+        break;
+      case RegionInstr::Kind::kBinary:
+        id = b.binary(static_cast<BinaryOp>(si.op), spec(si.a), spec(si.b),
+                      shapes[k]);
+        break;
+      case RegionInstr::Kind::kSelect:
+        id = b.select(spec(si.a), spec(si.b), spec(si.c), shapes[k]);
+        break;
+    }
+    interm[k] = {id, shapes[k], DType::f32};
+  }
+  for (std::size_t k = 0; k + 1 < interm.size(); ++k) {
+    b.disposeData(interm[k].id);
+  }
+  return interm.back().id;
+}
+
+}  // namespace
+
+std::vector<double> encodeRegionProgram(const RegionProgram& p) {
+  std::vector<double> at;
+  at.reserve(2 + p.instrs.size() * 7);
+  at.push_back(static_cast<double>(p.numInputs));
+  at.push_back(static_cast<double>(p.instrs.size()));
+  for (const RegionInstr& si : p.instrs) {
+    at.push_back(static_cast<double>(si.kind));
+    at.push_back(static_cast<double>(si.op));
+    at.push_back(static_cast<double>(si.a));
+    at.push_back(static_cast<double>(si.b));
+    at.push_back(static_cast<double>(si.c));
+    at.push_back(static_cast<double>(si.alpha));
+    at.push_back(static_cast<double>(si.beta));
+  }
+  return at;
+}
+
+RegionProgram decodeRegionProgram(std::span<const double> attrs) {
+  TFJS_ARG_CHECK(attrs.size() >= 2, "fusedRegion: truncated attrs");
+  RegionProgram p;
+  p.numInputs = static_cast<int>(attrs[0]);
+  const auto numInstrs = static_cast<std::size_t>(attrs[1]);
+  TFJS_ARG_CHECK(attrs.size() == 2 + numInstrs * 7,
+                 "fusedRegion: attrs length mismatch");
+  p.instrs.resize(numInstrs);
+  for (std::size_t k = 0; k < numInstrs; ++k) {
+    const double* a = attrs.data() + 2 + k * 7;
+    RegionInstr& si = p.instrs[k];
+    si.kind = static_cast<RegionInstr::Kind>(static_cast<int>(a[0]));
+    si.op = static_cast<int>(a[1]);
+    si.a = static_cast<int>(a[2]);
+    si.b = static_cast<int>(a[3]);
+    si.c = static_cast<int>(a[4]);
+    si.alpha = static_cast<float>(a[5]);
+    si.beta = static_cast<float>(a[6]);
+  }
+  return p;
+}
+
+Tensor fusedRegion(const RegionProgram& program, std::span<const Tensor> inputs,
+                   DType outDtype) {
+  validateRegion(program, inputs.size());
+  internal::CaptureFrame frame;
+  internal::KernelScope k("fusedRegion");
+  std::vector<TensorSpec> specs;
+  specs.reserve(inputs.size());
+  for (const Tensor& t : inputs) specs.push_back(E().prepareInput(t));
+  const std::vector<Shape> shapes = regionShapes(program, inputs);
+  const Shape& outShape = shapes.back();
+  const DataId id =
+      E().backend().supportsFusedRegions()
+          ? E().backend().fusedRegion(program, specs, outShape, 0)
+          : regionFallback(program, specs, shapes);
+  Tensor y = k.wrap(id, outShape, outDtype);
+  {
+    const std::vector<double> at = encodeRegionProgram(program);
+    internal::observeOp(OpId::kFusedRegion, inputs, y, at);
+  }
+  return y;
+}
+
+Tensor fusedRegion(const RegionProgram& program, Tensor&& first,
+                   std::span<const Tensor> rest, DType outDtype) {
+  const Tensor arg = std::move(first);
+  std::vector<Tensor> all;
+  all.reserve(rest.size() + 1);
+  all.push_back(arg);
+  all.insert(all.end(), rest.begin(), rest.end());
+  // Same sole-ownership gate as tryUnaryInPlace/tryBinaryInPlace; the
+  // backend additionally verifies dst aliases exactly one (dense) input
+  // and otherwise allocates.
+  const bool tryInPlace = E().backend().supportsFusedRegions() &&
+                          !(internal::captureDepth == 0 &&
+                            E().opObserver() != nullptr) &&
+                          E().canReuseInput(arg) &&
+                          dtypeBytes(outDtype) == dtypeBytes(arg.dtype());
+  if (tryInPlace) {
+    validateRegion(program, all.size());
+    const std::vector<Shape> shapes = regionShapes(program, all);
+    const Shape& outShape = shapes.back();
+    if (arg.shape() == outShape) {
+      internal::CaptureFrame frame;
+      internal::KernelScope k("fusedRegion");
+      std::vector<TensorSpec> specs;
+      specs.reserve(all.size());
+      for (const Tensor& t : all) specs.push_back(E().prepareInput(t));
+      const DataId id =
+          E().backend().fusedRegion(program, specs, outShape, specs[0].id);
+      if (id == specs[0].id) {
+        Tensor y = E().reuseInputAsOutput(arg, outShape, outDtype);
+        k.notify(y);
+        return y;
+      }
+      Tensor y = E().makeTensorFromDataId(id, outShape, outDtype);
+      k.notify(y);
+      arg.dispose();
+      return y;
+    }
+  }
+  Tensor y = fusedRegion(program, all, outDtype);
+  arg.dispose();
+  return y;
+}
+
+}  // namespace tfjs::ops

@@ -79,8 +79,11 @@ TEST_F(GraphExecutorTest, ConvPoolGraphWithAttrs) {
 }
 
 TEST_F(GraphExecutorTest, DiamondGraphEvaluatesSharedNodeOnce) {
-  // x -> square -> (a = s + s): the shared node must be memoized, which the
-  // profiler can observe (square dispatched exactly once).
+  // x -> square -> (a = s + s): the shared node must not be evaluated
+  // twice. The elementwise fuser collapses the whole diamond into ONE
+  // region dispatch whose program computes the shared value once and
+  // references it twice — so the profiler sees exactly one elementwise
+  // kernel total (one fusedRegion, zero standalone muls).
   GraphDef g;
   g.nodes.push_back(node("x", "Placeholder", {}));
   g.nodes.push_back(node("s", "Mul", {"x", "x"}));
@@ -89,14 +92,17 @@ TEST_F(GraphExecutorTest, DiamondGraphEvaluatesSharedNodeOnce) {
   GraphExecutor exec(std::move(g));
 
   Tensor x = o::tensor({2, 3}, Shape{2});
-  int mulKernels = 0;
+  int elemKernels = 0;
   ProfileInfo prof = profile([&] {
     Tensor y = exec.execute({{"x", x}});
     test::expectValues(y, {8, 18});
     y.dispose();
   });
-  for (const auto& k : prof.kernels) mulKernels += k.name == "mul";
-  EXPECT_EQ(mulKernels, 1);
+  for (const auto& k : prof.kernels) {
+    elemKernels += k.name == "mul" || k.name == "add" ||
+                   k.name == "fusedRegion";
+  }
+  EXPECT_EQ(elemKernels, 1);
   x.dispose();
 }
 

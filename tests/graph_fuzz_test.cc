@@ -19,6 +19,7 @@
 
 #include "backends/common/ref_backend.h"
 #include "core/engine.h"
+#include "core/metrics.h"
 #include "graph/capture.h"
 #include "graph/executor.h"
 #include "graph/passes.h"
@@ -32,7 +33,10 @@ namespace o = ops;
 using graph::CapturedGraph;
 using graph::PassOptions;
 
-constexpr unsigned kNumSeeds = 70;  // x3 backends (+ bypass legs) > 200 graphs
+constexpr unsigned kNumSeeds = 80;  // x3 backends (+ bypass legs) > 240 graphs
+/// Seeds for the elementwise-chain-heavy mode (long chains, diamonds,
+/// select, mixed broadcast — the fuse_elementwise pass's home turf).
+constexpr unsigned kNumElemSeeds = 50;
 
 void ensureRefRegistered() {
   static const bool once = [] {
@@ -329,6 +333,115 @@ std::vector<Tensor> buildProgram(unsigned seed,
   return outs;
 }
 
+/// Elementwise-chain-heavy generator: every value keeps the anchor shape,
+/// so the fuser can grow large regions — long unary chains, diamonds whose
+/// shared producer must be absorbed, select with comparison conditions, and
+/// broadcast constants entering at the leaves. Occasional softmax links are
+/// shape-preserving but NOT elementwise: they split regions mid-chain.
+std::vector<Tensor> buildElemProgram(unsigned seed,
+                                     const std::vector<Tensor>& inputs,
+                                     ConstPool& pool) {
+  std::mt19937 rng(seed * 1181783497u + 31u);
+  pool.cursor = 0;
+  pool.dataSeed = static_cast<int>(seed) * 1000 + 503;
+
+  std::vector<Tensor> vals = inputs;
+  const Shape shape = inputs[0].shape();
+  auto sameShape = [&](const Tensor& t) { return t.shape() == shape; };
+  auto pick = [&]() -> const Tensor& {
+    return vals[static_cast<std::size_t>(pickWhere(rng, vals, sameShape))];
+  };
+  auto pushUnary = [&](const Tensor& v) {
+    switch (rng() % 8) {
+      case 0: vals.push_back(o::relu(v)); break;
+      case 1: vals.push_back(o::relu6(v)); break;
+      case 2: vals.push_back(o::neg(v)); break;
+      case 3: vals.push_back(o::square(v)); break;
+      case 4: vals.push_back(o::leakyRelu(v, 0.2f)); break;
+      case 5: vals.push_back(o::clipByValue(v, -0.5f, 0.5f)); break;
+      case 6: vals.push_back(o::addScalar(v, 0.75f)); break;
+      default: vals.push_back(o::mulScalar(v, 1.25f)); break;
+    }
+  };
+  auto pushBinary = [&](const Tensor& a, const Tensor& b) {
+    switch (rng() % 5) {
+      case 0: vals.push_back(o::add(a, b)); break;
+      case 1: vals.push_back(o::sub(a, b)); break;
+      case 2: vals.push_back(o::mul(a, b)); break;
+      case 3: vals.push_back(o::maximum(a, b)); break;
+      default: vals.push_back(o::minimum(a, b)); break;
+    }
+  };
+
+  const int nSteps = 10 + static_cast<int>(rng() % 16);
+  for (int step = 0; step < nSteps; ++step) {
+    switch (rng() % 8) {
+      case 0:  // chain link
+        pushUnary(pick());
+        break;
+      case 1:  // binary between two existing same-shape values
+        pushBinary(pick(), pick());
+        break;
+      case 2: {  // broadcast constant entering at a leaf
+        const Tensor& a = pick();
+        std::vector<int> dims = shape.dims();
+        for (int& d : dims) {
+          if (rng() % 2 == 0) d = 1;
+        }
+        Tensor b = rng() % 3 == 0 ? pool.take(Shape{1})
+                                  : pool.take(Shape(dims));
+        pushBinary(a, b);
+        break;
+      }
+      case 3: {  // diamond: shared producer, two consumers, rejoin
+        const Tensor v = pick();  // by value: pushUnary may grow vals
+        pushUnary(v);
+        const Tensor a = vals.back();
+        pushUnary(v);
+        pushBinary(a, vals.back());
+        break;
+      }
+      case 4: {  // select with a computed condition
+        const Tensor& a = pick();
+        const Tensor& b = pick();
+        Tensor cond = o::greater(a, o::mulScalar(b, 0.5f));
+        vals.push_back(o::where(cond, a, b));
+        break;
+      }
+      case 5: {  // comparison feeding boolean arithmetic
+        const Tensor& a = pick();
+        const Tensor& b = pick();
+        vals.push_back(
+            o::logicalAnd(o::greater(a, b), o::lessEqual(a, o::abs(b))));
+        break;
+      }
+      case 6: {  // region splitter: shape-preserving, non-elementwise
+        if (shape.rank() == 2) {
+          vals.push_back(o::softmax(pick()));
+        } else {
+          pushUnary(pick());
+        }
+        break;
+      }
+      default: {  // deep pure chain: several links at once
+        pushUnary(pick());
+        for (int k = 0; k < 3; ++k) pushUnary(vals.back());
+        break;
+      }
+    }
+  }
+
+  // Tail plus sometimes an interior output: an interior that is also an
+  // output pins a region boundary (the pass must not absorb it).
+  std::vector<Tensor> outs{vals.back()};
+  const std::size_t lo = inputs.size();
+  if (rng() % 2 == 0 && vals.size() > lo + 1) {
+    const std::size_t extra = lo + rng() % (vals.size() - 1 - lo);
+    outs.push_back(vals[extra]);
+  }
+  return outs;
+}
+
 ::testing::AssertionResult bitwiseEqual(const Tensor& a, const Tensor& b,
                                         unsigned seed, const char* backend,
                                         std::size_t outIdx) {
@@ -351,21 +464,31 @@ std::vector<Tensor> buildProgram(unsigned seed,
   return ::testing::AssertionSuccess();
 }
 
+using ProgramFn = std::vector<Tensor> (*)(unsigned, const std::vector<Tensor>&,
+                                          ConstPool&);
+
 /// Runs one seeded case: eager vs captured+optimized on every CPU backend,
 /// plus a pass-bypass leg on a subset. Returns the number of captured
-/// graphs executed.
-int runCase(unsigned seed) {
+/// graphs executed. `elemMode` switches to the elementwise-chain-heavy
+/// generator (same-shape inputs so binaries always pair up).
+int runCase(unsigned seed, bool elemMode = false) {
   setBackend("cpu");
+  const ProgramFn buildFn = elemMode ? buildElemProgram : buildProgram;
   int graphsRun = 0;
 
   // Inputs and constants: created once (like an application's weights),
   // shared across backends — the engine migrates containers on demand.
   std::mt19937 shapeRng(seed * 48271u + 11u);
   std::vector<Tensor> inputs;
-  const int nIn = 1 + static_cast<int>(shapeRng() % 2);
+  const int nIn = elemMode ? 2 : 1 + static_cast<int>(shapeRng() % 2);
+  int r0 = 0, c0 = 0;
+  if (elemMode) {  // same shape for every input; keeps mode-1 corpus intact
+    r0 = 2 + static_cast<int>(shapeRng() % 5);
+    c0 = 2 + static_cast<int>(shapeRng() % 6);
+  }
   for (int i = 0; i < nIn; ++i) {
-    const int r = 2 + static_cast<int>(shapeRng() % 3);
-    const int c = 2 + static_cast<int>(shapeRng() % 4);
+    const int r = elemMode ? r0 : 2 + static_cast<int>(shapeRng() % 3);
+    const int c = elemMode ? c0 : 2 + static_cast<int>(shapeRng() % 4);
     inputs.push_back(o::randomNormal(Shape{r, c}, 0, 1,
                                      static_cast<std::uint64_t>(seed) * 77 + i));
   }
@@ -373,7 +496,7 @@ int runCase(unsigned seed) {
   ConstPool pool;
   pool.planning = true;
   Engine::get().startScope();
-  std::vector<Tensor> planOut = buildProgram(seed, inputs, pool);
+  std::vector<Tensor> planOut = buildFn(seed, inputs, pool);
   (void)planOut;
   Engine::get().endScope({});  // plan intermediates die; consts are kept
   pool.planning = false;
@@ -382,13 +505,13 @@ int runCase(unsigned seed) {
   for (const char* backend : {"ref", "cpu", "native"}) {
     setBackend(backend);
     std::vector<Tensor> eager = tidyAll([&] {
-      return buildProgram(seed, inputs, pool);
+      return buildFn(seed, inputs, pool);
     });
 
     CapturedGraph cg(
         graph::capture(
             [&](const std::vector<Tensor>& ins) {
-              return buildProgram(seed, ins, pool);
+              return buildFn(seed, ins, pool);
             },
             inputs),
         PassOptions::all());
@@ -406,7 +529,7 @@ int runCase(unsigned seed) {
     if (seed % 5 == 0) {
       CapturedGraph raw(graph::capture(
                             [&](const std::vector<Tensor>& ins) {
-                              return buildProgram(seed, ins, pool);
+                              return buildFn(seed, ins, pool);
                             },
                             inputs),
                         PassOptions::none());
@@ -446,8 +569,38 @@ TEST(GraphFuzz, EagerVsCapturedBitwiseParity) {
     graphs += runCase(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
-  // The harness's own coverage bar: >200 captured graphs per ctest run.
-  EXPECT_GE(graphs, 200);
+  // The harness's own coverage bar: >240 captured graphs per ctest run.
+  EXPECT_GE(graphs, 240);
+}
+
+TEST(GraphFuzz, ElementwiseChainHeavyBitwiseParity) {
+  ensureRefRegistered();
+
+  if (const char* s = std::getenv("TFJS_GRAPH_FUZZ_SEED")) {
+    runCase(static_cast<unsigned>(std::atoi(s)), /*elemMode=*/true);
+    return;
+  }
+
+  const std::uint64_t regions0 =
+      metrics::Registry::get().counter("graph.fused_regions").value();
+  const std::uint64_t regionOps0 =
+      metrics::Registry::get().counter("graph.region_ops").value();
+  int graphs = 0;
+  for (unsigned seed = 1; seed <= kNumElemSeeds; ++seed) {
+    graphs += runCase(seed, /*elemMode=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(graphs, 150);
+  // The mode exists to stress the fuser: the corpus must actually form
+  // regions, and sizeable ones (several ops per region on average).
+  const std::uint64_t regions =
+      metrics::Registry::get().counter("graph.fused_regions").value() -
+      regions0;
+  const std::uint64_t regionOps =
+      metrics::Registry::get().counter("graph.region_ops").value() -
+      regionOps0;
+  EXPECT_GE(regions, 100u);
+  EXPECT_GE(regionOps, 3 * regions);
 }
 
 }  // namespace

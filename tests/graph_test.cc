@@ -309,6 +309,108 @@ TEST(GraphPasses, FuseDeclinesMultiUseAndOutputIntermediates) {
   EXPECT_EQ(fused2.nodes[4].op, OpId::kBinary);
 }
 
+/// mulScalar(relu(x + y), 2) with y broadcasting from the leaves: the whole
+/// chain is one region; only the external leaf broadcasts.
+Graph elemChainFixture() {
+  Graph g;
+  g.nodes.push_back(inputNode(Shape{2, 3}));
+  g.nodes.push_back(inputNode(Shape{3}));
+  g.nodes.push_back(
+      opNode(OpId::kBinary, {0, 1}, {kAddCode, kF32Code}, Shape{2, 3}));
+  g.nodes.push_back(
+      opNode(OpId::kUnary, {2}, {kReluCode, 0, 0, kF32Code}, Shape{2, 3}));
+  g.nodes.push_back(opNode(
+      OpId::kUnary, {3},
+      {static_cast<double>(UnaryOp::kMulScalar), 2, 0, kF32Code},
+      Shape{2, 3}));
+  g.inputs = {0, 1};
+  g.outputs = {4};
+  return g;
+}
+
+TEST(GraphPasses, FuseElementwiseGolden) {
+  Graph fused = graph::fuseElementwise(elemChainFixture());
+  // The terminal keeps its id; absorbed interiors stay behind for dce.
+  ASSERT_EQ(fused.nodes.size(), 5u);
+  const Node& region = fused.nodes[4];
+  ASSERT_EQ(region.op, OpId::kFusedRegion) << fused.toString();
+  EXPECT_EQ(region.inputs, (std::vector<int>{0, 1}));
+  EXPECT_EQ(region.outShape, (Shape{2, 3}));
+
+  const RegionProgram p = o::decodeRegionProgram(region.attrs);
+  EXPECT_EQ(p.numInputs, 2);
+  ASSERT_EQ(p.instrs.size(), 3u);
+  // t0 = add(i0, i1); t1 = relu(t0); t2 = mulScalar(t1, 2)
+  EXPECT_EQ(p.instrs[0].kind, RegionInstr::Kind::kBinary);
+  EXPECT_EQ(p.instrs[0].op, static_cast<int>(BinaryOp::kAdd));
+  EXPECT_EQ(p.instrs[0].a, -1);
+  EXPECT_EQ(p.instrs[0].b, -2);
+  EXPECT_EQ(p.instrs[1].kind, RegionInstr::Kind::kUnary);
+  EXPECT_EQ(p.instrs[1].op, static_cast<int>(UnaryOp::kRelu));
+  EXPECT_EQ(p.instrs[1].a, 0);
+  EXPECT_EQ(p.instrs[2].op, static_cast<int>(UnaryOp::kMulScalar));
+  EXPECT_EQ(p.instrs[2].a, 1);
+  EXPECT_EQ(p.instrs[2].alpha, 2.0f);
+
+  // The IR dump prints the program, not 23 raw attr doubles.
+  EXPECT_NE(fused.toString().find("fusedRegion(%0, %1) ["),
+            std::string::npos)
+      << fused.toString();
+
+  Graph swept = graph::dce(fused);
+  EXPECT_EQ(swept.nodes.size(), 3u) << swept.toString();
+  EXPECT_EQ(swept.nodes[2].op, OpId::kFusedRegion);
+}
+
+TEST(GraphPasses, FuseElementwiseDiamondSharesOneInstruction) {
+  // s = x*x; out = s + s: the shared producer joins once its only consumer
+  // is in the region, and becomes ONE instruction referenced twice.
+  Graph g;
+  g.nodes.push_back(inputNode(Shape{4}));
+  g.nodes.push_back(
+      opNode(OpId::kBinary, {0, 0}, {static_cast<double>(BinaryOp::kMul),
+                                     kF32Code}, Shape{4}));
+  g.nodes.push_back(
+      opNode(OpId::kBinary, {1, 1}, {kAddCode, kF32Code}, Shape{4}));
+  g.inputs = {0};
+  g.outputs = {2};
+
+  Graph fused = graph::fuseElementwise(g);
+  const Node& region = fused.nodes[2];
+  ASSERT_EQ(region.op, OpId::kFusedRegion) << fused.toString();
+  const RegionProgram p = o::decodeRegionProgram(region.attrs);
+  EXPECT_EQ(p.numInputs, 1);
+  ASSERT_EQ(p.instrs.size(), 2u);
+  EXPECT_EQ(p.instrs[1].a, 0);
+  EXPECT_EQ(p.instrs[1].b, 0);
+}
+
+TEST(GraphPasses, FuseElementwiseRespectsOutputsAndShapes) {
+  // An interior that is also a graph output cannot be absorbed — but it can
+  // itself terminate a (smaller) region.
+  Graph g = elemChainFixture();
+  g.outputs = {3, 4};
+  Graph fused = graph::fuseElementwise(g);
+  EXPECT_EQ(fused.nodes[4].op, OpId::kUnary);  // mulScalar left alone
+  EXPECT_EQ(fused.nodes[3].op, OpId::kFusedRegion);  // add+relu fused
+  EXPECT_EQ(o::decodeRegionProgram(fused.nodes[3].attrs).instrs.size(), 2u);
+
+  // A producer with a different output shape (interior broadcast) stays
+  // outside: only leaf inputs may broadcast into a region.
+  Graph g2;
+  g2.nodes.push_back(inputNode(Shape{2, 3}));
+  g2.nodes.push_back(inputNode(Shape{3}));
+  g2.nodes.push_back(
+      opNode(OpId::kUnary, {1}, {kReluCode, 0, 0, kF32Code}, Shape{3}));
+  g2.nodes.push_back(
+      opNode(OpId::kBinary, {0, 2}, {kAddCode, kF32Code}, Shape{2, 3}));
+  g2.inputs = {0, 1};
+  g2.outputs = {3};
+  Graph fused2 = graph::fuseElementwise(g2);
+  EXPECT_EQ(fused2.nodes[2].op, OpId::kUnary);
+  EXPECT_EQ(fused2.nodes[3].op, OpId::kBinary);
+}
+
 TEST(GraphPasses, DceKeepsPlaceholdersAlive) {
   Graph g;
   g.nodes.push_back(inputNode(Shape{2}));
@@ -328,15 +430,18 @@ TEST(GraphPasses, DceKeepsPlaceholdersAlive) {
 TEST(GraphPasses, PassOptionsFromEnv) {
   ::unsetenv("TFJS_GRAPH_OPT");
   PassOptions all = PassOptions::fromEnv();
-  EXPECT_TRUE(all.fold && all.fuse && all.dce && all.plan);
+  EXPECT_TRUE(all.fold && all.fuse && all.dce && all.plan &&
+              all.fuseElementwise);
 
   ::setenv("TFJS_GRAPH_OPT", "0", 1);
   PassOptions none = PassOptions::fromEnv();
-  EXPECT_FALSE(none.fold || none.fuse || none.dce || none.plan);
+  EXPECT_FALSE(none.fold || none.fuse || none.dce || none.plan ||
+               none.fuseElementwise);
 
   ::setenv("TFJS_GRAPH_OPT", "off", 1);
   none = PassOptions::fromEnv();
-  EXPECT_FALSE(none.fold || none.fuse || none.dce || none.plan);
+  EXPECT_FALSE(none.fold || none.fuse || none.dce || none.plan ||
+               none.fuseElementwise);
 
   ::setenv("TFJS_GRAPH_OPT", "fold,dce", 1);
   PassOptions subset = PassOptions::fromEnv();
@@ -344,10 +449,18 @@ TEST(GraphPasses, PassOptionsFromEnv) {
   EXPECT_TRUE(subset.dce);
   EXPECT_FALSE(subset.fuse);
   EXPECT_FALSE(subset.plan);
+  EXPECT_FALSE(subset.fuseElementwise);
+
+  ::setenv("TFJS_GRAPH_OPT", "fuse_elementwise,dce", 1);
+  subset = PassOptions::fromEnv();
+  EXPECT_TRUE(subset.fuseElementwise);
+  EXPECT_TRUE(subset.dce);
+  EXPECT_FALSE(subset.fold || subset.fuse || subset.plan);
 
   ::setenv("TFJS_GRAPH_OPT", "1", 1);
   all = PassOptions::fromEnv();
-  EXPECT_TRUE(all.fold && all.fuse && all.dce && all.plan);
+  EXPECT_TRUE(all.fold && all.fuse && all.dce && all.plan &&
+              all.fuseElementwise);
 
   ::unsetenv("TFJS_GRAPH_OPT");
 }
@@ -594,6 +707,112 @@ TEST(GraphExec, PassthroughOutputsGetFreshHandles) {
   // survives.
   for (Tensor& t : out) t.dispose();
   EXPECT_FALSE(x.isDisposed());
+
+  cg.dispose();
+  x.dispose();
+}
+
+TEST(GraphExec, FusedRegionBitwiseOnAllBackends) {
+  ensureRefRegistered();
+  setBackend("cpu");
+  Tensor b = o::randomNormal(Shape{8}, 0, 0.5f, 141);
+  Tensor x = o::randomNormal(Shape{4, 8}, 0, 1, 142);
+  auto fn = [&](const std::vector<Tensor>& ins) {
+    // Broadcast leaf, diamond sharing, comparison + select, scalar tail:
+    // everything the fuser claims to fuse, in one chain.
+    Tensor h = o::mul(o::add(ins[0], b), ins[0]);
+    Tensor t = o::relu(h);
+    Tensor s = o::where(o::greater(t, o::mulScalar(t, 0.5f)), t, o::neg(t));
+    return std::vector<Tensor>{o::addScalar(s, 0.5f)};
+  };
+
+  const std::uint64_t r0 = counterValue("graph.fused_regions");
+  for (const char* backend : {"ref", "cpu", "native"}) {
+    setBackend(backend);
+    Tensor eager = tidy([&] { return fn({x})[0]; });
+    CapturedGraph cg(graph::capture(fn, {x}), PassOptions::all());
+    std::vector<Tensor> cold = cg.run({x});
+    std::vector<Tensor> warm = cg.run({x});
+    expectBitwiseEqual(cold[0], eager);
+    expectBitwiseEqual(warm[0], eager);
+    cold[0].dispose();
+    warm[0].dispose();
+    cg.dispose();
+    eager.dispose();
+  }
+  EXPECT_GT(counterValue("graph.fused_regions"), r0);
+  setBackend("cpu");
+  for (Tensor t : {b, x}) t.dispose();
+}
+
+TEST(GraphExec, ShapeClassReusesPlanAcrossBatchSizes) {
+  setBackend("cpu");
+  Tensor w = o::randomNormal(Shape{6}, 0, 0.5f, 151);
+  Tensor x4 = o::randomNormal(Shape{4, 6}, 0, 1, 152);
+  auto fn = [&](const std::vector<Tensor>& ins) {
+    return std::vector<Tensor>{o::mulScalar(o::relu(o::add(ins[0], w)), 3)};
+  };
+  CapturedGraph cg(graph::capture(fn, {x4}), PassOptions::all());
+
+  // Batches 4, 7, 16 share one symbolic shape-class (rank 2, no 1-dims):
+  // the plan instantiates once and every later batch reuses it. Batch 1 is
+  // a separate class — a leading 1 changes broadcast semantics.
+  const std::uint64_t c0 = counterValue("graph.plan_compiles");
+  for (int batch : {4, 7, 16, 7, 4}) {
+    Tensor x = o::randomNormal(Shape{batch, 6}, 0, 1, 160 + batch);
+    Tensor eager = tidy([&] { return fn({x})[0]; });
+    std::vector<Tensor> out = cg.run({x});
+    expectBitwiseEqual(out[0], eager);
+    out[0].dispose();
+    eager.dispose();
+    x.dispose();
+  }
+  EXPECT_EQ(counterValue("graph.plan_compiles"), c0 + 1);
+  EXPECT_EQ(cg.numArenas(), 1u);
+
+  Tensor x1 = o::randomNormal(Shape{1, 6}, 0, 1, 159);
+  std::vector<Tensor> out1 = cg.run({x1});
+  EXPECT_EQ(counterValue("graph.plan_compiles"), c0 + 2);
+  EXPECT_EQ(cg.numArenas(), 2u);
+  out1[0].dispose();
+  x1.dispose();
+
+  cg.dispose();
+  for (Tensor t : {w, x4}) t.dispose();
+}
+
+TEST(GraphExec, ArenaCacheEvictsLeastRecentShapeClass) {
+  setBackend("cpu");
+  Tensor x = o::randomNormal(Shape{2, 2}, 0, 1, 171);
+  auto fn = [&](const std::vector<Tensor>& ins) {
+    return std::vector<Tensor>{o::relu(ins[0])};
+  };
+  CapturedGraph cg(graph::capture(fn, {x}), PassOptions::all());
+
+  // kMaxArenas + 1 distinct shape-classes: the first one (the capture
+  // example, least recently used) is evicted; the map stays capped.
+  const std::vector<Shape> classes = {
+      Shape{2, 2},    Shape{1, 2},    Shape{2, 1},
+      Shape{1, 1},    Shape{2, 2, 2}, Shape{1, 2, 2},
+      Shape{2, 1, 2}, Shape{2, 2, 1}, Shape{1, 1, 2}};
+  ASSERT_EQ(classes.size(), CapturedGraph::kMaxArenas + 1);
+  const std::uint64_t e0 = counterValue("pool.arena_evictions");
+  const std::uint64_t c0 = counterValue("graph.plan_compiles");
+  for (const Shape& s : classes) {
+    Tensor f = o::randomNormal(s, 0, 1, 180);
+    std::vector<Tensor> out = cg.run({f});
+    out[0].dispose();
+    f.dispose();
+  }
+  EXPECT_EQ(cg.numArenas(), CapturedGraph::kMaxArenas);
+  EXPECT_EQ(counterValue("pool.arena_evictions"), e0 + 1);
+  EXPECT_EQ(counterValue("graph.plan_compiles"), c0 + classes.size());
+
+  // The evicted class pays one re-instantiation on its next run.
+  std::vector<Tensor> again = cg.run({x});
+  EXPECT_EQ(counterValue("graph.plan_compiles"), c0 + classes.size() + 1);
+  EXPECT_EQ(counterValue("pool.arena_evictions"), e0 + 2);
+  again[0].dispose();
 
   cg.dispose();
   x.dispose();

@@ -10,9 +10,12 @@
 # quant_test the quantized kernels whose packed-weight cache is shared
 # across serving sessions (a fresh race surface). graph_fuzz_test runs on
 # every leg: the differential fuzzer's random DAGs reach the capture
-# recorder, every optimization pass, the arena allocator, and the replay
-# path on all three CPU backends — the widest single net over the graph
-# subsystem.
+# recorder, every optimization pass (elementwise region fusion included),
+# the arena allocator, and the replay path on all three CPU backends — the
+# widest single net over the graph subsystem. After each leg's ctest, an
+# extended fixed-seed fuzzer block replays the same seed set on that leg
+# (both fuzz modes — general DAGs and elementwise-chain-heavy), so any
+# divergence or sanitizer report reproduces bit-for-bit on every leg.
 # Uses separate build trees (build-tsan/, build-asan/, build-ubsan/) so the
 # regular build is untouched.
 #
@@ -20,21 +23,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fixed seeds beyond the in-test corpus (1..kNumSeeds); identical on every
+# leg. TFJS_GRAPH_FUZZ_SEED=<n> switches both fuzz tests to single-seed
+# replay, so each invocation runs one general case and one elementwise case.
+extended_fuzz() {
+  local build_dir="$1"
+  echo "== extended fixed-seed fuzzer block ($build_dir) =="
+  local seed
+  for seed in 1001 1007 1013 1019 1025 1031; do
+    TFJS_GRAPH_FUZZ_SEED="$seed" "$build_dir/tests/graph_fuzz_test"
+  done
+}
+
 cmake -B build-tsan -S . -DTFJS_SANITIZE=thread
 cmake --build build-tsan -j --target thread_pool_test native_parity_test \
   quant_test trace_test buffer_pool_test async_test serving_test \
   graph_fuzz_test
 ctest --test-dir build-tsan --output-on-failure \
   -R 'thread_pool_test|native_parity_test|quant_test|trace_test|buffer_pool_test|async_test|serving_test|graph_fuzz_test'
+extended_fuzz build-tsan
 
 cmake -B build-asan -S . -DTFJS_SANITIZE=address
 cmake --build build-asan -j --target buffer_pool_test fusion_test \
   quant_test serving_test graph_fuzz_test
 ctest --test-dir build-asan --output-on-failure \
   -R 'buffer_pool_test|fusion_test|quant_test|serving_test|graph_fuzz_test'
+extended_fuzz build-asan
 
 cmake -B build-ubsan -S . -DTFJS_SANITIZE=undefined
 cmake --build build-ubsan -j --target quant_test native_parity_test \
   serving_test graph_fuzz_test
 ctest --test-dir build-ubsan --output-on-failure \
   -R 'quant_test|native_parity_test|serving_test|graph_fuzz_test'
+extended_fuzz build-ubsan

@@ -120,6 +120,56 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Elementwise-fusion attribution: how long the fuse_elementwise pass ran
+  // at capture time, and what share of replay op time went through fused
+  // regions (op/fusedRegion = the executor's single-loop replay span;
+  // kernel/native.fusedRegion etc. appear in the main table per backend).
+  {
+    double opTotalUs = 0;
+    double regionUs = 0;
+    std::size_t regionCount = 0;
+    for (const auto& [key, a] : spans) {
+      if (key.rfind("op/", 0) == 0) opTotalUs += a.totalUs;
+      if (key == "op/fusedRegion") {
+        regionUs = a.totalUs;
+        regionCount = a.count;
+      }
+    }
+    const auto pass = spans.find("graph/fuse_elementwise");
+    if (pass != spans.end() || regionCount > 0) {
+      std::printf("\nelementwise fusion:\n");
+      if (pass != spans.end()) {
+        std::printf("  pass graph/fuse_elementwise         %8zu x %10.4f ms\n",
+                    pass->second.count,
+                    pass->second.totalUs / 1000.0 /
+                        static_cast<double>(pass->second.count));
+      }
+      if (regionCount > 0) {
+        std::printf(
+            "  fused-region replays                %8zu   %10.3f ms"
+            " (%.1f%% of op time)\n",
+            regionCount, regionUs / 1000.0,
+            opTotalUs > 0 ? 100.0 * regionUs / opTotalUs : 0.0);
+      }
+      // Region shape from the embedded metrics snapshot, when present.
+      if (doc.has("otherData") && doc.at("otherData").has("metrics") &&
+          doc.at("otherData").at("metrics").has("counters")) {
+        const auto& c = doc.at("otherData").at("metrics").at("counters");
+        const auto get = [&](const char* name) {
+          return c.has(name) ? c.at(name).asDouble() : 0.0;
+        };
+        const double regions = get("graph.fused_regions");
+        if (regions > 0) {
+          std::printf(
+              "  regions formed %.0f (avg %.1f ops each); plan compiles"
+              " %.0f; arena evictions %.0f\n",
+              regions, get("graph.region_ops") / regions,
+              get("graph.plan_compiles"), get("pool.arena_evictions"));
+        }
+      }
+    }
+  }
+
   if (doc.has("otherData")) {
     const auto& other = doc.at("otherData");
     if (other.has("dropped") && other.at("dropped").asDouble() > 0) {
